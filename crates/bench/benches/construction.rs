@@ -1,0 +1,49 @@
+//! B1/B2 — construction timing: the odd and even constructions are
+//! effectively linear in output size (O(n²) tiles of O(1) each).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cyclecover_core::{construct_optimal, odd};
+
+fn bench_odd_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct/odd");
+    for n in [21u32, 51, 101, 201, 401] {
+        let tiles = cyclecover_core::rho(n);
+        g.throughput(Throughput::Elements(tiles));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| odd::construct(n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_even_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("construct/even");
+    for n in [22u32, 50, 102, 202, 402] {
+        let tiles = cyclecover_core::rho(n);
+        g.throughput(Throughput::Elements(tiles));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| construct_optimal(n))
+        });
+    }
+    g.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate");
+    for n in [51u32, 101, 201] {
+        let cover = construct_optimal(n);
+        g.throughput(Throughput::Elements(cover.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &cover, |b, cover| {
+            b.iter(|| cover.validate())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_odd_construction,
+    bench_even_construction,
+    bench_validation
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! B4 — exact solver scaling: optimal covering search and the Dancing
+//! Links exact-cover engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cyclecover_ring::Ring;
+use cyclecover_solver::{bnb, dlx::ExactCover, greedy, TileUniverse};
+
+fn bench_bnb_optimal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver/bnb_optimal");
+    g.sample_size(10);
+    for n in [6u32, 7, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let u = TileUniverse::new(Ring::new(n), n as usize);
+            b.iter(|| bnb::solve_optimal(&u, 1_000_000_000).expect("solved").1)
+        });
+    }
+    g.finish();
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver/greedy_cover");
+    for n in [12u32, 20, 30] {
+        let u = TileUniverse::new(Ring::new(n), 4);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &u, |b, u| {
+            b.iter(|| greedy::greedy_cover(u).len())
+        });
+    }
+    g.finish();
+}
+
+fn bench_dlx(c: &mut Criterion) {
+    // Exact cover: all perfect matchings of K_{2m} (classic DLX stressor).
+    let mut g = c.benchmark_group("solver/dlx_matchings");
+    for m in [4usize, 5, 6] {
+        let v = 2 * m;
+        g.bench_with_input(BenchmarkId::from_parameter(v), &v, |b, &v| {
+            b.iter(|| {
+                let mut ec = ExactCover::new(v);
+                for i in 0..v {
+                    for j in (i + 1)..v {
+                        ec.add_row(&[i, j]);
+                    }
+                }
+                ec.count_solutions(1_000_000)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bnb_optimal, bench_greedy, bench_dlx);
+criterion_main!(benches);

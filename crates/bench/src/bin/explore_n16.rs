@@ -1,0 +1,25 @@
+use cyclecover_ring::Ring;
+use cyclecover_solver::{bnb, TileUniverse};
+
+fn main() {
+    // n=16 at budget 33, restricted universe (C3/C4, shortest-gap) first.
+    for (n, max_len, max_gap) in [(16u32, 4usize, 8u32), (16, 5, 16)] {
+        let u = TileUniverse::with_max_gap(Ring::new(n), max_len, max_gap);
+        let t0 = std::time::Instant::now();
+        let (outcome, stats) = bnb::cover_within_budget(&u, 33, 2_000_000_000);
+        println!(
+            "n={n} max_len={max_len} max_gap={max_gap} tiles={}: {:?} nodes={} [{:.1?}]",
+            u.len(),
+            match outcome { bnb::Outcome::Feasible(_) => "FEASIBLE", bnb::Outcome::Infeasible => "infeasible", bnb::Outcome::NodeLimit => "node-limit" },
+            stats.nodes,
+            t0.elapsed()
+        );
+        if let bnb::Outcome::Feasible(idx) = outcome {
+            let ring = Ring::new(n);
+            for &i in &idx {
+                println!("  {:?} gaps={:?}", u.tile(i).vertices(), u.tile(i).gaps(ring));
+            }
+            break;
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! E5 — growth figure: `ρ(n)` vs. the baselines a practitioner would try.
+//!
+//! Series (CSV to stdout + ASCII plot):
+//! * `rho`        — the paper's optimum (our construction, validated);
+//! * `capacity`   — the lower bound `⌈Σdist/n⌉`;
+//! * `triangles`  — pure triangle covering (design-theory baseline,
+//!   refs [6,7]: every triangle covering is DRC-valid);
+//! * `greedy`     — greedy set-cover over all C3/C4 tiles;
+//! * `insertion`  — incremental vertex-insertion heuristic (cover `K_{n−1}`
+//!   optimally, then patch the new vertex's star with triangles).
+//!
+//! The shape to reproduce: all curves grow ~n²; triangles sit ~4/3 above
+//! `rho` (n²/6 vs n²/8), greedy lands between, insertion ~(1 + o(1))·rho.
+
+use cyclecover_core::construct_optimal;
+use cyclecover_design::{greedy_triangle_cover, triangle_covering_number};
+use cyclecover_ring::{Ring, Tile};
+use cyclecover_solver::lower_bound::capacity_lower_bound;
+use cyclecover_solver::{greedy, TileUniverse};
+
+/// Vertex-insertion baseline: optimal covering of `K_{n−1}` on `C_{n−1}`
+/// (re-embedded on `C_n`), plus triangles `(v, 2i, 2i+1)` patching the new
+/// vertex `v = n−1`'s star.
+fn insertion_baseline(n: u32) -> usize {
+    let ring = Ring::new(n);
+    let prev = construct_optimal(n - 1);
+    let mut tiles: Vec<Tile> = prev
+        .tiles()
+        .iter()
+        .map(|t| Tile::from_vertices(ring, t.vertices().to_vec()))
+        .collect();
+    let v = n - 1;
+    let mut x = 0;
+    while x + 1 < v {
+        tiles.push(Tile::from_vertices(ring, vec![x, x + 1, v]));
+        x += 2;
+    }
+    if x < v {
+        // odd leftover vertex: close with (v, x, 0)
+        tiles.push(Tile::from_vertices(ring, vec![0, x, v]));
+    }
+    // sanity: must cover K_n
+    let cover = cyclecover_core::DrcCovering::from_tiles(ring, tiles);
+    cover.validate().expect("insertion baseline covers");
+    cover.len()
+}
+
+fn main() {
+    println!("E5 — covering size vs n (CSV)");
+    println!("n,rho,capacity,triangle_opt,triangle_greedy,tile_greedy,insertion");
+    let mut rows = Vec::new();
+    for n in (5u32..=60).chain([80, 100, 120, 150, 200]) {
+        let built = construct_optimal(n).len();
+        let tri_opt = triangle_covering_number(n as u64);
+        let tri_greedy = greedy_triangle_cover(n as usize).len();
+        let tile_greedy = if n <= 30 {
+            let u = TileUniverse::new(Ring::new(n), 4);
+            greedy::greedy_cover(&u).len().to_string()
+        } else {
+            String::new()
+        };
+        let ins = insertion_baseline(n);
+        println!(
+            "{n},{},{},{},{},{},{}",
+            built,
+            capacity_lower_bound(n),
+            tri_opt,
+            tri_greedy,
+            tile_greedy,
+            ins
+        );
+        rows.push((n, built as f64, tri_opt as f64, ins as f64));
+    }
+
+    // ASCII plot of the headline ratio: triangles / rho -> 4/3.
+    println!();
+    println!("ratio of baseline to rho(n) (x = n, '#' = triangle covering, '+' = insertion):");
+    for &(n, built, tri, ins) in &rows {
+        if n % 5 != 0 {
+            continue;
+        }
+        let r_tri = tri / built;
+        let r_ins = ins / built;
+        let col = |r: f64| ((r - 1.0) * 60.0).round().max(0.0) as usize;
+        let mut line = vec![b' '; 75];
+        line[0] = b'|';
+        let ct = col(r_tri).min(70);
+        let ci = col(r_ins).min(70);
+        line[ct + 1] = b'#';
+        line[ci + 1] = b'+';
+        println!(
+            "n={n:3} {} tri/rho={r_tri:.3} ins/rho={r_ins:.3}",
+            String::from_utf8(line).unwrap()
+        );
+    }
+    println!();
+    println!("expected shape: '#' stabilizes near 4/3 (n^2/6 vs n^2/8); '+' decays toward 1.");
+}

@@ -1,0 +1,114 @@
+//! E8 — extensions table: λK_n instances and general logical graphs.
+//!
+//! The note's closing section: "we are now investigating cases with other
+//! communication instances such as λK_n (or more general logical
+//! graphs)." This experiment maps the terrain:
+//!
+//! * λK_n: copy-concatenation upper bound `λ·ρ(n)` vs the scaled capacity
+//!   bound — tight for odd `n`, gapped by ~λ/2 for even `n` (the open
+//!   question);
+//! * random instances: greedy covering sizes and phantom-capacity waste.
+
+use cyclecover_bench::{header, row};
+use cyclecover_core::{general, lambda};
+use cyclecover_graph::Graph;
+use cyclecover_ring::Ring;
+use cyclecover_solver::{bnb, TileUniverse};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn main() {
+    println!("E8a — lambda-fold instances: bounds on rho_lambda(n)");
+    println!();
+    let widths = [5, 4, 10, 10, 8, 8];
+    header(&["n", "lam", "cap.LB", "built", "exact", "tight?"], &widths);
+    for n in [9u32, 10, 11, 12, 13, 14] {
+        for lam in 1u32..=4 {
+            let lb = lambda::capacity_lower_bound(n, lam);
+            let cover = lambda::construct(n, lam);
+            assert!(cover.coverage().covers_complete(lam), "n={n} λ={lam}");
+            let built = cover.len() as u64;
+            // Exact lambda-fold optimum for the smallest instances: does the
+            // even-n gap close? (New knowledge beyond the paper.)
+            let exact = if n <= 7 || (n <= 8 && lam <= 2) {
+                let u = TileUniverse::new(Ring::new(n), n as usize);
+                let spec = bnb::CoverSpec::lambda_fold(n, lam);
+                bnb::solve_optimal_spec(&u, &spec, 100_000_000)
+                    .map(|(_, opt, _)| opt.to_string())
+                    .unwrap_or_else(|| "limit".into())
+            } else {
+                "-".into()
+            };
+            println!(
+                "{}",
+                row(
+                    &[
+                        n.to_string(),
+                        lam.to_string(),
+                        lb.to_string(),
+                        built.to_string(),
+                        exact,
+                        if built == lb { "yes" } else { "gap" }.to_string(),
+                    ],
+                    &widths,
+                )
+            );
+        }
+    }
+    // The headline probe: rho_2(6) — capacity says 9, copies say 10.
+    {
+        let u = TileUniverse::new(Ring::new(6), 6);
+        let spec = bnb::CoverSpec::lambda_fold(6, 2);
+        if let Some((_, opt, _)) = bnb::solve_optimal_spec(&u, &spec, 500_000_000) {
+            println!();
+            println!(
+                "probe: rho_2(6) = {opt} (capacity LB 9, copy-concatenation 10) — the \
+ lambda-fold gap {} for even n at lambda = 2.",
+                if opt == 9 { "CLOSES" } else { "persists" }
+            );
+        }
+    }
+    println!();
+    println!("odd n rows are tight (Theorem 1 partitions scale); even n rows show the");
+    println!("copy-concatenation gap the paper flags as open.");
+
+    println!();
+    println!("E8b — general logical graphs (random instances, greedy covering)");
+    println!();
+    let widths = [5, 9, 9, 9, 10];
+    header(&["n", "edges", "cycles", "phantom", "density"], &widths);
+    let mut rng = StdRng::seed_from_u64(2001); // SPAA 2001
+    for n in [10u32, 14, 18, 24, 30] {
+        for density in [0.2f64, 0.5, 0.8] {
+            let mut inst = Graph::new(n as usize);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(density) {
+                        inst.add_edge(u, v);
+                    }
+                }
+            }
+            if inst.edge_count() == 0 {
+                continue;
+            }
+            let got = general::greedy_cover(Ring::new(n), &inst, 4).expect("non-empty");
+            assert!(general::covers_instance(&got.covering, &inst));
+            println!(
+                "{}",
+                row(
+                    &[
+                        n.to_string(),
+                        inst.edge_count().to_string(),
+                        got.covering.len().to_string(),
+                        got.phantom_edges.len().to_string(),
+                        format!("{density:.1}"),
+                    ],
+                    &widths,
+                )
+            );
+        }
+    }
+    println!();
+    println!("phantom = chords reserved only to close protection cycles (waste);");
+    println!("sparse instances pay proportionally more phantom capacity — the effect");
+    println!("the paper's 'more general logical graphs' extension must manage.");
+}

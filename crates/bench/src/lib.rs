@@ -1,0 +1,25 @@
+//! # cyclecover-bench
+//!
+//! The experiment harness for the reproduction: one binary per table /
+//! figure of `EXPERIMENTS.md` (E1–E14) plus Criterion timing benches
+//! (B1–B7). See `DESIGN.md` §4 for the experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Renders a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut s = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        s.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    s.trim_end().to_string()
+}
+
+/// Prints a header + underline for fixed-width columns.
+pub fn header(names: &[&str], widths: &[usize]) {
+    let cells: Vec<String> = names.iter().map(|s| s.to_string()).collect();
+    println!("{}", row(&cells, widths));
+    let underline: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", row(&underline, widths));
+}

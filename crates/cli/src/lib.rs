@@ -1,0 +1,302 @@
+//! # cyclecover-cli
+//!
+//! The `cyclecover` command-line tool: construct, validate, audit,
+//! render, and tabulate DRC cycle coverings from a shell. The command
+//! surface is the library's operator-facing façade — everything it does
+//! goes through the same public APIs the examples and experiments use.
+//!
+//! ```text
+//! cyclecover rho <n>             minimum covering size ρ(n)
+//! cyclecover construct <n>       emit the optimal covering (text format)
+//! cyclecover validate <file>     parse + re-validate a covering file
+//! cyclecover audit <n>           run the full survivability audit on C_n
+//! cyclecover svg <n>             render the covering of K_n as SVG
+//! cyclecover compare <n>         protection vs restoration capacity
+//! cyclecover table <odd|even> <max_n>   regenerate a theorem table
+//! ```
+//!
+//! The dispatch logic lives in [`run`] (pure: arguments in, output
+//! string out) so the whole surface is unit-testable without spawning
+//! processes; `main` is a 10-line shim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cyclecover_core::{construct_with_status, rho, Optimality};
+use cyclecover_io::{csv::Table, format, svg};
+use cyclecover_net::{audit_all_failures, compare_schemes, WdmNetwork};
+use std::fmt::Write as _;
+
+/// Usage text.
+pub const USAGE: &str = "\
+cyclecover — survivable WDM ring design by DRC cycle covering
+  (reproduction of Bermond, Coudert, Chacon & Tillerot, SPAA 2001)
+
+USAGE:
+  cyclecover rho <n>                 print the optimal covering size ρ(n)
+  cyclecover construct <n>           emit a minimum covering in text format
+  cyclecover validate <file>         parse and re-validate a covering file
+  cyclecover audit <n>               exhaustive single-link failure audit on C_n
+  cyclecover svg <n>                 render the covering of K_n over C_n as SVG
+  cyclecover compare <n>             protection vs restoration capacity on C_n
+  cyclecover loading <n>             ring loading baseline (min max link load)
+  cyclecover avail <n>               availability gain of protection on C_n
+  cyclecover table <odd|even> <max>  regenerate Theorem 1/2 rows up to n = max
+";
+
+/// Executes a command line (without the program name); returns the
+/// output to print on success or an error message.
+pub fn run(args: &[String]) -> Result<String, String> {
+    match args.first().map(String::as_str) {
+        Some("rho") => {
+            let n = parse_n(args.get(1))?;
+            Ok(format!("{}\n", rho(n)))
+        }
+        Some("construct") => {
+            let n = parse_n(args.get(1))?;
+            let (cover, status) = construct_with_status(n);
+            cover.validate().map_err(|e| format!("internal: {e}"))?;
+            let mut out = format::to_text(&cover);
+            if let Optimality::Excess(x) = status {
+                let _ = writeln!(
+                    out,
+                    "# note: {x} cycle(s) above rho(n) = {} (documented n ≡ 0 mod 8 gap)",
+                    rho(n)
+                );
+            }
+            Ok(out)
+        }
+        Some("validate") => {
+            let path = args.get(1).ok_or("validate needs a file path")?;
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let cover = format::from_text(&text).map_err(|e| e.to_string())?;
+            match cover.validate() {
+                Ok(()) => Ok(format!(
+                    "OK: {} cycles cover K_{} over C_{} (rho = {})\n",
+                    cover.len(),
+                    cover.ring().n(),
+                    cover.ring().n(),
+                    rho(cover.ring().n())
+                )),
+                Err(e) => Err(format!("INVALID: {e}")),
+            }
+        }
+        Some("audit") => {
+            let n = parse_n(args.get(1))?;
+            let (cover, _) = construct_with_status(n);
+            let net = WdmNetwork::from_covering(&cover);
+            let audit = audit_all_failures(&net);
+            let mut out = String::new();
+            let _ = writeln!(out, "ring C_{n}: {} subnetworks, {} wavelengths", audit.subnets, 2 * audit.subnets);
+            let _ = writeln!(out, "failures simulated: {n} (every link)");
+            let _ = writeln!(out, "reroutes executed:  {}", audit.total_reroutes);
+            let _ = writeln!(out, "fully survivable:   {}", audit.fully_survivable);
+            let _ = writeln!(out, "max stretch:        {:.2}", audit.max_stretch);
+            let _ = writeln!(out, "mean detour length: {:.2}", audit.mean_protection_len);
+            if audit.fully_survivable {
+                Ok(out)
+            } else {
+                Err(format!("{out}AUDIT FAILED"))
+            }
+        }
+        Some("svg") => {
+            let n = parse_n(args.get(1))?;
+            let (cover, _) = construct_with_status(n);
+            Ok(svg::render_covering(&cover, &svg::SvgOptions::default()))
+        }
+        Some("compare") => {
+            let n = parse_n(args.get(1))?;
+            let cmp = compare_schemes(n);
+            let mut out = String::new();
+            let _ = writeln!(out, "n = {n}");
+            let _ = writeln!(out, "protection (2·rho(n)) wavelengths: {}", cmp.protection_wavelengths);
+            let _ = writeln!(out, "working capacity (no failures):    {}", cmp.working_capacity);
+            let _ = writeln!(out, "restoration capacity (any link):   {}", cmp.restoration_capacity);
+            let _ = writeln!(out, "protection / restoration:          {:.2}", cmp.protection_over_restoration);
+            Ok(out)
+        }
+        Some("loading") => {
+            let n = parse_n(args.get(1))?;
+            use cyclecover_ring::loading as rl;
+            use cyclecover_ring::Ring;
+            let ring = Ring::new(n);
+            let demands = rl::all_to_all_demands(ring);
+            let s = rl::shortest_loading(ring, &demands);
+            let ls = rl::local_search_loading(ring, &demands);
+            let mut out = String::new();
+            let _ = writeln!(out, "C_{n}, all-to-all ({} demands)", demands.len());
+            let _ = writeln!(out, "capacity lower bound: {}", rl::loading_lower_bound(ring, &demands));
+            let _ = writeln!(out, "shortest-arc routing: {}", s.max_load);
+            let _ = writeln!(out, "local search:         {}", ls.max_load);
+            if n <= 10 {
+                match rl::optimal_loading(ring, &demands, 100_000_000) {
+                    Some(o) => {
+                        let _ = writeln!(out, "exact optimum:        {}", o.max_load);
+                    }
+                    None => {
+                        let _ = writeln!(out, "exact optimum:        (budget exhausted)");
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Some("avail") => {
+            let n = parse_n(args.get(1))?;
+            use cyclecover_net::{availability_comparison, LinkModel};
+            let (cover, _) = construct_with_status(n);
+            let net = WdmNetwork::from_covering(&cover);
+            let cmp = availability_comparison(&net, LinkModel::typical_fiber());
+            let mut out = String::new();
+            let _ = writeln!(out, "C_{n}, typical fiber (MTBF 4 months, MTTR 12 h)");
+            let _ = writeln!(out, "per-link unavailability:   {:.3e}", cmp.link_unavailability);
+            let _ = writeln!(
+                out,
+                "unprotected demand:        {:.3e} mean ({:.2} nines)",
+                cmp.unprotected.mean_unavailability,
+                cmp.unprotected.nines()
+            );
+            let _ = writeln!(
+                out,
+                "cycle-protected demand:    {:.3e} mean ({:.2} nines)",
+                cmp.protected.mean_unavailability,
+                cmp.protected.nines()
+            );
+            let _ = writeln!(out, "improvement:               {:.0}x", cmp.improvement);
+            Ok(out)
+        }
+        Some("table") => {
+            let kind = args.get(1).map(String::as_str);
+            let max = parse_n(args.get(2))?;
+            let mut t = Table::new(["n", "rho(n)", "constructed", "status"]);
+            let range: Vec<u32> = match kind {
+                Some("odd") => (3..=max).filter(|n| n % 2 == 1).collect(),
+                Some("even") => (6..=max).filter(|n| n % 2 == 0).collect(),
+                _ => return Err("table needs 'odd' or 'even' and a max n".into()),
+            };
+            for n in range {
+                let (cover, status) = construct_with_status(n);
+                cover.validate().map_err(|e| format!("n={n}: {e}"))?;
+                t.push([
+                    n.to_string(),
+                    rho(n).to_string(),
+                    cover.len().to_string(),
+                    match status {
+                        Optimality::Optimal => "optimal".to_string(),
+                        Optimality::Excess(x) => format!("+{x}"),
+                    },
+                ]);
+            }
+            Ok(t.to_ascii())
+        }
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn parse_n(arg: Option<&String>) -> Result<u32, String> {
+    let s = arg.ok_or("missing <n> argument")?;
+    let n: u32 = s.parse().map_err(|e| format!("bad n '{s}': {e}"))?;
+    if n < 3 {
+        return Err(format!("n must be >= 3, got {n}"));
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn runv(args: &[&str]) -> Result<String, String> {
+        run(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn rho_command() {
+        assert_eq!(runv(&["rho", "9"]).unwrap(), "10\n");
+        assert_eq!(runv(&["rho", "13"]).unwrap(), "21\n");
+    }
+
+    #[test]
+    fn construct_emits_parseable_text() {
+        let out = runv(&["construct", "11"]).unwrap();
+        let cover = format::from_text(&out).unwrap();
+        assert_eq!(cover.len() as u64, rho(11));
+    }
+
+    #[test]
+    fn construct_marks_the_mod8_gap() {
+        let out = runv(&["construct", "16"]).unwrap();
+        assert!(out.contains("above rho(n)"), "gap note missing:\n{out}");
+    }
+
+    #[test]
+    fn validate_round_trip_via_tempfile() {
+        let text = runv(&["construct", "9"]).unwrap();
+        let path = std::env::temp_dir().join("cyclecover_cli_test_k9.txt");
+        std::fs::write(&path, &text).unwrap();
+        let out = runv(&["validate", path.to_str().unwrap()]).unwrap();
+        assert!(out.starts_with("OK: 10 cycles"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn validate_rejects_garbage() {
+        let path = std::env::temp_dir().join("cyclecover_cli_test_bad.txt");
+        std::fs::write(&path, "ring 4\ncycle 0 2 3 1\n").unwrap();
+        let err = runv(&["validate", path.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("DRC"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn audit_is_survivable() {
+        let out = runv(&["audit", "10"]).unwrap();
+        assert!(out.contains("fully survivable:   true"), "{out}");
+    }
+
+    #[test]
+    fn svg_output() {
+        let out = runv(&["svg", "7"]).unwrap();
+        assert!(out.starts_with("<svg"));
+    }
+
+    #[test]
+    fn compare_output_sane() {
+        let out = runv(&["compare", "12"]).unwrap();
+        assert!(out.contains("protection / restoration"));
+    }
+
+    #[test]
+    fn table_odd() {
+        let out = runv(&["table", "odd", "11"]).unwrap();
+        assert!(out.contains("rho(n)"));
+        // rows for 3,5,7,9,11 + header + rule
+        assert_eq!(out.lines().count(), 7, "{out}");
+    }
+
+    #[test]
+    fn loading_command() {
+        let out = runv(&["loading", "8"]).unwrap();
+        assert!(out.contains("shortest-arc routing: 10"), "{out}");
+        assert!(out.contains("exact optimum:        9"), "{out}");
+    }
+
+    #[test]
+    fn avail_command() {
+        let out = runv(&["avail", "10"]).unwrap();
+        assert!(out.contains("improvement"), "{out}");
+        assert!(out.contains("nines"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(runv(&["rho"]).unwrap_err().contains("missing <n>"));
+        assert!(runv(&["rho", "two"]).unwrap_err().contains("bad n"));
+        assert!(runv(&["rho", "2"]).unwrap_err().contains(">= 3"));
+        assert!(runv(&["frobnicate"]).unwrap_err().contains("unknown command"));
+        assert!(runv(&["table", "weird", "9"]).unwrap_err().contains("odd"));
+        assert!(runv(&[]).unwrap().contains("USAGE"));
+        assert!(runv(&["help"]).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,12 @@
+//! `cyclecover` binary entry point — a thin shim over [`cyclecover_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cyclecover_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

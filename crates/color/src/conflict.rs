@@ -1,0 +1,87 @@
+//! Conflict graphs of resource footprints.
+//!
+//! Wavelength assignment reduces to coloring the graph whose vertices
+//! are subnetworks and whose edges join subnetworks that *share a
+//! physical link*. This module builds that graph from raw footprints
+//! (sorted-deduplicated lists of physical edge indices), keeping the
+//! crate independent of any particular covering representation.
+
+use cyclecover_graph::Graph;
+
+/// Builds the conflict graph of `footprints`: vertex `i` per footprint,
+/// edge `{i, j}` iff the footprints intersect.
+///
+/// Footprints need not be sorted; each is deduplicated internally. The
+/// construction sorts each footprint once and intersects with a linear
+/// merge — `O(Σ|f| log |f| + k² · min|f|)` worst case, which is fine for
+/// the ≤ few-thousand-cycle coverings of the workspace.
+pub fn conflict_graph(footprints: &[Vec<u32>]) -> Graph {
+    let k = footprints.len();
+    let mut sorted: Vec<Vec<u32>> = footprints.to_vec();
+    for f in &mut sorted {
+        f.sort_unstable();
+        f.dedup();
+    }
+    let mut g = Graph::new(k);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if intersects(&sorted[i], &sorted[j]) {
+                g.add_edge(i as u32, j as u32);
+            }
+        }
+    }
+    g
+}
+
+/// Linear merge intersection test on sorted slices.
+fn intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_footprints_yield_empty_graph() {
+        let g = conflict_graph(&[vec![0, 1], vec![2, 3], vec![4]]);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.vertex_count(), 3);
+    }
+
+    #[test]
+    fn shared_link_creates_conflict() {
+        let g = conflict_graph(&[vec![0, 1], vec![1, 2], vec![3]]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn identical_footprints_form_a_clique() {
+        let fp = vec![vec![5, 9], vec![9, 5], vec![5, 5, 9]];
+        let g = conflict_graph(&fp);
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let g = conflict_graph(&[vec![9, 1, 5], vec![2, 9]]);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(conflict_graph(&[]).vertex_count(), 0);
+        let g = conflict_graph(&[vec![], vec![1]]);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property tests for the coloring machinery: validity on arbitrary
+//! graphs, ordering of bounds (clique ≤ χ ≤ DSATUR ≤ Δ+1), and
+//! conflict-graph construction from random footprints.
+
+use cyclecover_color::{
+    clique_lower_bound, conflict_graph, dsatur, exact_chromatic, greedy_coloring,
+    largest_first_order, smallest_last_order, verify_coloring,
+};
+use cyclecover_graph::Graph;
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(|n| {
+        proptest::collection::vec(any::<bool>(), n * (n - 1) / 2).prop_map(move |bits| {
+            let mut g = Graph::new(n);
+            let mut k = 0;
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    if bits[k] {
+                        g.add_edge(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All four algorithms produce valid colorings with coherent counts.
+    #[test]
+    fn bounds_chain_holds(g in arb_graph(11)) {
+        let lf = greedy_coloring(&g, &largest_first_order(&g));
+        let sl = greedy_coloring(&g, &smallest_last_order(&g));
+        let ds = dsatur(&g);
+        let ex = exact_chromatic(&g);
+        for c in [&lf, &sl, &ds, &ex] {
+            prop_assert!(verify_coloring(&g, c));
+        }
+        let clique = clique_lower_bound(&g);
+        prop_assert!(clique <= ex.count);
+        prop_assert!(ex.count <= ds.count);
+        prop_assert!(ds.count as usize <= g.max_degree() + 1);
+        prop_assert!(sl.count as usize <= g.max_degree() + 1);
+    }
+
+    /// Conflict graphs: edge iff footprints intersect — checked against
+    /// a naive set-based reimplementation.
+    #[test]
+    fn conflict_graph_matches_naive(
+        fps in proptest::collection::vec(proptest::collection::vec(0u32..12, 0..5), 0..8)
+    ) {
+        let g = conflict_graph(&fps);
+        prop_assert_eq!(g.vertex_count(), fps.len());
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                let naive = fps[i].iter().any(|x| fps[j].contains(x));
+                prop_assert_eq!(g.has_edge(i as u32, j as u32), naive, "({}, {})", i, j);
+            }
+        }
+    }
+
+    /// Coloring a conflict graph yields a usable wavelength plan: no two
+    /// same-color footprints intersect.
+    #[test]
+    fn wavelength_plan_is_conflict_free(
+        fps in proptest::collection::vec(proptest::collection::vec(0u32..10, 1..4), 1..8)
+    ) {
+        let g = conflict_graph(&fps);
+        let coloring = dsatur(&g);
+        for i in 0..fps.len() {
+            for j in (i + 1)..fps.len() {
+                if coloring.colors[i] == coloring.colors[j] {
+                    prop_assert!(!fps[i].iter().any(|x| fps[j].contains(x)));
+                }
+            }
+        }
+    }
+}

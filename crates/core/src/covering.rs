@@ -1,0 +1,262 @@
+//! The `DrcCovering` type: a set of DRC-routable cycles covering `K_n`,
+//! with full validation.
+
+use cyclecover_graph::{CycleSubgraph, EdgeMultiset};
+use cyclecover_ring::{routing, Ring, Tile};
+use std::fmt;
+
+/// A DRC cycle covering of (a subset of) the requests of `K_n` over `C_n`.
+///
+/// Each member cycle is stored as a winding [`Tile`] — by the winding lemma
+/// this loses no generality — and the structure records nothing else:
+/// wavelength assignment and capacity accounting live in `cyclecover-net`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct DrcCovering {
+    ring: Ring,
+    tiles: Vec<Tile>,
+}
+
+/// Validation failure for a claimed covering.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoverError {
+    /// Some request of `K_n` is not covered by any cycle.
+    Uncovered {
+        /// Number of uncovered requests.
+        missing: usize,
+        /// An example uncovered request `(u, v)`.
+        example: (u32, u32),
+    },
+    /// A member cycle violates the DRC (cannot happen for tiles built via
+    /// [`Tile`]; guards against hand-constructed inputs).
+    NotRoutable {
+        /// Index of the offending cycle.
+        index: usize,
+    },
+}
+
+impl fmt::Display for CoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoverError::Uncovered { missing, example } => write!(
+                f,
+                "{missing} uncovered request(s), e.g. ({}, {})",
+                example.0, example.1
+            ),
+            CoverError::NotRoutable { index } => {
+                write!(f, "cycle #{index} violates the DRC")
+            }
+        }
+    }
+}
+
+/// Aggregate statistics of a covering (reported by the experiment tables).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoveringStats {
+    /// Number of cycles.
+    pub cycles: usize,
+    /// Number of triangles (`C3`).
+    pub c3: usize,
+    /// Number of quadrilaterals (`C4`).
+    pub c4: usize,
+    /// Cycles longer than 4.
+    pub longer: usize,
+    /// Requests covered more than once (the covering's overlap).
+    pub overlapped_requests: usize,
+    /// Total ring-edge capacity used by all routings (≤ n · cycles).
+    pub total_load: u64,
+    /// Sum over requests of shortest-path distance (lower bound on load).
+    pub ideal_load: u64,
+}
+
+impl DrcCovering {
+    /// Creates a covering from winding tiles. No validation beyond tile
+    /// well-formedness (which [`Tile`] enforces); call
+    /// [`DrcCovering::validate`] to check coverage.
+    pub fn from_tiles(ring: Ring, tiles: Vec<Tile>) -> Self {
+        DrcCovering { ring, tiles }
+    }
+
+    /// Builds a covering from explicit cycles (any cyclic vertex orders),
+    /// verifying each satisfies the DRC.
+    pub fn from_cycles(ring: Ring, cycles: &[CycleSubgraph]) -> Result<Self, CoverError> {
+        let mut tiles = Vec::with_capacity(cycles.len());
+        for (index, c) in cycles.iter().enumerate() {
+            if routing::winding_routing(ring, c).is_none() {
+                return Err(CoverError::NotRoutable { index });
+            }
+            tiles.push(Tile::from_vertices(ring, c.vertices().to_vec()));
+        }
+        Ok(DrcCovering { ring, tiles })
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// The member cycles as tiles.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the covering has no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The member cycles as logical [`CycleSubgraph`]s.
+    pub fn cycles(&self) -> Vec<CycleSubgraph> {
+        self.tiles.iter().map(Tile::to_cycle).collect()
+    }
+
+    /// Coverage multiset: how often each request of `K_n` is covered.
+    pub fn coverage(&self) -> EdgeMultiset {
+        let mut m = EdgeMultiset::new(self.ring.n() as usize);
+        for t in &self.tiles {
+            for c in t.chords(self.ring) {
+                m.insert(c.to_edge());
+            }
+        }
+        m
+    }
+
+    /// Validates that every request of `K_n` is covered at least once and
+    /// every cycle is DRC-routable (the latter holds by construction for
+    /// tiles; re-checked against the routing oracle in debug builds).
+    pub fn validate(&self) -> Result<(), CoverError> {
+        for (index, t) in self.tiles.iter().enumerate() {
+            debug_assert!(
+                routing::route_order(self.ring, t.vertices()).is_some(),
+                "tile {t:?} not routable?!"
+            );
+            // Tiles are winding by construction; the check that matters for
+            // hand-built inputs is arity, enforced by Tile. Explicitly check
+            // the invariant cheaply: gaps sum to n.
+            let total: u64 = t.gaps(self.ring).iter().map(|&g| g as u64).sum();
+            if total != self.ring.n() as u64 {
+                return Err(CoverError::NotRoutable { index });
+            }
+        }
+        let cov = self.coverage();
+        let missing = cov.undercovered(1);
+        if let Some(&(e, _)) = missing.first() {
+            return Err(CoverError::Uncovered {
+                missing: missing.len(),
+                example: (e.u(), e.v()),
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates an exact decomposition: every request covered exactly
+    /// `lambda` times (Theorem 1's odd-case coverings are exact partitions,
+    /// `lambda = 1`).
+    pub fn is_exact_decomposition(&self, lambda: u32) -> bool {
+        self.coverage().is_exact(lambda)
+    }
+
+    /// Computes aggregate statistics.
+    pub fn stats(&self) -> CoveringStats {
+        let cov = self.coverage();
+        let mut c3 = 0;
+        let mut c4 = 0;
+        let mut longer = 0;
+        let mut total_load = 0u64;
+        for t in &self.tiles {
+            match t.len() {
+                3 => c3 += 1,
+                4 => c4 += 1,
+                _ => longer += 1,
+            }
+            total_load += self.ring.n() as u64; // winding tiles use all n edges
+        }
+        CoveringStats {
+            cycles: self.tiles.len(),
+            c3,
+            c4,
+            longer,
+            overlapped_requests: cov.overcovered(1).len(),
+            total_load,
+            ideal_load: self.ring.total_pair_distance(),
+        }
+    }
+}
+
+impl fmt::Debug for DrcCovering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DrcCovering(n={}, cycles={})", self.ring.n(), self.tiles.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's valid K4 covering: C4 (0,1,2,3) + C3 (0,1,3) + C3 (0,2,3).
+    #[test]
+    fn paper_k4_covering_validates() {
+        let ring = Ring::new(4);
+        let cycles = vec![
+            CycleSubgraph::new(vec![0, 1, 2, 3]),
+            CycleSubgraph::new(vec![0, 1, 3]),
+            CycleSubgraph::new(vec![0, 2, 3]),
+        ];
+        let cover = DrcCovering::from_cycles(ring, &cycles).expect("all routable");
+        assert!(cover.validate().is_ok());
+        let stats = cover.stats();
+        assert_eq!(stats.cycles, 3);
+        assert_eq!(stats.c3, 2);
+        assert_eq!(stats.c4, 1);
+        // 10 edge-slots for 6 requests: 4 overlapped? 3+3+4 = 10, K4 has 6:
+        // overlap slots = 4 but distinct overlapped requests may be fewer.
+        assert!(stats.overlapped_requests > 0);
+    }
+
+    /// The paper's *invalid* K4 covering: the crossed C4 fails construction.
+    #[test]
+    fn paper_k4_bad_covering_rejected() {
+        let ring = Ring::new(4);
+        let cycles = vec![
+            CycleSubgraph::new(vec![0, 1, 2, 3]),
+            CycleSubgraph::new(vec![0, 2, 3, 1]),
+        ];
+        let err = DrcCovering::from_cycles(ring, &cycles).unwrap_err();
+        assert_eq!(err, CoverError::NotRoutable { index: 1 });
+    }
+
+    #[test]
+    fn incomplete_covering_detected() {
+        let ring = Ring::new(5);
+        let cover = DrcCovering::from_tiles(
+            ring,
+            vec![Tile::from_vertices(ring, vec![0, 1, 2])],
+        );
+        match cover.validate() {
+            Err(CoverError::Uncovered { missing, .. }) => assert_eq!(missing, 7),
+            other => panic!("expected Uncovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exactness_check() {
+        let ring = Ring::new(5);
+        // K5 partition: quad {0,1,2,3} + triangles {3,4,1}, {4,0,2}
+        // (the worked n=5 instance of DESIGN.md §2.3).
+        let cover = DrcCovering::from_tiles(
+            ring,
+            vec![
+                Tile::from_vertices(ring, vec![0, 1, 2, 3]),
+                Tile::from_vertices(ring, vec![1, 3, 4]),
+                Tile::from_vertices(ring, vec![0, 2, 4]),
+            ],
+        );
+        assert!(cover.validate().is_ok());
+        assert!(cover.is_exact_decomposition(1));
+        assert_eq!(cover.stats().overlapped_requests, 0);
+    }
+}

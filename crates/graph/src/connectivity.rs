@@ -1,0 +1,204 @@
+//! Edge connectivity via Menger's theorem.
+//!
+//! A survivable physical topology must be 2-edge-connected: every request
+//! needs a working path *and* a protection path avoiding any single failed
+//! link. The paper assumes this of the ring ("just enough connectivity");
+//! the extension topologies (trees of rings, grids, tori) must be audited.
+//! [`edge_connectivity`] computes the global minimum cut exactly using the
+//! flow engine of [`crate::flow`].
+
+use crate::flow::FlowNetwork;
+use crate::{is_connected, Graph, Vertex};
+
+/// Global edge connectivity `λ(g)`: the minimum number of edges whose
+/// removal disconnects `g`. Returns 0 for disconnected or single-vertex
+/// graphs.
+///
+/// Uses the standard reduction: fix `s = 0`; `λ = min over t ≠ s` of the
+/// `s`–`t` max flow (any global min cut separates 0 from *some* vertex).
+/// Cost is `n − 1` unit-capacity Dinic runs — instant at workspace scales.
+pub fn edge_connectivity(g: &Graph) -> u32 {
+    let n = g.vertex_count();
+    if n <= 1 || !is_connected(g) {
+        return 0;
+    }
+    let mut net = FlowNetwork::new(g);
+    let mut best = u32::MAX;
+    for t in 1..n as Vertex {
+        net.reset();
+        best = best.min(net.run(0, t));
+        if best == 0 {
+            break;
+        }
+    }
+    best
+}
+
+/// Local edge connectivity `λ(u, v)`: the maximum number of pairwise
+/// edge-disjoint `u`–`v` paths (Menger).
+///
+/// # Panics
+/// Panics if `u == v` or either endpoint is out of range.
+pub fn local_edge_connectivity(g: &Graph, u: Vertex, v: Vertex) -> u32 {
+    crate::flow::max_flow(g, u, v)
+}
+
+/// True iff `g` is `k`-edge-connected (`λ(g) ≥ k`). Every graph is
+/// 0-edge-connected; a single vertex is not 1-edge-connected here because
+/// survivability semantics require at least one *pair* to connect.
+pub fn is_k_edge_connected(g: &Graph, k: u32) -> bool {
+    if k == 0 {
+        return true;
+    }
+    edge_connectivity(g) >= k
+}
+
+/// All bridges of `g`: edges whose removal disconnects their component.
+/// Returned as edge indices into `g.edges()`.
+///
+/// A topology with bridges cannot protect requests crossing them — this
+/// is why the paper's subnetworks are cycles. Uses Tarjan's low-link DFS,
+/// iterative to stay stack-safe on long paths; parallel edges are never
+/// bridges (multiplicity is checked).
+pub fn bridges(g: &Graph) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut disc = vec![u32::MAX; n];
+    let mut low = vec![0u32; n];
+    let mut out = Vec::new();
+    let mut timer = 0u32;
+    // Iterative DFS frame: (vertex, parent edge index, adjacency cursor).
+    let mut stack: Vec<(Vertex, u32, usize)> = Vec::new();
+    for root in 0..n as Vertex {
+        if disc[root as usize] != u32::MAX {
+            continue;
+        }
+        disc[root as usize] = timer;
+        low[root as usize] = timer;
+        timer += 1;
+        stack.push((root, u32::MAX, 0));
+        while let Some(&(v, pe, cursor)) = stack.last() {
+            match g.incident_edges(v).nth(cursor) {
+                Some((ei, w)) => {
+                    stack.last_mut().expect("frame exists").2 += 1;
+                    if ei == pe {
+                        continue; // don't re-traverse the tree edge to the parent
+                    }
+                    if disc[w as usize] == u32::MAX {
+                        disc[w as usize] = timer;
+                        low[w as usize] = timer;
+                        timer += 1;
+                        stack.push((w, ei, 0));
+                    } else {
+                        low[v as usize] = low[v as usize].min(disc[w as usize]);
+                    }
+                }
+                None => {
+                    stack.pop();
+                    if let Some(&(u, _, _)) = stack.last() {
+                        low[u as usize] = low[u as usize].min(low[v as usize]);
+                        if low[v as usize] > disc[u as usize] {
+                            out.push(pe);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn cycle_is_exactly_two_connected() {
+        for n in [3usize, 5, 8, 16] {
+            let g = builders::cycle(n);
+            assert_eq!(edge_connectivity(&g), 2, "C_{n}");
+            assert!(is_k_edge_connected(&g, 2));
+            assert!(!is_k_edge_connected(&g, 3));
+            assert!(bridges(&g).is_empty());
+        }
+    }
+
+    #[test]
+    fn complete_graph_connectivity() {
+        for n in [3u32, 5, 7] {
+            let g = builders::complete(n as usize);
+            assert_eq!(edge_connectivity(&g), n - 1, "K_{n}");
+        }
+    }
+
+    #[test]
+    fn path_has_bridges_everywhere() {
+        let g = builders::path(5);
+        assert_eq!(edge_connectivity(&g), 1);
+        assert_eq!(bridges(&g).len(), 4, "every path edge is a bridge");
+        assert!(!is_k_edge_connected(&g, 2));
+    }
+
+    #[test]
+    fn disconnected_graph_is_zero_connected() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        assert_eq!(edge_connectivity(&g), 0);
+        assert!(is_k_edge_connected(&g, 0));
+        assert!(!is_k_edge_connected(&g, 1));
+    }
+
+    #[test]
+    fn barbell_bridge_detected() {
+        // Two triangles joined by one edge: that edge is the unique bridge.
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        let b = g.add_edge(2, 3);
+        assert_eq!(edge_connectivity(&g), 1);
+        assert_eq!(bridges(&g), vec![b]);
+    }
+
+    #[test]
+    fn parallel_edge_is_not_a_bridge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        assert!(bridges(&g).is_empty());
+        assert_eq!(edge_connectivity(&g), 2);
+    }
+
+    #[test]
+    fn tree_all_edges_are_bridges() {
+        // Star K_{1,5}.
+        let mut g = Graph::new(6);
+        for v in 1..6 {
+            g.add_edge(0, v);
+        }
+        assert_eq!(bridges(&g).len(), 5);
+        assert_eq!(edge_connectivity(&g), 1);
+    }
+
+    #[test]
+    fn local_connectivity_varies_across_pairs() {
+        // Triangle with a pendant vertex.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(2, 3);
+        assert_eq!(local_edge_connectivity(&g, 0, 1), 2);
+        assert_eq!(local_edge_connectivity(&g, 0, 3), 1);
+    }
+
+    #[test]
+    fn single_vertex_and_empty() {
+        assert_eq!(edge_connectivity(&Graph::new(1)), 0);
+        assert_eq!(edge_connectivity(&Graph::new(0)), 0);
+    }
+}

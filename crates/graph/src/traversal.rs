@@ -1,0 +1,98 @@
+//! Graph traversal utilities: connectivity, components, BFS distances.
+
+use crate::{Graph, Vertex};
+use std::collections::VecDeque;
+
+/// Connected components; returns `comp` with `comp[v]` = component id
+/// (ids are dense, assigned in order of discovery from vertex 0 upward).
+pub fn connected_components(g: &Graph) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(start as Vertex);
+        while let Some(v) = queue.pop_front() {
+            for w in g.neighbors(v) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// True iff the graph is connected (vacuously true for `n ≤ 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    let comp = connected_components(g);
+    comp.iter().all(|&c| c == 0)
+}
+
+/// BFS hop distances from `src`; unreachable vertices get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, src: Vertex) -> Vec<usize> {
+    let n = g.vertex_count();
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for w in g.neighbors(v) {
+            if dist[w as usize] == usize::MAX {
+                dist[w as usize] = dv + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders;
+
+    #[test]
+    fn ring_is_connected_with_halved_distances() {
+        let g = builders::cycle(8);
+        assert!(is_connected(&g));
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        let comp = connected_components(&g);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[4], comp[0]);
+        assert!(!is_connected(&g));
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[4], usize::MAX);
+    }
+
+    #[test]
+    fn complete_graph_diameter_one() {
+        let g = builders::complete(6);
+        let d = bfs_distances(&g, 3);
+        assert!(d.iter().enumerate().all(|(v, &x)| x == usize::from(v != 3)));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+    }
+}

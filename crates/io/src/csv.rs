@@ -1,0 +1,157 @@
+//! Minimal CSV table writer for experiment outputs.
+//!
+//! The table binaries of `cyclecover-bench` emit both human-readable
+//! rows and machine-readable CSV; this module is the (dependency-free)
+//! CSV side, with RFC-4180-style quoting.
+
+use std::fmt::Write as _;
+
+/// An in-memory table: header plus rows of stringly cells.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push<S: Into<String>>(&mut self, row: impl IntoIterator<Item = S>) {
+        let row: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "row arity {} != header arity {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-ish CSV (CRLF-free: plain `\n` line ends, cells
+    /// quoted when they contain commas, quotes, or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        emit_row(&mut out, &self.header);
+        for r in &self.rows {
+            emit_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Renders an aligned ASCII table for terminal output.
+    pub fn to_ascii(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", c, w = width[i]);
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.header);
+        let total: usize = width.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            fmt_row(&mut out, r);
+        }
+        out
+    }
+}
+
+fn emit_row(out: &mut String, cells: &[String]) {
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if c.contains(',') || c.contains('"') || c.contains('\n') {
+            out.push('"');
+            out.push_str(&c.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(c);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_basic() {
+        let mut t = Table::new(["n", "rho"]);
+        t.push(["5", "3"]);
+        t.push(["7", "6"]);
+        assert_eq!(t.to_csv(), "n,rho\n5,3\n7,6\n");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_quoting() {
+        let mut t = Table::new(["a", "b"]);
+        t.push(["x,y", "say \"hi\""]);
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn ascii_alignment() {
+        let mut t = Table::new(["n", "cycles"]);
+        t.push(["5", "3"]);
+        t.push(["101", "1275"]);
+        let a = t.to_ascii();
+        let lines: Vec<&str> = a.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("cycles"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("1275"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(["a"]);
+        t.push(["1", "2"]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::new(["only", "header"]);
+        assert!(t.is_empty());
+        assert_eq!(t.to_csv(), "only,header\n");
+    }
+}

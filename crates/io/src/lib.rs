@@ -1,0 +1,30 @@
+//! # cyclecover-io
+//!
+//! Persistence and presentation for the cycle-covering workspace:
+//!
+//! * [`format`] — the v1 line-oriented text format for
+//!   [`DrcCovering`](cyclecover_core::DrcCovering)s (serialize, parse,
+//!   re-validate);
+//! * [`csv`] — a small RFC-4180-style CSV/ASCII table writer for the
+//!   experiment binaries;
+//! * [`svg`] — standalone SVG rendering of ring coverings.
+//!
+//! Everything is dependency-free (std only) per the workspace's
+//! offline-crate policy.
+//!
+//! ```
+//! use cyclecover_core::construct_optimal;
+//! use cyclecover_io::format::{from_text, to_text};
+//!
+//! let cover = construct_optimal(9);
+//! let text = to_text(&cover);
+//! let back = from_text(&text).unwrap();
+//! assert_eq!(back.len(), cover.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod format;
+pub mod svg;

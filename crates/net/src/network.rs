@@ -1,0 +1,198 @@
+//! The WDM ring network: subnetworks, wavelengths, ADMs, capacity.
+
+use cyclecover_core::DrcCovering;
+use cyclecover_graph::Edge;
+use cyclecover_ring::{Chord, Ring, RingArc, Tile};
+
+/// One protected subnetwork: a covering cycle with its wavelength pair.
+///
+/// The subnetwork owns one working and one spare wavelength (the paper:
+/// "we will associate a wavelength to each cycle (in fact two: one for the
+/// normal traffic and one for the spare one)").
+#[derive(Clone, Debug)]
+pub struct Subnetwork {
+    /// Dense id; also the index of its wavelength pair.
+    pub id: u32,
+    /// The logical cycle, as a winding tile.
+    pub tile: Tile,
+    /// Working routing: `arcs[i]` carries `demands[i]`.
+    pub arcs: Vec<RingArc>,
+    /// The demands (requests) this subnetwork carries.
+    pub demands: Vec<Chord>,
+}
+
+impl Subnetwork {
+    /// ADM count: one Add-Drop Multiplexer per cycle vertex.
+    pub fn adm_count(&self) -> usize {
+        self.tile.len()
+    }
+
+    /// The demand whose working arc uses ring edge `e`, if any.
+    ///
+    /// Because the arcs of a winding tile partition the ring edges, there
+    /// is always exactly one.
+    pub fn demand_on_edge(&self, ring: Ring, e: u32) -> Option<(usize, Chord)> {
+        self.arcs
+            .iter()
+            .position(|a| a.covers_edge(ring, e))
+            .map(|i| (i, self.demands[i]))
+    }
+}
+
+/// A survivable WDM ring network assembled from a DRC covering.
+pub struct WdmNetwork {
+    ring: Ring,
+    subnets: Vec<Subnetwork>,
+}
+
+impl WdmNetwork {
+    /// Builds the network: one subnetwork (wavelength pair) per covering
+    /// cycle, working traffic routed on the tiling arcs.
+    pub fn from_covering(cover: &DrcCovering) -> Self {
+        let ring = cover.ring();
+        let subnets = cover
+            .tiles()
+            .iter()
+            .enumerate()
+            .map(|(id, tile)| Subnetwork {
+                id: id as u32,
+                tile: tile.clone(),
+                arcs: tile.arcs(ring),
+                demands: tile.chords(ring),
+            })
+            .collect();
+        WdmNetwork { ring, subnets }
+    }
+
+    /// The physical ring.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// All subnetworks.
+    pub fn subnetworks(&self) -> &[Subnetwork] {
+        &self.subnets
+    }
+
+    /// Number of wavelengths used (2 per subnetwork: working + spare).
+    pub fn wavelength_count(&self) -> usize {
+        2 * self.subnets.len()
+    }
+
+    /// Total ADM count across subnetworks — the objective of the paper's
+    /// refs [3] (Eilam–Moran–Zaks) and [4] (Gerstel–Lin–Sasaki).
+    pub fn total_adms(&self) -> usize {
+        self.subnets.iter().map(Subnetwork::adm_count).sum()
+    }
+
+    /// Number of distinct demands carried (with multiplicity if a request
+    /// is covered by several subnetworks).
+    pub fn demand_count(&self) -> usize {
+        self.subnets.iter().map(|s| s.demands.len()).sum()
+    }
+
+    /// Working-capacity load of ring edge `e` in wavelength-units: the
+    /// number of subnetworks whose working routing uses `e`. For winding
+    /// tiles this is exactly the number of subnetworks (each tiling arc
+    /// set covers every ring edge once) — asserted in tests.
+    pub fn working_load(&self, e: u32) -> usize {
+        self.subnets
+            .iter()
+            .filter(|s| s.arcs.iter().any(|a| a.covers_edge(self.ring, e)))
+            .count()
+    }
+
+    /// Wavelengths *in transit* at a vertex `v`: subnetworks whose working
+    /// arcs pass through `v` without terminating there (no ADM drop).
+    /// One of the cost drivers the paper lists.
+    pub fn transit_count(&self, v: u32) -> usize {
+        self.subnets
+            .iter()
+            .filter(|s| !s.tile.vertices().contains(&v))
+            .count()
+    }
+
+    /// Looks up all subnetworks covering a given request.
+    pub fn subnets_for_demand(&self, e: Edge) -> Vec<u32> {
+        self.subnets
+            .iter()
+            .filter(|s| s.demands.iter().any(|c| c.to_edge() == e))
+            .map(|s| s.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclecover_core::construct_optimal;
+
+    #[test]
+    fn network_from_covering_basic_accounting() {
+        let cover = construct_optimal(9);
+        let net = WdmNetwork::from_covering(&cover);
+        assert_eq!(net.subnetworks().len(), 10);
+        assert_eq!(net.wavelength_count(), 20);
+        // ADMs: 3 per C3, 4 per C4: 4 triangles + 6 quads = 12 + 24.
+        assert_eq!(net.total_adms(), 36);
+        // Every request of K9 appears exactly once (odd case = partition).
+        assert_eq!(net.demand_count(), 36);
+    }
+
+    #[test]
+    fn every_ring_edge_fully_loaded() {
+        for n in [7u32, 10, 12] {
+            let cover = construct_optimal(n);
+            let net = WdmNetwork::from_covering(&cover);
+            for e in 0..n {
+                assert_eq!(
+                    net.working_load(e),
+                    net.subnetworks().len(),
+                    "n={n}, edge {e}: winding tiles use every ring edge once"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn demand_on_edge_unique() {
+        let cover = construct_optimal(11);
+        let net = WdmNetwork::from_covering(&cover);
+        let ring = net.ring();
+        for s in net.subnetworks() {
+            for e in 0..ring.n() {
+                let hit = s.demand_on_edge(ring, e);
+                assert!(hit.is_some(), "edge {e} uncovered in subnet {}", s.id);
+            }
+        }
+    }
+
+    #[test]
+    fn transit_counts_consistent() {
+        let cover = construct_optimal(8);
+        let net = WdmNetwork::from_covering(&cover);
+        for v in 0..8 {
+            let transit = net.transit_count(v);
+            let terminating = net
+                .subnetworks()
+                .iter()
+                .filter(|s| s.tile.vertices().contains(&v))
+                .count();
+            assert_eq!(transit + terminating, net.subnetworks().len());
+        }
+    }
+
+    #[test]
+    fn demands_lookup() {
+        let cover = construct_optimal(7);
+        let net = WdmNetwork::from_covering(&cover);
+        for u in 0..7u32 {
+            for v in (u + 1)..7 {
+                assert!(
+                    !net.subnets_for_demand(Edge::new(u, v)).is_empty(),
+                    "request ({u},{v}) not carried"
+                );
+            }
+        }
+    }
+}

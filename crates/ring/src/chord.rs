@@ -1,0 +1,136 @@
+//! Chords: requests embedded on the ring.
+
+use crate::{Ring, RingArc};
+use cyclecover_graph::Edge;
+use std::fmt;
+
+/// A *chord* of the ring: an unordered pair of distinct ring vertices,
+/// i.e. a request of the logical graph viewed geometrically.
+///
+/// A chord at clockwise gap `g` from `u` can be routed by exactly two arcs:
+/// clockwise from `u` (length `g`) or clockwise from `v` (length `n − g`).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Chord {
+    u: u32,
+    v: u32,
+}
+
+impl Chord {
+    /// Chord `{a, b}`, normalized so `u() < v()`.
+    ///
+    /// # Panics
+    /// Panics if `a == b` or out of range.
+    pub fn new(ring: Ring, a: u32, b: u32) -> Self {
+        assert!(a < ring.n() && b < ring.n(), "chord ({a},{b}) out of range");
+        assert_ne!(a, b, "degenerate chord ({a},{a})");
+        Chord {
+            u: a.min(b),
+            v: a.max(b),
+        }
+    }
+
+    /// Smaller endpoint.
+    #[inline]
+    pub fn u(&self) -> u32 {
+        self.u
+    }
+
+    /// Larger endpoint.
+    #[inline]
+    pub fn v(&self) -> u32 {
+        self.v
+    }
+
+    /// Ring distance of the chord (its *distance class*).
+    #[inline]
+    pub fn distance(&self, ring: Ring) -> u32 {
+        ring.distance(self.u, self.v)
+    }
+
+    /// The clockwise arc from `u` to `v`.
+    pub fn cw_arc(&self, ring: Ring) -> RingArc {
+        RingArc::new(ring, self.u, ring.cw_gap(self.u, self.v))
+    }
+
+    /// The clockwise arc from `v` to `u` (the "other way around").
+    pub fn ccw_arc(&self, ring: Ring) -> RingArc {
+        RingArc::new(ring, self.v, ring.cw_gap(self.v, self.u))
+    }
+
+    /// Both candidate arcs, shortest first (ties: `cw_arc` first).
+    pub fn arcs(&self, ring: Ring) -> [RingArc; 2] {
+        let a = self.cw_arc(ring);
+        let b = self.ccw_arc(ring);
+        if a.len() <= b.len() {
+            [a, b]
+        } else {
+            [b, a]
+        }
+    }
+
+    /// The shortest-path arc (for even `n` diameters, `cw_arc` wins the tie).
+    pub fn shortest_arc(&self, ring: Ring) -> RingArc {
+        self.arcs(ring)[0]
+    }
+
+    /// As a logical-graph [`Edge`].
+    pub fn to_edge(&self) -> Edge {
+        Edge::new(self.u, self.v)
+    }
+
+    /// From a logical-graph [`Edge`].
+    pub fn from_edge(ring: Ring, e: Edge) -> Self {
+        Chord::new(ring, e.u(), e.v())
+    }
+}
+
+impl fmt::Debug for Chord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Chord({},{})", self.u, self.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arcs_complement_each_other() {
+        let ring = Ring::new(9);
+        let c = Chord::new(ring, 7, 2);
+        assert_eq!((c.u(), c.v()), (2, 7));
+        let cw = c.cw_arc(ring); // 2 -> 7: length 5
+        let ccw = c.ccw_arc(ring); // 7 -> 2: length 4
+        assert_eq!(cw.len(), 5);
+        assert_eq!(ccw.len(), 4);
+        assert!(!cw.overlaps(ring, &ccw));
+        assert_eq!(cw.len() + ccw.len(), 9);
+        assert_eq!(c.shortest_arc(ring), ccw);
+        assert_eq!(c.distance(ring), 4);
+    }
+
+    #[test]
+    fn diameter_tie_break() {
+        let ring = Ring::new(8);
+        let c = Chord::new(ring, 1, 5);
+        let [first, second] = c.arcs(ring);
+        assert_eq!(first.len(), 4);
+        assert_eq!(second.len(), 4);
+        assert_eq!(first.start(), 1); // cw first on ties
+        assert_eq!(second.start(), 5);
+    }
+
+    #[test]
+    fn edge_roundtrip() {
+        let ring = Ring::new(6);
+        let c = Chord::new(ring, 4, 0);
+        let e = c.to_edge();
+        assert_eq!(Chord::from_edge(ring, e), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn rejects_degenerate() {
+        let _ = Chord::new(Ring::new(5), 3, 3);
+    }
+}

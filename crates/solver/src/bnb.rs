@@ -1,0 +1,584 @@
+//! Branch & bound minimum DRC covering.
+//!
+//! Exact search over a [`TileUniverse`]: find a covering of the demanded
+//! requests by at most `budget` tiles, or prove none exists. Iterated over
+//! increasing budgets this computes `ρ(n)` exactly — the optimality
+//! certificates of experiment E4 — and, with a [`CoverSpec`], the λ-fold
+//! and partial-instance variants of experiment E8.
+//!
+//! Search design:
+//! * branch on the unsatisfied chord with the highest priority (diameter
+//!   chords first, then by decreasing distance) — these are the scarcest
+//!   resources (a DRC cycle can carry at most one diameter);
+//! * candidates at a branch are the tiles covering that chord, ordered by
+//!   how many still-unsatisfied chords they cover (ties: less wasted
+//!   capacity);
+//! * prune with `used + max(⌈remaining_dist / n⌉, remaining_diameters) >
+//!   budget` — the capacity and diameter lower bounds restricted to the
+//!   unsatisfied demand;
+//! * optional node limit for bounded experiments;
+//! * [`cover_within_budget_parallel`] splits the root branch across
+//!   `crossbeam` scoped threads (one per root candidate chunk), sharing an
+//!   early-exit flag — near-linear speedups on infeasibility proofs.
+
+use crate::lower_bound::combinatorial_lower_bound;
+use crate::TileUniverse;
+use cyclecover_graph::Edge;
+use cyclecover_ring::Tile;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// What must be covered: per-request multiplicities.
+#[derive(Clone, Debug)]
+pub struct CoverSpec {
+    /// `demand[e.dense_index(n)]` = how many times request `e` must be
+    /// covered (0 = don't care).
+    pub demand: Vec<u32>,
+}
+
+impl CoverSpec {
+    /// The standard spec: every request of `K_n` once.
+    pub fn complete(n: u32) -> Self {
+        CoverSpec {
+            demand: vec![1; n as usize * (n as usize - 1) / 2],
+        }
+    }
+
+    /// λ-fold: every request `lambda` times.
+    pub fn lambda_fold(n: u32, lambda: u32) -> Self {
+        CoverSpec {
+            demand: vec![lambda; n as usize * (n as usize - 1) / 2],
+        }
+    }
+
+    /// Cover exactly the given requests once (a partial instance).
+    pub fn subset(n: u32, requests: &[Edge]) -> Self {
+        let mut demand = vec![0; n as usize * (n as usize - 1) / 2];
+        for e in requests {
+            demand[e.dense_index(n as usize)] = 1;
+        }
+        CoverSpec { demand }
+    }
+
+    /// Total residual demand weighted by request distance — the numerator
+    /// of the capacity bound for this spec.
+    pub fn capacity_lower_bound(&self, ring: cyclecover_ring::Ring) -> u64 {
+        let n = ring.n();
+        let total: u64 = self
+            .demand
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                let e = Edge::from_dense_index(i, n as usize);
+                d as u64 * ring.distance(e.u(), e.v()) as u64
+            })
+            .sum();
+        total.div_ceil(n as u64)
+    }
+}
+
+/// Result of a bounded covering search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// A covering within budget was found (tile indices into the universe).
+    Feasible(Vec<u32>),
+    /// Exhaustively proved: no covering within the budget exists.
+    Infeasible,
+    /// Search aborted at the node limit — no conclusion.
+    NodeLimit,
+}
+
+/// Search statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stats {
+    /// Search-tree nodes expanded.
+    pub nodes: u64,
+    /// Nodes cut by the capacity/diameter bound.
+    pub pruned: u64,
+}
+
+struct SearchCtx<'a> {
+    u: &'a TileUniverse,
+    n: u32,
+    /// chord dense index -> cover multiplicity so far
+    covered: Vec<u32>,
+    /// chord dense index -> required multiplicity
+    demand: Vec<u32>,
+    /// chord dense index -> ring distance
+    dist: Vec<u32>,
+    /// chords ordered by branching priority
+    order: Vec<u32>,
+    /// number of (chord, multiplicity) units still unsatisfied
+    unsatisfied: u64,
+    rem_dist: u64,
+    rem_diam: u64,
+    budget: u32,
+    max_nodes: u64,
+    stats: Stats,
+    chosen: Vec<u32>,
+    hit_limit: bool,
+    early_exit: Option<&'a AtomicBool>,
+}
+
+impl<'a> SearchCtx<'a> {
+    fn new(u: &'a TileUniverse, spec: &CoverSpec, budget: u32, max_nodes: u64) -> Self {
+        let ring = u.ring();
+        let n = ring.n();
+        let m = n as usize * (n as usize - 1) / 2;
+        assert_eq!(spec.demand.len(), m, "spec size mismatch");
+        let mut dist = vec![0u32; m];
+        let mut rem_dist = 0u64;
+        let mut rem_diam = 0u64;
+        let mut unsatisfied = 0u64;
+        for (i, slot) in dist.iter_mut().enumerate() {
+            let e = Edge::from_dense_index(i, n as usize);
+            let d = ring.distance(e.u(), e.v());
+            *slot = d;
+            let need = spec.demand[i] as u64;
+            unsatisfied += need;
+            rem_dist += need * d as u64;
+            if ring.is_diameter_class(d) {
+                rem_diam += need;
+            }
+        }
+        let mut order: Vec<u32> = (0..m as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(dist[i as usize]));
+        SearchCtx {
+            u,
+            n,
+            covered: vec![0; m],
+            demand: spec.demand.clone(),
+            dist,
+            order,
+            unsatisfied,
+            rem_dist,
+            rem_diam,
+            budget,
+            max_nodes,
+            stats: Stats::default(),
+            chosen: Vec::new(),
+            hit_limit: false,
+            early_exit: None,
+        }
+    }
+
+    fn place(&mut self, tile_idx: u32) {
+        let ring = self.u.ring();
+        self.chosen.push(tile_idx);
+        for c in self.u.tile(tile_idx).chords(ring) {
+            let i = c.to_edge().dense_index(self.n as usize);
+            if self.covered[i] < self.demand[i] {
+                self.unsatisfied -= 1;
+                self.rem_dist -= self.dist[i] as u64;
+                if ring.is_diameter_class(self.dist[i]) {
+                    self.rem_diam -= 1;
+                }
+            }
+            self.covered[i] += 1;
+        }
+    }
+
+    fn unplace(&mut self, tile_idx: u32) {
+        let ring = self.u.ring();
+        debug_assert_eq!(self.chosen.last(), Some(&tile_idx));
+        self.chosen.pop();
+        for c in self.u.tile(tile_idx).chords(ring) {
+            let i = c.to_edge().dense_index(self.n as usize);
+            self.covered[i] -= 1;
+            if self.covered[i] < self.demand[i] {
+                self.unsatisfied += 1;
+                self.rem_dist += self.dist[i] as u64;
+                if ring.is_diameter_class(self.dist[i]) {
+                    self.rem_diam += 1;
+                }
+            }
+        }
+    }
+
+    /// Lower bound on additional tiles needed for the unsatisfied demand.
+    fn remaining_lb(&self) -> u64 {
+        let cap = self.rem_dist.div_ceil(self.n as u64);
+        cap.max(self.rem_diam)
+    }
+
+    fn new_coverage(&self, tile_idx: u32) -> (u32, u32) {
+        // (units of unsatisfied demand covered, wasted capacity)
+        let ring = self.u.ring();
+        let mut new_cov = 0;
+        let mut useful = 0u32;
+        for c in self.u.tile(tile_idx).chords(ring) {
+            let i = c.to_edge().dense_index(self.n as usize);
+            if self.covered[i] < self.demand[i] {
+                new_cov += 1;
+                useful += self.dist[i];
+            }
+        }
+        (new_cov, self.n - useful.min(self.n))
+    }
+
+    fn branch_chord(&self) -> Option<u32> {
+        self.order
+            .iter()
+            .copied()
+            .find(|&i| self.covered[i as usize] < self.demand[i as usize])
+    }
+
+    fn sorted_candidates(&self, branch: u32) -> Vec<u32> {
+        let e = Edge::from_dense_index(branch as usize, self.n as usize);
+        let mut cands: Vec<(u32, (std::cmp::Reverse<u32>, u32))> = self
+            .u
+            .candidates(e)
+            .iter()
+            .map(|&t| {
+                let (cov, waste) = self.new_coverage(t);
+                (t, (std::cmp::Reverse(cov), waste))
+            })
+            .collect();
+        cands.sort_by_key(|&(_, key)| key);
+        cands.into_iter().map(|(t, _)| t).collect()
+    }
+
+    fn dfs(&mut self) -> bool {
+        if self.unsatisfied == 0 {
+            return true;
+        }
+        self.stats.nodes += 1;
+        if self.stats.nodes > self.max_nodes {
+            self.hit_limit = true;
+            return false;
+        }
+        if let Some(flag) = self.early_exit {
+            if self.stats.nodes.is_multiple_of(1024) && flag.load(Ordering::Relaxed) {
+                self.hit_limit = true;
+                return false;
+            }
+        }
+        let used = self.chosen.len() as u64;
+        if used + self.remaining_lb() > self.budget as u64 {
+            self.stats.pruned += 1;
+            return false;
+        }
+        let branch = self.branch_chord().expect("unsatisfied demand exists");
+        // Sorting candidates pays near the root but dominates runtime deep
+        // in the tree; below depth 4 use the static universe order.
+        if self.chosen.len() <= 4 {
+            for t in self.sorted_candidates(branch) {
+                self.place(t);
+                if self.dfs() {
+                    return true;
+                }
+                self.unplace(t);
+                if self.hit_limit {
+                    return false;
+                }
+            }
+        } else {
+            let e = Edge::from_dense_index(branch as usize, self.n as usize);
+            let cands: Vec<u32> = self.u.candidates(e).to_vec();
+            for t in cands {
+                if self.new_coverage(t).0 == 0 {
+                    continue;
+                }
+                self.place(t);
+                if self.dfs() {
+                    return true;
+                }
+                self.unplace(t);
+                if self.hit_limit {
+                    return false;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Searches for a covering of `spec` using at most `budget` tiles from the
+/// universe. Exhaustive up to `max_nodes` search nodes.
+pub fn cover_spec_within_budget(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    max_nodes: u64,
+) -> (Outcome, Stats) {
+    let mut ctx = SearchCtx::new(u, spec, budget, max_nodes);
+    if ctx.dfs() {
+        (Outcome::Feasible(ctx.chosen.clone()), ctx.stats)
+    } else if ctx.hit_limit {
+        (Outcome::NodeLimit, ctx.stats)
+    } else {
+        (Outcome::Infeasible, ctx.stats)
+    }
+}
+
+/// [`cover_spec_within_budget`] for the standard all-of-`K_n` spec.
+pub fn cover_within_budget(u: &TileUniverse, budget: u32, max_nodes: u64) -> (Outcome, Stats) {
+    cover_spec_within_budget(u, &CoverSpec::complete(u.ring().n()), budget, max_nodes)
+}
+
+/// Parallel variant: root candidates are explored by `crossbeam` scoped
+/// threads sharing an early-exit flag. Semantics match
+/// [`cover_spec_within_budget`] (up to which feasible solution is found).
+pub fn cover_spec_within_budget_parallel(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    max_nodes: u64,
+    threads: usize,
+) -> (Outcome, Stats) {
+    let root = SearchCtx::new(u, spec, budget, max_nodes);
+    let Some(branch) = root.branch_chord() else {
+        return (Outcome::Feasible(Vec::new()), root.stats);
+    };
+    // Quick root prune.
+    if root.remaining_lb() > budget as u64 {
+        return (
+            Outcome::Infeasible,
+            Stats {
+                nodes: 0,
+                pruned: 1,
+            },
+        );
+    }
+    let cands = root.sorted_candidates(branch);
+    drop(root);
+
+    let found = AtomicBool::new(false);
+    let limit_hit = AtomicBool::new(false);
+    let nodes = AtomicU64::new(0);
+    let pruned = AtomicU64::new(0);
+    let solution = std::sync::Mutex::new(None::<Vec<u32>>);
+
+    let threads = threads.max(1);
+    crossbeam::scope(|scope| {
+        for chunk in cands.chunks(cands.len().div_ceil(threads)) {
+            let found = &found;
+            let limit_hit = &limit_hit;
+            let nodes = &nodes;
+            let pruned = &pruned;
+            let solution = &solution;
+            scope.spawn(move |_| {
+                for &t in chunk {
+                    if found.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    // Global node budget: each sub-search gets what's left
+                    // (two threads may overshoot by at most 2x, bounded).
+                    let spent = nodes.load(Ordering::Relaxed);
+                    if spent >= max_nodes {
+                        limit_hit.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    let mut ctx = SearchCtx::new(u, spec, budget, max_nodes - spent);
+                    ctx.early_exit = Some(found);
+                    ctx.place(t);
+                    let ok = ctx.dfs();
+                    nodes.fetch_add(ctx.stats.nodes, Ordering::Relaxed);
+                    pruned.fetch_add(ctx.stats.pruned, Ordering::Relaxed);
+                    if ok {
+                        found.store(true, Ordering::Relaxed);
+                        *solution.lock().expect("poison-free") = Some(ctx.chosen.clone());
+                        return;
+                    }
+                    if ctx.hit_limit && !found.load(Ordering::Relaxed) {
+                        limit_hit.store(true, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    })
+    .expect("solver threads never panic");
+
+    let stats = Stats {
+        nodes: nodes.load(Ordering::Relaxed),
+        pruned: pruned.load(Ordering::Relaxed),
+    };
+    let sol = solution.lock().expect("poison-free").take();
+    match sol {
+        Some(sol) => (Outcome::Feasible(sol), stats),
+        None if limit_hit.load(Ordering::Relaxed) => (Outcome::NodeLimit, stats),
+        None => (Outcome::Infeasible, stats),
+    }
+}
+
+/// Optimal covering by iterative deepening from the combinatorial lower
+/// bound. Returns the tiles and the optimum, or `None` if the node limit
+/// was hit before a conclusion.
+pub fn solve_optimal(u: &TileUniverse, max_nodes: u64) -> Option<(Vec<Tile>, u32, Stats)> {
+    solve_optimal_spec(u, &CoverSpec::complete(u.ring().n()), max_nodes)
+}
+
+/// Optimal covering for an arbitrary [`CoverSpec`], by iterative deepening
+/// from the spec's capacity bound.
+pub fn solve_optimal_spec(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    max_nodes: u64,
+) -> Option<(Vec<Tile>, u32, Stats)> {
+    let n = u.ring().n();
+    let base = spec.capacity_lower_bound(u.ring());
+    let complete = CoverSpec::complete(n);
+    let mut budget = if spec.demand == complete.demand {
+        combinatorial_lower_bound(n).max(base) as u32
+    } else {
+        base as u32
+    };
+    let mut total = Stats::default();
+    loop {
+        let (outcome, stats) = cover_spec_within_budget(u, spec, budget, max_nodes);
+        total.nodes += stats.nodes;
+        total.pruned += stats.pruned;
+        match outcome {
+            Outcome::Feasible(idx) => {
+                let tiles = idx.into_iter().map(|i| u.tile(i).clone()).collect();
+                return Some((tiles, budget, total));
+            }
+            Outcome::Infeasible => budget += 1,
+            Outcome::NodeLimit => return None,
+        }
+    }
+}
+
+/// Certifies that no covering with at most `budget` tiles exists.
+/// Returns `Some(true)` for a completed infeasibility proof, `Some(false)`
+/// if a covering was found, `None` if the node limit was hit.
+pub fn prove_infeasible(u: &TileUniverse, budget: u32, max_nodes: u64) -> Option<bool> {
+    match cover_within_budget(u, budget, max_nodes).0 {
+        Outcome::Infeasible => Some(true),
+        Outcome::Feasible(_) => Some(false),
+        Outcome::NodeLimit => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bound::rho_formula;
+    use cyclecover_graph::EdgeMultiset;
+    use cyclecover_ring::Ring;
+
+    fn assert_valid_cover(u: &TileUniverse, tiles: &[Tile], lambda: u32) {
+        let ring = u.ring();
+        let n = ring.n() as usize;
+        let mut cover = EdgeMultiset::new(n);
+        for t in tiles {
+            for c in t.chords(ring) {
+                cover.insert(c.to_edge());
+            }
+        }
+        assert!(cover.covers_complete(lambda), "not a {lambda}-covering");
+    }
+
+    #[test]
+    fn optimal_k4_matches_paper_example() {
+        let u = TileUniverse::new(Ring::new(4), 4);
+        let (tiles, opt, _) = solve_optimal(&u, 1_000_000).expect("solved");
+        assert_eq!(opt, 3, "rho(4) = 3 per the paper's example");
+        assert_valid_cover(&u, &tiles, 1);
+    }
+
+    #[test]
+    fn optimal_small_odd_matches_theorem1() {
+        for n in [3u32, 5, 7, 9] {
+            let u = TileUniverse::new(Ring::new(n), n as usize);
+            let (tiles, opt, _) = solve_optimal(&u, 50_000_000).expect("solved");
+            assert_eq!(opt as u64, rho_formula(n), "rho({n})");
+            assert_valid_cover(&u, &tiles, 1);
+        }
+    }
+
+    #[test]
+    fn optimal_small_even_matches_theorem2() {
+        for n in [6u32, 8] {
+            let u = TileUniverse::new(Ring::new(n), n as usize);
+            let (tiles, opt, _) = solve_optimal(&u, 50_000_000).expect("solved");
+            assert_eq!(opt as u64, rho_formula(n), "rho({n})");
+            assert_valid_cover(&u, &tiles, 1);
+        }
+    }
+
+    /// The `+1` of Theorem 2 for even `p`: n = 8 (p = 4) — capacity bound
+    /// says 8, the paper says 9; certify 8 is infeasible.
+    #[test]
+    fn n8_infeasible_at_capacity_bound() {
+        let u = TileUniverse::new(Ring::new(8), 8);
+        assert_eq!(prove_infeasible(&u, 8, 50_000_000), Some(true));
+        assert_eq!(prove_infeasible(&u, 9, 50_000_000), Some(false));
+    }
+
+    #[test]
+    fn parallel_agrees_with_sequential() {
+        for n in [6u32, 7, 8] {
+            let u = TileUniverse::new(Ring::new(n), n as usize);
+            let spec = CoverSpec::complete(n);
+            let budget = rho_formula(n) as u32;
+            let (seq, _) = cover_spec_within_budget(&u, &spec, budget - 1, 100_000_000);
+            let (par, _) =
+                cover_spec_within_budget_parallel(&u, &spec, budget - 1, 100_000_000, 4);
+            assert_eq!(seq, Outcome::Infeasible, "n={n}");
+            assert_eq!(par, Outcome::Infeasible, "n={n}");
+            let (seq_ok, _) = cover_spec_within_budget(&u, &spec, budget, 100_000_000);
+            let (par_ok, _) =
+                cover_spec_within_budget_parallel(&u, &spec, budget, 100_000_000, 4);
+            assert!(matches!(seq_ok, Outcome::Feasible(_)), "n={n}");
+            assert!(matches!(par_ok, Outcome::Feasible(_)), "n={n}");
+        }
+    }
+
+    /// λ-fold: rho_2(6) — the capacity bound is 9 (vs 2·rho(6) = 10);
+    /// the solver settles what copy-concatenation cannot.
+    #[test]
+    fn lambda_fold_small() {
+        let n = 6u32;
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let spec = CoverSpec::lambda_fold(n, 2);
+        let (tiles, opt, _) = solve_optimal_spec(&u, &spec, 200_000_000).expect("solved");
+        assert_valid_cover(&u, &tiles, 2);
+        assert!(opt >= spec.capacity_lower_bound(Ring::new(n)) as u32);
+        assert!(opt <= 2 * rho_formula(n) as u32);
+    }
+
+    /// Subset spec: cover only a star's edges (plus whatever tiles bring).
+    #[test]
+    fn subset_spec_star() {
+        let n = 7u32;
+        let u = TileUniverse::new(Ring::new(n), 4);
+        let star: Vec<Edge> = (1..n).map(|v| Edge::new(0, v)).collect();
+        let spec = CoverSpec::subset(n, &star);
+        let (tiles, opt, _) = solve_optimal_spec(&u, &spec, 100_000_000).expect("solved");
+        // Each tile uses at most 2 chords at vertex 0: >= ceil(6/2) = 3.
+        assert!(opt >= 3, "opt={opt}");
+        let ring = Ring::new(n);
+        let mut cov = EdgeMultiset::new(n as usize);
+        for t in &tiles {
+            for c in t.chords(ring) {
+                cov.insert(c.to_edge());
+            }
+        }
+        for e in &star {
+            assert!(cov.count(*e) >= 1);
+        }
+    }
+
+    #[test]
+    fn node_limit_reports_inconclusive() {
+        // n = 8 at budget 8: the capacity bound allows it (8 = ⌈p²/2⌉), so
+        // infeasibility needs real search — a 10-node limit must trip.
+        let u = TileUniverse::new(Ring::new(8), 8);
+        let (outcome, stats) = cover_within_budget(&u, 8, 10);
+        assert_eq!(outcome, Outcome::NodeLimit);
+        assert!(stats.nodes >= 10);
+    }
+
+    /// Restricting tiles to C3/C4 with shortest-path gaps must not change
+    /// the odd optimum (Theorem 1's coverings have that shape).
+    #[test]
+    fn restricted_universe_still_optimal_for_odd() {
+        let n = 7u32;
+        let ring = Ring::new(n);
+        let u = TileUniverse::with_max_gap(ring, 4, n / 2);
+        let (tiles, opt, _) = solve_optimal(&u, 10_000_000).expect("solved");
+        assert_eq!(opt as u64, rho_formula(n));
+        assert_valid_cover(&u, &tiles, 1);
+        assert!(tiles.iter().all(|t| t.len() <= 4));
+    }
+}

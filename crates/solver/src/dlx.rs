@@ -1,0 +1,305 @@
+//! Dancing Links (Knuth's Algorithm X) exact-cover engine.
+//!
+//! Generic substrate used by:
+//! * the odd-case optimality cross-checks (Theorem 1's coverings are exact
+//!   *partitions* of `E(K_n)` into tiles — an exact-cover instance);
+//! * the design-theory baselines (`cyclecover-design`);
+//! * assorted tests that need "find any exact decomposition".
+//!
+//! Classic index-based implementation: one arena of doubly-linked nodes in
+//! four directions, column headers with live counts, MRV column selection.
+
+/// A (mutable) exact-cover problem instance.
+///
+/// Columns are the universe elements `0..num_cols`; rows are subsets added
+/// via [`ExactCover::add_row`]. [`ExactCover::solve_first`] searches for a
+/// set of rows covering every column exactly once.
+pub struct ExactCover {
+    /// left/right/up/down/column links per node; nodes 0..=num_cols are the
+    /// root (0) and column headers (1..=num_cols).
+    left: Vec<u32>,
+    right: Vec<u32>,
+    up: Vec<u32>,
+    down: Vec<u32>,
+    col: Vec<u32>,
+    /// Live node count per column header index (1-based).
+    size: Vec<u32>,
+    /// Row id per node (u32::MAX for headers).
+    row_of: Vec<u32>,
+    num_rows: u32,
+    /// First node index of each row (for reporting).
+    row_start: Vec<u32>,
+}
+
+impl ExactCover {
+    /// New instance over universe `0..num_cols`.
+    pub fn new(num_cols: usize) -> Self {
+        let h = num_cols + 1; // root + headers
+        let mut ec = ExactCover {
+            left: Vec::with_capacity(h),
+            right: Vec::with_capacity(h),
+            up: Vec::with_capacity(h),
+            down: Vec::with_capacity(h),
+            col: Vec::with_capacity(h),
+            size: vec![0; h],
+            row_of: Vec::with_capacity(h),
+            num_rows: 0,
+            row_start: Vec::new(),
+        };
+        for i in 0..h as u32 {
+            ec.left.push(if i == 0 { h as u32 - 1 } else { i - 1 });
+            ec.right.push(if i as usize == h - 1 { 0 } else { i + 1 });
+            ec.up.push(i);
+            ec.down.push(i);
+            ec.col.push(i);
+            ec.row_of.push(u32::MAX);
+        }
+        ec
+    }
+
+    /// Adds a row covering the given (distinct) columns; returns its row id.
+    ///
+    /// # Panics
+    /// Panics if `cols` is empty or contains an out-of-range column.
+    pub fn add_row(&mut self, cols: &[usize]) -> u32 {
+        assert!(!cols.is_empty(), "empty row");
+        let rid = self.num_rows;
+        self.num_rows += 1;
+        let first = self.left.len() as u32;
+        self.row_start.push(first);
+        for (k, &c) in cols.iter().enumerate() {
+            assert!(c + 1 < self.size.len(), "column {c} out of range");
+            let header = (c + 1) as u32;
+            let node = self.left.len() as u32;
+            // Vertical insertion just above the header (= column bottom).
+            let above = self.up[header as usize];
+            self.up.push(above);
+            self.down.push(header);
+            self.down[above as usize] = node;
+            self.up[header as usize] = node;
+            // Horizontal circular links within the row.
+            if k == 0 {
+                self.left.push(node);
+                self.right.push(node);
+            } else {
+                let prev = node - 1;
+                let head = first;
+                self.left.push(prev);
+                self.right.push(head);
+                self.right[prev as usize] = node;
+                self.left[head as usize] = node;
+            }
+            self.col.push(header);
+            self.size[header as usize] += 1;
+            self.row_of.push(rid);
+        }
+        rid
+    }
+
+    fn cover(&mut self, c: u32) {
+        let (l, r) = (self.left[c as usize], self.right[c as usize]);
+        self.right[l as usize] = r;
+        self.left[r as usize] = l;
+        let mut i = self.down[c as usize];
+        while i != c {
+            let mut j = self.right[i as usize];
+            while j != i {
+                let (u, d) = (self.up[j as usize], self.down[j as usize]);
+                self.down[u as usize] = d;
+                self.up[d as usize] = u;
+                self.size[self.col[j as usize] as usize] -= 1;
+                j = self.right[j as usize];
+            }
+            i = self.down[i as usize];
+        }
+    }
+
+    fn uncover(&mut self, c: u32) {
+        let mut i = self.up[c as usize];
+        while i != c {
+            let mut j = self.left[i as usize];
+            while j != i {
+                let (u, d) = (self.up[j as usize], self.down[j as usize]);
+                self.down[u as usize] = j;
+                self.up[d as usize] = j;
+                self.size[self.col[j as usize] as usize] += 1;
+                j = self.left[j as usize];
+            }
+            i = self.up[i as usize];
+        }
+        let (l, r) = (self.left[c as usize], self.right[c as usize]);
+        self.right[l as usize] = c;
+        self.left[r as usize] = c;
+    }
+
+    /// Smallest live column (MRV heuristic); `None` if all covered.
+    fn choose_column(&self) -> Option<u32> {
+        let mut best = None;
+        let mut best_size = u32::MAX;
+        let mut c = self.right[0];
+        while c != 0 {
+            let s = self.size[c as usize];
+            if s < best_size {
+                best_size = s;
+                best = Some(c);
+                if s == 0 {
+                    break;
+                }
+            }
+            c = self.right[c as usize];
+        }
+        best
+    }
+
+    /// Finds one exact cover; returns the selected row ids, or `None`.
+    pub fn solve_first(&mut self) -> Option<Vec<u32>> {
+        let mut stack = Vec::new();
+        if self.search_first(&mut stack) {
+            Some(stack)
+        } else {
+            None
+        }
+    }
+
+    fn search_first(&mut self, stack: &mut Vec<u32>) -> bool {
+        let c = match self.choose_column() {
+            None => return true,
+            Some(c) => c,
+        };
+        if self.size[c as usize] == 0 {
+            return false;
+        }
+        self.cover(c);
+        let mut r = self.down[c as usize];
+        while r != c {
+            stack.push(self.row_of[r as usize]);
+            let mut j = self.right[r as usize];
+            while j != r {
+                self.cover(self.col[j as usize]);
+                j = self.right[j as usize];
+            }
+            if self.search_first(stack) {
+                return true;
+            }
+            let mut j = self.left[r as usize];
+            while j != r {
+                self.uncover(self.col[j as usize]);
+                j = self.left[j as usize];
+            }
+            stack.pop();
+            r = self.down[r as usize];
+        }
+        self.uncover(c);
+        false
+    }
+
+    /// Counts exact covers up to `limit` (stops early once reached).
+    pub fn count_solutions(&mut self, limit: u64) -> u64 {
+        let mut count = 0;
+        self.count_rec(limit, &mut count);
+        count
+    }
+
+    fn count_rec(&mut self, limit: u64, count: &mut u64) {
+        if *count >= limit {
+            return;
+        }
+        let c = match self.choose_column() {
+            None => {
+                *count += 1;
+                return;
+            }
+            Some(c) => c,
+        };
+        if self.size[c as usize] == 0 {
+            return;
+        }
+        self.cover(c);
+        let mut r = self.down[c as usize];
+        while r != c {
+            let mut j = self.right[r as usize];
+            while j != r {
+                self.cover(self.col[j as usize]);
+                j = self.right[j as usize];
+            }
+            self.count_rec(limit, count);
+            let mut j = self.left[r as usize];
+            while j != r {
+                self.uncover(self.col[j as usize]);
+                j = self.left[j as usize];
+            }
+            r = self.down[r as usize];
+        }
+        self.uncover(c);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Knuth's canonical 7-column example.
+    #[test]
+    fn knuth_example() {
+        let mut ec = ExactCover::new(7);
+        ec.add_row(&[2, 4, 5]); // row 0
+        ec.add_row(&[0, 3, 6]); // row 1
+        ec.add_row(&[1, 2, 5]); // row 2
+        ec.add_row(&[0, 3]); // row 3
+        ec.add_row(&[1, 6]); // row 4
+        ec.add_row(&[3, 4, 6]); // row 5
+        let mut sol = ec.solve_first().expect("has a solution");
+        sol.sort_unstable();
+        assert_eq!(sol, vec![0, 3, 4]);
+    }
+
+    #[test]
+    fn infeasible_instance() {
+        let mut ec = ExactCover::new(3);
+        ec.add_row(&[0, 1]);
+        ec.add_row(&[1, 2]);
+        assert!(ec.solve_first().is_none());
+        assert_eq!(ec.count_solutions(10), 0);
+    }
+
+    #[test]
+    fn counts_all_perfect_matchings_of_k4() {
+        // Universe = 4 vertices; rows = the 6 edges of K4. Perfect matchings
+        // of K4 = 3.
+        let mut ec = ExactCover::new(4);
+        for (a, b) in [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)] {
+            ec.add_row(&[a, b]);
+        }
+        assert_eq!(ec.count_solutions(100), 3);
+    }
+
+    #[test]
+    fn count_respects_limit() {
+        let mut ec = ExactCover::new(2);
+        for _ in 0..5 {
+            ec.add_row(&[0]);
+            ec.add_row(&[1]);
+        }
+        // 25 solutions total; limit cuts off.
+        assert_eq!(ec.count_solutions(7), 7);
+        // Structure must still be intact after a limited count: full count works.
+        assert_eq!(ec.count_solutions(1000), 25);
+    }
+
+    /// Partition of the 6 edges of K4 into two triangles does not exist,
+    /// but K4's edges partition into 3 perfect matchings — sanity check the
+    /// engine on a graph-flavored instance (universe = edges).
+    #[test]
+    fn k4_edge_partition_into_triangles_infeasible() {
+        // Columns = 6 edges of K4 (dense index), rows = 4 triangles.
+        let mut ec = ExactCover::new(6);
+        let idx = |u: usize, v: usize| -> usize {
+            // dense index in K4
+            [[0, 0, 1, 2], [0, 0, 3, 4], [1, 3, 0, 5], [2, 4, 5, 0]][u][v]
+        };
+        for (a, b, c) in [(0, 1, 2), (0, 1, 3), (0, 2, 3), (1, 2, 3)] {
+            ec.add_row(&[idx(a, b), idx(a, c), idx(b, c)]);
+        }
+        assert!(ec.solve_first().is_none());
+    }
+}

@@ -1,0 +1,132 @@
+//! Greedy set-cover baseline for DRC coverings.
+//!
+//! The classic `ln m`-approximation applied to our tile universe: repeatedly
+//! pick the tile covering the most still-uncovered requests (ties broken by
+//! less wasted ring capacity, then smaller index for determinism). Used by
+//! experiment E5 as the "what a straightforward engineer would ship"
+//! baseline against the paper's optimal constructions.
+
+use crate::TileUniverse;
+use cyclecover_graph::Edge;
+use cyclecover_ring::Tile;
+
+/// Greedily covers all requests of `K_n`; returns the chosen tiles.
+///
+/// Always succeeds (every chord is itself in some triangle tile).
+pub fn greedy_cover(u: &TileUniverse) -> Vec<Tile> {
+    let ring = u.ring();
+    let n = ring.n() as usize;
+    let m = n * (n - 1) / 2;
+    let mut covered = vec![false; m];
+    let mut uncovered = m;
+    let mut chosen = Vec::new();
+
+    // Precompute chord index lists per tile.
+    let tile_chords: Vec<Vec<u32>> = u
+        .tiles()
+        .iter()
+        .map(|t| {
+            t.chords(ring)
+                .iter()
+                .map(|c| c.to_edge().dense_index(n) as u32)
+                .collect()
+        })
+        .collect();
+    let waste: Vec<u32> = u
+        .tiles()
+        .iter()
+        .map(|t| ring.n() - t.shortest_load(ring).min(ring.n()))
+        .collect();
+
+    while uncovered > 0 {
+        let mut best: Option<(usize, usize, u32)> = None; // (idx, cov, waste)
+        for (i, chords) in tile_chords.iter().enumerate() {
+            let cov = chords.iter().filter(|&&c| !covered[c as usize]).count();
+            if cov == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((_, bcov, bwaste)) => {
+                    cov > bcov || (cov == bcov && waste[i] < bwaste)
+                }
+            };
+            if better {
+                best = Some((i, cov, waste[i]));
+            }
+        }
+        let (i, cov, _) = best.expect("uncovered chords remain but no tile covers any");
+        for &c in &tile_chords[i] {
+            if !covered[c as usize] {
+                covered[c as usize] = true;
+            }
+        }
+        uncovered -= cov;
+        chosen.push(u.tiles()[i].clone());
+    }
+    chosen
+}
+
+/// Number of requests of `K_n` left uncovered by `tiles` (0 for a valid
+/// covering) — a convenience audit used in tests and benches.
+pub fn uncovered_count(u: &TileUniverse, tiles: &[Tile]) -> usize {
+    let ring = u.ring();
+    let n = ring.n() as usize;
+    let mut covered = vec![false; n * (n - 1) / 2];
+    for t in tiles {
+        for c in t.chords(ring) {
+            covered[c.to_edge().dense_index(n)] = true;
+        }
+    }
+    let mut missing = 0;
+    for uu in 0..n as u32 {
+        for vv in (uu + 1)..n as u32 {
+            if !covered[Edge::new(uu, vv).dense_index(n)] {
+                missing += 1;
+            }
+        }
+    }
+    missing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bound::{capacity_lower_bound, rho_formula};
+    use cyclecover_ring::Ring;
+
+    #[test]
+    fn greedy_always_covers() {
+        for n in 4u32..=12 {
+            let u = TileUniverse::new(Ring::new(n), 4);
+            let tiles = greedy_cover(&u);
+            assert_eq!(uncovered_count(&u, &tiles), 0, "n={n}");
+        }
+    }
+
+    #[test]
+    fn greedy_at_least_lower_bound_and_not_absurd() {
+        for n in 5u32..=12 {
+            let u = TileUniverse::new(Ring::new(n), 4);
+            let tiles = greedy_cover(&u);
+            let lb = capacity_lower_bound(n);
+            assert!(tiles.len() as u64 >= lb, "n={n}: greedy below LB?!");
+            // Greedy shouldn't be worse than 2x optimal on these tiny cases.
+            assert!(
+                (tiles.len() as u64) <= 2 * rho_formula(n),
+                "n={n}: greedy used {} vs rho {}",
+                tiles.len(),
+                rho_formula(n)
+            );
+        }
+    }
+
+    #[test]
+    fn greedy_k4_uses_three_cycles() {
+        // On K4/C4 even greedy finds the paper's optimum of 3 (any covering
+        // needs >= ceil(10/4) = 3).
+        let u = TileUniverse::new(Ring::new(4), 4);
+        let tiles = greedy_cover(&u);
+        assert_eq!(tiles.len(), 3);
+    }
+}

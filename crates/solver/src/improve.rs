@@ -1,0 +1,216 @@
+//! Local-search improvement of DRC coverings.
+//!
+//! Heuristic coverings (greedy, or structured constructions under edits)
+//! often carry slack: tiles whose every chord is also covered elsewhere,
+//! or tile *pairs* whose combined unique contribution fits inside one
+//! replacement tile. [`improve_covering`] removes both kinds of slack
+//! with deterministic, validity-preserving moves:
+//!
+//! 1. **drop** — delete any tile all of whose chords are covered ≥ 2×;
+//! 2. **merge (2→1)** — replace a tile pair by a single universe tile
+//!    covering everything the pair uniquely covered.
+//!
+//! Each move strictly shrinks the covering, so the loop terminates; the
+//! result is "2-minimal" (no single drop or pair merge applies). Used as
+//! a polish pass over `greedy::greedy_cover` in the baselines of
+//! experiment E5, and as the improvement step of the general-instance
+//! experiments.
+
+use crate::TileUniverse;
+use cyclecover_ring::Tile;
+
+/// Coverage counts per dense chord index for a tile multiset.
+fn coverage(u: &TileUniverse, tiles: &[Tile]) -> Vec<u32> {
+    let ring = u.ring();
+    let n = ring.n() as usize;
+    let mut cov = vec![0u32; n * (n - 1) / 2];
+    for t in tiles {
+        for c in t.chords(ring) {
+            cov[c.to_edge().dense_index(n)] += 1;
+        }
+    }
+    cov
+}
+
+/// Dense chord indices of one tile.
+fn chord_indices(u: &TileUniverse, t: &Tile) -> Vec<usize> {
+    let ring = u.ring();
+    let n = ring.n() as usize;
+    t.chords(ring)
+        .iter()
+        .map(|c| c.to_edge().dense_index(n))
+        .collect()
+}
+
+/// Applies drop and merge moves to a fixpoint; returns the improved
+/// covering. The input must cover `K_n` (asserted in debug builds);
+/// the output covers it too, with `output.len() ≤ input.len()`.
+pub fn improve_covering(u: &TileUniverse, mut tiles: Vec<Tile>) -> Vec<Tile> {
+    loop {
+        if drop_redundant(u, &mut tiles) {
+            continue;
+        }
+        if merge_pairs(u, &mut tiles) {
+            continue;
+        }
+        return tiles;
+    }
+}
+
+/// Removes tiles whose chords are all covered at least twice. Returns
+/// whether anything was dropped.
+fn drop_redundant(u: &TileUniverse, tiles: &mut Vec<Tile>) -> bool {
+    let mut cov = coverage(u, tiles);
+    let mut dropped = false;
+    let mut i = 0;
+    while i < tiles.len() {
+        let idx = chord_indices(u, &tiles[i]);
+        if idx.iter().all(|&c| cov[c] >= 2) {
+            for &c in &idx {
+                cov[c] -= 1;
+            }
+            tiles.swap_remove(i);
+            dropped = true;
+        } else {
+            i += 1;
+        }
+    }
+    dropped
+}
+
+/// Tries every tile pair: if some universe tile covers the union of the
+/// pair's *uniquely*-covered chords, swap it in. First improvement wins.
+fn merge_pairs(u: &TileUniverse, tiles: &mut Vec<Tile>) -> bool {
+    let cov = coverage(u, tiles);
+    let per_tile: Vec<Vec<usize>> = tiles.iter().map(|t| chord_indices(u, t)).collect();
+    let ring = u.ring();
+    let n = ring.n() as usize;
+    for i in 0..tiles.len() {
+        for j in (i + 1)..tiles.len() {
+            // Chords that would become uncovered if both i and j left.
+            let mut lost = vec![0u32; n * (n - 1) / 2];
+            for &c in per_tile[i].iter().chain(&per_tile[j]) {
+                lost[c] += 1;
+            }
+            let must: Vec<usize> = (0..lost.len())
+                .filter(|&c| lost[c] > 0 && cov[c] == lost[c])
+                .collect();
+            if must.is_empty() {
+                // The pair is jointly redundant; drop both.
+                let (hi, lo) = (j, i);
+                tiles.swap_remove(hi);
+                tiles.swap_remove(lo);
+                return true;
+            }
+            // A replacement must cover all `must` chords: scan only the
+            // candidates of the rarest chord.
+            let pivot = must
+                .iter()
+                .copied()
+                .min_by_key(|&c| {
+                    let e = cyclecover_graph::Edge::from_dense_index(c, n);
+                    u.candidates(e).len()
+                })
+                .expect("must is nonempty");
+            let pe = cyclecover_graph::Edge::from_dense_index(pivot, n);
+            'cand: for &cand in u.candidates(pe) {
+                let cand_tile = u.tile(cand);
+                let cand_idx = chord_indices(u, cand_tile);
+                for &c in &must {
+                    if !cand_idx.contains(&c) {
+                        continue 'cand;
+                    }
+                }
+                // Swap in the replacement.
+                let replacement = cand_tile.clone();
+                let (hi, lo) = (j, i);
+                tiles.swap_remove(hi);
+                tiles.swap_remove(lo);
+                tiles.push(replacement);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy;
+    use cyclecover_ring::Ring;
+
+    fn covers_all(u: &TileUniverse, tiles: &[Tile]) -> bool {
+        coverage(u, tiles).iter().all(|&c| c >= 1)
+    }
+
+    #[test]
+    fn drops_duplicate_tiles() {
+        let u = TileUniverse::new(Ring::new(7), 4);
+        let mut tiles = greedy::greedy_cover(&u);
+        let len = tiles.len();
+        // Duplicate the whole covering: everything becomes redundant.
+        tiles.extend(tiles.clone());
+        let improved = improve_covering(&u, tiles);
+        assert!(improved.len() <= len);
+        assert!(covers_all(&u, &improved));
+    }
+
+    #[test]
+    fn improvement_never_invalidates() {
+        for n in [6u32, 8, 9, 11, 13] {
+            let u = TileUniverse::new(Ring::new(n), 4);
+            let tiles = greedy::greedy_cover(&u);
+            assert!(covers_all(&u, &tiles), "greedy covers, n={n}");
+            let before = tiles.len();
+            let improved = improve_covering(&u, tiles);
+            assert!(covers_all(&u, &improved), "n={n}: improvement broke coverage");
+            assert!(improved.len() <= before, "n={n}");
+        }
+    }
+
+    #[test]
+    fn improved_greedy_tracks_optimum() {
+        // Greedy + improvement should land within ~30% of ρ(n) on small n.
+        for n in [7u32, 9, 11] {
+            let u = TileUniverse::new(Ring::new(n), 4);
+            let improved = improve_covering(&u, greedy::greedy_cover(&u));
+            let rho = crate::lower_bound::rho_formula(n);
+            assert!(
+                (improved.len() as u64) <= rho + rho.div_ceil(3) + 1,
+                "n={n}: improved {} vs rho {rho}",
+                improved.len()
+            );
+        }
+    }
+
+    #[test]
+    fn already_optimal_coverings_untouched_in_size() {
+        // An exact partition (odd n) has no redundancy: nothing drops.
+        let n = 9u32;
+        let u = TileUniverse::new(Ring::new(n), 4);
+        let cover = cyclecover_ringless_optimal(n);
+        let before = cover.len();
+        let improved = improve_covering(&u, cover);
+        assert_eq!(improved.len(), before);
+        assert!(covers_all(&u, &improved));
+    }
+
+    /// The odd-construction tiles, rebuilt through the universe's ring
+    /// (avoids a dev-dependency on cyclecover-core: the odd covering for
+    /// n=9 is small enough to hand-roll via greedy + known size).
+    fn cyclecover_ringless_optimal(n: u32) -> Vec<Tile> {
+        let u = TileUniverse::new(Ring::new(n), 4);
+        let (outcome, _) = crate::bnb::cover_within_budget(
+            &u,
+            crate::lower_bound::rho_formula(n) as u32,
+            50_000_000,
+        );
+        match outcome {
+            crate::bnb::Outcome::Feasible(idx) => {
+                idx.into_iter().map(|i| u.tile(i).clone()).collect()
+            }
+            other => panic!("optimal covering search failed: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # cyclecover-solver
+//!
+//! Exact and heuristic solvers for minimum DRC cycle coverings, used to
+//! *certify* the paper's theorems on small instances and as baselines:
+//!
+//! * [`TileUniverse`] — enumeration of all DRC-routable cycles (winding
+//!   tiles) of a ring, with per-chord candidate indices;
+//! * [`lower_bound`] — the capacity lower bound
+//!   `ρ(n) ≥ ⌈Σ dist(u,v) / n⌉` and the diameter bound (≤ 1 diameter chord
+//!   per cycle);
+//! * [`dlx`] — a generic Dancing-Links exact-cover engine (Knuth's
+//!   Algorithm X), used for exact *partitions* (the odd case of the paper is
+//!   a partition) and for design-theory substrates;
+//! * [`bnb`] — depth-first branch & bound minimum covering with capacity and
+//!   diameter pruning: finds optimal coverings and proves infeasibility of
+//!   smaller budgets (the lower-bound certificates of `EXPERIMENTS.md`);
+//! * [`greedy`] — a greedy set-cover style baseline.
+//!
+//! ```
+//! use cyclecover_ring::Ring;
+//! use cyclecover_solver::{bnb, TileUniverse};
+//!
+//! // Certify the paper's worked example: rho(4) = 3.
+//! let universe = TileUniverse::new(Ring::new(4), 4);
+//! let (_, optimum, _) = bnb::solve_optimal(&universe, 1_000_000).unwrap();
+//! assert_eq!(optimum, 3);
+//! assert_eq!(bnb::prove_infeasible(&universe, 2, 1_000_000), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod bnb;
+pub mod dlx;
+pub mod greedy;
+pub mod improve;
+pub mod lower_bound;
+mod tiles;
+
+pub use tiles::TileUniverse;

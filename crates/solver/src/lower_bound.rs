@@ -1,0 +1,135 @@
+//! Lower bounds on the size of a DRC covering of `K_n` over `C_n`.
+
+use cyclecover_ring::Ring;
+
+/// The capacity lower bound:
+/// every DRC cycle occupies at most `n` ring edges (its arcs are pairwise
+/// edge-disjoint) and a request at distance `d` occupies at least `d`, so
+///
+/// `ρ(n) ≥ ⌈ (Σ_{u<v} dist(u, v)) / n ⌉`.
+///
+/// For `n = 2p+1` this evaluates to `p(p+1)/2` (Theorem 1 is tight); for
+/// `n = 2p` it evaluates to `⌈p²/2⌉`, one below Theorem 2 when `p` is even.
+pub fn capacity_lower_bound(n: u32) -> u64 {
+    let ring = Ring::new(n);
+    ring.total_pair_distance().div_ceil(n as u64)
+}
+
+/// The diameter lower bound for even `n = 2p`: `K_n` has `p` diameter
+/// requests and no DRC cycle can carry two of them (two diameters already
+/// need `2p = n` edges, leaving nothing for the other ≥ 1 chords of the
+/// cycle), so at least `p` cycles are needed. Weaker than capacity for all
+/// `n ≥ 6`, but prunes branch & bound well. Returns 0 for odd `n`.
+pub fn diameter_lower_bound(n: u32) -> u64 {
+    if n.is_multiple_of(2) {
+        (n / 2) as u64
+    } else {
+        0
+    }
+}
+
+/// The best known combinatorial lower bound implemented here: the max of
+/// capacity and diameter bounds.
+///
+/// The paper's Theorem 2 additionally proves `+1` over the capacity bound
+/// for `n = 2p` with `p` even; that refinement is *certified* exhaustively
+/// by [`crate::bnb::prove_infeasible`] on small instances (see
+/// `EXPERIMENTS.md` E4) rather than assumed here.
+pub fn combinatorial_lower_bound(n: u32) -> u64 {
+    capacity_lower_bound(n).max(diameter_lower_bound(n))
+}
+
+/// The paper's claimed optimal value `ρ(n)`:
+/// * Theorem 1 (odd `n = 2p+1`): `p(p+1)/2`;
+/// * Theorem 2 (even `n = 2p`, `p ≥ 3`): `⌈(p²+1)/2⌉`;
+/// * small cases: `ρ(3) = 1`, `ρ(4) = 3` (the paper's worked example),
+///   `ρ(5) = 3` (Theorem 1 with `p = 2`).
+pub fn rho_formula(n: u32) -> u64 {
+    assert!(n >= 3, "rho(n) defined for n >= 3, got {n}");
+    if n % 2 == 1 {
+        let p = ((n - 1) / 2) as u64;
+        p * (p + 1) / 2
+    } else if n == 4 {
+        3
+    } else {
+        let p = (n / 2) as u64;
+        (p * p + 1).div_ceil(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bound_odd_matches_theorem1() {
+        for p in 1u64..=60 {
+            let n = (2 * p + 1) as u32;
+            assert_eq!(capacity_lower_bound(n), p * (p + 1) / 2, "n={n}");
+            assert_eq!(rho_formula(n), p * (p + 1) / 2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn capacity_bound_even_is_ceil_half_p_squared() {
+        for p in 2u64..=60 {
+            let n = (2 * p) as u32;
+            assert_eq!(capacity_lower_bound(n), (p * p).div_ceil(2), "n={n}");
+        }
+    }
+
+    #[test]
+    fn theorem2_exceeds_capacity_bound_only_for_even_p() {
+        for p in 3u64..=60 {
+            let n = (2 * p) as u32;
+            let gap = rho_formula(n) as i64 - capacity_lower_bound(n) as i64;
+            if p % 2 == 0 {
+                assert_eq!(gap, 1, "even p={p}: rho = capacity + 1");
+            } else {
+                assert_eq!(gap, 0, "odd p={p}: capacity tight");
+            }
+        }
+    }
+
+    #[test]
+    fn theorem2_composition_counts_are_consistent() {
+        // n = 4q: 4 C3 + (2q²−3) C4; n = 4q+2: 2 C3 + (2q²+2q−1) C4.
+        // Cycle counts must equal rho and edge slots must be >= |E(K_n)|.
+        for q in 2u64..=40 {
+            let n = 4 * q;
+            let (c3, c4) = (4u64, 2 * q * q - 3);
+            assert_eq!(c3 + c4, rho_formula(n as u32));
+            let slots = 3 * c3 + 4 * c4;
+            let edges = n * (n - 1) / 2;
+            assert_eq!(slots - edges, n / 2, "overlap is exactly p for n={n}");
+        }
+        for q in 1u64..=40 {
+            let n = 4 * q + 2;
+            let (c3, c4) = (2u64, 2 * q * q + 2 * q - 1);
+            assert_eq!(c3 + c4, rho_formula(n as u32));
+            let slots = 3 * c3 + 4 * c4;
+            let edges = n * (n - 1) / 2;
+            assert_eq!(slots - edges, n / 2, "overlap is exactly p for n={n}");
+        }
+    }
+
+    #[test]
+    fn small_cases() {
+        assert_eq!(rho_formula(3), 1);
+        assert_eq!(rho_formula(4), 3);
+        assert_eq!(rho_formula(5), 3);
+        assert_eq!(rho_formula(6), 5);
+        assert_eq!(rho_formula(7), 6);
+        assert_eq!(rho_formula(8), 9);
+        assert_eq!(rho_formula(9), 10);
+        assert_eq!(rho_formula(10), 13);
+        assert_eq!(rho_formula(12), 19);
+    }
+
+    #[test]
+    fn diameter_bound() {
+        assert_eq!(diameter_lower_bound(8), 4);
+        assert_eq!(diameter_lower_bound(9), 0);
+        assert!(combinatorial_lower_bound(8) >= 4);
+    }
+}

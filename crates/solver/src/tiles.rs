@@ -1,0 +1,199 @@
+//! Enumeration of winding tiles (= DRC-routable cycles) of a ring.
+
+use cyclecover_graph::Edge;
+use cyclecover_ring::{Ring, Tile};
+
+/// The universe of candidate covering cycles for exact search on `C_n`:
+/// all winding tiles with size in `3..=max_len`, optionally restricted by a
+/// maximum gap (arc length).
+///
+/// By the winding lemma every DRC-routable cycle *is* a tile (a vertex
+/// subset in ring order), so enumerating subsets enumerates all admissible
+/// covering cycles — there is no loss of generality for the exact solvers.
+pub struct TileUniverse {
+    ring: Ring,
+    tiles: Vec<Tile>,
+    /// `by_chord[edge.dense_index(n)]` lists indices of tiles having that
+    /// chord (as a ring-consecutive pair, i.e. actually covering it).
+    by_chord: Vec<Vec<u32>>,
+}
+
+impl TileUniverse {
+    /// Enumerates all tiles with `3 ≤ |S| ≤ max_len` vertices.
+    ///
+    /// For minimum-covering searches `max_len = n` is exact; the paper's
+    /// constructions only ever need `max_len = 4`.
+    pub fn new(ring: Ring, max_len: usize) -> Self {
+        Self::with_max_gap(ring, max_len, ring.n())
+    }
+
+    /// As [`TileUniverse::new`] but only tiles whose gaps are all ≤
+    /// `max_gap`. With `max_gap = ⌊n/2⌋` every chord is routed on a
+    /// shortest path (no "wasted" capacity) — the shape of all odd-`n`
+    /// optimal coverings.
+    pub fn with_max_gap(ring: Ring, max_len: usize, max_gap: u32) -> Self {
+        assert!(max_len >= 3, "tiles need >= 3 vertices");
+        let n = ring.n();
+        let mut tiles = Vec::new();
+        // DFS over increasing vertex choices; prune when the remaining gap
+        // back to the start would force a gap > max_gap… (cheap check at
+        // close time only, gaps between chosen vertices checked on the fly).
+        let mut current: Vec<u32> = Vec::with_capacity(max_len);
+        fn rec(
+            ring: Ring,
+            max_len: usize,
+            max_gap: u32,
+            next_min: u32,
+            current: &mut Vec<u32>,
+            tiles: &mut Vec<Tile>,
+        ) {
+            let n = ring.n();
+            if current.len() >= 3 {
+                // Closing gap from last vertex back to first.
+                let close = ring.cw_gap(*current.last().unwrap(), current[0]);
+                if close <= max_gap {
+                    tiles.push(Tile::from_vertices(ring, current.clone()));
+                }
+            }
+            if current.len() == max_len {
+                return;
+            }
+            for v in next_min..n {
+                // Gap from previous chosen vertex.
+                if let Some(&prev) = current.last() {
+                    if ring.cw_gap(prev, v) > max_gap {
+                        // gaps only grow as v grows
+                        break;
+                    }
+                }
+                current.push(v);
+                rec(ring, max_len, max_gap, v + 1, current, tiles);
+                current.pop();
+            }
+        }
+        // First vertex ranges over all positions (subsets are sorted, so the
+        // first vertex is the minimum).
+        for v0 in 0..n {
+            current.push(v0);
+            rec(ring, max_len, max_gap, v0 + 1, &mut current, &mut tiles);
+            current.pop();
+        }
+
+        let mut by_chord = vec![Vec::new(); n as usize * (n as usize - 1) / 2];
+        for (i, t) in tiles.iter().enumerate() {
+            for c in t.chords(ring) {
+                by_chord[c.to_edge().dense_index(n as usize)].push(i as u32);
+            }
+        }
+        TileUniverse {
+            ring,
+            tiles,
+            by_chord,
+        }
+    }
+
+    /// The ring.
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// All tiles.
+    pub fn tiles(&self) -> &[Tile] {
+        &self.tiles
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the universe is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// Indices of tiles covering the given request.
+    pub fn candidates(&self, e: Edge) -> &[u32] {
+        &self.by_chord[e.dense_index(self.ring.n() as usize)]
+    }
+
+    /// The tile with index `i`.
+    pub fn tile(&self, i: u32) -> &Tile {
+        &self.tiles[i as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tiles of size k on C_n are exactly the k-subsets: C(n,3) + C(n,4)
+    /// for max_len = 4.
+    #[test]
+    fn tile_counts_are_binomials() {
+        fn binom(n: u64, k: u64) -> u64 {
+            let mut r = 1u64;
+            for i in 0..k {
+                r = r * (n - i) / (i + 1);
+            }
+            r
+        }
+        for n in [5u32, 6, 8, 9] {
+            let u = TileUniverse::new(Ring::new(n), 4);
+            assert_eq!(u.len() as u64, binom(n as u64, 3) + binom(n as u64, 4), "n={n}");
+            let full = TileUniverse::new(Ring::new(n), n as usize);
+            let expect: u64 = (3..=n as u64).map(|k| binom(n as u64, k)).sum();
+            assert_eq!(full.len() as u64, expect, "n={n} full");
+        }
+    }
+
+    #[test]
+    fn max_gap_filters_long_arcs() {
+        let ring = Ring::new(9);
+        let u = TileUniverse::with_max_gap(ring, 4, 4);
+        assert!(u.tiles().iter().all(|t| t.max_gap(ring) <= 4));
+        // {0, 1, 2} has closing gap 7 > 4: excluded.
+        assert!(!u
+            .tiles()
+            .iter()
+            .any(|t| t.vertices() == [0, 1, 2]));
+        // {0, 3, 6} has gaps 3,3,3: included.
+        assert!(u.tiles().iter().any(|t| t.vertices() == [0, 3, 6]));
+    }
+
+    #[test]
+    fn candidates_actually_cover() {
+        let ring = Ring::new(7);
+        let u = TileUniverse::new(ring, 4);
+        for uu in 0..7u32 {
+            for vv in (uu + 1)..7u32 {
+                let e = Edge::new(uu, vv);
+                let cands = u.candidates(e);
+                assert!(!cands.is_empty());
+                for &i in cands {
+                    let covers = u
+                        .tile(i)
+                        .chords(ring)
+                        .iter()
+                        .any(|c| c.to_edge() == e);
+                    assert!(covers, "tile {:?} listed for {e} but does not cover it", u.tile(i));
+                }
+            }
+        }
+    }
+
+    /// A chord {u,v} is covered by a tile iff u,v are ring-consecutive in
+    /// it; count candidates for a fixed chord on a small ring by brute force.
+    #[test]
+    fn candidate_counts_match_bruteforce() {
+        let ring = Ring::new(6);
+        let u = TileUniverse::new(ring, 4);
+        let e = Edge::new(0, 2);
+        let brute = u
+            .tiles()
+            .iter()
+            .filter(|t| t.chords(ring).iter().any(|c| c.to_edge() == e))
+            .count();
+        assert_eq!(u.candidates(e).len(), brute);
+    }
+}

@@ -1,0 +1,438 @@
+//! Cycle coverings of logical instances over arbitrary physical graphs.
+//!
+//! The general problem statement of the paper ("find a covering of the
+//! edges of a logical graph `I` by subgraphs `I_k`, such that for each
+//! `I_k` there exists in the physical graph `G` a disjoint routing"),
+//! instantiated beyond the ring. A [`GraphCovering`] holds the covering
+//! cycles *together with* their verified routings — on general graphs the
+//! routing is a witness that cannot be recomputed canonically (it is not
+//! unique, unlike the ring's winding routing), so it is part of the
+//! design artifact, exactly as a deployment would provision it.
+
+use crate::drc::{verify_routing, CycleRouting, RoutedPath};
+use cyclecover_graph::{bfs_distances, CycleSubgraph, EdgeMultiset, Graph};
+use std::fmt;
+
+/// A covering cycle with its provisioned routing.
+#[derive(Clone, Debug)]
+pub struct RoutedCycle {
+    /// The logical cycle (the subnetwork's requests).
+    pub cycle: CycleSubgraph,
+    /// Its pairwise edge-disjoint routing on the physical graph.
+    pub routing: CycleRouting,
+}
+
+/// Validation failure for a [`GraphCovering`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphCoverError {
+    /// A cycle's routing is not a valid edge-disjoint routing.
+    BadRouting {
+        /// Index of the offending cycle.
+        index: usize,
+    },
+    /// Some instance edge is not covered by any cycle.
+    Uncovered {
+        /// Number of uncovered instance edges.
+        missing: usize,
+        /// An example uncovered request.
+        example: (u32, u32),
+    },
+}
+
+impl fmt::Display for GraphCoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphCoverError::BadRouting { index } => {
+                write!(f, "cycle #{index} has an invalid routing")
+            }
+            GraphCoverError::Uncovered { missing, example } => write!(
+                f,
+                "{missing} uncovered request(s), e.g. ({}, {})",
+                example.0, example.1
+            ),
+        }
+    }
+}
+
+/// Aggregate statistics of a graph covering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GraphCoverStats {
+    /// Number of cycles (the paper's ring-cost objective).
+    pub cycles: usize,
+    /// Triangles.
+    pub c3: usize,
+    /// Quadrilaterals.
+    pub c4: usize,
+    /// Cycles longer than 4.
+    pub longer: usize,
+    /// Sum of cycle sizes (the refs [3,4] objective: total ADM count).
+    pub total_vertices: usize,
+    /// Total physical edge slots consumed by all routings.
+    pub total_load: u64,
+    /// Maximum number of cycles crossing any one physical edge.
+    pub max_edge_load: u32,
+}
+
+/// A set of routed cycles covering (part of) a logical instance on a
+/// fixed physical graph.
+#[derive(Clone, Debug, Default)]
+pub struct GraphCovering {
+    cycles: Vec<RoutedCycle>,
+}
+
+impl GraphCovering {
+    /// An empty covering.
+    pub fn new() -> Self {
+        GraphCovering { cycles: Vec::new() }
+    }
+
+    /// Appends a cycle after verifying its routing against `g`.
+    ///
+    /// Paths may arrive in any order and orientation — they are aligned
+    /// to the cycle's canonical vertex order by endpoint matching (see
+    /// [`crate::drc::align_routing`]) before verification, so
+    /// constructions don't have to anticipate [`CycleSubgraph`]'s
+    /// canonicalization.
+    ///
+    /// Returns the cycle's index, or an error if no alignment exists or
+    /// the aligned routing fails verification.
+    pub fn push(
+        &mut self,
+        g: &Graph,
+        cycle: CycleSubgraph,
+        routing: CycleRouting,
+    ) -> Result<usize, GraphCoverError> {
+        let index = self.cycles.len();
+        let routing = crate::drc::align_routing(&cycle, routing)
+            .ok_or(GraphCoverError::BadRouting { index })?;
+        if !verify_routing(g, &cycle, &routing) {
+            return Err(GraphCoverError::BadRouting { index });
+        }
+        self.cycles.push(RoutedCycle { cycle, routing });
+        Ok(index)
+    }
+
+    /// Appends a cycle *without* verification (for construction-internal
+    /// use where the routing is correct by construction; the full
+    /// validator re-checks everything).
+    pub fn push_unchecked(&mut self, cycle: CycleSubgraph, routing: CycleRouting) {
+        self.cycles.push(RoutedCycle { cycle, routing });
+    }
+
+    /// The member cycles.
+    pub fn cycles(&self) -> &[RoutedCycle] {
+        &self.cycles
+    }
+
+    /// Number of cycles.
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// True iff there are no cycles.
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Merges another covering into this one.
+    pub fn extend_from(&mut self, other: GraphCovering) {
+        self.cycles.extend(other.cycles);
+    }
+
+    /// Logical coverage multiset over `n` vertices: how often each
+    /// request appears as an edge of some covering cycle.
+    pub fn coverage(&self, n: usize) -> EdgeMultiset {
+        let mut m = EdgeMultiset::new(n);
+        for rc in &self.cycles {
+            for e in rc.cycle.edges() {
+                m.insert(e);
+            }
+        }
+        m
+    }
+
+    /// Physical footprints: for each cycle, the sorted set of physical
+    /// edge indices its routing occupies. Two cycles whose footprints
+    /// are disjoint can share a wavelength — the input to conflict-graph
+    /// coloring (`cyclecover-color`).
+    pub fn footprints(&self) -> Vec<Vec<u32>> {
+        self.cycles
+            .iter()
+            .map(|rc| {
+                let mut f: Vec<u32> = rc
+                    .routing
+                    .paths
+                    .iter()
+                    .flat_map(|p| p.edges.iter().copied())
+                    .collect();
+                f.sort_unstable();
+                f.dedup();
+                f
+            })
+            .collect()
+    }
+
+    /// Physical load per edge of `g`: how many cycles route through it.
+    pub fn edge_load(&self, g: &Graph) -> Vec<u32> {
+        let mut load = vec![0u32; g.edge_count()];
+        for rc in &self.cycles {
+            for p in &rc.routing.paths {
+                for &ei in &p.edges {
+                    load[ei as usize] += 1;
+                }
+            }
+        }
+        load
+    }
+
+    /// Full validation: every routing verified, every edge of `inst`
+    /// covered by some cycle.
+    pub fn validate(&self, g: &Graph, inst: &Graph) -> Result<(), GraphCoverError> {
+        for (index, rc) in self.cycles.iter().enumerate() {
+            if !verify_routing(g, &rc.cycle, &rc.routing) {
+                return Err(GraphCoverError::BadRouting { index });
+            }
+        }
+        let cov = self.coverage(g.vertex_count());
+        let mut missing = 0usize;
+        let mut example = None;
+        for e in inst.edges() {
+            if cov.count(*e) == 0 {
+                missing += 1;
+                example.get_or_insert((e.u(), e.v()));
+            }
+        }
+        if let Some(example) = example {
+            return Err(GraphCoverError::Uncovered { missing, example });
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics (see [`GraphCoverStats`]).
+    pub fn stats(&self, g: &Graph) -> GraphCoverStats {
+        let mut c3 = 0;
+        let mut c4 = 0;
+        let mut longer = 0;
+        let mut total_vertices = 0;
+        let mut total_load = 0u64;
+        for rc in &self.cycles {
+            match rc.cycle.len() {
+                3 => c3 += 1,
+                4 => c4 += 1,
+                _ => longer += 1,
+            }
+            total_vertices += rc.cycle.len();
+            total_load += rc.routing.total_load() as u64;
+        }
+        GraphCoverStats {
+            cycles: self.cycles.len(),
+            c3,
+            c4,
+            longer,
+            total_vertices,
+            total_load,
+            max_edge_load: self.edge_load(g).into_iter().max().unwrap_or(0),
+        }
+    }
+}
+
+/// Builds the [`CycleRouting`] whose paths are exactly the given vertex
+/// paths, resolving edge indices in `g` greedily (first unused parallel
+/// copy). Panics if a hop has no remaining parallel copy — constructions
+/// call this only with paths they know are edge-disjoint.
+pub fn routing_from_vertex_paths(g: &Graph, paths: &[Vec<u32>]) -> CycleRouting {
+    let mut used = vec![false; g.edge_count()];
+    let routed = paths
+        .iter()
+        .map(|vs| {
+            let edges = vs
+                .windows(2)
+                .map(|w| {
+                    g.incident_edges(w[0])
+                        .find(|&(ei, nb)| nb == w[1] && !used[ei as usize])
+                        .map(|(ei, _)| {
+                            used[ei as usize] = true;
+                            ei
+                        })
+                        .unwrap_or_else(|| panic!("no free edge for hop {w:?}"))
+                })
+                .collect();
+            RoutedPath {
+                vertices: vs.clone(),
+                edges,
+            }
+        })
+        .collect();
+    CycleRouting { paths: routed }
+}
+
+/// The capacity lower bound on any DRC covering of `inst` over `g`:
+/// each request needs at least `dist(u, v)` physical edge slots, and one
+/// cycle provides at most `|E(G)|` slots (its paths are edge-disjoint),
+/// so `#cycles ≥ ⌈Σ dist / |E|⌉`. Generalizes the ring bound
+/// `ρ(n) ≥ ⌈Σ dist / n⌉` of `cyclecover-solver`.
+pub fn capacity_lower_bound(g: &Graph, inst: &Graph) -> u64 {
+    let m = g.edge_count() as u64;
+    if m == 0 || inst.edge_count() == 0 {
+        return 0;
+    }
+    let mut total = 0u64;
+    // One BFS per source vertex that has requests.
+    for v in 0..inst.vertex_count() as u32 {
+        if inst.degree(v) == 0 {
+            continue;
+        }
+        let dist = bfs_distances(g, v);
+        for w in inst.neighbors(v) {
+            assert!(
+                dist[w as usize] != usize::MAX,
+                "request ({v},{w}) disconnected in the physical graph"
+            );
+            total += dist[w as usize] as u64;
+        }
+    }
+    total /= 2; // each request counted from both endpoints
+    total.div_ceil(m)
+}
+
+/// The degree lower bound: a covering cycle through vertex `v` covers at
+/// most 2 of `v`'s requests (its two cycle-neighbors), so at least
+/// `⌈deg_I(v) / 2⌉` cycles pass through `v`; the covering has at least
+/// `max_v ⌈deg_I(v)/2⌉` cycles.
+pub fn degree_lower_bound(inst: &Graph) -> u64 {
+    (0..inst.vertex_count() as u32)
+        .map(|v| (inst.degree(v) as u64).div_ceil(2))
+        .max()
+        .unwrap_or(0)
+}
+
+/// The better of the two lower bounds.
+pub fn lower_bound(g: &Graph, inst: &Graph) -> u64 {
+    capacity_lower_bound(g, inst).max(degree_lower_bound(inst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drc::{route_cycle, DEFAULT_BUDGET};
+    use cyclecover_graph::builders;
+
+    fn routed(g: &Graph, verts: Vec<u32>) -> (CycleSubgraph, CycleRouting) {
+        let c = CycleSubgraph::new(verts);
+        let r = route_cycle(g, &c, g.vertex_count() as u32, DEFAULT_BUDGET)
+            .routing()
+            .expect("routable");
+        (c, r)
+    }
+
+    #[test]
+    fn push_verifies_routing() {
+        let g = builders::cycle(5);
+        let (c, r) = routed(&g, vec![0, 1, 3]);
+        let mut cover = GraphCovering::new();
+        assert_eq!(cover.push(&g, c, r), Ok(0));
+        assert_eq!(cover.len(), 1);
+    }
+
+    #[test]
+    fn push_rejects_mismatched_routing() {
+        let g = builders::cycle(6);
+        let (_, r) = routed(&g, vec![0, 1, 3]);
+        let other = CycleSubgraph::new(vec![0, 2, 4]);
+        let mut cover = GraphCovering::new();
+        assert_eq!(
+            cover.push(&g, other, r),
+            Err(GraphCoverError::BadRouting { index: 0 })
+        );
+    }
+
+    #[test]
+    fn validate_detects_uncovered_requests() {
+        let g = builders::cycle(5);
+        let inst = builders::complete(5);
+        let mut cover = GraphCovering::new();
+        let (c, r) = routed(&g, vec![0, 1, 2]);
+        cover.push(&g, c, r).unwrap();
+        match cover.validate(&g, &inst) {
+            Err(GraphCoverError::Uncovered { missing, .. }) => assert_eq!(missing, 7),
+            other => panic!("expected Uncovered, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ring_covering_via_oracle_validates() {
+        // Rebuild the paper's K4/C4 covering through the general machinery.
+        let g = builders::cycle(4);
+        let inst = builders::complete(4);
+        let mut cover = GraphCovering::new();
+        for verts in [vec![0u32, 1, 2, 3], vec![0, 1, 3], vec![0, 2, 3]] {
+            let (c, r) = routed(&g, verts);
+            cover.push(&g, c, r).unwrap();
+        }
+        assert!(cover.validate(&g, &inst).is_ok());
+        let stats = cover.stats(&g);
+        assert_eq!(stats.cycles, 3);
+        assert_eq!(stats.c3, 2);
+        assert_eq!(stats.c4, 1);
+        assert_eq!(stats.total_vertices, 10);
+        // Winding cycles each consume all 4 ring edges.
+        assert_eq!(stats.total_load, 12);
+        assert_eq!(stats.max_edge_load, 3);
+    }
+
+    #[test]
+    fn capacity_bound_matches_ring_bound() {
+        use cyclecover_solver::lower_bound::capacity_lower_bound as ring_lb;
+        for n in [5u32, 8, 11, 14] {
+            let g = builders::cycle(n as usize);
+            let inst = builders::complete(n as usize);
+            assert_eq!(capacity_lower_bound(&g, &inst), ring_lb(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn degree_bound_on_complete_instance() {
+        let inst = builders::complete(9);
+        assert_eq!(degree_lower_bound(&inst), 4); // ⌈8/2⌉
+        let empty = Graph::new(4);
+        assert_eq!(degree_lower_bound(&empty), 0);
+    }
+
+    #[test]
+    fn lower_bound_takes_the_max() {
+        // Star instance: capacity bound is small, degree bound dominates.
+        let g = builders::complete(9);
+        let mut star = Graph::new(9);
+        for v in 1..9 {
+            star.add_edge(0, v);
+        }
+        assert_eq!(capacity_lower_bound(&g, &star), 1);
+        assert_eq!(degree_lower_bound(&star), 4);
+        assert_eq!(lower_bound(&g, &star), 4);
+    }
+
+    #[test]
+    fn routing_from_vertex_paths_handles_parallels() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        let r = routing_from_vertex_paths(&g, &[vec![0, 1], vec![1, 0]]);
+        assert_ne!(r.paths[0].edges[0], r.paths[1].edges[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no free edge")]
+    fn routing_from_vertex_paths_rejects_overuse() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1);
+        routing_from_vertex_paths(&g, &[vec![0, 1], vec![1, 0]]);
+    }
+
+    #[test]
+    fn empty_bounds() {
+        let g = Graph::new(3);
+        let inst = Graph::new(3);
+        assert_eq!(capacity_lower_bound(&g, &inst), 0);
+        assert_eq!(lower_bound(&g, &inst), 0);
+    }
+}

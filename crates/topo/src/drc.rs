@@ -1,0 +1,536 @@
+//! The Disjoint Routing Constraint on *arbitrary* physical graphs.
+//!
+//! On the ring, DRC feasibility has a clean structural answer (the winding
+//! lemma of `cyclecover-ring`). On the paper's extension topologies —
+//! grids, tori, trees of rings — no such characterization is known, and
+//! deciding whether a set of requests admits pairwise edge-disjoint paths
+//! is the (NP-hard in general) edge-disjoint paths problem. Covering
+//! cycles are *small* (3–6 requests), so an exact bounded backtracking
+//! search is entirely practical; this module implements it.
+//!
+//! ## Semantics
+//!
+//! [`route_cycle`] searches for one simple path per cycle edge, pairwise
+//! edge-disjoint, where each path's length is at most the graph distance
+//! of its endpoints plus `slack`. The length bound keeps the search space
+//! finite and mirrors operational reality (protection capacity is not
+//! reserved on wildly indirect routes); `slack = n` recovers the
+//! unbounded problem on an `n`-vertex graph since simple paths cannot be
+//! longer than `n − 1`.
+//!
+//! The search is exhaustive within those bounds, so [`RouteOutcome::Infeasible`]
+//! is a *proof* for the bounded problem, while [`RouteOutcome::BudgetExhausted`]
+//! honestly reports an inconclusive search (never observed at workspace
+//! scales; the budget is a defense against adversarial inputs).
+
+use cyclecover_graph::{bfs_distances, CycleSubgraph, Graph, Vertex};
+
+/// One routed request: an explicit simple path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoutedPath {
+    /// Vertex sequence, `from … to`.
+    pub vertices: Vec<Vertex>,
+    /// Edge indices into the host graph, parallel to the hops of
+    /// `vertices` (`edges.len() == vertices.len() − 1`). Tracking indices
+    /// (not endpoints) keeps multigraphs exact: two paths may use
+    /// *different* parallel copies of the same vertex pair.
+    pub edges: Vec<u32>,
+}
+
+impl RoutedPath {
+    /// Path length in hops.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True iff the path has no hops (never produced by the router).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Endpoints `(from, to)`.
+    pub fn endpoints(&self) -> (Vertex, Vertex) {
+        (
+            *self.vertices.first().expect("routed path is nonempty"),
+            *self.vertices.last().expect("routed path is nonempty"),
+        )
+    }
+}
+
+/// A complete DRC routing of a cycle: `paths[i]` connects cycle vertex
+/// `i` to cycle vertex `i + 1 (mod k)`, and all paths are pairwise
+/// edge-disjoint.
+#[derive(Clone, Debug)]
+pub struct CycleRouting {
+    /// One path per cycle edge, in cycle order.
+    pub paths: Vec<RoutedPath>,
+}
+
+impl CycleRouting {
+    /// Total physical edges consumed by the routing.
+    pub fn total_load(&self) -> usize {
+        self.paths.iter().map(RoutedPath::len).sum()
+    }
+
+    /// The protection detour for the request `paths[i]`: the concatenation
+    /// of every *other* path, walked the other way around the cycle
+    /// (`to … from` of request `i`). This is the paper's protection
+    /// mechanism — "reroute the traffic through the failed link via the
+    /// remaining part of the cycle".
+    pub fn protection_walk(&self, i: usize) -> Vec<Vertex> {
+        let k = self.paths.len();
+        assert!(i < k, "path index {i} out of range for cycle of {k} requests");
+        // Walk i+1, i+2, …, i+k−1; request i runs from cycle vertex i to
+        // i+1, so the detour starts at vertex i+1's path and ends back at
+        // vertex i. Reverse the whole walk to run `to → from` of request i
+        // … callers only need the vertex set and endpoints, so return the
+        // forward walk from `to` to `from`.
+        let mut walk = Vec::new();
+        for j in 1..k {
+            let p = &self.paths[(i + j) % k];
+            if walk.is_empty() {
+                walk.extend_from_slice(&p.vertices);
+            } else {
+                debug_assert_eq!(walk.last(), p.vertices.first());
+                walk.extend_from_slice(&p.vertices[1..]);
+            }
+        }
+        walk
+    }
+}
+
+/// Outcome of the bounded exhaustive search.
+#[derive(Clone, Debug)]
+pub enum RouteOutcome {
+    /// A routing was found.
+    Routed(CycleRouting),
+    /// No routing exists within the length bound (`dist + slack` per
+    /// request) — a definitive negative for the bounded problem.
+    Infeasible,
+    /// The step budget ran out before the search completed.
+    BudgetExhausted,
+}
+
+impl RouteOutcome {
+    /// The routing, if found.
+    pub fn routing(self) -> Option<CycleRouting> {
+        match self {
+            RouteOutcome::Routed(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// True iff a routing was found.
+    pub fn is_routed(&self) -> bool {
+        matches!(self, RouteOutcome::Routed(_))
+    }
+}
+
+/// Default step budget: ample for every cycle arising in the workspace
+/// (k ≤ 6 requests on graphs with a few thousand edges).
+pub const DEFAULT_BUDGET: u64 = 5_000_000;
+
+/// Searches for an edge-disjoint routing of `cycle` on `g`, each path at
+/// most `dist(endpoints) + slack` hops long.
+///
+/// Requests are routed hardest-first (longest shortest-path distance),
+/// which empirically shrinks backtracking by an order of magnitude on
+/// grid/torus instances.
+///
+/// # Panics
+/// Panics if the cycle has fewer than 3 vertices or a vertex outside `g`.
+pub fn route_cycle(g: &Graph, cycle: &CycleSubgraph, slack: u32, budget: u64) -> RouteOutcome {
+    let verts = cycle.vertices();
+    let k = verts.len();
+    assert!(k >= 3, "a covering cycle needs at least 3 vertices");
+    assert!(
+        verts.iter().all(|&v| (v as usize) < g.vertex_count()),
+        "cycle vertex out of range"
+    );
+
+    // Requests in cycle order, then a hardest-first routing order.
+    let requests: Vec<(Vertex, Vertex)> = (0..k).map(|i| (verts[i], verts[(i + 1) % k])).collect();
+
+    // BFS distance fields from each request *target* (for goal-directed
+    // pruning: a partial path of length L at vertex w can only finish
+    // within bound B if L + dist[w] ≤ B; distances on the full graph are
+    // admissible because deleting used edges never shortens paths).
+    let dist_to: Vec<Vec<usize>> = requests
+        .iter()
+        .map(|&(_, t)| bfs_distances(g, t))
+        .collect();
+
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(dist_to[i][requests[i].0 as usize]));
+
+    // Infeasible fast path: some request disconnected.
+    if order
+        .iter()
+        .any(|&i| dist_to[i][requests[i].0 as usize] == usize::MAX)
+    {
+        return RouteOutcome::Infeasible;
+    }
+
+    let bounds: Vec<usize> = (0..k)
+        .map(|i| dist_to[i][requests[i].0 as usize] + slack as usize)
+        .collect();
+
+    let mut st = Search {
+        g,
+        requests: &requests,
+        dist_to: &dist_to,
+        bounds: &bounds,
+        order: &order,
+        used_edge: vec![false; g.edge_count()],
+        on_path: vec![false; g.vertex_count()],
+        paths: vec![None; k],
+        steps: budget,
+        exhausted: false,
+    };
+    if st.place(0) {
+        let paths = st
+            .paths
+            .into_iter()
+            .map(|p| p.expect("all requests routed"))
+            .collect();
+        RouteOutcome::Routed(CycleRouting { paths })
+    } else if st.exhausted {
+        RouteOutcome::BudgetExhausted
+    } else {
+        RouteOutcome::Infeasible
+    }
+}
+
+/// Convenience wrapper: is the cycle DRC-routable within `slack`?
+pub fn is_drc_routable(g: &Graph, cycle: &CycleSubgraph, slack: u32) -> bool {
+    route_cycle(g, cycle, slack, DEFAULT_BUDGET).is_routed()
+}
+
+struct Search<'a> {
+    g: &'a Graph,
+    requests: &'a [(Vertex, Vertex)],
+    dist_to: &'a [Vec<usize>],
+    bounds: &'a [usize],
+    order: &'a [usize],
+    used_edge: Vec<bool>,
+    on_path: Vec<bool>,
+    paths: Vec<Option<RoutedPath>>,
+    steps: u64,
+    exhausted: bool,
+}
+
+impl Search<'_> {
+    /// Routes the `pos`-th request in `order`; true on full success.
+    fn place(&mut self, pos: usize) -> bool {
+        if pos == self.order.len() {
+            return true;
+        }
+        let req = self.order[pos];
+        let (s, _) = self.requests[req];
+        let mut vseq = vec![s];
+        let mut eseq = Vec::new();
+        self.on_path[s as usize] = true;
+        let ok = self.extend(pos, req, s, &mut vseq, &mut eseq);
+        self.on_path[s as usize] = false;
+        ok
+    }
+
+    /// Grows the current path for request `req` from vertex `cur`.
+    fn extend(
+        &mut self,
+        pos: usize,
+        req: usize,
+        cur: Vertex,
+        vseq: &mut Vec<Vertex>,
+        eseq: &mut Vec<u32>,
+    ) -> bool {
+        if self.steps == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.steps -= 1;
+
+        let (_, t) = self.requests[req];
+        if cur == t {
+            self.paths[req] = Some(RoutedPath {
+                vertices: vseq.clone(),
+                edges: eseq.clone(),
+            });
+            // Commit: only this path's *edges* stay reserved — later
+            // requests may pass through its vertices (the DRC is
+            // edge-disjointness). Release the vertex marks, restore them
+            // on backtrack so the unwinding pops stay consistent.
+            for &v in vseq.iter() {
+                self.on_path[v as usize] = false;
+            }
+            if self.place(pos + 1) {
+                return true;
+            }
+            for &v in vseq.iter() {
+                self.on_path[v as usize] = true;
+            }
+            self.paths[req] = None;
+            return false;
+        }
+        if eseq.len() >= self.bounds[req] {
+            return false;
+        }
+        let remaining = self.bounds[req] - eseq.len();
+        // Snapshot incident edges to keep the borrow checker out of the
+        // recursion; degree is tiny (≤ 4 on grids/tori, ≤ n−1 elsewhere).
+        let cand: Vec<(u32, Vertex)> = self.g.incident_edges(cur).collect();
+        for (ei, w) in cand {
+            if self.used_edge[ei as usize] || self.on_path[w as usize] {
+                continue;
+            }
+            let d = self.dist_to[req][w as usize];
+            if d == usize::MAX || d + 1 > remaining {
+                continue;
+            }
+            self.used_edge[ei as usize] = true;
+            self.on_path[w as usize] = true;
+            vseq.push(w);
+            eseq.push(ei);
+            if self.extend(pos, req, w, vseq, eseq) {
+                return true;
+            }
+            vseq.pop();
+            eseq.pop();
+            self.on_path[w as usize] = false;
+            self.used_edge[ei as usize] = false;
+            if self.exhausted {
+                return false;
+            }
+        }
+        false
+    }
+}
+
+/// Reorders (and if needed reverses) a routing's paths to match the
+/// cycle's *canonical* vertex order, pairing paths to cycle edges by
+/// endpoints.
+///
+/// [`CycleSubgraph::new`] canonicalizes the cyclic order (rotation +
+/// possible reflection), so paths built in construction order need not
+/// line up index-by-index with `cycle.vertices()`. The pairing is
+/// unambiguous — a simple cycle has pairwise distinct edges. Returns
+/// `None` if some cycle edge has no matching path.
+pub fn align_routing(cycle: &CycleSubgraph, routing: CycleRouting) -> Option<CycleRouting> {
+    let verts = cycle.vertices();
+    let k = verts.len();
+    if routing.paths.len() != k {
+        return None;
+    }
+    let mut pool: Vec<Option<RoutedPath>> = routing.paths.into_iter().map(Some).collect();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let (from, to) = (verts[i], verts[(i + 1) % k]);
+        let pos = pool.iter().position(|slot| {
+            slot.as_ref().is_some_and(|p| {
+                let (a, b) = p.endpoints();
+                (a, b) == (from, to) || (a, b) == (to, from)
+            })
+        })?;
+        let mut p = pool[pos].take().expect("position() found it");
+        if p.endpoints() != (from, to) {
+            p.vertices.reverse();
+            p.edges.reverse();
+        }
+        out.push(p);
+    }
+    Some(CycleRouting { paths: out })
+}
+
+/// Verifies a claimed routing: correct endpoints in cycle order, real
+/// edges, simple paths, pairwise edge-disjoint. Used by the covering
+/// validator and by tests as an independent check on the router.
+pub fn verify_routing(g: &Graph, cycle: &CycleSubgraph, routing: &CycleRouting) -> bool {
+    let verts = cycle.vertices();
+    let k = verts.len();
+    if routing.paths.len() != k {
+        return false;
+    }
+    let mut used = vec![false; g.edge_count()];
+    for (i, p) in routing.paths.iter().enumerate() {
+        let (from, to) = (verts[i], verts[(i + 1) % k]);
+        if p.vertices.first() != Some(&from) || p.vertices.last() != Some(&to) {
+            return false;
+        }
+        if p.edges.len() + 1 != p.vertices.len() || p.edges.is_empty() {
+            return false;
+        }
+        // Simple path: no repeated vertex.
+        let mut seen = p.vertices.clone();
+        seen.sort_unstable();
+        if seen.windows(2).any(|w| w[0] == w[1]) {
+            return false;
+        }
+        for (hop, &ei) in p.edges.iter().enumerate() {
+            if ei as usize >= g.edge_count() {
+                return false;
+            }
+            let e = g.edge(ei);
+            let (a, b) = (p.vertices[hop], p.vertices[hop + 1]);
+            if !(e.is_incident(a) && e.is_incident(b) && a != b) {
+                return false;
+            }
+            if used[ei as usize] {
+                return false;
+            }
+            used[ei as usize] = true;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclecover_graph::builders;
+
+    /// The ring oracle and the graph oracle must agree on C_n.
+    #[test]
+    fn agrees_with_ring_oracle_on_cycles() {
+        use cyclecover_ring::{routing as ring_routing, Ring};
+        for n in [5u32, 6, 8] {
+            let g = builders::cycle(n as usize);
+            let ring = Ring::new(n);
+            // All 3-subsets in both cyclic orders, and some quads.
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    for c in (b + 1)..n {
+                        let cyc = CycleSubgraph::new(vec![a, b, c]);
+                        let ring_ok = ring_routing::is_drc_routable(ring, &cyc);
+                        let graph_ok = is_drc_routable(&g, &cyc, n);
+                        assert_eq!(ring_ok, graph_ok, "n={n} triangle {a},{b},{c}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_k4_example_on_c4() {
+        let g = builders::cycle(4);
+        // Winding quad routes; crossed quad does not (paper's example).
+        assert!(is_drc_routable(&g, &CycleSubgraph::new(vec![0, 1, 2, 3]), 4));
+        assert!(!is_drc_routable(&g, &CycleSubgraph::new(vec![0, 2, 3, 1]), 4));
+    }
+
+    #[test]
+    fn routing_is_verified_and_loads_add_up() {
+        let g = builders::cycle(7);
+        let cyc = CycleSubgraph::new(vec![0, 2, 5]);
+        let routing = route_cycle(&g, &cyc, 7, DEFAULT_BUDGET)
+            .routing()
+            .expect("winding triangle routes");
+        assert!(verify_routing(&g, &cyc, &routing));
+        // On a ring, a winding tile's paths tile all n edges.
+        assert_eq!(routing.total_load(), 7);
+    }
+
+    #[test]
+    fn protection_walk_closes_the_cycle() {
+        let g = builders::cycle(6);
+        let cyc = CycleSubgraph::new(vec![0, 2, 4]);
+        let routing = route_cycle(&g, &cyc, 6, DEFAULT_BUDGET).routing().unwrap();
+        for i in 0..3 {
+            let walk = routing.protection_walk(i);
+            let (from, to) = routing.paths[i].endpoints();
+            assert_eq!(*walk.first().unwrap(), to, "detour starts at the request's far end");
+            assert_eq!(*walk.last().unwrap(), from);
+            // The detour uses none of the failed path's edges (paths are
+            // edge-disjoint, so the detour avoids the whole failed path).
+            for w in walk.windows(2) {
+                for hop in routing.paths[i].vertices.windows(2) {
+                    assert!(
+                        (w[0] != hop[0] || w[1] != hop[1]) && (w[0] != hop[1] || w[1] != hop[0]),
+                        "detour reuses failed hop {hop:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_topology_is_infeasible() {
+        // The path-topology theorem, now on the general oracle.
+        let g = builders::path(6);
+        for cyc in [
+            CycleSubgraph::new(vec![0, 2, 4]),
+            CycleSubgraph::new(vec![1, 3, 5]),
+            CycleSubgraph::new(vec![0, 1, 2, 3]),
+        ] {
+            match route_cycle(&g, &cyc, 6, DEFAULT_BUDGET) {
+                RouteOutcome::Infeasible => {}
+                other => panic!("cycle {cyc:?} on a path: expected Infeasible, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_routes_directly() {
+        let g = builders::complete(8);
+        let cyc = CycleSubgraph::new(vec![0, 3, 5, 7]);
+        let routing = route_cycle(&g, &cyc, 0, DEFAULT_BUDGET).routing().unwrap();
+        // slack 0 on K_n forces the direct edges.
+        assert_eq!(routing.total_load(), 4);
+        assert!(verify_routing(&g, &cyc, &routing));
+    }
+
+    #[test]
+    fn slack_zero_can_be_infeasible_where_slack_helps() {
+        // On C_6, triangle {0,1,2}: requests (0,1),(1,2),(2,0); shortest
+        // paths for (2,0) has length 2 both ways? dist(2,0)=2. With slack 0
+        // the bound is tight; the winding routing uses the long arc for
+        // (2,0): length 4 > 2+0 → infeasible at slack 0, feasible at 2.
+        let g = builders::cycle(6);
+        let cyc = CycleSubgraph::new(vec![0, 1, 2]);
+        assert!(!is_drc_routable(&g, &cyc, 0));
+        assert!(is_drc_routable(&g, &cyc, 2));
+    }
+
+    #[test]
+    fn disconnected_request_is_infeasible() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        let cyc = CycleSubgraph::new(vec![0, 1, 3]);
+        assert!(matches!(
+            route_cycle(&g, &cyc, 6, DEFAULT_BUDGET),
+            RouteOutcome::Infeasible
+        ));
+    }
+
+    #[test]
+    fn tiny_budget_reports_exhaustion() {
+        let g = builders::complete(10);
+        let cyc = CycleSubgraph::new(vec![0, 4, 8, 2, 6]);
+        match route_cycle(&g, &cyc, 9, 3) {
+            RouteOutcome::BudgetExhausted | RouteOutcome::Routed(_) => {}
+            RouteOutcome::Infeasible => panic!("must not claim infeasibility with 3 steps"),
+        }
+    }
+
+    #[test]
+    fn multigraph_parallel_edges_route_separately() {
+        // Two vertices joined by 3 parallel edges + a third vertex:
+        // triangle (0,1,2) where (0,1) uses one copy... build a multigraph
+        // square: 0-1 (x2), 1-2, 2-0: cycle (0,1,2) routes (0→1 copy A,
+        // 1→2, 2→0) fine; cycle (0,1,0) is not simple — instead check a
+        // "digon-ish" case: requests (0,1) and (1,0) inside a triangle
+        // cycle need two parallel copies.
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let cyc = CycleSubgraph::new(vec![0, 1, 2]);
+        let r = route_cycle(&g, &cyc, 3, DEFAULT_BUDGET).routing().unwrap();
+        assert!(verify_routing(&g, &cyc, &r));
+    }
+}

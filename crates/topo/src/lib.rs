@@ -1,0 +1,50 @@
+//! # cyclecover-topo
+//!
+//! Extension topologies for DRC cycle covering — the closing section of
+//! *A Note on Cycle Covering* (Bermond, Coudert, Chacon & Tillerot, SPAA
+//! 2001) announces: "We also consider other network topologies, for
+//! example, trees of rings, grids or tori." This crate builds that
+//! investigation:
+//!
+//! * [`drc`] — the Disjoint Routing Constraint on *arbitrary* physical
+//!   graphs: an exact bounded backtracking oracle for edge-disjoint
+//!   routing of a cycle's requests, with verified-witness routings;
+//! * [`cover`] — [`GraphCovering`]: coverings that carry their routings,
+//!   a full validator, and the capacity/degree lower bounds generalized
+//!   off the ring;
+//! * [`grid`] — [`GridTopology`]: `R × C` grids and tori;
+//! * [`mesh_cover`] — structured coverings of `K_{R·C}`: lifted ring
+//!   coverings along rows/columns plus crossed quads (torus) or
+//!   perimeter quads and corner triangles (grid);
+//! * [`tree_of_rings`] — [`TreeOfRings`]: hierarchical ring networks,
+//!   request decomposition into per-ring segments, and per-ring covering
+//!   via the general-instance machinery;
+//! * [`protect`] — exhaustive single-link (and node) failure audits on
+//!   any covering over any topology.
+//!
+//! ```
+//! use cyclecover_graph::builders;
+//! use cyclecover_topo::{mesh_cover, protect, GridTopology};
+//!
+//! let torus = GridTopology::torus(3, 4);
+//! let cover = mesh_cover::cover_torus(&torus);
+//! let inst = builders::complete(torus.vertex_count());
+//! assert!(cover.validate(torus.graph(), &inst).is_ok());
+//! assert!(protect::audit_link_failures(torus.graph(), &cover).fully_survivable);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cover;
+pub mod drc;
+pub mod grid;
+pub mod mesh_cover;
+pub mod protect;
+pub mod search;
+pub mod tree_of_rings;
+
+pub use cover::{GraphCoverError, GraphCoverStats, GraphCovering, RoutedCycle};
+pub use drc::{CycleRouting, RouteOutcome, RoutedPath};
+pub use grid::GridTopology;
+pub use tree_of_rings::{TreeOfRings, TreeOfRingsBuilder};

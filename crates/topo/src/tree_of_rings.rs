@@ -1,0 +1,599 @@
+//! Trees of rings — the first extension topology the paper names.
+//!
+//! Optical metro networks are commonly built as rings interconnected at
+//! shared offices; when each pair of rings shares at most one node and
+//! the "ring adjacency" graph is a tree, the topology is a **tree of
+//! rings**. Every edge lies in exactly one ring, every shared node is a
+//! cut vertex, and every request routes through a *unique sequence of
+//! rings* (the tree path between its endpoint rings).
+//!
+//! That structure makes the paper's machinery compose: a request
+//! decomposes into one **segment per traversed ring** (entry hub →
+//! exit hub), each ring independently covers the logical instance formed
+//! by its segments (the general-instance machinery of
+//! `cyclecover-core::general`), and a single link failure — which lives
+//! in exactly one ring — is healed inside that ring by its covering
+//! cycle, leaving every other segment of the request untouched. This is
+//! precisely the paper's "dividing the network into independent
+//! sub-networks" philosophy, applied hierarchically.
+//!
+//! [`TreeOfRings`] is built with [`TreeOfRingsBuilder`]; [`TreeOfRings::cover`]
+//! produces a validated [`GraphCovering`], and
+//! [`TreeOfRings::segment_instance`] exposes the per-segment logical
+//! graph the covering is measured against.
+
+use crate::cover::{routing_from_vertex_paths, GraphCovering};
+use cyclecover_core::general;
+use cyclecover_graph::{CycleSubgraph, Graph, Vertex};
+use cyclecover_ring::Ring;
+
+/// Identifier of a ring within a [`TreeOfRings`].
+pub type RingId = u32;
+
+/// One ring of the tree.
+#[derive(Clone, Debug)]
+pub struct RingNode {
+    /// Global vertex ids in ring order. For non-root rings, `verts[0]`
+    /// is the hub shared with the parent.
+    pub verts: Vec<Vertex>,
+    /// Parent ring, if any.
+    pub parent: Option<RingId>,
+    /// Depth in the ring tree (root = 0).
+    pub depth: u32,
+}
+
+impl RingNode {
+    /// Ring length.
+    pub fn len(&self) -> u32 {
+        self.verts.len() as u32
+    }
+
+    /// True iff the ring has no vertices (never constructed).
+    pub fn is_empty(&self) -> bool {
+        self.verts.is_empty()
+    }
+
+    /// The hub: the vertex shared with the parent ring (`verts[0]`).
+    /// Meaningless for the root.
+    pub fn hub(&self) -> Vertex {
+        self.verts[0]
+    }
+
+    /// Local position of a global vertex on this ring, if present.
+    pub fn position_of(&self, v: Vertex) -> Option<u32> {
+        self.verts.iter().position(|&x| x == v).map(|p| p as u32)
+    }
+}
+
+/// Incremental builder: start from a root ring, attach rings at hubs.
+#[derive(Clone, Debug)]
+pub struct TreeOfRingsBuilder {
+    rings: Vec<RingNode>,
+    /// `home[v]` = the ring that created global vertex `v`.
+    home: Vec<RingId>,
+}
+
+impl TreeOfRingsBuilder {
+    /// Starts the tree with a root ring of `len` fresh vertices
+    /// (`0..len`, in ring order).
+    ///
+    /// # Panics
+    /// Panics if `len < 3`.
+    pub fn root(len: u32) -> Self {
+        assert!(len >= 3, "a ring needs at least 3 nodes, got {len}");
+        TreeOfRingsBuilder {
+            rings: vec![RingNode {
+                verts: (0..len).collect(),
+                parent: None,
+                depth: 0,
+            }],
+            home: vec![0; len as usize],
+        }
+    }
+
+    /// Attaches a new ring of `len` vertices sharing exactly the vertex
+    /// `hub` with ring `parent`. The new ring's other `len − 1` vertices
+    /// are fresh. Returns the new ring's id.
+    ///
+    /// # Panics
+    /// Panics if `len < 3`, `parent` does not exist, or `hub` is not on
+    /// `parent`.
+    pub fn attach(&mut self, parent: RingId, hub: Vertex, len: u32) -> RingId {
+        assert!(len >= 3, "a ring needs at least 3 nodes, got {len}");
+        let pnode = self
+            .rings
+            .get(parent as usize)
+            .unwrap_or_else(|| panic!("no ring #{parent}"));
+        assert!(
+            pnode.verts.contains(&hub),
+            "hub {hub} is not on ring #{parent}"
+        );
+        let depth = pnode.depth + 1;
+        let first_fresh = self.home.len() as Vertex;
+        let mut verts = Vec::with_capacity(len as usize);
+        verts.push(hub);
+        verts.extend(first_fresh..first_fresh + (len - 1));
+        let id = self.rings.len() as RingId;
+        self.home
+            .extend(std::iter::repeat_n(id, (len - 1) as usize));
+        self.rings.push(RingNode {
+            verts,
+            parent: Some(parent),
+            depth,
+        });
+        id
+    }
+
+    /// Materializes the topology (builds the physical multigraph).
+    pub fn build(self) -> TreeOfRings {
+        let n = self.home.len();
+        let mut graph = Graph::with_capacity(n, self.rings.iter().map(|r| r.verts.len()).sum());
+        // Ring edges are added ring-by-ring, contiguously: ring k's edges
+        // occupy a known index range, which maps failures back to rings.
+        let mut edge_base = Vec::with_capacity(self.rings.len());
+        for r in &self.rings {
+            edge_base.push(graph.edge_count() as u32);
+            let k = r.verts.len();
+            for i in 0..k {
+                graph.add_edge(r.verts[i], r.verts[(i + 1) % k]);
+            }
+        }
+        TreeOfRings {
+            graph,
+            rings: self.rings,
+            home: self.home,
+            edge_base,
+        }
+    }
+}
+
+/// A materialized tree-of-rings topology.
+#[derive(Clone, Debug)]
+pub struct TreeOfRings {
+    graph: Graph,
+    rings: Vec<RingNode>,
+    home: Vec<RingId>,
+    edge_base: Vec<u32>,
+}
+
+impl TreeOfRings {
+    /// Convenience: a chain of `k` rings, each of `len` vertices,
+    /// consecutive rings sharing one hub (ring `i` attaches to ring
+    /// `i−1` at its "opposite" vertex).
+    pub fn chain(k: u32, len: u32) -> Self {
+        assert!(k >= 1, "need at least one ring");
+        let mut b = TreeOfRingsBuilder::root(len);
+        let mut prev = 0;
+        for _ in 1..k {
+            let hub = b.rings[prev as usize].verts[(len / 2) as usize];
+            prev = b.attach(prev, hub, len);
+        }
+        b.build()
+    }
+
+    /// Convenience: a star of rings — one central ring, `arms` rings
+    /// attached at distinct hubs of the center (requires `arms ≤ len`).
+    pub fn star(len: u32, arms: u32, arm_len: u32) -> Self {
+        assert!(arms <= len, "cannot attach {arms} arms to a {len}-ring");
+        let mut b = TreeOfRingsBuilder::root(len);
+        for a in 0..arms {
+            b.attach(0, a, arm_len);
+        }
+        b.build()
+    }
+
+    /// The physical graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The rings.
+    pub fn rings(&self) -> &[RingNode] {
+        &self.rings
+    }
+
+    /// Total vertex count.
+    pub fn vertex_count(&self) -> usize {
+        self.home.len()
+    }
+
+    /// The ring that created vertex `v` (hubs belong to their parent's
+    /// side: the ring where they first appeared).
+    pub fn home_ring(&self, v: Vertex) -> RingId {
+        self.home[v as usize]
+    }
+
+    /// The ring owning physical edge index `ei` (edges are added
+    /// ring-contiguously — see [`TreeOfRingsBuilder::build`]).
+    pub fn ring_of_edge(&self, ei: u32) -> RingId {
+        match self.edge_base.binary_search(&ei) {
+            Ok(k) => k as RingId,
+            Err(k) => (k - 1) as RingId,
+        }
+    }
+
+    /// The sequence of `(ring, entry, exit)` segments a request `(u, v)`
+    /// traverses, entry ≠ exit, in order from `u` to `v`. Empty iff
+    /// `u == v`.
+    pub fn segments(&self, u: Vertex, v: Vertex) -> Vec<(RingId, Vertex, Vertex)> {
+        if u == v {
+            return Vec::new();
+        }
+        // Ring chains to the root.
+        let chain = |v: Vertex| -> Vec<RingId> {
+            let mut c = vec![self.home_ring(v)];
+            while let Some(p) = self.rings[*c.last().unwrap() as usize].parent {
+                c.push(p);
+            }
+            c
+        };
+        let cu = chain(u);
+        let cv = chain(v);
+        // Trim the common tail to find the meeting ring (LCA).
+        let mut iu = cu.len();
+        let mut iv = cv.len();
+        while iu > 0 && iv > 0 && cu[iu - 1] == cv[iv - 1] {
+            iu -= 1;
+            iv -= 1;
+        }
+        // Rings traversed: cu[0..=iu] then cv[..iv] reversed (cu[iu] ==
+        // the LCA ring == cv[iv]).
+        let mut rings = cu[..=iu].to_vec();
+        rings.extend(cv[..iv].iter().rev());
+
+        let mut segs = Vec::new();
+        let mut at = u;
+        for (step, &rid) in rings.iter().enumerate() {
+            let target = if step + 1 < rings.len() {
+                // Exit through the hub of the next ring on the way up, or
+                // of the *next* ring on the way down.
+                let next = rings[step + 1];
+                if step < iu {
+                    // Ascending: exit through our own hub into the parent.
+                    debug_assert_eq!(self.rings[rid as usize].parent, Some(next));
+                    self.rings[rid as usize].hub()
+                } else {
+                    // Descending: exit into the child ring through ITS hub.
+                    debug_assert_eq!(self.rings[next as usize].parent, Some(rid));
+                    self.rings[next as usize].hub()
+                }
+            } else {
+                v
+            };
+            if at != target {
+                segs.push((rid, at, target));
+            }
+            at = target;
+        }
+        debug_assert_eq!(at, v);
+        segs
+    }
+
+    /// The *segment instance*: the logical multigraph (deduplicated to a
+    /// simple graph) whose edges are the segments induced by every edge
+    /// of `inst`. Covering this graph with per-ring DRC cycles protects
+    /// every request end-to-end against single-link failures.
+    pub fn segment_instance(&self, inst: &Graph) -> Graph {
+        let n = self.vertex_count();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Graph::new(n);
+        for e in inst.edges() {
+            for (_, a, b) in self.segments(e.u(), e.v()) {
+                let key = (a.min(b), a.max(b));
+                if seen.insert(key) {
+                    out.add_edge(a, b);
+                }
+            }
+        }
+        out
+    }
+
+    /// Covers `inst` (default: all-to-all if you pass a complete graph)
+    /// with per-ring DRC cycles: decompose every request into segments,
+    /// group segments by ring, and cover each ring's local instance via
+    /// the greedy general-instance machinery of `cyclecover-core`
+    /// (cycles up to `max_len` vertices; phantom chords appear where a
+    /// ring's local instance has bridges).
+    ///
+    /// The result is a [`GraphCovering`] on the global graph, validating
+    /// against [`TreeOfRings::segment_instance`].
+    pub fn cover(&self, inst: &Graph, max_len: usize) -> GraphCovering {
+        // Local instances per ring.
+        let mut local: Vec<Graph> = self
+            .rings
+            .iter()
+            .map(|r| Graph::new(r.verts.len()))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for e in inst.edges() {
+            for (rid, a, b) in self.segments(e.u(), e.v()) {
+                let key = (rid, a.min(b), a.max(b));
+                if !seen.insert(key) {
+                    continue;
+                }
+                let r = &self.rings[rid as usize];
+                let pa = r.position_of(a).expect("segment endpoint on its ring");
+                let pb = r.position_of(b).expect("segment endpoint on its ring");
+                local[rid as usize].add_edge(pa, pb);
+            }
+        }
+
+        let mut cover = GraphCovering::new();
+        for (rid, inst_k) in local.iter().enumerate() {
+            if inst_k.edge_count() == 0 {
+                continue;
+            }
+            let node = &self.rings[rid];
+            let ring = Ring::new(node.len());
+            let got = general::greedy_cover(ring, inst_k, max_len.min(node.len() as usize))
+                .expect("non-empty local instance");
+            for tile in got.covering.tiles() {
+                let verts: Vec<Vertex> = tile
+                    .vertices()
+                    .iter()
+                    .map(|&i| node.verts[i as usize])
+                    .collect();
+                let paths: Vec<Vec<Vertex>> = tile
+                    .arcs(ring)
+                    .iter()
+                    .map(|arc| {
+                        arc.walk(ring)
+                            .into_iter()
+                            .map(|i| node.verts[i as usize])
+                            .collect()
+                    })
+                    .collect();
+                let routing = routing_from_vertex_paths(&self.graph, &paths);
+                cover
+                    .push(&self.graph, CycleSubgraph::new(verts), routing)
+                    .expect("lifted per-ring tile must route");
+            }
+        }
+        cover
+    }
+
+    /// End-to-end working path of a request: concatenation of each
+    /// segment's clockwise arc on its ring (deterministic; protection
+    /// reroutes per segment around the covering cycle).
+    pub fn working_path(&self, u: Vertex, v: Vertex) -> Vec<Vertex> {
+        self.path_avoiding(u, v, None)
+    }
+
+    /// End-to-end path of the request after the failure of physical edge
+    /// `failed_edge`: the segment inside the failed edge's ring switches
+    /// to its complement arc (the per-ring protection switch); all other
+    /// segments keep their working arcs. The result provably avoids the
+    /// failed edge — a single link lies in exactly one ring, and a
+    /// ring's two arcs partition its edges.
+    ///
+    /// This is the end-to-end composition of the per-ring protections,
+    /// the property experiment E10 claims.
+    pub fn protected_path(&self, u: Vertex, v: Vertex, failed_edge: u32) -> Vec<Vertex> {
+        assert!(
+            (failed_edge as usize) < self.graph.edge_count(),
+            "edge {failed_edge} out of range"
+        );
+        self.path_avoiding(u, v, Some(failed_edge))
+    }
+
+    fn path_avoiding(&self, u: Vertex, v: Vertex, failed_edge: Option<u32>) -> Vec<Vertex> {
+        let mut out = vec![u];
+        for (rid, a, b) in self.segments(u, v) {
+            let node = &self.rings[rid as usize];
+            let ring = Ring::new(node.len());
+            let pa = node.position_of(a).expect("on ring");
+            let pb = node.position_of(b).expect("on ring");
+            let mut arc = cyclecover_ring::RingArc::new(ring, pa, ring.cw_gap(pa, pb));
+            if let Some(failed) = failed_edge {
+                if self.ring_of_edge(failed) == rid {
+                    let local = failed - self.edge_base[rid as usize];
+                    if arc.covers_edge(ring, local) {
+                        arc = arc.complement(ring);
+                        debug_assert!(!arc.covers_edge(ring, local));
+                    }
+                }
+            }
+            // The complement arc runs b → a; walk it reversed to keep the
+            // overall direction u → v.
+            let walk = arc.walk(ring);
+            let hops: Vec<u32> = if walk.first() == Some(&pa) {
+                walk.into_iter().skip(1).collect()
+            } else {
+                let mut w = walk;
+                w.reverse();
+                debug_assert_eq!(w.first(), Some(&pa));
+                w.into_iter().skip(1).collect()
+            };
+            for p in hops {
+                out.push(node.verts[p as usize]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclecover_graph::connectivity::{bridges, edge_connectivity};
+    use cyclecover_graph::{builders, is_connected};
+
+    #[test]
+    fn builder_shapes() {
+        let t = TreeOfRings::chain(3, 5);
+        assert_eq!(t.vertex_count(), 13); // 5 + 4 + 4
+        assert_eq!(t.graph().edge_count(), 15);
+        assert!(is_connected(t.graph()));
+        assert_eq!(edge_connectivity(t.graph()), 2, "every edge on a ring");
+        assert!(bridges(t.graph()).is_empty());
+
+        let s = TreeOfRings::star(6, 3, 4);
+        assert_eq!(s.vertex_count(), 6 + 3 * 3);
+        assert_eq!(s.rings().len(), 4);
+    }
+
+    #[test]
+    fn home_and_edge_ownership() {
+        let t = TreeOfRings::chain(2, 4);
+        // Root ring vertices 0..4, child ring = [2 (hub), 4, 5, 6].
+        assert_eq!(t.home_ring(0), 0);
+        assert_eq!(t.home_ring(5), 1);
+        assert_eq!(t.ring_of_edge(0), 0);
+        assert_eq!(t.ring_of_edge(3), 0);
+        assert_eq!(t.ring_of_edge(4), 1);
+        assert_eq!(t.ring_of_edge(7), 1);
+    }
+
+    #[test]
+    fn segments_within_one_ring() {
+        let t = TreeOfRings::chain(2, 5);
+        let segs = t.segments(0, 3);
+        assert_eq!(segs, vec![(0, 0, 3)]);
+        assert!(t.segments(4, 4).is_empty());
+    }
+
+    #[test]
+    fn segments_across_rings_pass_hubs() {
+        let t = TreeOfRings::chain(3, 5);
+        // Ring 0: 0..5 (hub to ring1 at vertex 2); ring 1: [2,5,6,7,8]
+        // (hub to ring2 at its position 2 = vertex 6); ring 2: [6,9,10,11,12].
+        let segs = t.segments(0, 10);
+        assert_eq!(segs.len(), 3);
+        assert_eq!(segs[0], (0, 0, 2));
+        assert_eq!(segs[1], (1, 2, 6));
+        assert_eq!(segs[2], (2, 6, 10));
+        // Reverse request mirrors.
+        let back = t.segments(10, 0);
+        assert_eq!(back[0], (2, 10, 6));
+        assert_eq!(back[2], (0, 2, 0));
+    }
+
+    #[test]
+    fn segment_starting_at_hub_skips_empty_segments() {
+        let t = TreeOfRings::chain(2, 5);
+        // Vertex 2 is the shared hub: requests from the hub into the
+        // child ring have no segment in ring 0.
+        let segs = t.segments(2, 6);
+        assert_eq!(segs, vec![(1, 2, 6)]);
+    }
+
+    #[test]
+    fn working_path_is_connected_and_valid() {
+        let t = TreeOfRings::star(6, 2, 5);
+        let n = t.vertex_count() as u32;
+        for u in 0..n {
+            for v in 0..n {
+                if u == v {
+                    continue;
+                }
+                let p = t.working_path(u, v);
+                assert_eq!(*p.first().unwrap(), u);
+                assert_eq!(*p.last().unwrap(), v);
+                for w in p.windows(2) {
+                    assert!(t.graph().has_edge(w[0], w[1]), "({u},{v}) hop {w:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn covering_validates_against_segment_instance() {
+        for t in [
+            TreeOfRings::chain(2, 5),
+            TreeOfRings::chain(3, 4),
+            TreeOfRings::star(6, 3, 4),
+        ] {
+            let inst = builders::complete(t.vertex_count());
+            let cover = t.cover(&inst, 4);
+            let seg_inst = t.segment_instance(&inst);
+            cover
+                .validate(t.graph(), &seg_inst)
+                .unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn covering_cost_scales_with_ring_count() {
+        // Independent sub-networks: each ring is covered separately, so
+        // cycles ≈ Σ per-ring. A chain of k rings costs ≈ k × (1-ring
+        // chain cost of same len)… sanity: more rings, more cycles.
+        let c2 = TreeOfRings::chain(2, 5)
+            .cover(&builders::complete(9), 4)
+            .len();
+        let c4 = TreeOfRings::chain(4, 5)
+            .cover(&builders::complete(17), 4)
+            .len();
+        assert!(c4 > c2);
+    }
+
+    #[test]
+    fn sparse_instance_covers_cheaply() {
+        // Only one request, spanning the whole chain: each traversed ring
+        // needs at least one cycle, none more.
+        let t = TreeOfRings::chain(3, 5);
+        let mut inst = Graph::new(t.vertex_count());
+        inst.add_edge(0, 10);
+        let cover = t.cover(&inst, 4);
+        assert_eq!(cover.len(), 3, "one protection cycle per traversed ring");
+        let seg_inst = t.segment_instance(&inst);
+        assert!(cover.validate(t.graph(), &seg_inst).is_ok());
+    }
+
+    #[test]
+    fn protected_paths_avoid_every_failed_link() {
+        for t in [TreeOfRings::chain(3, 4), TreeOfRings::star(5, 2, 4)] {
+            let n = t.vertex_count() as u32;
+            for failed in 0..t.graph().edge_count() as u32 {
+                let fe = t.graph().edge(failed);
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        let p = t.protected_path(u, v, failed);
+                        assert_eq!(*p.first().unwrap(), u);
+                        assert_eq!(*p.last().unwrap(), v);
+                        for w in p.windows(2) {
+                            assert!(t.graph().has_edge(w[0], w[1]), "hop {w:?}");
+                            assert!(
+                                !(fe.is_incident(w[0]) && fe.is_incident(w[1])),
+                                "({u},{v}) crosses failed edge {failed} at {w:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn protected_path_equals_working_when_unaffected() {
+        let t = TreeOfRings::chain(2, 5);
+        // Fail an edge in ring 1; requests wholly inside ring 0 keep
+        // their working path.
+        let failed = t.graph().edge_count() as u32 - 1;
+        assert_eq!(t.ring_of_edge(failed), 1);
+        assert_eq!(t.protected_path(0, 3, failed), t.working_path(0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "hub 9 is not on ring #0")]
+    fn attach_rejects_foreign_hub() {
+        let mut b = TreeOfRingsBuilder::root(4);
+        b.attach(0, 9, 4);
+    }
+
+    #[test]
+    fn deep_tree_segments() {
+        // Three levels: root(5) → child at 1 → grandchild.
+        let mut b = TreeOfRingsBuilder::root(5);
+        let c1 = b.attach(0, 1, 4);
+        let hub2 = b.rings[c1 as usize].verts[2];
+        let c2 = b.attach(c1, hub2, 4);
+        let t = b.build();
+        let leaf = t.rings()[c2 as usize].verts[1];
+        let segs = t.segments(3, leaf);
+        assert_eq!(segs.len(), 3);
+        // Chain of rings: 0 → c1 → c2.
+        assert_eq!(segs[0].0, 0);
+        assert_eq!(segs[1].0, c1);
+        assert_eq!(segs[2].0, c2);
+    }
+}

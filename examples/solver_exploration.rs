@@ -1,0 +1,51 @@
+//! Exact-solver exploration: certify the paper's formulas on small rings
+//! and poke at the machinery (tile universes, branch & bound, greedy,
+//! Dancing Links).
+//!
+//! ```sh
+//! cargo run --release --example solver_exploration
+//! ```
+
+use cyclecover::core::rho;
+use cyclecover::ring::Ring;
+use cyclecover::solver::lower_bound::capacity_lower_bound;
+use cyclecover::solver::{bnb, dlx::ExactCover, greedy, TileUniverse};
+
+fn main() {
+    println!("exhaustive optimality on small rings:");
+    for n in 4u32..=9 {
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let (tiles, opt, stats) =
+            bnb::solve_optimal(&u, 1_000_000_000).expect("small n solve");
+        println!(
+            "  n={n}: universe={:4} tiles, optimum={opt} (rho={}, capacity LB={}), {} nodes",
+            u.len(),
+            rho(n),
+            capacity_lower_bound(n),
+            stats.nodes
+        );
+        assert_eq!(opt as u64, rho(n));
+        drop(tiles);
+    }
+
+    println!("\ngreedy baseline vs optimum:");
+    for n in 5u32..=12 {
+        let u = TileUniverse::new(Ring::new(n), 4);
+        let g = greedy::greedy_cover(&u);
+        println!("  n={n:2}: greedy={:3}  rho={}", g.len(), rho(n));
+    }
+
+    println!("\nDancing Links: perfect matchings of K_2m (exact cover counting):");
+    for m in 2usize..=7 {
+        let v = 2 * m;
+        let mut ec = ExactCover::new(v);
+        for i in 0..v {
+            for j in (i + 1)..v {
+                ec.add_row(&[i, j]);
+            }
+        }
+        // (2m−1)!! perfect matchings.
+        let count = ec.count_solutions(u64::MAX);
+        println!("  K_{v}: {count} perfect matchings");
+    }
+}

@@ -1,0 +1,81 @@
+//! Cross-validation: the closed-form constructions against the exhaustive
+//! solver, the greedy baseline, and the design-theory substrate.
+
+use cyclecover::core::rho;
+use cyclecover::design::{greedy_triangle_cover, triangle_covering_number};
+use cyclecover::ring::{Ring, Tile};
+use cyclecover::solver::{bnb, greedy, TileUniverse};
+
+/// The solver must reproduce rho(n) independently of the constructions.
+#[test]
+fn solver_confirms_formulas_small_n() {
+    for n in 4u32..=9 {
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let (tiles, opt, _) = bnb::solve_optimal(&u, 1_000_000_000).expect("solve");
+        assert_eq!(opt as u64, rho(n), "n={n}");
+        // And its solution is a genuine covering.
+        let cover = cyclecover::core::DrcCovering::from_tiles(Ring::new(n), tiles);
+        cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+/// No baseline may beat the construction (optimality sanity).
+#[test]
+fn baselines_never_beat_rho() {
+    for n in 5u32..=24 {
+        let u = TileUniverse::new(Ring::new(n), 4);
+        let g = greedy::greedy_cover(&u).len() as u64;
+        assert!(g >= rho(n), "n={n}: greedy {g} beat rho {}?!", rho(n));
+
+        let tri = greedy_triangle_cover(n as usize).len() as u64;
+        assert!(tri >= rho(n), "n={n}: triangles beat rho?!");
+        assert!(tri >= triangle_covering_number(n as u64), "n={n}");
+    }
+}
+
+/// Triangle coverings are automatically DRC-valid — the bridge between
+/// the design-theory substrate and the ring model.
+#[test]
+fn triangle_covers_are_drc_coverings() {
+    for n in [7u32, 9, 12, 15] {
+        let ring = Ring::new(n);
+        let tiles: Vec<Tile> = greedy_triangle_cover(n as usize)
+            .into_iter()
+            .map(|t| Tile::from_vertices(ring, t.to_vec()))
+            .collect();
+        let cover = cyclecover::core::DrcCovering::from_tiles(ring, tiles);
+        cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+    }
+}
+
+/// Bose Steiner triple systems give DRC partitions for n ≡ 3 (mod 6) —
+/// optimal among triangle-only coverings, ~4/3 above rho.
+#[test]
+fn bose_sts_as_drc_covering() {
+    for n in [9usize, 15, 21] {
+        let ring = Ring::new(n as u32);
+        let triples = cyclecover::design::bose_steiner_triple_system(n);
+        let tiles: Vec<Tile> = triples
+            .iter()
+            .map(|t| Tile::from_vertices(ring, t.to_vec()))
+            .collect();
+        let cover = cyclecover::core::DrcCovering::from_tiles(ring, tiles);
+        cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        assert!(cover.is_exact_decomposition(1), "STS is a partition");
+        let ratio = cover.len() as f64 / rho(n as u32) as f64;
+        assert!(
+            (1.15..1.5).contains(&ratio),
+            "n={n}: triangle/rho ratio {ratio} should approach 4/3"
+        );
+    }
+}
+
+/// The n=8 certification pair: budget 8 infeasible, budget 9 feasible —
+/// the parity +1 of Theorem 2 in executable form.
+#[test]
+fn n8_plus_one_certificate() {
+    let u = TileUniverse::new(Ring::new(8), 8);
+    assert_eq!(bnb::prove_infeasible(&u, 8, 500_000_000), Some(true));
+    let (outcome, _) = bnb::cover_within_budget(&u, 9, 500_000_000);
+    assert!(matches!(outcome, bnb::Outcome::Feasible(_)));
+}

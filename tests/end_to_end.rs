@@ -1,0 +1,68 @@
+//! Full-pipeline integration: construction → validation → WDM build-out →
+//! failure drill → cost accounting, across representative ring sizes.
+
+use cyclecover::core::{construct_optimal, general, lambda};
+use cyclecover::graph::builders;
+use cyclecover::net::{audit_all_failures, CostModel, WdmNetwork};
+use cyclecover::ring::Ring;
+
+#[test]
+fn pipeline_odd_even_and_gap_classes() {
+    // One n from each construction class: odd, 2 mod 4, 4 mod 8, 8, 0 mod 8.
+    for n in [11u32, 14, 12, 8, 24] {
+        let cover = construct_optimal(n);
+        cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+
+        let net = WdmNetwork::from_covering(&cover);
+        assert_eq!(net.wavelength_count(), 2 * cover.len(), "n={n}");
+        assert_eq!(
+            net.total_adms(),
+            cover.tiles().iter().map(|t| t.len()).sum::<usize>(),
+            "n={n}"
+        );
+
+        let audit = audit_all_failures(&net);
+        assert!(audit.fully_survivable, "n={n}");
+        assert!(audit.max_stretch >= 1.0, "n={n}");
+
+        let cost = CostModel::blended().evaluate(&net);
+        assert!(cost > 0.0, "n={n}");
+    }
+}
+
+#[test]
+fn lambda_pipeline() {
+    let cover = lambda::construct(11, 3);
+    assert!(cover.coverage().covers_complete(3));
+    let net = WdmNetwork::from_covering(&cover);
+    let audit = audit_all_failures(&net);
+    assert!(audit.fully_survivable);
+}
+
+#[test]
+fn general_instance_pipeline() {
+    // A circulant instance (local traffic only) on a 15-ring.
+    let inst = builders::circulant(15, &[1, 2, 3]);
+    let got = general::greedy_cover(Ring::new(15), &inst, 4).expect("non-empty");
+    assert!(general::covers_instance(&got.covering, &inst));
+    // Local traffic should need far fewer cycles than all-to-all.
+    assert!(
+        got.covering.len() < cyclecover::core::construct_optimal(15).len(),
+        "local instance must be cheaper than all-to-all"
+    );
+    let net = WdmNetwork::from_covering(&got.covering);
+    let audit = audit_all_failures(&net);
+    assert!(audit.fully_survivable);
+}
+
+#[test]
+fn facade_reexports_work() {
+    // The cyclecover umbrella crate exposes all subsystem crates.
+    let _ = cyclecover::graph::builders::complete(5);
+    let _ = cyclecover::ring::Ring::new(5);
+    let _ = cyclecover::design::triangle_covering_number(9);
+    let _ = cyclecover::solver::lower_bound::capacity_lower_bound(9);
+    let _ = cyclecover::core::rho(9);
+    let cover = cyclecover::core::construct_optimal(9);
+    let _ = cyclecover::net::WdmNetwork::from_covering(&cover);
+}

@@ -1,0 +1,87 @@
+//! Integration tests pinning the paper's claims across crates: the two
+//! theorems, the worked example, and the survivability promise.
+
+use cyclecover::core::{construct_optimal, construct_with_status, rho, Optimality};
+use cyclecover::net::{audit_all_failures, WdmNetwork};
+use cyclecover::solver::lower_bound::{capacity_lower_bound, rho_formula};
+
+#[test]
+fn theorem1_all_odd_n_up_to_151() {
+    for p in 1u32..=75 {
+        let n = 2 * p + 1;
+        let cover = construct_optimal(n);
+        assert_eq!(cover.len() as u64, (p as u64) * (p as u64 + 1) / 2, "n={n}");
+        cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        // Theorem 1 composition.
+        let stats = cover.stats();
+        assert_eq!(stats.c3 as u64, p as u64, "n={n}");
+        assert_eq!(stats.c4 as u64, (p as u64) * (p as u64 - 1) / 2, "n={n}");
+        assert!(cover.is_exact_decomposition(1), "n={n}");
+    }
+}
+
+#[test]
+fn theorem2_all_even_n_up_to_150_except_documented_gap() {
+    for p in 3u32..=75 {
+        let n = 2 * p;
+        let (cover, status) = construct_with_status(n);
+        cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
+        let formula = (p as u64 * p as u64 + 1).div_ceil(2);
+        assert_eq!(rho(n), formula, "n={n}");
+        match status {
+            Optimality::Optimal => {
+                assert_eq!(cover.len() as u64, formula, "n={n}");
+                assert!(n % 8 != 0 || n == 8, "unexpected optimal class n={n}");
+            }
+            Optimality::Excess(x) => {
+                assert!(n % 8 == 0 && n >= 16, "unexpected gap at n={n}");
+                assert_eq!(cover.len() as u64, formula + x as u64, "n={n}");
+            }
+        }
+    }
+}
+
+#[test]
+fn rho_exceeds_capacity_bound_exactly_for_even_p() {
+    for n in 6u32..=200 {
+        let diff = rho_formula(n) - capacity_lower_bound(n);
+        let p = n / 2;
+        if n % 2 == 0 && p % 2 == 0 && n > 4 {
+            assert_eq!(diff, 1, "n={n}: Theorem 2's +1 refinement");
+        } else {
+            assert_eq!(diff, 0, "n={n}: capacity bound tight");
+        }
+    }
+}
+
+#[test]
+fn survivability_holds_for_every_construction() {
+    for n in [5u32, 8, 9, 12, 16, 21, 26] {
+        let net = WdmNetwork::from_covering(&construct_optimal(n));
+        let audit = audit_all_failures(&net);
+        assert!(audit.fully_survivable, "n={n}");
+        assert_eq!(
+            audit.total_reroutes,
+            n as usize * net.subnetworks().len(),
+            "n={n}: one reroute per (failure, subnetwork)"
+        );
+    }
+}
+
+#[test]
+fn paper_worked_example_end_to_end() {
+    use cyclecover::graph::CycleSubgraph;
+    use cyclecover::ring::{routing, Ring};
+
+    let ring = Ring::new(4);
+    // Bad covering rejected…
+    assert!(!routing::is_drc_routable(
+        ring,
+        &CycleSubgraph::new(vec![0, 2, 3, 1])
+    ));
+    // …good covering = what construct_optimal(4) returns.
+    let cover = construct_optimal(4);
+    assert_eq!(cover.len(), 3);
+    let stats = cover.stats();
+    assert_eq!((stats.c3, stats.c4), (2, 1));
+}

@@ -1,0 +1,123 @@
+//! Property-based tests over the workspace's core invariants.
+
+use cyclecover::core::{construct_optimal, construct_with_status, rho, Optimality};
+use cyclecover::graph::{CycleSubgraph, Edge, EdgeMultiset};
+use cyclecover::ring::{routing, Ring, RingArc, Tile};
+use proptest::prelude::*;
+
+proptest! {
+    /// The winding lemma: the O(k) fast path agrees with the exhaustive
+    /// 2^k oracle on arbitrary cycles of arbitrary rings.
+    #[test]
+    fn winding_lemma_random(n in 4u32..40, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, seq::SliceRandom, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring = Ring::new(n);
+        let k = rng.gen_range(3..=6.min(n as usize));
+        let mut verts: Vec<u32> = (0..n).collect();
+        verts.shuffle(&mut rng);
+        verts.truncate(k);
+        let cyc = CycleSubgraph::new(verts);
+        let fast = routing::winding_routing(ring, &cyc).is_some();
+        let oracle = routing::route_cycle(ring, &cyc).is_some();
+        prop_assert_eq!(fast, oracle);
+    }
+
+    /// Any winding routing is edge-disjoint with load exactly n.
+    #[test]
+    fn winding_routings_tile_the_ring(n in 5u32..60, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring = Ring::new(n);
+        let mut verts: Vec<u32> = (0..n).collect();
+        verts.shuffle(&mut rng);
+        verts.truncate(4);
+        verts.sort_unstable();
+        let tile = Tile::from_vertices(ring, verts);
+        let arcs = tile.arcs(ring);
+        let mut occ = cyclecover::ring::ArcOccupancy::new(ring);
+        for a in &arcs {
+            prop_assert!(occ.try_place(ring, a));
+        }
+        prop_assert_eq!(occ.occupied(), n);
+    }
+
+    /// construct_optimal is valid for every n and meets rho except the
+    /// documented n ≡ 0 (mod 8) gap.
+    #[test]
+    fn construction_valid_everywhere(n in 3u32..140) {
+        let (cover, status) = construct_with_status(n);
+        prop_assert!(cover.validate().is_ok());
+        match status {
+            Optimality::Optimal => prop_assert_eq!(cover.len() as u64, rho(n)),
+            Optimality::Excess(x) => {
+                prop_assert!(n % 8 == 0 && n >= 16);
+                prop_assert_eq!(cover.len() as u64, rho(n) + x as u64);
+            }
+        }
+    }
+
+    /// Odd constructions are partitions; their interval usage is exact.
+    #[test]
+    fn odd_construction_partition(p in 1u32..55) {
+        let n = 2 * p + 1;
+        let cover = construct_optimal(n);
+        prop_assert!(cover.is_exact_decomposition(1));
+    }
+
+    /// Arc complement partitions the ring, for arbitrary arcs.
+    #[test]
+    fn arc_complement_partitions(n in 3u32..200, start in 0u32..200, len in 1u32..199) {
+        let ring = Ring::new(n);
+        let start = start % n;
+        let len = 1 + len % (n - 1);
+        let arc = RingArc::new(ring, start, len);
+        let comp = arc.complement(ring);
+        prop_assert!(!arc.overlaps(ring, &comp));
+        prop_assert_eq!(arc.len() + comp.len(), n);
+    }
+
+    /// Edge dense-index round trip for arbitrary graph sizes.
+    #[test]
+    fn edge_dense_index_roundtrip(n in 2usize..300, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let u = rng.gen_range(0..n as u32);
+        let mut v = rng.gen_range(0..n as u32);
+        if u == v { v = (v + 1) % n as u32; }
+        let e = Edge::new(u, v);
+        let i = e.dense_index(n);
+        prop_assert!(i < n * (n - 1) / 2);
+        prop_assert_eq!(Edge::from_dense_index(i, n), e);
+    }
+
+    /// Coverage bookkeeping: inserting each tile's chords yields exactly
+    /// the multiset the covering reports.
+    #[test]
+    fn coverage_multiset_consistent(n in 5u32..60) {
+        let cover = construct_optimal(n);
+        let ring = cover.ring();
+        let mut manual = EdgeMultiset::new(n as usize);
+        for t in cover.tiles() {
+            for c in t.chords(ring) {
+                manual.insert(c.to_edge());
+            }
+        }
+        prop_assert!(manual == cover.coverage());
+    }
+
+    /// Tiles from gaps == tiles from vertices (representation equality).
+    #[test]
+    fn tile_representations_agree(n in 6u32..80, seed in any::<u64>()) {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ring = Ring::new(n);
+        let mut verts: Vec<u32> = (0..n).collect();
+        verts.shuffle(&mut rng);
+        verts.truncate(5);
+        let tile = Tile::from_vertices(ring, verts);
+        let gaps = tile.gaps(ring);
+        let rebuilt = Tile::from_gaps(ring, tile.vertices()[0], &gaps);
+        prop_assert_eq!(tile, rebuilt);
+    }
+}

