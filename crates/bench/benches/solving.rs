@@ -17,6 +17,65 @@ fn bench_bnb_optimal(c: &mut Criterion) {
     g.finish();
 }
 
+/// Bitset kernel vs the legacy multiplicity kernel on the same
+/// infeasibility proof (`ρ(n) − 1` over the full universe) — the
+/// before/after of the word-packed coverage refactor.
+fn bench_kernel_comparison(c: &mut Criterion) {
+    use cyclecover_solver::lower_bound::rho_formula;
+    let mut g = c.benchmark_group("solver/kernel_infeasibility");
+    g.sample_size(10);
+    // Only even p makes the proof a real search (odd-n rho-1 is a 1-node
+    // capacity prune); n = 8 is the smallest such instance.
+    for n in [8u32] {
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let spec = bnb::CoverSpec::complete(n);
+        let budget = rho_formula(n) as u32 - 1;
+        g.bench_with_input(BenchmarkId::new("bitset", n), &n, |b, _| {
+            b.iter(|| {
+                let (o, s) = bnb::cover_spec_within_budget(&u, &spec, budget, u64::MAX);
+                assert!(matches!(o, bnb::Outcome::Infeasible));
+                s.nodes
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, _| {
+            b.iter(|| {
+                let (o, s) = bnb::cover_spec_within_budget_legacy(&u, &spec, budget, u64::MAX);
+                assert!(matches!(o, bnb::Outcome::Infeasible));
+                s.nodes
+            })
+        });
+    }
+    g.finish();
+}
+
+/// The acceptance workload: certify `ρ(10)` (prove 12 infeasible, find a
+/// 13-covering) — sequential bitset search and the rayon frontier search.
+fn bench_rho10_certification(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver/rho10_certify");
+    g.sample_size(10);
+    let u = TileUniverse::new(Ring::new(10), 10);
+    let spec = bnb::CoverSpec::complete(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let (below, _) = bnb::cover_spec_within_budget(&u, &spec, 12, u64::MAX);
+            assert!(matches!(below, bnb::Outcome::Infeasible));
+            let (at, _) = bnb::cover_spec_within_budget(&u, &spec, 13, u64::MAX);
+            assert!(matches!(at, bnb::Outcome::Feasible(_)));
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            let (below, _) =
+                bnb::cover_spec_within_budget_parallel(&u, &spec, 12, u64::MAX, 0);
+            assert!(matches!(below, bnb::Outcome::Infeasible));
+            let (at, _) =
+                bnb::cover_spec_within_budget_parallel(&u, &spec, 13, u64::MAX, 0);
+            assert!(matches!(at, bnb::Outcome::Feasible(_)));
+        })
+    });
+    g.finish();
+}
+
 fn bench_greedy(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver/greedy_cover");
     for n in [12u32, 20, 30] {
@@ -48,5 +107,12 @@ fn bench_dlx(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bnb_optimal, bench_greedy, bench_dlx);
+criterion_group!(
+    benches,
+    bench_bnb_optimal,
+    bench_kernel_comparison,
+    bench_rho10_certification,
+    bench_greedy,
+    bench_dlx
+);
 criterion_main!(benches);

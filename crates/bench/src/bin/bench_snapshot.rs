@@ -1,0 +1,102 @@
+//! Fixed solver workload for tracking the perf trajectory across PRs.
+//!
+//! Certifies `ρ(n)` for `n = 6..=10` over the full tile universe — prove
+//! `ρ(n) − 1` infeasible, find a `ρ(n)` covering — on the bitset kernel
+//! (sequential and parallel) and the legacy multiplicity kernel, and
+//! writes `BENCH_1.json` (wall time + expanded nodes per instance) to the
+//! current directory.
+//!
+//! Usage: `cargo run --release -p cyclecover-bench --bin bench_snapshot`
+//! Pass `--max-n <k>` to stop earlier (the legacy kernel dominates the
+//! runtime at `n = 10`).
+
+use cyclecover_ring::Ring;
+use cyclecover_solver::bnb::{self, Outcome};
+use cyclecover_solver::lower_bound::rho_formula;
+use cyclecover_solver::TileUniverse;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    n: u32,
+    kernel: &'static str,
+    nodes_infeasible: u64,
+    nodes_feasible: u64,
+    wall_ms: f64,
+    certified: bool,
+}
+
+fn certify(
+    rho: u32,
+    run: impl Fn(u32) -> (Outcome, bnb::Stats),
+) -> (u64, u64, f64, bool) {
+    let t0 = Instant::now();
+    let (below, s_below) = run(rho - 1);
+    let (at, s_at) = run(rho);
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let ok = matches!(below, Outcome::Infeasible) && matches!(at, Outcome::Feasible(_));
+    (s_below.nodes, s_at.nodes, wall, ok)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let max_n: u32 = args
+        .iter()
+        .position(|a| a == "--max-n")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10);
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+
+    let mut rows: Vec<Row> = Vec::new();
+    for n in 6..=max_n {
+        let rho = rho_formula(n) as u32;
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let spec = bnb::CoverSpec::complete(n);
+
+        let (ni, nf, wall, ok) = certify(rho, |b| {
+            bnb::cover_spec_within_budget(&u, &spec, b, u64::MAX)
+        });
+        rows.push(Row { n, kernel: "bitset", nodes_infeasible: ni, nodes_feasible: nf, wall_ms: wall, certified: ok });
+        println!("n={n:2}  bitset      {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
+
+        let (ni, nf, wall, ok) = certify(rho, |b| {
+            bnb::cover_spec_within_budget_parallel(&u, &spec, b, u64::MAX, threads)
+        });
+        rows.push(Row { n, kernel: "bitset-parallel", nodes_infeasible: ni, nodes_feasible: nf, wall_ms: wall, certified: ok });
+        println!("n={n:2}  bitset-par  {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
+
+        let (ni, nf, wall, ok) = certify(rho, |b| {
+            bnb::cover_spec_within_budget_legacy(&u, &spec, b, u64::MAX)
+        });
+        rows.push(Row { n, kernel: "legacy", nodes_infeasible: ni, nodes_feasible: nf, wall_ms: wall, certified: ok });
+        println!("n={n:2}  legacy      {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
+    }
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"snapshot\": 1,\n");
+    json.push_str(
+        "  \"workload\": \"certify rho(n) over the full tile universe: prove rho-1 infeasible, find a rho covering\",\n",
+    );
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    json.push_str("  \"instances\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"n\": {}, \"rho\": {}, \"kernel\": \"{}\", \"nodes_infeasible\": {}, \"nodes_feasible\": {}, \"wall_ms\": {:.1}, \"certified\": {}}}",
+            r.n,
+            rho_formula(r.n),
+            r.kernel,
+            r.nodes_infeasible,
+            r.nodes_feasible,
+            r.wall_ms,
+            r.certified
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
+    println!("\nwrote BENCH_1.json ({} instances)", rows.len());
+    assert!(rows.iter().all(|r| r.certified), "certification failed");
+}

@@ -29,7 +29,8 @@ fn main() {
         let (want_c3, want_c4) = odd::expected_composition(n);
         let solver_opt = if n <= 11 {
             let u = TileUniverse::new(Ring::new(n), n as usize);
-            bnb::solve_optimal(&u, 100_000_000)
+            let spec = bnb::CoverSpec::complete(n);
+            bnb::solve_optimal_spec_parallel(&u, &spec, 100_000_000, 0)
                 .map(|(_, opt, _)| opt.to_string())
                 .unwrap_or_else(|| "limit".into())
         } else {

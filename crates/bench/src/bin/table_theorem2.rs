@@ -43,9 +43,11 @@ fn main() {
         let stats = cover.stats();
         cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
         let (pc3, pc4) = paper_composition(n);
-        let solver_opt = if n <= 8 {
+        // The bitset kernel certifies n = 10 in seconds now; include it.
+        let solver_opt = if n <= 10 {
             let u = TileUniverse::new(Ring::new(n), n as usize);
-            bnb::solve_optimal(&u, 200_000_000)
+            let spec = bnb::CoverSpec::complete(n);
+            bnb::solve_optimal_spec_parallel(&u, &spec, 300_000_000, 0)
                 .map(|(_, opt, _)| opt.to_string())
                 .unwrap_or_else(|| "limit".into())
         } else {

@@ -119,10 +119,23 @@ impl Graph {
     }
 
     /// True iff no edge appears more than once (the graph is simple).
+    ///
+    /// Linear time via a neighbor stamp array: for each vertex, mark the
+    /// opposite endpoints of its incident edges; a repeated mark is a
+    /// parallel edge. `O(n + m)` with one `O(n)` scratch allocation —
+    /// no copy of the edge list, no sort.
     pub fn is_simple(&self) -> bool {
-        let mut sorted: Vec<Edge> = self.edges.clone();
-        sorted.sort_unstable();
-        sorted.windows(2).all(|w| w[0] != w[1])
+        let mut stamp = vec![u32::MAX; self.n];
+        for v in 0..self.n {
+            for &i in &self.adj[v] {
+                let w = self.edges[i as usize].other(v as Vertex) as usize;
+                if stamp[w] == v as u32 {
+                    return false;
+                }
+                stamp[w] = v as u32;
+            }
+        }
+        true
     }
 
     /// Maximum degree.

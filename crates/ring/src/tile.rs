@@ -98,6 +98,19 @@ impl Tile {
             .collect()
     }
 
+    /// The chords as raw `(u, v)` endpoint pairs with `u < v`, without
+    /// allocating or constructing [`Chord`] values — the cheap iterator the
+    /// solver uses when precomputing per-tile metadata. Pairs come in the
+    /// same order as [`Tile::chords`].
+    pub fn chord_pairs(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let k = self.verts.len();
+        (0..k).map(move |i| {
+            let a = self.verts[i];
+            let b = self.verts[(i + 1) % k];
+            (a.min(b), a.max(b))
+        })
+    }
+
     /// The `k` routing arcs: `arcs()[i]` routes `chords()[i]` clockwise from
     /// `vertices()[i]`. Together they cover every ring edge exactly once.
     pub fn arcs(&self, ring: Ring) -> Vec<RingArc> {
@@ -175,6 +188,18 @@ mod tests {
         from_tile.sort_unstable();
         from_cycle.sort_unstable();
         assert_eq!(from_tile, from_cycle);
+    }
+
+    #[test]
+    fn chord_pairs_match_chords() {
+        let ring = Ring::new(11);
+        for verts in [vec![0, 4, 7], vec![1, 2, 8, 10], vec![0, 3, 5, 6, 9]] {
+            let t = Tile::from_vertices(ring, verts);
+            let from_chords: Vec<(u32, u32)> =
+                t.chords(ring).iter().map(|c| (c.u(), c.v())).collect();
+            let from_pairs: Vec<(u32, u32)> = t.chord_pairs().collect();
+            assert_eq!(from_chords, from_pairs);
+        }
     }
 
     #[test]

@@ -1,0 +1,324 @@
+//! Word-packed chord sets: the data layout of the exact solver's hot path.
+//!
+//! A [`ChordSet`] is a fixed-width bitset over the `n(n−1)/2` chord slots
+//! of a ring instance, packed into `u64` words. Coverage bookkeeping in the
+//! branch & bound — "which requests are still unsatisfied", "what does this
+//! tile newly cover", "is this candidate's contribution a subset of that
+//! one's" — collapses to a handful of AND/ANDNOT/OR/POPCNT instructions per
+//! tile instead of a per-chord loop of ring arithmetic.
+//!
+//! For every `n ≤ 16` the whole set fits in two words; one cache line
+//! (8 words) covers rings up to `n = 32`.
+
+use std::fmt;
+
+/// A fixed-width bitset over chord slots.
+///
+/// Width is set at construction and is an invariant: binary operations
+/// require both operands to have the same width (debug-asserted). Bits at
+/// positions `>= len()` are never set.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct ChordSet {
+    words: Vec<u64>,
+    nbits: u32,
+}
+
+impl ChordSet {
+    /// The empty set over `nbits` slots.
+    pub fn empty(nbits: u32) -> Self {
+        ChordSet {
+            words: vec![0; nbits.div_ceil(64) as usize],
+            nbits,
+        }
+    }
+
+    /// The full set `{0, …, nbits−1}`.
+    pub fn full(nbits: u32) -> Self {
+        let mut s = Self::empty(nbits);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = (i as u32) * 64;
+            let in_word = nbits.saturating_sub(lo).min(64);
+            *w = match in_word {
+                0 => 0,
+                64 => u64::MAX,
+                k => (1u64 << k) - 1,
+            };
+        }
+        s
+    }
+
+    /// Number of slots (bit width).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Whether no bit is set.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn insert(&mut self, i: u32) {
+        debug_assert!(i < self.nbits, "bit {i} out of width {}", self.nbits);
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn remove(&mut self, i: u32) {
+        debug_assert!(i < self.nbits, "bit {i} out of width {}", self.nbits);
+        self.words[(i / 64) as usize] &= !(1u64 << (i % 64));
+    }
+
+    /// Whether bit `i` is set.
+    #[inline]
+    pub fn contains(&self, i: u32) -> bool {
+        debug_assert!(i < self.nbits, "bit {i} out of width {}", self.nbits);
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    #[inline]
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Lowest set bit, if any.
+    #[inline]
+    pub fn first_set(&self) -> Option<u32> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some((i as u32) * 64 + w.trailing_zeros());
+            }
+        }
+        None
+    }
+
+    /// `self ∪= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &ChordSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &ChordSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// `self −= other` (ANDNOT).
+    #[inline]
+    pub fn subtract(&mut self, other: &ChordSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// Writes `self ∩ other` into `out` (no allocation).
+    #[inline]
+    pub fn intersection_into(&self, other: &ChordSet, out: &mut ChordSet) {
+        debug_assert_eq!(self.nbits, other.nbits);
+        debug_assert_eq!(self.nbits, out.nbits);
+        for ((o, a), b) in out.words.iter_mut().zip(&self.words).zip(&other.words) {
+            *o = a & b;
+        }
+    }
+
+    /// `|self ∩ other|` without materializing the intersection.
+    #[inline]
+    pub fn intersection_count(&self, other: &ChordSet) -> u32 {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones())
+            .sum()
+    }
+
+    /// Whether the sets share any bit.
+    #[inline]
+    pub fn intersects(&self, other: &ChordSet) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset_of(&self, other: &ChordSet) -> bool {
+        debug_assert_eq!(self.nbits, other.nbits);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Clears all bits (width unchanged).
+    #[inline]
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Iterates set bits in increasing order.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// The raw words (low bit of word 0 is slot 0).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for ChordSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ChordSet{{")?;
+        for (k, i) in self.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}/{}", self.nbits)
+    }
+}
+
+/// Iterator over the set bits of a [`ChordSet`].
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = u32;
+
+    #[inline]
+    fn next(&mut self) -> Option<u32> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros();
+        self.current &= self.current - 1;
+        Some((self.word_idx as u32) * 64 + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Word-boundary widths: 63 (one partial word), 64 (one exact word),
+    /// 65 (straddling two words) — exactly the widths where masking bugs
+    /// live. 65 is also a real instance width: `n = 12` has 66 chords.
+    #[test]
+    fn width_boundaries_full_and_count() {
+        for nbits in [1u32, 63, 64, 65, 66, 127, 128, 129] {
+            let full = ChordSet::full(nbits);
+            assert_eq!(full.count(), nbits, "width {nbits}");
+            assert_eq!(full.iter().count() as u32, nbits, "width {nbits}");
+            assert_eq!(full.first_set(), Some(0), "width {nbits}");
+            // The top word carries no stray bits above `nbits`.
+            let bits_in_top = nbits - 64 * (nbits / 64 - (nbits % 64 == 0) as u32);
+            let top = *full.words().last().unwrap();
+            assert_eq!(top.count_ones(), bits_in_top, "width {nbits} top word");
+            let mut emptied = full.clone();
+            emptied.subtract(&full);
+            assert!(emptied.is_empty(), "width {nbits}");
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains_across_boundary() {
+        for nbits in [63u32, 64, 65] {
+            let mut s = ChordSet::empty(nbits);
+            for i in [0, nbits / 2, nbits - 1] {
+                assert!(!s.contains(i));
+                s.insert(i);
+                assert!(s.contains(i), "width {nbits} bit {i}");
+            }
+            assert_eq!(s.count(), 3);
+            s.remove(nbits - 1);
+            assert!(!s.contains(nbits - 1));
+            assert_eq!(s.count(), 2);
+        }
+    }
+
+    #[test]
+    fn word_ops_at_width_65() {
+        // Bits 63 and 64 are adjacent slots in different words.
+        let mut a = ChordSet::empty(65);
+        a.insert(63);
+        a.insert(64);
+        let mut b = ChordSet::empty(65);
+        b.insert(64);
+        b.insert(0);
+
+        assert_eq!(a.intersection_count(&b), 1);
+        assert!(a.intersects(&b));
+        assert!(!b.is_subset_of(&a));
+
+        let mut inter = ChordSet::empty(65);
+        a.intersection_into(&b, &mut inter);
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![64]);
+        assert!(inter.is_subset_of(&a) && inter.is_subset_of(&b));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![0, 63, 64]);
+
+        let mut d = u.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![63]);
+    }
+
+    #[test]
+    fn first_set_scans_past_zero_words() {
+        let mut s = ChordSet::empty(129);
+        assert_eq!(s.first_set(), None);
+        s.insert(128);
+        assert_eq!(s.first_set(), Some(128));
+        s.insert(70);
+        assert_eq!(s.first_set(), Some(70));
+        s.insert(3);
+        assert_eq!(s.first_set(), Some(3));
+    }
+
+    #[test]
+    fn subset_reflexive_and_strictness() {
+        let mut a = ChordSet::empty(64);
+        a.insert(5);
+        a.insert(60);
+        let mut b = a.clone();
+        assert!(a.is_subset_of(&b) && b.is_subset_of(&a), "reflexive");
+        b.insert(7);
+        assert!(a.is_subset_of(&b));
+        assert!(!b.is_subset_of(&a), "strict superset detected");
+    }
+
+    #[test]
+    fn iter_matches_contains() {
+        let mut s = ChordSet::empty(100);
+        let picks = [0u32, 1, 31, 32, 63, 64, 65, 98, 99];
+        for &i in &picks {
+            s.insert(i);
+        }
+        assert_eq!(s.iter().collect::<Vec<_>>(), picks.to_vec());
+        assert_eq!(s.count() as usize, picks.len());
+    }
+}

@@ -14,55 +14,30 @@ use cyclecover_ring::Tile;
 ///
 /// Always succeeds (every chord is itself in some triangle tile).
 pub fn greedy_cover(u: &TileUniverse) -> Vec<Tile> {
-    let ring = u.ring();
-    let n = ring.n() as usize;
-    let m = n * (n - 1) / 2;
-    let mut covered = vec![false; m];
-    let mut uncovered = m;
+    // Runs on the universe's precomputed metadata: per-tile chord bitmasks
+    // scored with an intersection popcount against the uncovered set.
+    let mut uncovered = crate::bitset::ChordSet::full(u.num_chords());
     let mut chosen = Vec::new();
 
-    // Precompute chord index lists per tile.
-    let tile_chords: Vec<Vec<u32>> = u
-        .tiles()
-        .iter()
-        .map(|t| {
-            t.chords(ring)
-                .iter()
-                .map(|c| c.to_edge().dense_index(n) as u32)
-                .collect()
-        })
-        .collect();
-    let waste: Vec<u32> = u
-        .tiles()
-        .iter()
-        .map(|t| ring.n() - t.shortest_load(ring).min(ring.n()))
-        .collect();
-
-    while uncovered > 0 {
-        let mut best: Option<(usize, usize, u32)> = None; // (idx, cov, waste)
-        for (i, chords) in tile_chords.iter().enumerate() {
-            let cov = chords.iter().filter(|&&c| !covered[c as usize]).count();
+    while !uncovered.is_empty() {
+        let mut best: Option<(u32, u32, u32)> = None; // (idx, cov, waste)
+        for i in 0..u.len() as u32 {
+            let cov = u.tile_mask(i).intersection_count(&uncovered);
             if cov == 0 {
                 continue;
             }
+            let waste = u.tile_waste(i);
             let better = match best {
                 None => true,
-                Some((_, bcov, bwaste)) => {
-                    cov > bcov || (cov == bcov && waste[i] < bwaste)
-                }
+                Some((_, bcov, bwaste)) => cov > bcov || (cov == bcov && waste < bwaste),
             };
             if better {
-                best = Some((i, cov, waste[i]));
+                best = Some((i, cov, waste));
             }
         }
-        let (i, cov, _) = best.expect("uncovered chords remain but no tile covers any");
-        for &c in &tile_chords[i] {
-            if !covered[c as usize] {
-                covered[c as usize] = true;
-            }
-        }
-        uncovered -= cov;
-        chosen.push(u.tiles()[i].clone());
+        let (i, _, _) = best.expect("uncovered chords remain but no tile covers any");
+        uncovered.subtract(u.tile_mask(i));
+        chosen.push(u.tile(i).clone());
     }
     chosen
 }

@@ -19,26 +19,29 @@
 use crate::TileUniverse;
 use cyclecover_ring::Tile;
 
-/// Coverage counts per dense chord index for a tile multiset.
+/// Coverage counts per *priority* chord index for a tile multiset.
 fn coverage(u: &TileUniverse, tiles: &[Tile]) -> Vec<u32> {
-    let ring = u.ring();
-    let n = ring.n() as usize;
-    let mut cov = vec![0u32; n * (n - 1) / 2];
+    let mut cov = vec![0u32; u.num_chords() as usize];
     for t in tiles {
-        for c in t.chords(ring) {
-            cov[c.to_edge().dense_index(n)] += 1;
+        for c in chord_indices(u, t) {
+            cov[c as usize] += 1;
         }
     }
     cov
 }
 
-/// Dense chord indices of one tile.
-fn chord_indices(u: &TileUniverse, t: &Tile) -> Vec<usize> {
-    let ring = u.ring();
-    let n = ring.n() as usize;
-    t.chords(ring)
-        .iter()
-        .map(|c| c.to_edge().dense_index(n))
+/// Priority chord indices of one tile: the precomputed list when the tile
+/// is in the universe (the common case), recomputed otherwise.
+fn chord_indices(u: &TileUniverse, t: &Tile) -> Vec<u32> {
+    if let Some(i) = u.index_of(t) {
+        return u.tile_chords(i).to_vec();
+    }
+    let n = u.ring().n() as usize;
+    t.chord_pairs()
+        .map(|(a, b)| {
+            let dense = cyclecover_graph::Edge::new(a, b).dense_index(n);
+            u.pri_of_dense(dense as u32)
+        })
         .collect()
 }
 
@@ -65,9 +68,9 @@ fn drop_redundant(u: &TileUniverse, tiles: &mut Vec<Tile>) -> bool {
     let mut i = 0;
     while i < tiles.len() {
         let idx = chord_indices(u, &tiles[i]);
-        if idx.iter().all(|&c| cov[c] >= 2) {
+        if idx.iter().all(|&c| cov[c as usize] >= 2) {
             for &c in &idx {
-                cov[c] -= 1;
+                cov[c as usize] -= 1;
             }
             tiles.swap_remove(i);
             dropped = true;
@@ -82,18 +85,17 @@ fn drop_redundant(u: &TileUniverse, tiles: &mut Vec<Tile>) -> bool {
 /// pair's *uniquely*-covered chords, swap it in. First improvement wins.
 fn merge_pairs(u: &TileUniverse, tiles: &mut Vec<Tile>) -> bool {
     let cov = coverage(u, tiles);
-    let per_tile: Vec<Vec<usize>> = tiles.iter().map(|t| chord_indices(u, t)).collect();
-    let ring = u.ring();
-    let n = ring.n() as usize;
+    let per_tile: Vec<Vec<u32>> = tiles.iter().map(|t| chord_indices(u, t)).collect();
+    let m = u.num_chords() as usize;
     for i in 0..tiles.len() {
         for j in (i + 1)..tiles.len() {
             // Chords that would become uncovered if both i and j left.
-            let mut lost = vec![0u32; n * (n - 1) / 2];
+            let mut lost = vec![0u32; m];
             for &c in per_tile[i].iter().chain(&per_tile[j]) {
-                lost[c] += 1;
+                lost[c as usize] += 1;
             }
-            let must: Vec<usize> = (0..lost.len())
-                .filter(|&c| lost[c] > 0 && cov[c] == lost[c])
+            let must: Vec<u32> = (0..m as u32)
+                .filter(|&c| lost[c as usize] > 0 && cov[c as usize] == lost[c as usize])
                 .collect();
             if must.is_empty() {
                 // The pair is jointly redundant; drop both.
@@ -103,31 +105,24 @@ fn merge_pairs(u: &TileUniverse, tiles: &mut Vec<Tile>) -> bool {
                 return true;
             }
             // A replacement must cover all `must` chords: scan only the
-            // candidates of the rarest chord.
+            // candidates of the rarest chord, checked against the
+            // precomputed tile masks.
             let pivot = must
                 .iter()
                 .copied()
-                .min_by_key(|&c| {
-                    let e = cyclecover_graph::Edge::from_dense_index(c, n);
-                    u.candidates(e).len()
-                })
+                .min_by_key(|&c| u.candidates_pri(c).len())
                 .expect("must is nonempty");
-            let pe = cyclecover_graph::Edge::from_dense_index(pivot, n);
-            'cand: for &cand in u.candidates(pe) {
-                let cand_tile = u.tile(cand);
-                let cand_idx = chord_indices(u, cand_tile);
-                for &c in &must {
-                    if !cand_idx.contains(&c) {
-                        continue 'cand;
-                    }
+            for &cand in u.candidates_pri(pivot) {
+                let mask = u.tile_mask(cand);
+                if must.iter().all(|&c| mask.contains(c)) {
+                    // Swap in the replacement.
+                    let replacement = u.tile(cand).clone();
+                    let (hi, lo) = (j, i);
+                    tiles.swap_remove(hi);
+                    tiles.swap_remove(lo);
+                    tiles.push(replacement);
+                    return true;
                 }
-                // Swap in the replacement.
-                let replacement = cand_tile.clone();
-                let (hi, lo) = (j, i);
-                tiles.swap_remove(hi);
-                tiles.swap_remove(lo);
-                tiles.push(replacement);
-                return true;
             }
         }
     }

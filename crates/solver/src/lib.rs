@@ -4,16 +4,25 @@
 //! *certify* the paper's theorems on small instances and as baselines:
 //!
 //! * [`TileUniverse`] — enumeration of all DRC-routable cycles (winding
-//!   tiles) of a ring, with per-chord candidate indices;
+//!   tiles) of a ring, with per-chord candidate indices and precomputed
+//!   per-tile metadata (chord index lists, chord bitmasks, load, wasted
+//!   capacity, diameter counts) in a branch-priority chord order;
+//! * [`bitset`] — [`bitset::ChordSet`], the word-packed chord sets the
+//!   exact search's coverage bookkeeping runs on;
 //! * [`lower_bound`] — the capacity lower bound
-//!   `ρ(n) ≥ ⌈Σ dist(u,v) / n⌉` and the diameter bound (≤ 1 diameter chord
-//!   per cycle);
+//!   `ρ(n) ≥ ⌈Σ dist(u,v) / n⌉` (and its arbitrary-demand form
+//!   [`lower_bound::weighted_demand_bound`]) plus the diameter bound
+//!   (≤ 1 diameter chord per cycle);
 //! * [`dlx`] — a generic Dancing-Links exact-cover engine (Knuth's
 //!   Algorithm X), used for exact *partitions* (the odd case of the paper is
 //!   a partition) and for design-theory substrates;
-//! * [`bnb`] — depth-first branch & bound minimum covering with capacity and
-//!   diameter pruning: finds optimal coverings and proves infeasibility of
-//!   smaller budgets (the lower-bound certificates of `EXPERIMENTS.md`);
+//! * [`bnb`] — depth-first branch & bound minimum covering with capacity
+//!   and diameter pruning: finds optimal coverings and proves infeasibility
+//!   of smaller budgets (the lower-bound certificates of `EXPERIMENTS.md`).
+//!   Unit-demand specs run on the bitset kernel (popcount scoring, subset
+//!   dominance pruning); λ-fold specs keep the multiplicity-counter path.
+//!   [`bnb::cover_spec_within_budget_parallel`] drains a breadth-first
+//!   frontier of search prefixes on a work-sharing `rayon` scope;
 //! * [`greedy`] — a greedy set-cover style baseline.
 //!
 //! ```
@@ -31,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod anneal;
+pub mod bitset;
 pub mod bnb;
 pub mod dlx;
 pub mod greedy;

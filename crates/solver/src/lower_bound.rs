@@ -1,6 +1,30 @@
 //! Lower bounds on the size of a DRC covering of `K_n` over `C_n`.
 
+use cyclecover_graph::Edge;
 use cyclecover_ring::Ring;
+
+/// Capacity bound for an arbitrary demand vector (indexed by
+/// [`Edge::dense_index`]): total demand weighted by ring distance, divided
+/// (ceiling) by the per-cycle capacity `n`. This is the single home of the
+/// sum-of-distances logic — [`capacity_lower_bound`] and
+/// [`crate::bnb::CoverSpec::capacity_lower_bound`] both reduce to it.
+pub fn weighted_demand_bound(ring: Ring, demand: &[u32]) -> u64 {
+    let n = ring.n();
+    debug_assert_eq!(
+        demand.len(),
+        n as usize * (n as usize - 1) / 2,
+        "demand vector sized for K_n"
+    );
+    let total: u64 = demand
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| {
+            let e = Edge::from_dense_index(i, n as usize);
+            d as u64 * ring.distance(e.u(), e.v()) as u64
+        })
+        .sum();
+    total.div_ceil(n as u64)
+}
 
 /// The capacity lower bound:
 /// every DRC cycle occupies at most `n` ring edges (its arcs are pairwise
@@ -11,6 +35,8 @@ use cyclecover_ring::Ring;
 /// For `n = 2p+1` this evaluates to `p(p+1)/2` (Theorem 1 is tight); for
 /// `n = 2p` it evaluates to `⌈p²/2⌉`, one below Theorem 2 when `p` is even.
 pub fn capacity_lower_bound(n: u32) -> u64 {
+    // `total_pair_distance` is the closed form of the all-ones
+    // `weighted_demand_bound` numerator (asserted in the tests below).
     let ring = Ring::new(n);
     ring.total_pair_distance().div_ceil(n as u64)
 }
@@ -124,6 +150,22 @@ mod tests {
         assert_eq!(rho_formula(9), 10);
         assert_eq!(rho_formula(10), 13);
         assert_eq!(rho_formula(12), 19);
+    }
+
+    #[test]
+    fn weighted_bound_all_ones_matches_closed_form() {
+        for n in 3u32..=30 {
+            let ring = Ring::new(n);
+            let m = n as usize * (n as usize - 1) / 2;
+            assert_eq!(
+                weighted_demand_bound(ring, &vec![1; m]),
+                capacity_lower_bound(n),
+                "n={n}"
+            );
+            // λ-fold demand scales the numerator, not the bound structure.
+            let lam = weighted_demand_bound(ring, &vec![3; m]);
+            assert_eq!(lam, (3 * ring.total_pair_distance()).div_ceil(n as u64));
+        }
     }
 
     #[test]

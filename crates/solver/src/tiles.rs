@@ -1,7 +1,10 @@
-//! Enumeration of winding tiles (= DRC-routable cycles) of a ring.
+//! Enumeration of winding tiles (= DRC-routable cycles) of a ring, with
+//! the precomputed per-tile metadata the exact solver's hot path runs on.
 
+use crate::bitset::ChordSet;
 use cyclecover_graph::Edge;
 use cyclecover_ring::{Ring, Tile};
+use std::collections::HashMap;
 
 /// The universe of candidate covering cycles for exact search on `C_n`:
 /// all winding tiles with size in `3..=max_len`, optionally restricted by a
@@ -10,12 +13,65 @@ use cyclecover_ring::{Ring, Tile};
 /// By the winding lemma every DRC-routable cycle *is* a tile (a vertex
 /// subset in ring order), so enumerating subsets enumerates all admissible
 /// covering cycles — there is no loss of generality for the exact solvers.
+///
+/// # Chord indexing
+///
+/// Chords have two index spaces:
+///
+/// * **dense** — [`Edge::dense_index`] order, the external convention used
+///   by [`crate::bnb::CoverSpec`] and the rest of the workspace;
+/// * **priority** — chords sorted by decreasing branch priority (diameter
+///   chords first, then decreasing ring distance, ties by dense index).
+///
+/// All solver-internal metadata (tile chord lists, bitmasks, distance
+/// table) lives in *priority* space, so "highest-priority unsatisfied
+/// chord" is simply the first set bit of a [`ChordSet`]. Convert with
+/// [`TileUniverse::pri_of_dense`] / [`TileUniverse::dense_of_pri`].
+///
+/// # Per-tile metadata
+///
+/// Construction precomputes, per tile: the chord index list (CSR-packed),
+/// the chord bitmask, the total shortest-path load, the wasted ring
+/// capacity, and the number of diameter-class chords. The branch & bound
+/// touches only these tables — never the tile's vertex list — so a search
+/// node costs a few word operations instead of per-chord ring arithmetic.
 pub struct TileUniverse {
     ring: Ring,
     tiles: Vec<Tile>,
     /// `by_chord[edge.dense_index(n)]` lists indices of tiles having that
     /// chord (as a ring-consecutive pair, i.e. actually covering it).
     by_chord: Vec<Vec<u32>>,
+    /// Tile → index (tiles are unique within a universe).
+    index_of: HashMap<Tile, u32>,
+
+    // ---- chord tables (priority space) ----
+    /// dense index → priority index.
+    pri_of_dense: Vec<u32>,
+    /// priority index → dense index.
+    dense_of_pri: Vec<u32>,
+    /// priority index → ring distance of the chord.
+    dist_of_pri: Vec<u32>,
+    /// Priority indices `< diam_chords` are exactly the diameter-class
+    /// chords (0 for odd `n`).
+    diam_chords: u32,
+
+    // ---- tile tables ----
+    /// CSR offsets into `chord_idx`: tile `i` owns
+    /// `chord_idx[chord_off[i]..chord_off[i+1]]`.
+    chord_off: Vec<u32>,
+    /// Concatenated per-tile chord lists (priority indices).
+    chord_idx: Vec<u32>,
+    /// Per-tile chord bitmask (priority space).
+    masks: Vec<ChordSet>,
+    /// Per-tile total shortest-path load `Σ dist(chord)`.
+    load: Vec<u32>,
+    /// Per-tile wasted ring capacity `n − min(load, n)`.
+    waste: Vec<u32>,
+    /// Per-tile number of diameter-class chords.
+    diam_count: Vec<u32>,
+    /// `vertex_masks[v]`: the chords incident to ring vertex `v`
+    /// (priority space) — the support of the vertex-degree lower bound.
+    vertex_masks: Vec<ChordSet>,
 }
 
 impl TileUniverse {
@@ -79,16 +135,88 @@ impl TileUniverse {
             current.pop();
         }
 
-        let mut by_chord = vec![Vec::new(); n as usize * (n as usize - 1) / 2];
-        for (i, t) in tiles.iter().enumerate() {
-            for c in t.chords(ring) {
-                by_chord[c.to_edge().dense_index(n as usize)].push(i as u32);
-            }
+        let m = n as usize * (n as usize - 1) / 2;
+
+        // Priority permutation: stable sort of dense indices by decreasing
+        // distance puts diameter-class chords (maximal distance) first and
+        // keeps ties in dense order — the exact branch order the original
+        // per-node scan used, now implicit in bit position.
+        let mut dense_by_priority: Vec<u32> = (0..m as u32).collect();
+        let dense_dist: Vec<u32> = (0..m)
+            .map(|i| {
+                let e = Edge::from_dense_index(i, n as usize);
+                ring.distance(e.u(), e.v())
+            })
+            .collect();
+        dense_by_priority.sort_by_key(|&i| std::cmp::Reverse(dense_dist[i as usize]));
+        let dense_of_pri = dense_by_priority;
+        let mut pri_of_dense = vec![0u32; m];
+        for (pri, &dense) in dense_of_pri.iter().enumerate() {
+            pri_of_dense[dense as usize] = pri as u32;
         }
+        let dist_of_pri: Vec<u32> = dense_of_pri
+            .iter()
+            .map(|&d| dense_dist[d as usize])
+            .collect();
+        let diam_chords = dist_of_pri
+            .iter()
+            .take_while(|&&d| ring.is_diameter_class(d))
+            .count() as u32;
+
+        let mut vertex_masks = vec![ChordSet::empty(m as u32); n as usize];
+        for (dense, &pri) in pri_of_dense.iter().enumerate() {
+            let e = Edge::from_dense_index(dense, n as usize);
+            vertex_masks[e.u() as usize].insert(pri);
+            vertex_masks[e.v() as usize].insert(pri);
+        }
+
+        // Per-tile metadata + per-chord candidate lists, one pass.
+        let mut by_chord = vec![Vec::new(); m];
+        let mut index_of = HashMap::with_capacity(tiles.len());
+        let mut chord_off = Vec::with_capacity(tiles.len() + 1);
+        let mut chord_idx = Vec::new();
+        let mut masks = Vec::with_capacity(tiles.len());
+        let mut load = Vec::with_capacity(tiles.len());
+        let mut waste = Vec::with_capacity(tiles.len());
+        let mut diam_count = Vec::with_capacity(tiles.len());
+        chord_off.push(0u32);
+        for (i, t) in tiles.iter().enumerate() {
+            index_of.insert(t.clone(), i as u32);
+            let mut mask = ChordSet::empty(m as u32);
+            let mut tile_load = 0u32;
+            let mut tile_diam = 0u32;
+            for (u, v) in t.chord_pairs() {
+                let dense = Edge::new(u, v).dense_index(n as usize);
+                let pri = pri_of_dense[dense];
+                by_chord[dense].push(i as u32);
+                chord_idx.push(pri);
+                mask.insert(pri);
+                tile_load += dist_of_pri[pri as usize];
+                tile_diam += (pri < diam_chords) as u32;
+            }
+            chord_off.push(chord_idx.len() as u32);
+            masks.push(mask);
+            load.push(tile_load);
+            waste.push(n - tile_load.min(n));
+            diam_count.push(tile_diam);
+        }
+
         TileUniverse {
             ring,
             tiles,
             by_chord,
+            index_of,
+            pri_of_dense,
+            dense_of_pri,
+            dist_of_pri,
+            diam_chords,
+            chord_off,
+            chord_idx,
+            masks,
+            load,
+            waste,
+            diam_count,
+            vertex_masks,
         }
     }
 
@@ -117,9 +245,82 @@ impl TileUniverse {
         &self.by_chord[e.dense_index(self.ring.n() as usize)]
     }
 
+    /// Indices of tiles covering the chord with priority index `pri`.
+    pub fn candidates_pri(&self, pri: u32) -> &[u32] {
+        &self.by_chord[self.dense_of_pri[pri as usize] as usize]
+    }
+
     /// The tile with index `i`.
     pub fn tile(&self, i: u32) -> &Tile {
         &self.tiles[i as usize]
+    }
+
+    /// The index of `tile` in this universe, if enumerated.
+    pub fn index_of(&self, tile: &Tile) -> Option<u32> {
+        self.index_of.get(tile).copied()
+    }
+
+    /// Number of chord slots (`n(n−1)/2`).
+    pub fn num_chords(&self) -> u32 {
+        self.pri_of_dense.len() as u32
+    }
+
+    /// Dense chord index → priority index.
+    pub fn pri_of_dense(&self, dense: u32) -> u32 {
+        self.pri_of_dense[dense as usize]
+    }
+
+    /// Priority index → dense chord index.
+    pub fn dense_of_pri(&self, pri: u32) -> u32 {
+        self.dense_of_pri[pri as usize]
+    }
+
+    /// Ring distance of the chord with priority index `pri`.
+    pub fn dist_of_pri(&self, pri: u32) -> u32 {
+        self.dist_of_pri[pri as usize]
+    }
+
+    /// Number of diameter-class chords; priority indices `< diam_chords()`
+    /// are exactly those chords.
+    pub fn diam_chords(&self) -> u32 {
+        self.diam_chords
+    }
+
+    /// Tile `i`'s chords as priority indices (precomputed, no ring math).
+    #[inline]
+    pub fn tile_chords(&self, i: u32) -> &[u32] {
+        let i = i as usize;
+        &self.chord_idx[self.chord_off[i] as usize..self.chord_off[i + 1] as usize]
+    }
+
+    /// Tile `i`'s chord bitmask (priority space).
+    #[inline]
+    pub fn tile_mask(&self, i: u32) -> &ChordSet {
+        &self.masks[i as usize]
+    }
+
+    /// Tile `i`'s total shortest-path load `Σ dist(chord)`.
+    #[inline]
+    pub fn tile_load(&self, i: u32) -> u32 {
+        self.load[i as usize]
+    }
+
+    /// Tile `i`'s wasted ring capacity `n − min(load, n)`.
+    #[inline]
+    pub fn tile_waste(&self, i: u32) -> u32 {
+        self.waste[i as usize]
+    }
+
+    /// Number of diameter-class chords of tile `i`.
+    #[inline]
+    pub fn tile_diam_count(&self, i: u32) -> u32 {
+        self.diam_count[i as usize]
+    }
+
+    /// Chords incident to ring vertex `v`, as a priority-space mask.
+    #[inline]
+    pub fn vertex_mask(&self, v: u32) -> &ChordSet {
+        &self.vertex_masks[v as usize]
     }
 }
 
@@ -195,5 +396,79 @@ mod tests {
             .filter(|t| t.chords(ring).iter().any(|c| c.to_edge() == e))
             .count();
         assert_eq!(u.candidates(e).len(), brute);
+    }
+
+    #[test]
+    fn priority_permutation_is_consistent() {
+        for n in [7u32, 8, 12] {
+            let ring = Ring::new(n);
+            let u = TileUniverse::new(ring, 4);
+            let m = u.num_chords();
+            assert_eq!(m as usize, n as usize * (n as usize - 1) / 2);
+            // Round trip and monotone-decreasing distance in priority order.
+            for pri in 0..m {
+                assert_eq!(u.pri_of_dense(u.dense_of_pri(pri)), pri, "n={n}");
+                if pri > 0 {
+                    assert!(
+                        u.dist_of_pri(pri - 1) >= u.dist_of_pri(pri),
+                        "n={n}: priority order must not increase distance"
+                    );
+                }
+                let e = Edge::from_dense_index(u.dense_of_pri(pri) as usize, n as usize);
+                assert_eq!(u.dist_of_pri(pri), ring.distance(e.u(), e.v()), "n={n}");
+            }
+            // The diameter prefix is exactly the diameter class.
+            let expect_diam = if n % 2 == 0 { n / 2 } else { 0 };
+            assert_eq!(u.diam_chords(), expect_diam, "n={n}");
+            for pri in 0..m {
+                assert_eq!(
+                    pri < u.diam_chords(),
+                    ring.is_diameter_class(u.dist_of_pri(pri)),
+                    "n={n} pri={pri}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tile_metadata_matches_recomputation() {
+        for n in [6u32, 9, 12] {
+            let ring = Ring::new(n);
+            let u = TileUniverse::new(ring, 5);
+            for i in 0..u.len() as u32 {
+                let t = u.tile(i);
+                // Chord list ↔ mask ↔ tile.chords agreement.
+                let mut expect: Vec<u32> = t
+                    .chords(ring)
+                    .iter()
+                    .map(|c| u.pri_of_dense(c.to_edge().dense_index(n as usize) as u32))
+                    .collect();
+                let mut got = u.tile_chords(i).to_vec();
+                assert_eq!(got.len(), t.len(), "n={n} tile {i}");
+                expect.sort_unstable();
+                got.sort_unstable();
+                assert_eq!(got, expect, "n={n} tile {i}");
+                assert_eq!(
+                    u.tile_mask(i).iter().collect::<Vec<_>>(),
+                    expect,
+                    "n={n} tile {i} mask"
+                );
+                // Load / waste / diameter count.
+                assert_eq!(u.tile_load(i), t.shortest_load(ring), "n={n} tile {i}");
+                assert_eq!(
+                    u.tile_waste(i),
+                    n - t.shortest_load(ring).min(n),
+                    "n={n} tile {i}"
+                );
+                let diam = t
+                    .chords(ring)
+                    .iter()
+                    .filter(|c| ring.is_diameter_class(c.distance(ring)))
+                    .count() as u32;
+                assert_eq!(u.tile_diam_count(i), diam, "n={n} tile {i}");
+                // Index lookup round-trips.
+                assert_eq!(u.index_of(t), Some(i), "n={n} tile {i}");
+            }
+        }
     }
 }

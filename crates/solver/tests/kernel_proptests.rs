@@ -1,0 +1,130 @@
+//! Differential property tests: the bitset coverage kernel must be
+//! observationally identical to the legacy multiplicity (`Vec<u32>`)
+//! kernel — same feasible/infeasible verdicts, same optimum — on every
+//! instance shape the solver supports (`n ≤ 9`, complete and random
+//! subset specs, full and restricted universes).
+
+use cyclecover_graph::{Edge, EdgeMultiset};
+use cyclecover_ring::Ring;
+use cyclecover_solver::bnb::{
+    self, cover_spec_within_budget, cover_spec_within_budget_legacy,
+    cover_spec_within_budget_parallel, CoverSpec, Outcome,
+};
+use cyclecover_solver::TileUniverse;
+use proptest::prelude::*;
+
+const MAX_NODES: u64 = 200_000_000;
+
+/// Asserts the chosen tiles satisfy the spec's demands.
+fn assert_meets_spec(u: &TileUniverse, idx: &[u32], spec: &CoverSpec) {
+    let ring = u.ring();
+    let n = ring.n() as usize;
+    let mut cov = EdgeMultiset::new(n);
+    for &i in idx {
+        for c in u.tile(i).chords(ring) {
+            cov.insert(c.to_edge());
+        }
+    }
+    for (d, &need) in spec.demand.iter().enumerate() {
+        let e = Edge::from_dense_index(d, n);
+        assert!(
+            cov.count(e) >= need,
+            "request {e} covered {} < demand {need}",
+            cov.count(e)
+        );
+    }
+}
+
+/// Optimum by iterative deepening on a given search function, from budget 0
+/// (spec bounds don't matter for agreement testing, only the verdicts).
+fn optimum_with(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    run: impl Fn(&TileUniverse, &CoverSpec, u32) -> Outcome,
+) -> (u32, Vec<u32>) {
+    for budget in 0..=64u32 {
+        match run(u, spec, budget) {
+            Outcome::Feasible(idx) => return (budget, idx),
+            Outcome::Infeasible => continue,
+            Outcome::NodeLimit => panic!("node limit hit during differential test"),
+        }
+    }
+    panic!("no covering within 64 tiles — universe too restricted?");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Complete specs: identical optimum and identical verdicts one below
+    /// it, across full (`max_len = n`) and C3/C4 universes.
+    #[test]
+    fn complete_spec_kernels_agree(n in 5u32..=9, full in any::<bool>()) {
+        let ring = Ring::new(n);
+        let max_len = if full { n as usize } else { 4 };
+        let u = TileUniverse::new(ring, max_len);
+        let spec = CoverSpec::complete(n);
+        let (fast_opt, fast_idx) = optimum_with(&u, &spec, |u, s, b| {
+            cover_spec_within_budget(u, s, b, MAX_NODES).0
+        });
+        let (slow_opt, slow_idx) = optimum_with(&u, &spec, |u, s, b| {
+            cover_spec_within_budget_legacy(u, s, b, MAX_NODES).0
+        });
+        prop_assert_eq!(fast_opt, slow_opt, "n={} max_len={}", n, max_len);
+        assert_meets_spec(&u, &fast_idx, &spec);
+        assert_meets_spec(&u, &slow_idx, &spec);
+    }
+
+    /// Random subset specs: same optimum on both kernels, and the bitset
+    /// witness actually covers the demanded requests.
+    #[test]
+    fn subset_spec_kernels_agree(
+        n in 5u32..=9,
+        picks in proptest::collection::vec((0u32..1000, 0u32..1000), 1..10),
+    ) {
+        let ring = Ring::new(n);
+        let u = TileUniverse::new(ring, 4);
+        let requests: Vec<Edge> = picks
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (a, b) = (a % n, b % n);
+                (a != b).then(|| Edge::new(a, b))
+            })
+            .collect();
+        prop_assume!(!requests.is_empty());
+        let spec = CoverSpec::subset(n, &requests);
+        let (fast_opt, fast_idx) = optimum_with(&u, &spec, |u, s, b| {
+            cover_spec_within_budget(u, s, b, MAX_NODES).0
+        });
+        let (slow_opt, _) = optimum_with(&u, &spec, |u, s, b| {
+            cover_spec_within_budget_legacy(u, s, b, MAX_NODES).0
+        });
+        prop_assert_eq!(fast_opt, slow_opt, "n={} requests={:?}", n, requests);
+        assert_meets_spec(&u, &fast_idx, &spec);
+        // And the parallel frontier search agrees at the decisive budgets.
+        let (par_at, _) = cover_spec_within_budget_parallel(&u, &spec, fast_opt, MAX_NODES, 3);
+        prop_assert!(matches!(par_at, Outcome::Feasible(_)), "parallel at opt");
+        if fast_opt > 0 {
+            let (par_below, _) =
+                cover_spec_within_budget_parallel(&u, &spec, fast_opt - 1, MAX_NODES, 3);
+            prop_assert_eq!(par_below, Outcome::Infeasible, "parallel below opt");
+        }
+    }
+
+    /// λ-fold specs route through the multiplicity kernel and must produce
+    /// coverings meeting every multiplicity (the dispatch seam itself).
+    #[test]
+    fn lambda_specs_still_solved(n in 5u32..=7, lambda in 2u32..=3) {
+        let ring = Ring::new(n);
+        let u = TileUniverse::new(ring, 4);
+        let spec = CoverSpec::lambda_fold(n, lambda);
+        prop_assert!(!spec.is_unit());
+        let (tiles, opt, _) =
+            bnb::solve_optimal_spec(&u, &spec, MAX_NODES).expect("solved");
+        let idx: Vec<u32> = tiles
+            .iter()
+            .map(|t| u.index_of(t).expect("solver tiles come from the universe"))
+            .collect();
+        assert_meets_spec(&u, &idx, &spec);
+        prop_assert!(opt as u64 >= spec.capacity_lower_bound(ring));
+    }
+}

@@ -88,7 +88,7 @@ fn detour_avoids(rc: &crate::cover::RoutedCycle, pi: usize, failed: u32) -> bool
 
 /// Parallel variant of [`audit_link_failures`]: the per-edge failure
 /// simulations are independent, so the edge range is split across
-/// `threads` crossbeam scoped threads over disjoint chunks (no locks,
+/// `threads` scoped threads over disjoint chunks (no locks,
 /// no shared mutation); partial results are merged in edge order, so
 /// the report is bit-identical to the sequential audit (asserted by
 /// tests). Use for the big sweeps of experiment E9 — at small sizes the
@@ -111,12 +111,12 @@ pub fn audit_link_failures_parallel(g: &Graph, cover: &GraphCovering, threads: u
     let users = &users;
     let chunk = g.edge_count().div_ceil(threads);
     let mut partials: Vec<Vec<LinkFailureReport>> = Vec::with_capacity(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(g.edge_count());
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     (lo..hi)
                         .map(|ei| failure_report_for_edge(g, cover, users, ei as u32))
                         .collect::<Vec<_>>()
@@ -126,8 +126,7 @@ pub fn audit_link_failures_parallel(g: &Graph, cover: &GraphCovering, threads: u
         for h in handles {
             partials.push(h.join().expect("audit worker panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
     let reports: Vec<LinkFailureReport> = partials.into_iter().flatten().collect();
     let fully = reports.iter().all(|r| r.restored == r.affected_cycles);
     LinkAudit {

@@ -1,0 +1,553 @@
+//! Offline stand-in for the subset of the `proptest` crate API this
+//! workspace uses. The build environment has no crates.io access, so the
+//! workspace vendors a small, dependency-light implementation with the same
+//! call surface:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map` /
+//!   `prop_shuffle`, ranges, tuples, [`arbitrary::any`],
+//! * [`collection::vec`] and [`sample::subsequence`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Semantics: each test body runs for `ProptestConfig::cases` random cases
+//! drawn from a per-test deterministic RNG (reproducible across runs and
+//! platforms). There is **no shrinking** — on failure the case index and
+//! seed are printed so the case can be replayed. `PROPTEST_CASES` in the
+//! environment overrides the case count globally.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use rand::seq::SliceRandom;
+    use rand::Rng as _;
+
+    /// A reusable recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Shuffles generated collections uniformly at random.
+        fn prop_shuffle(self) -> Shuffle<Self>
+        where
+            Self: Sized,
+        {
+            Shuffle { inner: self }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn new_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, S2, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// See [`Strategy::prop_shuffle`].
+    pub struct Shuffle<S> {
+        pub(crate) inner: S,
+    }
+
+    impl<S, T> Strategy for Shuffle<S>
+    where
+        S: Strategy<Value = Vec<T>>,
+    {
+        type Value = Vec<T>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<T> {
+            let mut v = self.inner.new_value(rng);
+            v.shuffle(&mut rng.0);
+            v
+        }
+    }
+
+    macro_rules! impl_strategy_for_int_range {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_int_range!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_strategy_for_tuple {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_strategy_for_tuple! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for "an arbitrary value of this type".
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::{Rng as _, RngCore as _};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.0.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.0.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_uint!(u8, u16, u32, u64, usize);
+
+    /// Strategy for the full domain of `T` — see [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — an arbitrary value of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// A range of collection sizes; built from `usize`, `a..b` or `a..=b`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl SizeRange {
+        pub(crate) fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.lo..=self.hi_inclusive)
+        }
+
+        pub(crate) fn clamp_hi(&self, hi: usize) -> SizeRange {
+            SizeRange {
+                lo: self.lo.min(hi),
+                hi_inclusive: self.hi_inclusive.min(hi),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s with element strategy `S` — see [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.pick(rng);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+
+    /// `vec(element, size)` — vectors of `size` elements each drawn from
+    /// `element`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+}
+
+pub mod sample {
+    //! Sampling from fixed collections.
+
+    use crate::collection::SizeRange;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::seq::SliceRandom as _;
+
+    /// Strategy yielding order-preserving random subsequences — see
+    /// [`subsequence`].
+    pub struct Subsequence<T: Clone> {
+        values: Vec<T>,
+        size: SizeRange,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<T> {
+            let len = self.size.clamp_hi(self.values.len()).pick(rng);
+            let mut idx: Vec<usize> = (0..self.values.len()).collect();
+            idx.shuffle(&mut rng.0);
+            idx.truncate(len);
+            idx.sort_unstable();
+            idx.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+
+    /// A random subsequence (subset in original order) of `values`, with
+    /// length drawn from `size`.
+    pub fn subsequence<T: Clone>(
+        values: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> Subsequence<T> {
+        Subsequence { values, size: size.into() }
+    }
+}
+
+pub mod test_runner {
+    //! The per-test case loop driven by [`crate::proptest!`].
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Sentinel returned by `prop_assume!` when a case is rejected.
+    #[derive(Debug)]
+    pub struct Rejected;
+
+    /// Run-loop configuration. Only `cases` is interpreted.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 128 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+
+        /// Effective case count (`PROPTEST_CASES` env overrides).
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    /// The deterministic RNG handed to strategies.
+    pub struct TestRng(pub StdRng);
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name` — fully
+        /// deterministic, so failures are replayable.
+        pub fn for_case(name: &str, case: u64) -> (TestRng, u64) {
+            // FNV-1a over the test name, mixed with the case index.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+            }
+            let seed = h ^ case.wrapping_mul(0x9e3779b97f4a7c15);
+            (TestRng(StdRng::seed_from_u64(seed)), seed)
+        }
+    }
+
+    /// Runs the case loop: `run_case` is invoked once per case with a fresh
+    /// deterministic RNG. Used by the [`crate::proptest!`] expansion.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut run_case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), Rejected>,
+    {
+        let cases = config.effective_cases();
+        let mut rejected = 0u64;
+        for case in 0..cases as u64 {
+            let (mut rng, seed) = TestRng::for_case(name, case);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                || run_case(&mut rng),
+            ));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(Rejected)) => rejected += 1,
+                Err(payload) => {
+                    eprintln!(
+                        "proptest: {name} failed at case {case}/{cases} (seed {seed:#x})"
+                    );
+                    std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        // With everything rejected the test exercised nothing; surface it.
+        assert!(
+            (rejected as u32) < cases || cases == 0,
+            "proptest: {name} rejected all {cases} cases via prop_assume!"
+        );
+    }
+}
+
+/// Re-exports matching `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced strategy modules (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+        pub use crate::strategy;
+    }
+}
+
+/// Property-test harness macro: see the crate docs. Supports an optional
+/// `#![proptest_config(expr)]` header followed by `#[test] fn name(pat in
+/// strategy, …) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($p:ident in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $(let $p = $s;)+
+            $crate::test_runner::run(
+                stringify!($name),
+                &__config,
+                |__rng| {
+                    $(let $p = $crate::strategy::Strategy::new_value(&$p, __rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Rejects the current case (it is skipped, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::Rejected);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_combinators() {
+        let (mut rng, _) = crate::test_runner::TestRng::for_case("t", 0);
+        for _ in 0..200 {
+            let x = (3u32..7).new_value(&mut rng);
+            assert!((3..7).contains(&x));
+            let (a, b) = (0usize..3, 5u32..=6).new_value(&mut rng);
+            assert!(a < 3 && (5..=6).contains(&b));
+            let v = crate::collection::vec(0u32..10, 2..5).new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&e| e < 10));
+            let doubled = (1u32..4).prop_map(|k| k * 2).new_value(&mut rng);
+            assert!([2, 4, 6].contains(&doubled));
+            let nested = (2usize..5)
+                .prop_flat_map(|n| crate::collection::vec(0u32..4, n))
+                .new_value(&mut rng);
+            assert!((2..5).contains(&nested.len()));
+            let sub = crate::sample::subsequence((0u32..9).collect::<Vec<_>>(), 3..=5)
+                .new_value(&mut rng);
+            assert!((3..=5).contains(&sub.len()));
+            assert!(sub.windows(2).all(|w| w[0] < w[1]), "order-preserving");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: params bind, assume skips, asserts check.
+        #[test]
+        fn macro_smoke(n in 1u32..50, flip in any::<bool>()) {
+            prop_assume!(n != 13);
+            prop_assert!((1..50).contains(&n));
+            prop_assert_eq!(flip as u32 <= 1, true);
+        }
+    }
+}

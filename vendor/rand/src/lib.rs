@@ -1,0 +1,285 @@
+//! Offline stand-in for the subset of the `rand` crate API this workspace
+//! uses. The build environment has no crates.io access, so the workspace
+//! vendors a small, dependency-free implementation with the same call
+//! surface: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`] and
+//! [`seq::SliceRandom::shuffle`]/[`seq::SliceRandom::choose`].
+//!
+//! The generator is SplitMix64-seeded xoshiro256**, which passes BigCrush;
+//! streams are deterministic per seed (stable across platforms), which is
+//! all the workspace relies on (seeded experiments and tests). It is NOT a
+//! cryptographic RNG and makes no attempt to reproduce upstream `rand`'s
+//! exact value streams.
+
+#![forbid(unsafe_code)]
+
+/// Low-level entropy source: a stream of `u64`s.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Deterministically builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds the generator from OS-provided entropy (here: the clock and
+    /// address-space layout — adequate for non-cryptographic sampling).
+    fn from_entropy() -> Self {
+        let t = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        let marker: u64 = &t as *const _ as u64;
+        Self::seed_from_u64(t ^ marker.rotate_left(32))
+    }
+}
+
+/// High-level sampling helpers, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`Range` or `RangeInclusive` of the
+    /// integer types used in this workspace).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of [0,1]");
+        // 53-bit uniform in [0,1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// A range that knows how to sample itself — the receiver of
+/// [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased uniform draw from `[0, bound)` by rejection (Lemire-style
+/// threshold on the low bits is overkill for our widths; plain rejection
+/// on the modulus bias region keeps it simple and exact).
+fn uniform_below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "empty sample range");
+    if bound.is_power_of_two() {
+        return rng.next_u64() & (bound - 1);
+    }
+    let r = u64::MAX % bound;
+    if r == bound - 1 {
+        // 2^64 is a multiple of `bound`: no bias region.
+        return rng.next_u64() % bound;
+    }
+    // Accept x in [0, 2^64 − (r+1)), the largest multiple of `bound` ≤ 2^64.
+    let last_accept = u64::MAX - r - 1;
+    loop {
+        let x = rng.next_u64();
+        if x <= last_accept {
+            return x % bound;
+        }
+    }
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range {}..{}", self.start, self.end);
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range {lo}..={hi}");
+                let span = (hi as u64) - (lo as u64) + 1;
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256** seeded via
+    /// SplitMix64 (as recommended by its authors).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the full state.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1]
+                .wrapping_mul(5)
+                .rotate_left(7)
+                .wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+
+    /// Alias kept for API parity.
+    pub type SmallRng = StdRng;
+}
+
+/// Slice sampling helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, or `None` if empty.
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+/// Convenience re-exports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0usize..=5);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_support() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

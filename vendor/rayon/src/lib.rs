@@ -1,0 +1,273 @@
+//! Offline stand-in for the subset of the `rayon` crate API this workspace
+//! uses. The build environment has no crates.io access, so the workspace
+//! vendors a small, dependency-free scoped task pool with the same call
+//! surface: [`scope`], [`Scope::spawn`], and
+//! [`ThreadPoolBuilder`]/[`ThreadPool::scope`] for an explicit thread
+//! count.
+//!
+//! Scheduling model: one shared FIFO injector queue per scope, drained by
+//! `num_threads` OS workers plus the calling thread (which helps while it
+//! waits). Tasks may spawn further tasks, so load balances dynamically —
+//! a worker that finishes its subtree immediately pulls the next pending
+//! one. This is work-*sharing* rather than rayon's per-worker-deque
+//! work-*stealing*; for the coarse subtree tasks this workspace spawns
+//! (thousands of nodes each) the queue is touched rarely and contention is
+//! negligible.
+
+#![deny(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+type Job<'s> = Box<dyn FnOnce(&Scope<'_, 's>) + Send + 's>;
+
+struct Shared<'s> {
+    queue: VecDeque<Job<'s>>,
+    /// Jobs currently executing on some thread.
+    active: usize,
+    shutdown: bool,
+}
+
+struct ScopeState<'s> {
+    shared: Mutex<Shared<'s>>,
+    /// Signalled when work arrives or shutdown begins.
+    work: Condvar,
+    /// Signalled when the scope may have quiesced (queue empty, none active).
+    idle: Condvar,
+}
+
+/// A scope in which tasks borrowing the environment (`'env`) can be
+/// spawned; all tasks finish before [`scope`] returns.
+pub struct Scope<'a, 'env> {
+    state: &'a ScopeState<'env>,
+}
+
+impl<'a, 'env> Scope<'a, 'env> {
+    /// Queues `f` for execution on the scope's pool. `f` receives the
+    /// scope again and may spawn further tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'_, 'env>) + Send + 'env,
+    {
+        let mut sh = self.state.shared.lock().expect("scope lock");
+        sh.queue.push_back(Box::new(f));
+        drop(sh);
+        self.state.work.notify_one();
+    }
+}
+
+/// Decrements `active` and signals `idle` even if the job panicked, so the
+/// waiting caller wakes up and the panic can propagate through
+/// `std::thread::scope` instead of deadlocking.
+struct ActiveGuard<'a, 'env> {
+    state: &'a ScopeState<'env>,
+}
+
+impl Drop for ActiveGuard<'_, '_> {
+    fn drop(&mut self) {
+        let mut sh = self.state.shared.lock().expect("scope lock");
+        sh.active -= 1;
+        let quiet = sh.active == 0 && sh.queue.is_empty();
+        drop(sh);
+        if quiet {
+            self.state.idle.notify_all();
+        }
+    }
+}
+
+fn run_one<'env>(state: &ScopeState<'env>, job: Job<'env>) {
+    let guard = ActiveGuard { state };
+    job(&Scope { state });
+    drop(guard);
+}
+
+fn worker_loop<'env>(state: &ScopeState<'env>) {
+    let mut sh = state.shared.lock().expect("scope lock");
+    loop {
+        if let Some(job) = sh.queue.pop_front() {
+            sh.active += 1;
+            drop(sh);
+            run_one(state, job);
+            sh = state.shared.lock().expect("scope lock");
+            continue;
+        }
+        if sh.shutdown {
+            return;
+        }
+        sh = state.work.wait(sh).expect("scope lock");
+    }
+}
+
+/// The caller thread helps drain the queue, then blocks until every
+/// spawned task (including transitively spawned ones) has finished.
+fn help_until_quiet<'env>(state: &ScopeState<'env>) {
+    let mut sh = state.shared.lock().expect("scope lock");
+    loop {
+        if let Some(job) = sh.queue.pop_front() {
+            sh.active += 1;
+            drop(sh);
+            run_one(state, job);
+            sh = state.shared.lock().expect("scope lock");
+            continue;
+        }
+        if sh.active == 0 {
+            return;
+        }
+        sh = state.idle.wait(sh).expect("scope lock");
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4)
+}
+
+fn scope_with_threads<'env, F, R>(threads: usize, op: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    let state = ScopeState {
+        shared: Mutex::new(Shared {
+            queue: VecDeque::new(),
+            active: 0,
+            shutdown: false,
+        }),
+        work: Condvar::new(),
+        idle: Condvar::new(),
+    };
+    // The caller thread helps, so spawn threads-1 extra workers.
+    let extra = threads.max(1) - 1;
+    std::thread::scope(|ts| {
+        for _ in 0..extra {
+            ts.spawn(|| worker_loop(&state));
+        }
+        let result = op(&Scope { state: &state });
+        help_until_quiet(&state);
+        let mut sh = state.shared.lock().expect("scope lock");
+        sh.shutdown = true;
+        drop(sh);
+        state.work.notify_all();
+        result
+    })
+}
+
+/// Runs `op` with a task scope over the default-size pool; returns after
+/// every spawned task completes.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    scope_with_threads(default_threads(), op)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Uses `n` threads (0 = default: available parallelism).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool. Never fails in this shim; the `Result` mirrors
+    /// rayon's signature.
+    pub fn build(self) -> Result<ThreadPool, std::convert::Infallible> {
+        Ok(ThreadPool {
+            threads: if self.num_threads == 0 {
+                default_threads()
+            } else {
+                self.num_threads
+            },
+        })
+    }
+}
+
+/// A pool with a fixed thread count (threads are scoped per [`ThreadPool::scope`]
+/// call in this shim rather than persistent).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// [`scope`] on this pool's threads.
+    pub fn scope<'env, F, R>(&self, op: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        scope_with_threads(self.threads, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn all_tasks_run_and_scope_waits() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..100 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn nested_spawns_complete() {
+        let counter = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|s| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    for _ in 0..4 {
+                        s.spawn(|_| {
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 8 + 32);
+    }
+
+    #[test]
+    fn single_thread_pool_still_drains() {
+        let counter = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        pool.scope(|s| {
+            for _ in 0..10 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn scope_returns_op_result() {
+        let r = scope(|_| 42u32);
+        assert_eq!(r, 42);
+    }
+}
