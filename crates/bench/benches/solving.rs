@@ -1,17 +1,24 @@
-//! B4 — exact solver scaling: optimal covering search and the Dancing
-//! Links exact-cover engine.
+//! B4 — exact solver scaling through the engine API: optimal covering
+//! search, kernel comparison, and the Dancing Links exact-cover engine.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyclecover_ring::Ring;
-use cyclecover_solver::{bnb, dlx::ExactCover, greedy, TileUniverse};
+use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+use cyclecover_solver::{dlx::ExactCover, greedy, TileUniverse};
 
 fn bench_bnb_optimal(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver/bnb_optimal");
     g.sample_size(10);
+    let engine = engine_by_name("bitset").unwrap();
     for n in [6u32, 7, 8] {
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let u = TileUniverse::new(Ring::new(n), n as usize);
-            b.iter(|| bnb::solve_optimal(&u, 1_000_000_000).expect("solved").1)
+            let problem = Problem::complete(n);
+            let request = SolveRequest::find_optimal().with_max_nodes(1_000_000_000);
+            b.iter(|| {
+                let sol = engine.solve(&problem, &request);
+                assert!(matches!(sol.optimality(), Optimality::Optimal { .. }));
+                sol.size()
+            })
         });
     }
     g.finish();
@@ -19,7 +26,8 @@ fn bench_bnb_optimal(c: &mut Criterion) {
 
 /// Bitset kernel vs the legacy multiplicity kernel on the same
 /// infeasibility proof (`ρ(n) − 1` over the full universe) — the
-/// before/after of the word-packed coverage refactor.
+/// before/after of the word-packed coverage refactor, both behind the
+/// engine boundary.
 fn bench_kernel_comparison(c: &mut Criterion) {
     use cyclecover_solver::lower_bound::rho_formula;
     let mut g = c.benchmark_group("solver/kernel_infeasibility");
@@ -27,52 +35,40 @@ fn bench_kernel_comparison(c: &mut Criterion) {
     // Only even p makes the proof a real search (odd-n rho-1 is a 1-node
     // capacity prune); n = 8 is the smallest such instance.
     for n in [8u32] {
-        let u = TileUniverse::new(Ring::new(n), n as usize);
-        let spec = bnb::CoverSpec::complete(n);
-        let budget = rho_formula(n) as u32 - 1;
-        g.bench_with_input(BenchmarkId::new("bitset", n), &n, |b, _| {
-            b.iter(|| {
-                let (o, s) = bnb::cover_spec_within_budget(&u, &spec, budget, u64::MAX);
-                assert!(matches!(o, bnb::Outcome::Infeasible));
-                s.nodes
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("legacy", n), &n, |b, _| {
-            b.iter(|| {
-                let (o, s) = bnb::cover_spec_within_budget_legacy(&u, &spec, budget, u64::MAX);
-                assert!(matches!(o, bnb::Outcome::Infeasible));
-                s.nodes
-            })
-        });
+        let problem = Problem::complete(n);
+        let request = SolveRequest::prove_infeasible(rho_formula(n) as u32 - 1);
+        for kernel in ["bitset", "legacy"] {
+            let engine = engine_by_name(kernel).unwrap();
+            g.bench_with_input(BenchmarkId::new(kernel, n), &n, |b, _| {
+                b.iter(|| {
+                    let sol = engine.solve(&problem, &request);
+                    assert!(matches!(sol.optimality(), Optimality::Infeasible));
+                    sol.stats().nodes
+                })
+            });
+        }
     }
     g.finish();
 }
 
 /// The acceptance workload: certify `ρ(10)` (prove 12 infeasible, find a
-/// 13-covering) — sequential bitset search and the rayon frontier search.
+/// 13-covering) — the sequential bitset engine and the rayon frontier
+/// engine.
 fn bench_rho10_certification(c: &mut Criterion) {
     let mut g = c.benchmark_group("solver/rho10_certify");
     g.sample_size(10);
-    let u = TileUniverse::new(Ring::new(10), 10);
-    let spec = bnb::CoverSpec::complete(10);
-    g.bench_function("sequential", |b| {
-        b.iter(|| {
-            let (below, _) = bnb::cover_spec_within_budget(&u, &spec, 12, u64::MAX);
-            assert!(matches!(below, bnb::Outcome::Infeasible));
-            let (at, _) = bnb::cover_spec_within_budget(&u, &spec, 13, u64::MAX);
-            assert!(matches!(at, bnb::Outcome::Feasible(_)));
-        })
-    });
-    g.bench_function("parallel", |b| {
-        b.iter(|| {
-            let (below, _) =
-                bnb::cover_spec_within_budget_parallel(&u, &spec, 12, u64::MAX, 0);
-            assert!(matches!(below, bnb::Outcome::Infeasible));
-            let (at, _) =
-                bnb::cover_spec_within_budget_parallel(&u, &spec, 13, u64::MAX, 0);
-            assert!(matches!(at, bnb::Outcome::Feasible(_)));
-        })
-    });
+    let problem = Problem::complete(10);
+    for (label, engine) in [("sequential", "bitset"), ("parallel", "bitset-parallel")] {
+        let engine = engine_by_name(engine).unwrap();
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let below = engine.solve(&problem, &SolveRequest::prove_infeasible(12));
+                assert!(matches!(below.optimality(), Optimality::Infeasible));
+                let at = engine.solve(&problem, &SolveRequest::within_budget(13));
+                assert!(matches!(at.optimality(), Optimality::Feasible));
+            })
+        });
+    }
     g.finish();
 }
 

@@ -1,19 +1,20 @@
 //! Fixed solver workload for tracking the perf trajectory across PRs.
 //!
 //! Certifies `ρ(n)` for `n = 6..=10` over the full tile universe — prove
-//! `ρ(n) − 1` infeasible, find a `ρ(n)` covering — on the bitset kernel
-//! (sequential and parallel) and the legacy multiplicity kernel, and
-//! writes `BENCH_1.json` (wall time + expanded nodes per instance) to the
-//! current directory.
+//! `ρ(n) − 1` infeasible, find a `ρ(n)` covering — through the
+//! [`cyclecover_solver::api`] engine registry (`bitset`,
+//! `bitset-parallel`, `legacy`), and writes `BENCH_1.json` (wall time +
+//! expanded nodes per instance) to the current directory. Running the
+//! identical workload through the request/engine boundary pins the API
+//! redesign as zero-cost: node counts must match the pre-redesign
+//! snapshot exactly.
 //!
 //! Usage: `cargo run --release -p cyclecover-bench --bin bench_snapshot`
 //! Pass `--max-n <k>` to stop earlier (the legacy kernel dominates the
 //! runtime at `n = 10`).
 
-use cyclecover_ring::Ring;
-use cyclecover_solver::bnb::{self, Outcome};
+use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
 use cyclecover_solver::lower_bound::rho_formula;
-use cyclecover_solver::TileUniverse;
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -26,16 +27,17 @@ struct Row {
     certified: bool,
 }
 
-fn certify(
-    rho: u32,
-    run: impl Fn(u32) -> (Outcome, bnb::Stats),
-) -> (u64, u64, f64, bool) {
+/// Proves `rho − 1` infeasible and finds a `rho` covering through one
+/// engine; returns (proof nodes, witness nodes, wall ms, certified).
+fn certify(engine: &'static str, problem: &Problem, rho: u32) -> (u64, u64, f64, bool) {
+    let engine = engine_by_name(engine).expect("registered engine");
     let t0 = Instant::now();
-    let (below, s_below) = run(rho - 1);
-    let (at, s_at) = run(rho);
+    let below = engine.solve(problem, &SolveRequest::prove_infeasible(rho - 1));
+    let at = engine.solve(problem, &SolveRequest::within_budget(rho));
     let wall = t0.elapsed().as_secs_f64() * 1e3;
-    let ok = matches!(below, Outcome::Infeasible) && matches!(at, Outcome::Feasible(_));
-    (s_below.nodes, s_at.nodes, wall, ok)
+    let ok = matches!(below.optimality(), Optimality::Infeasible)
+        && matches!(at.optimality(), Optimality::Feasible);
+    (below.stats().nodes, at.stats().nodes, wall, ok)
 }
 
 fn main() {
@@ -51,26 +53,24 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for n in 6..=max_n {
         let rho = rho_formula(n) as u32;
-        let u = TileUniverse::new(Ring::new(n), n as usize);
-        let spec = bnb::CoverSpec::complete(n);
+        let problem = Problem::complete(n);
 
-        let (ni, nf, wall, ok) = certify(rho, |b| {
-            bnb::cover_spec_within_budget(&u, &spec, b, u64::MAX)
-        });
-        rows.push(Row { n, kernel: "bitset", nodes_infeasible: ni, nodes_feasible: nf, wall_ms: wall, certified: ok });
-        println!("n={n:2}  bitset      {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
-
-        let (ni, nf, wall, ok) = certify(rho, |b| {
-            bnb::cover_spec_within_budget_parallel(&u, &spec, b, u64::MAX, threads)
-        });
-        rows.push(Row { n, kernel: "bitset-parallel", nodes_infeasible: ni, nodes_feasible: nf, wall_ms: wall, certified: ok });
-        println!("n={n:2}  bitset-par  {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
-
-        let (ni, nf, wall, ok) = certify(rho, |b| {
-            bnb::cover_spec_within_budget_legacy(&u, &spec, b, u64::MAX)
-        });
-        rows.push(Row { n, kernel: "legacy", nodes_infeasible: ni, nodes_feasible: nf, wall_ms: wall, certified: ok });
-        println!("n={n:2}  legacy      {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
+        for (kernel, label) in [
+            ("bitset", "bitset    "),
+            ("bitset-parallel", "bitset-par"),
+            ("legacy", "legacy    "),
+        ] {
+            let (ni, nf, wall, ok) = certify(kernel, &problem, rho);
+            rows.push(Row {
+                n,
+                kernel,
+                nodes_infeasible: ni,
+                nodes_feasible: nf,
+                wall_ms: wall,
+                certified: ok,
+            });
+            println!("n={n:2}  {label}  {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
+        }
     }
 
     let mut json = String::new();

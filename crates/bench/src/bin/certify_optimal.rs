@@ -7,9 +7,8 @@
 
 use cyclecover_bench::{header, row};
 use cyclecover_core::rho;
-use cyclecover_ring::Ring;
+use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
 use cyclecover_solver::lower_bound::capacity_lower_bound;
-use cyclecover_solver::{bnb, TileUniverse};
 use std::time::Instant;
 
 fn main() {
@@ -20,20 +19,23 @@ fn main() {
         &["n", "cap.LB", "rho(n)", "rho-1 feas?", "rho feas?", "certified", "nodes"],
         &widths,
     );
-    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+    let parallel = engine_by_name("bitset-parallel").expect("registered engine");
+    let sequential = engine_by_name("bitset").expect("registered engine");
     for n in 4u32..=12 {
         let target = rho(n) as u32;
-        let u = TileUniverse::new(Ring::new(n), n as usize);
-        let spec = bnb::CoverSpec::complete(n);
+        let problem = Problem::complete(n);
         let t0 = Instant::now();
         let node_cap = if n >= 12 { 60_000_000 } else { 2_000_000_000 };
-        let (below_outcome, lb_stats) =
-            bnb::cover_spec_within_budget_parallel(&u, &spec, target - 1, node_cap, threads);
-        let below = match below_outcome {
-            bnb::Outcome::Infeasible => Some(true),
-            bnb::Outcome::Feasible(_) => Some(false),
-            bnb::Outcome::NodeLimit => None,
+        let proof = parallel.solve(
+            &problem,
+            &SolveRequest::prove_infeasible(target - 1).with_max_nodes(node_cap),
+        );
+        let below = match proof.optimality() {
+            Optimality::Infeasible => Some(true),
+            Optimality::Feasible => Some(false),
+            _ => None,
         };
+        let lb_stats = *proof.stats();
         // Upper bound: prefer the constructive witness (validated by the
         // library); fall back to search only if the construction has excess.
         let (cover, status) = cyclecover_core::construct_with_status(n);
@@ -42,8 +44,11 @@ fn main() {
             cover.validate().expect("constructive witness valid");
             true
         } else {
-            let (at, _) = bnb::cover_within_budget(&u, target, 2_000_000_000);
-            matches!(at, bnb::Outcome::Feasible(_))
+            let at = sequential.solve(
+                &problem,
+                &SolveRequest::within_budget(target).with_max_nodes(2_000_000_000),
+            );
+            matches!(at.optimality(), Optimality::Feasible)
         };
         let below_str = match below {
             Some(true) => "no (proved)",

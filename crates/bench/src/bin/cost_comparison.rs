@@ -1,7 +1,7 @@
-//! E7 — cost-model comparison: the paper's objective vs. refs [3,4].
+//! E7 — cost-model comparison: the paper's objective vs. refs \[3,4\].
 //!
-//! The paper minimizes the *number of subnetworks*; Eilam–Moran–Zaks [3]
-//! and Gerstel–Lin–Sasaki [4] minimize total ADM count (Σ cycle sizes).
+//! The paper minimizes the *number of subnetworks*; Eilam–Moran–Zaks \[3\]
+//! and Gerstel–Lin–Sasaki \[4\] minimize total ADM count (Σ cycle sizes).
 //! This table evaluates our optimal covering and the pure-triangle
 //! covering under: cycle count, wavelength count, total ADMs, and the
 //! blended cost model — showing the trade-off the paper's §2 discusses

@@ -79,12 +79,21 @@ fn main() {
 
     println!("== n ≡ 0 (mod 8): inspect solver solutions ==");
     for n in [8u32] {
-        let u = cyclecover_solver::TileUniverse::new(Ring::new(n), n as usize);
+        use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
         let t0 = std::time::Instant::now();
-        if let Some((tiles, opt, stats)) = cyclecover_solver::bnb::solve_optimal(&u, 500_000_000) {
-            println!("n={n}: optimal={opt} nodes={} [{:.1?}]", stats.nodes, t0.elapsed());
+        let sol = engine_by_name("bitset").expect("registered engine").solve(
+            &Problem::complete(n),
+            &SolveRequest::find_optimal().with_max_nodes(500_000_000),
+        );
+        if let (Optimality::Optimal { .. }, Some(tiles)) = (sol.optimality(), sol.covering()) {
+            println!(
+                "n={n}: optimal={} nodes={} [{:.1?}]",
+                tiles.len(),
+                sol.stats().nodes,
+                t0.elapsed()
+            );
             let ring = Ring::new(n);
-            for t in &tiles {
+            for t in tiles {
                 let gaps = t.gaps(ring);
                 let parities: Vec<&str> = gaps.iter().map(|g| if g % 2 == 0 { "e" } else { "o" }).collect();
                 println!("  {:?} gaps={gaps:?} {}", t.vertices(), parities.join(""));

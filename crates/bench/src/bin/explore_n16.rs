@@ -1,23 +1,37 @@
+//! Probe the open n = 16 instance at budget 33 on restricted universes,
+//! through the engine API (bounded `WithinBudget` requests).
+
 use cyclecover_ring::Ring;
-use cyclecover_solver::{bnb, TileUniverse};
+use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+use cyclecover_solver::bnb::CoverSpec;
+use cyclecover_solver::TileUniverse;
 
 fn main() {
     // n=16 at budget 33, restricted universe (C3/C4, shortest-gap) first.
+    let engine = engine_by_name("bitset").expect("registered engine");
     for (n, max_len, max_gap) in [(16u32, 4usize, 8u32), (16, 5, 16)] {
         let u = TileUniverse::with_max_gap(Ring::new(n), max_len, max_gap);
+        let tiles = u.len();
+        let problem = Problem::new(u, CoverSpec::complete(n));
         let t0 = std::time::Instant::now();
-        let (outcome, stats) = bnb::cover_within_budget(&u, 33, 2_000_000_000);
+        let sol = engine.solve(
+            &problem,
+            &SolveRequest::within_budget(33).with_max_nodes(2_000_000_000),
+        );
         println!(
-            "n={n} max_len={max_len} max_gap={max_gap} tiles={}: {:?} nodes={} [{:.1?}]",
-            u.len(),
-            match outcome { bnb::Outcome::Feasible(_) => "FEASIBLE", bnb::Outcome::Infeasible => "infeasible", bnb::Outcome::NodeLimit => "node-limit" },
-            stats.nodes,
+            "n={n} max_len={max_len} max_gap={max_gap} tiles={tiles}: {} nodes={} [{:.1?}]",
+            match sol.optimality() {
+                Optimality::Feasible => "FEASIBLE",
+                Optimality::Infeasible => "infeasible",
+                _ => "node-limit",
+            },
+            sol.stats().nodes,
             t0.elapsed()
         );
-        if let bnb::Outcome::Feasible(idx) = outcome {
+        if let Some(found) = sol.covering() {
             let ring = Ring::new(n);
-            for &i in &idx {
-                println!("  {:?} gaps={:?}", u.tile(i).vertices(), u.tile(i).gaps(ring));
+            for t in found {
+                println!("  {:?} gaps={:?}", t.vertices(), t.gaps(ring));
             }
             break;
         }

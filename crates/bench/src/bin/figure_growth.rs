@@ -4,7 +4,7 @@
 //! * `rho`        — the paper's optimum (our construction, validated);
 //! * `capacity`   — the lower bound `⌈Σdist/n⌉`;
 //! * `triangles`  — pure triangle covering (design-theory baseline,
-//!   refs [6,7]: every triangle covering is DRC-valid);
+//!   refs \[6,7\]: every triangle covering is DRC-valid);
 //! * `greedy`     — greedy set-cover over all C3/C4 tiles;
 //! * `insertion`  — incremental vertex-insertion heuristic (cover `K_{n−1}`
 //!   optimally, then patch the new vertex's star with triangles).

@@ -13,8 +13,20 @@ use cyclecover_bench::{header, row};
 use cyclecover_core::{general, lambda};
 use cyclecover_graph::Graph;
 use cyclecover_ring::Ring;
-use cyclecover_solver::{bnb, TileUniverse};
+use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
 use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Exact λ-fold optimum through the engine API (`None` = node limit).
+fn exact_lambda(n: u32, lam: u32, max_nodes: u64) -> Option<usize> {
+    let sol = engine_by_name("bitset").expect("registered engine").solve(
+        &Problem::lambda_fold(n, lam),
+        &SolveRequest::find_optimal().with_max_nodes(max_nodes),
+    );
+    match sol.optimality() {
+        Optimality::Optimal { .. } => sol.size(),
+        _ => None,
+    }
+}
 
 fn main() {
     println!("E8a — lambda-fold instances: bounds on rho_lambda(n)");
@@ -30,10 +42,8 @@ fn main() {
             // Exact lambda-fold optimum for the smallest instances: does the
             // even-n gap close? (New knowledge beyond the paper.)
             let exact = if n <= 7 || (n <= 8 && lam <= 2) {
-                let u = TileUniverse::new(Ring::new(n), n as usize);
-                let spec = bnb::CoverSpec::lambda_fold(n, lam);
-                bnb::solve_optimal_spec(&u, &spec, 100_000_000)
-                    .map(|(_, opt, _)| opt.to_string())
+                exact_lambda(n, lam, 100_000_000)
+                    .map(|opt| opt.to_string())
                     .unwrap_or_else(|| "limit".into())
             } else {
                 "-".into()
@@ -56,9 +66,7 @@ fn main() {
     }
     // The headline probe: rho_2(6) — capacity says 9, copies say 10.
     {
-        let u = TileUniverse::new(Ring::new(6), 6);
-        let spec = bnb::CoverSpec::lambda_fold(6, 2);
-        if let Some((_, opt, _)) = bnb::solve_optimal_spec(&u, &spec, 500_000_000) {
+        if let Some(opt) = exact_lambda(6, 2, 500_000_000) {
             println!();
             println!(
                 "probe: rho_2(6) = {opt} (capacity LB 9, copy-concatenation 10) — the \

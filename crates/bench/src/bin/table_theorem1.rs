@@ -7,9 +7,8 @@
 
 use cyclecover_bench::{header, row};
 use cyclecover_core::{construct_optimal, odd, rho};
-use cyclecover_ring::Ring;
+use cyclecover_solver::api::{engine_by_name, ExecPolicy, Optimality, Problem, SolveRequest};
 use cyclecover_solver::lower_bound::capacity_lower_bound;
-use cyclecover_solver::{bnb, TileUniverse};
 
 fn main() {
     println!("E1 — Theorem 1 (odd n): rho(n) = p(p+1)/2, composition p C3 + p(p-1)/2 C4");
@@ -28,11 +27,16 @@ fn main() {
         let exact = cover.is_exact_decomposition(1);
         let (want_c3, want_c4) = odd::expected_composition(n);
         let solver_opt = if n <= 11 {
-            let u = TileUniverse::new(Ring::new(n), n as usize);
-            let spec = bnb::CoverSpec::complete(n);
-            bnb::solve_optimal_spec_parallel(&u, &spec, 100_000_000, 0)
-                .map(|(_, opt, _)| opt.to_string())
-                .unwrap_or_else(|| "limit".into())
+            let sol = engine_by_name("bitset-parallel").expect("registered").solve(
+                &Problem::complete(n),
+                &SolveRequest::find_optimal()
+                    .with_max_nodes(100_000_000)
+                    .with_policy(ExecPolicy::parallel()),
+            );
+            match sol.optimality() {
+                Optimality::Optimal { .. } => sol.size().expect("covering").to_string(),
+                _ => "limit".into(),
+            }
         } else {
             "-".into()
         };

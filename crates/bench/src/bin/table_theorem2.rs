@@ -12,9 +12,10 @@
 
 use cyclecover_bench::{header, row};
 use cyclecover_core::{construct_with_status, rho, Optimality};
-use cyclecover_ring::Ring;
+use cyclecover_solver::api::{
+    engine_by_name, ExecPolicy, Optimality as SolveOptimality, Problem, SolveRequest,
+};
 use cyclecover_solver::lower_bound::capacity_lower_bound;
-use cyclecover_solver::{bnb, TileUniverse};
 
 fn paper_composition(n: u32) -> (u64, u64) {
     // Theorem 2's stated composition.
@@ -45,11 +46,16 @@ fn main() {
         let (pc3, pc4) = paper_composition(n);
         // The bitset kernel certifies n = 10 in seconds now; include it.
         let solver_opt = if n <= 10 {
-            let u = TileUniverse::new(Ring::new(n), n as usize);
-            let spec = bnb::CoverSpec::complete(n);
-            bnb::solve_optimal_spec_parallel(&u, &spec, 300_000_000, 0)
-                .map(|(_, opt, _)| opt.to_string())
-                .unwrap_or_else(|| "limit".into())
+            let sol = engine_by_name("bitset-parallel").expect("registered").solve(
+                &Problem::complete(n),
+                &SolveRequest::find_optimal()
+                    .with_max_nodes(300_000_000)
+                    .with_policy(ExecPolicy::parallel()),
+            );
+            match sol.optimality() {
+                SolveOptimality::Optimal { .. } => sol.size().expect("covering").to_string(),
+                _ => "limit".into(),
+            }
         } else {
             "-".into()
         };

@@ -6,14 +6,22 @@
 //! goes through the same public APIs the examples and experiments use.
 //!
 //! ```text
-//! cyclecover rho <n>             minimum covering size ρ(n)
-//! cyclecover construct <n>       emit the optimal covering (text format)
-//! cyclecover validate <file>     parse + re-validate a covering file
-//! cyclecover audit <n>           run the full survivability audit on C_n
-//! cyclecover svg <n>             render the covering of K_n as SVG
-//! cyclecover compare <n>         protection vs restoration capacity
+//! cyclecover solve <n> [flags]    run a solver engine, emit a certificate
+//! cyclecover engines              list the registered solver engines
+//! cyclecover rho <n>              minimum covering size ρ(n)
+//! cyclecover construct <n>        emit the optimal covering (text format)
+//! cyclecover validate <file>      re-validate a covering (text or JSON)
+//! cyclecover audit <n>            run the full survivability audit on C_n
+//! cyclecover svg <n>              render the covering of K_n as SVG
+//! cyclecover compare <n>          protection vs restoration capacity
 //! cyclecover table <odd|even> <max_n>   regenerate a theorem table
 //! ```
+//!
+//! `solve` is the front door to the [`cyclecover_solver::api`]
+//! request/engine surface: it builds a [`Problem`], a [`SolveRequest`]
+//! from the flags, dispatches to the named engine, and prints either a
+//! human summary or the JSON wire format (`--json`) that `validate`
+//! accepts back.
 //!
 //! The dispatch logic lives in [`run`] (pure: arguments in, output
 //! string out) so the whole surface is unit-testable without spawning
@@ -23,9 +31,14 @@
 #![warn(missing_docs)]
 
 use cyclecover_core::{construct_with_status, rho, Optimality};
-use cyclecover_io::{csv::Table, format, svg};
+use cyclecover_io::{csv::Table, format, json, svg};
 use cyclecover_net::{audit_all_failures, compare_schemes, WdmNetwork};
+use cyclecover_solver::api::{
+    engine_by_name, engines, LowerBoundProof, Optimality as SolveOptimality, Problem,
+    SolveRequest,
+};
 use std::fmt::Write as _;
+use std::time::Duration;
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -33,9 +46,16 @@ cyclecover — survivable WDM ring design by DRC cycle covering
   (reproduction of Bermond, Coudert, Chacon & Tillerot, SPAA 2001)
 
 USAGE:
+  cyclecover solve <n> [--engine E] [--budget K] [--max-nodes N]
+                       [--deadline MS] [--json]
+                                     solve/certify the covering of K_n on C_n
+                                     (default: find + certify the optimum;
+                                      --budget K asks for any <= K covering)
+  cyclecover engines                 list the registered solver engines
   cyclecover rho <n>                 print the optimal covering size ρ(n)
   cyclecover construct <n>           emit a minimum covering in text format
-  cyclecover validate <file>         parse and re-validate a covering file
+  cyclecover validate <file>         re-validate a covering file (text or
+                                     solution JSON from `solve --json`)
   cyclecover audit <n>               exhaustive single-link failure audit on C_n
   cyclecover svg <n>                 render the covering of K_n over C_n as SVG
   cyclecover compare <n>             protection vs restoration capacity on C_n
@@ -44,10 +64,147 @@ USAGE:
   cyclecover table <odd|even> <max>  regenerate Theorem 1/2 rows up to n = max
 ";
 
+/// Runs the `solve` subcommand: flags → [`SolveRequest`] → engine →
+/// rendered [`cyclecover_solver::api::Solution`].
+fn run_solve(args: &[String]) -> Result<String, String> {
+    let n = parse_n(args.first())?;
+    let mut engine_name = "bitset".to_string();
+    let mut budget: Option<u32> = None;
+    let mut max_nodes: Option<u64> = None;
+    let mut deadline_ms: Option<u64> = None;
+    let mut as_json = false;
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--engine" => engine_name = value("an engine name")?,
+            "--budget" => {
+                budget = Some(
+                    value("a tile budget")?
+                        .parse()
+                        .map_err(|e| format!("bad --budget: {e}"))?,
+                )
+            }
+            "--max-nodes" => {
+                max_nodes = Some(
+                    value("a node count")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-nodes: {e}"))?,
+                )
+            }
+            "--deadline" => {
+                deadline_ms = Some(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("bad --deadline: {e}"))?,
+                )
+            }
+            "--json" => as_json = true,
+            other => return Err(format!("unknown solve flag '{other}'")),
+        }
+    }
+    let mut request = match budget {
+        Some(k) => SolveRequest::within_budget(k),
+        None => SolveRequest::find_optimal(),
+    };
+    if let Some(nodes) = max_nodes {
+        request = request.with_max_nodes(nodes);
+    }
+    if let Some(ms) = deadline_ms {
+        request = request.with_deadline(Duration::from_millis(ms));
+    }
+    let engine = engine_by_name(&engine_name).ok_or_else(|| {
+        let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
+        format!("unknown engine '{engine_name}' (have: {})", names.join(", "))
+    })?;
+    let problem = Problem::complete(n);
+    if !engine.supports(&problem, &request) {
+        return Err(format!(
+            "engine '{engine_name}' does not support this problem/request"
+        ));
+    }
+    let solution = engine.solve(&problem, &request);
+    if as_json {
+        return Ok(json::solution_to_json(&solution));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "n = {n}, engine = {engine_name}");
+    match solution.optimality() {
+        SolveOptimality::Optimal { lower_bound_proof } => {
+            let _ = writeln!(
+                out,
+                "OPTIMAL: {} cycles (rho({n}) certified)",
+                solution.size().expect("optimal solutions carry coverings")
+            );
+            match lower_bound_proof {
+                LowerBoundProof::CombinatorialBound { bound } => {
+                    let _ = writeln!(out, "lower bound: combinatorial bound = {bound}");
+                }
+                LowerBoundProof::ExhaustiveSearch {
+                    infeasible_budget,
+                    nodes,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "lower bound: budget {infeasible_budget} proved infeasible \
+                         ({nodes} nodes)"
+                    );
+                }
+            }
+        }
+        SolveOptimality::Feasible => {
+            let _ = writeln!(
+                out,
+                "FEASIBLE: {} cycles (optimality not established)",
+                solution.size().expect("feasible solutions carry coverings")
+            );
+        }
+        SolveOptimality::Infeasible => {
+            let _ = writeln!(out, "INFEASIBLE: no covering within the requested budget");
+        }
+        SolveOptimality::BudgetExhausted { reason } => {
+            let _ = writeln!(out, "INCONCLUSIVE: stopped by {reason:?}");
+        }
+    }
+    let st = solution.stats();
+    let _ = writeln!(
+        out,
+        "stats: {} nodes, {} pruned, {} dominated, {} budget(s), {:.1} ms",
+        st.nodes,
+        st.pruned,
+        st.dominated,
+        st.budgets_tried,
+        st.wall.as_secs_f64() * 1e3
+    );
+    if let Some(tiles) = solution.covering() {
+        for t in tiles {
+            out.push_str("cycle");
+            for v in t.vertices() {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+
 /// Executes a command line (without the program name); returns the
 /// output to print on success or an error message.
 pub fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
+        Some("solve") => run_solve(&args[1..]),
+        Some("engines") => {
+            let mut out = String::new();
+            for e in engines() {
+                let _ = writeln!(out, "{:16} {}", e.name(), e.description());
+            }
+            Ok(out)
+        }
         Some("rho") => {
             let n = parse_n(args.get(1))?;
             Ok(format!("{}\n", rho(n)))
@@ -70,7 +227,12 @@ pub fn run(args: &[String]) -> Result<String, String> {
             let path = args.get(1).ok_or("validate needs a file path")?;
             let text =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-            let cover = format::from_text(&text).map_err(|e| e.to_string())?;
+            // Solution JSON (from `solve --json`) or the v1 text format.
+            let cover = if text.trim_start().starts_with('{') {
+                json::covering_from_solution_json(&text)?
+            } else {
+                format::from_text(&text).map_err(|e| e.to_string())?
+            };
             match cover.validate() {
                 Ok(()) => Ok(format!(
                     "OK: {} cycles cover K_{} over C_{} (rho = {})\n",
@@ -215,6 +377,68 @@ mod tests {
     fn rho_command() {
         assert_eq!(runv(&["rho", "9"]).unwrap(), "10\n");
         assert_eq!(runv(&["rho", "13"]).unwrap(), "21\n");
+    }
+
+    #[test]
+    fn solve_certifies_small_optimum() {
+        let out = runv(&["solve", "6"]).unwrap();
+        assert!(out.contains("OPTIMAL: 5 cycles"), "{out}");
+        assert!(out.contains("lower bound"), "{out}");
+        assert_eq!(out.matches("cycle ").count(), 5, "{out}");
+    }
+
+    #[test]
+    fn solve_json_round_trips_through_validate() {
+        let text = runv(&["solve", "6", "--json"]).unwrap();
+        assert!(text.contains("\"cyclecover-solution\""), "{text}");
+        let path = std::env::temp_dir().join("cyclecover_cli_test_solve6.json");
+        std::fs::write(&path, &text).unwrap();
+        let out = runv(&["validate", path.to_str().unwrap()]).unwrap();
+        assert!(out.starts_with("OK: 5 cycles"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn solve_budget_and_engines() {
+        // An infeasible budget must say so.
+        let out = runv(&["solve", "6", "--budget", "4"]).unwrap();
+        assert!(out.contains("INFEASIBLE"), "{out}");
+        // Heuristic engines answer FEASIBLE, never OPTIMAL.
+        let out = runv(&["solve", "9", "--engine", "greedy-improve"]).unwrap();
+        assert!(out.contains("FEASIBLE"), "{out}");
+        // DLX partitions the odd case optimally.
+        let out = runv(&["solve", "9", "--engine", "dlx"]).unwrap();
+        assert!(out.contains("OPTIMAL: 10 cycles"), "{out}");
+        // The registry listing names every engine.
+        let listing = runv(&["engines"]).unwrap();
+        for name in ["bitset", "bitset-parallel", "legacy", "dlx", "greedy", "anneal"] {
+            assert!(listing.contains(name), "{listing}");
+        }
+    }
+
+    #[test]
+    fn solve_max_nodes_reports_inconclusive() {
+        let out = runv(&["solve", "8", "--budget", "8", "--max-nodes", "10"]).unwrap();
+        assert!(out.contains("INCONCLUSIVE"), "{out}");
+        assert!(out.contains("NodeBudget"), "{out}");
+    }
+
+    #[test]
+    fn solve_flag_errors_are_helpful() {
+        assert!(runv(&["solve"]).unwrap_err().contains("missing <n>"));
+        assert!(runv(&["solve", "6", "--engine", "nope"])
+            .unwrap_err()
+            .contains("unknown engine"));
+        assert!(runv(&["solve", "6", "--budget"])
+            .unwrap_err()
+            .contains("needs"));
+        assert!(runv(&["solve", "6", "--frobnicate"])
+            .unwrap_err()
+            .contains("unknown solve flag"));
+        // ProveInfeasible is unsupported by heuristics; --budget on greedy
+        // that can't be met reports engine exhaustion instead of lying.
+        let out = runv(&["solve", "9", "--engine", "greedy", "--budget", "1"]).unwrap();
+        assert!(out.contains("INCONCLUSIVE"), "{out}");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! physical footprints can reuse a wavelength, and minimizing wavelengths
 //! becomes graph coloring of the **conflict graph** (cycles adjacent iff
 //! their routings share a physical link) — the objective of the paper's
-//! reference [4] (Gerstel–Lin–Sasaki). This crate provides the coloring
+//! reference \[4\] (Gerstel–Lin–Sasaki). This crate provides the coloring
 //! machinery:
 //!
 //! * [`greedy_coloring`] — sequential greedy in a caller-chosen order;

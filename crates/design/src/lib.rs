@@ -1,7 +1,7 @@
 //! # cyclecover-design
 //!
 //! Classical covering-design substrate — the literature the paper builds
-//! on (its references [2] Bermond, [6] Mills–Mullin, [7] Stanton–Rogers):
+//! on (its references \[2\] Bermond, \[6\] Mills–Mullin, \[7\] Stanton–Rogers):
 //! coverings of `K_n` by small cycles *without* the routing constraint.
 //!
 //! Why this matters for the reproduction: a triangle is DRC-routable on

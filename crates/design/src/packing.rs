@@ -1,6 +1,6 @@
 //! Triangle *packings* of `K_n` — the dual of covering.
 //!
-//! The paper's reference [7] is titled "Packings and coverings by
+//! The paper's reference \[7\] is titled "Packings and coverings by
 //! triples"; design theory treats the two together. A packing is a set
 //! of edge-*disjoint* triangles; the maximum packing number `D(n)`
 //! complements the covering number `C(n,3,2)` (they coincide at STS

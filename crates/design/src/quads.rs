@@ -1,6 +1,6 @@
-//! 4-cycle coverings of `K_n` — the paper's reference [2].
+//! 4-cycle coverings of `K_n` — the paper's reference \[2\].
 //!
-//! "The covering by `C_k`, `k > 3`, has been considered in [2], where in
+//! "The covering by `C_k`, `k > 3`, has been considered in \[2\], where in
 //! particular, the minimum number of 4-cycles required to cover `K_n` is
 //! determined" (Bermond's thèse d'État, 1975). This module rebuilds the
 //! executable substance of that reference:

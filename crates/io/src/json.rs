@@ -1,0 +1,492 @@
+//! The JSON wire format for solver [`Solution`]s.
+//!
+//! A service front-end needs one parseable artifact per solve: what was
+//! asked, what was found, what was *proved*, and what it cost. This module
+//! serializes [`Solution`] to a stable, self-contained JSON document and
+//! parses it back far enough to independently re-validate the covering —
+//! the same trust boundary as the v1 text format, for machines instead of
+//! humans:
+//!
+//! ```json
+//! {
+//!   "format": "cyclecover-solution",
+//!   "version": 1,
+//!   "n": 4,
+//!   "engine": "bitset",
+//!   "optimality": {"kind": "optimal",
+//!                  "proof": {"kind": "exhaustive_search",
+//!                            "infeasible_budget": 2, "nodes": 9}},
+//!   "size": 3,
+//!   "cycles": [[0, 1, 2], [0, 2, 3], [0, 1, 3]],
+//!   "stats": {"nodes": 42, "pruned": 7, "dominated": 3,
+//!             "budgets_tried": 2, "wall_ms": 0.1}
+//! }
+//! ```
+//!
+//! `cycles` (and `size`) are `null` when the solution carries no covering
+//! (an infeasibility proof, or an exhausted budget). Everything is std
+//! only, per the workspace's offline-crate policy: [`Json`] is a minimal
+//! recursive-descent JSON reader sufficient for this schema (and for any
+//! well-formed document without exotic escapes).
+
+use cyclecover_core::DrcCovering;
+use cyclecover_graph::CycleSubgraph;
+use cyclecover_ring::{routing, Ring, Tile};
+use cyclecover_solver::api::{Exhaustion, LowerBoundProof, Optimality, Solution};
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Emission
+// ---------------------------------------------------------------------------
+
+/// Serializes a [`Solution`] to the JSON wire format.
+pub fn solution_to_json(sol: &Solution) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"format\": \"cyclecover-solution\",");
+    let _ = writeln!(s, "  \"version\": 1,");
+    let _ = writeln!(s, "  \"n\": {},", sol.ring().n());
+    let _ = writeln!(s, "  \"engine\": {},", quote(sol.stats().engine));
+    let _ = writeln!(s, "  \"optimality\": {},", optimality_json(sol.optimality()));
+    match sol.covering() {
+        Some(tiles) => {
+            let _ = writeln!(s, "  \"size\": {},", tiles.len());
+            s.push_str("  \"cycles\": [");
+            for (i, t) in tiles.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                s.push('[');
+                for (j, v) in t.vertices().iter().enumerate() {
+                    if j > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "{v}");
+                }
+                s.push(']');
+            }
+            s.push_str("],\n");
+        }
+        None => {
+            let _ = writeln!(s, "  \"size\": null,");
+            let _ = writeln!(s, "  \"cycles\": null,");
+        }
+    }
+    let st = sol.stats();
+    let _ = writeln!(
+        s,
+        "  \"stats\": {{\"nodes\": {}, \"pruned\": {}, \"dominated\": {}, \
+         \"budgets_tried\": {}, \"wall_ms\": {:.3}}}",
+        st.nodes,
+        st.pruned,
+        st.dominated,
+        st.budgets_tried,
+        st.wall.as_secs_f64() * 1e3
+    );
+    s.push_str("}\n");
+    s
+}
+
+fn optimality_json(o: &Optimality) -> String {
+    match o {
+        Optimality::Optimal { lower_bound_proof } => {
+            let proof = match lower_bound_proof {
+                LowerBoundProof::CombinatorialBound { bound } => {
+                    format!("{{\"kind\": \"combinatorial_bound\", \"bound\": {bound}}}")
+                }
+                LowerBoundProof::ExhaustiveSearch {
+                    infeasible_budget,
+                    nodes,
+                } => format!(
+                    "{{\"kind\": \"exhaustive_search\", \"infeasible_budget\": \
+                     {infeasible_budget}, \"nodes\": {nodes}}}"
+                ),
+            };
+            format!("{{\"kind\": \"optimal\", \"proof\": {proof}}}")
+        }
+        Optimality::Feasible => "{\"kind\": \"feasible\"}".to_string(),
+        Optimality::Infeasible => "{\"kind\": \"infeasible\"}".to_string(),
+        Optimality::BudgetExhausted { reason } => {
+            let reason = match reason {
+                Exhaustion::NodeBudget => "node_budget",
+                Exhaustion::Deadline => "deadline",
+                Exhaustion::Cancelled => "cancelled",
+                Exhaustion::EngineLimit => "engine_limit",
+            };
+            format!("{{\"kind\": \"budget_exhausted\", \"reason\": \"{reason}\"}}")
+        }
+    }
+}
+
+fn quote(raw: &str) -> String {
+    let mut s = String::with_capacity(raw.len() + 2);
+    s.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\t' => s.push_str("\\t"),
+            '\r' => s.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the subset of JSON this workspace speaks: no
+/// surrogate-pair escapes).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; exact for the magnitudes the
+    /// wire format emits).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing garbage is an error).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing content at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{lit}' at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                fields.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos).map(Json::Num),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&c) = b.get(*pos) {
+        *pos += 1;
+        match c {
+            b'"' => {
+                return String::from_utf8(out).map_err(|e| format!("invalid UTF-8: {e}"));
+            }
+            b'\\' => {
+                let esc = b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'b' => out.push(0x08),
+                    b'f' => out.push(0x0c),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        *pos += 4;
+                        let c = char::from_u32(code)
+                            .ok_or_else(|| format!("\\u{hex} is not a scalar value"))?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err("unterminated string".into())
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while let Some(&c) = b.get(*pos) {
+        if matches!(c, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).expect("ascii digits");
+    text.parse::<f64>()
+        .map_err(|e| format!("bad number '{text}' at byte {start}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Re-validation
+// ---------------------------------------------------------------------------
+
+/// Parses a solution document and rebuilds its covering as a validated
+/// [`DrcCovering`] — the trust boundary for anything received over the
+/// wire. Errors if the document is not a solution, carries no covering,
+/// or any cycle fails the DRC checks.
+pub fn covering_from_solution_json(text: &str) -> Result<DrcCovering, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("format").and_then(Json::as_str) {
+        Some("cyclecover-solution") => {}
+        other => return Err(format!("not a cyclecover-solution document: {other:?}")),
+    }
+    let n_raw = doc
+        .get("n")
+        .and_then(Json::as_num)
+        .ok_or("missing ring size 'n'")?;
+    if n_raw.fract() != 0.0 || !(3.0..=u32::MAX as f64).contains(&n_raw) {
+        return Err(format!("ring size {n_raw} out of range"));
+    }
+    let n = n_raw as i64;
+    let ring = Ring::new(n as u32);
+    let cycles = match doc.get("cycles") {
+        Some(Json::Arr(cycles)) => cycles,
+        Some(Json::Null) => return Err("solution carries no covering".into()),
+        _ => return Err("missing 'cycles' array".into()),
+    };
+    let mut tiles = Vec::with_capacity(cycles.len());
+    for (i, cyc) in cycles.iter().enumerate() {
+        let raw = cyc
+            .as_arr()
+            .ok_or_else(|| format!("cycle {i} is not an array"))?;
+        let mut verts = Vec::with_capacity(raw.len());
+        for v in raw {
+            let x = v
+                .as_num()
+                .ok_or_else(|| format!("cycle {i}: non-numeric vertex"))?;
+            if x.fract() != 0.0 || !(0.0..(ring.n() as f64)).contains(&x) {
+                return Err(format!("cycle {i}: vertex {x} out of range for ring {n}"));
+            }
+            verts.push(x as u32);
+        }
+        if verts.len() < 3 {
+            return Err(format!("cycle {i} needs >= 3 vertices"));
+        }
+        let mut sorted = verts.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(format!("cycle {i} repeats a vertex"));
+        }
+        if routing::winding_routing(ring, &CycleSubgraph::new(verts.clone())).is_none() {
+            return Err(format!("cycle {i} violates the DRC on ring {n}"));
+        }
+        tiles.push(Tile::from_vertices(ring, verts));
+    }
+    Ok(DrcCovering::from_tiles(ring, tiles))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cyclecover_solver::api::{engine_by_name, Problem, SolveRequest};
+
+    fn solve(n: u32, req: &SolveRequest) -> Solution {
+        engine_by_name("bitset")
+            .unwrap()
+            .solve(&Problem::complete(n), req)
+    }
+
+    #[test]
+    fn optimal_solution_round_trips_and_validates() {
+        let sol = solve(6, &SolveRequest::find_optimal());
+        let text = solution_to_json(&sol);
+        let doc = Json::parse(&text).expect("emitted JSON parses");
+        assert_eq!(doc.get("n").and_then(Json::as_num), Some(6.0));
+        assert_eq!(doc.get("engine").and_then(Json::as_str), Some("bitset"));
+        assert_eq!(
+            doc.get("optimality").and_then(|o| o.get("kind")).and_then(Json::as_str),
+            Some("optimal")
+        );
+        let cover = covering_from_solution_json(&text).expect("covering validates");
+        assert_eq!(cover.len(), sol.size().unwrap());
+        assert!(cover.validate().is_ok());
+    }
+
+    #[test]
+    fn infeasible_solution_has_null_cycles() {
+        let sol = solve(6, &SolveRequest::prove_infeasible(4));
+        let text = solution_to_json(&sol);
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(doc.get("cycles"), Some(&Json::Null));
+        assert_eq!(
+            doc.get("optimality").and_then(|o| o.get("kind")).and_then(Json::as_str),
+            Some("infeasible")
+        );
+        let err = covering_from_solution_json(&text).unwrap_err();
+        assert!(err.contains("no covering"), "{err}");
+    }
+
+    #[test]
+    fn parser_handles_the_value_zoo() {
+        let doc = Json::parse(
+            r#"{"a": [1, -2.5, 1e3], "b": {"c": null, "d": [true, false]},
+                "s": "q\"\\\nA"}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[2].as_num(), Some(1000.0));
+        assert_eq!(doc.get("b").unwrap().get("c"), Some(&Json::Null));
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("q\"\\\nA"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1, ]x",
+            "{\"a\" 1}",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn revalidation_rejects_fractional_ring_size() {
+        let sol = solve(6, &SolveRequest::find_optimal());
+        let tampered = solution_to_json(&sol).replace("\"n\": 6", "\"n\": 6.9");
+        let err = covering_from_solution_json(&tampered).unwrap_err();
+        assert!(err.contains("ring size"), "{err}");
+    }
+
+    #[test]
+    fn revalidation_rejects_tampered_coverings() {
+        let sol = solve(5, &SolveRequest::find_optimal());
+        let good = solution_to_json(&sol);
+        // Remove one cycle: coverage breaks but the document stays valid
+        // JSON — from_tiles accepts it, validate() must catch it. Here we
+        // tamper harder: a non-DRC cycle must be rejected at parse time.
+        let tampered = good.replace("\"cycles\": [[", "\"cycles\": [[0, 2, 4, 1], [[");
+        match covering_from_solution_json(&tampered) {
+            Err(e) => assert!(e.contains("DRC") || e.contains("expected"), "{e}"),
+            Ok(c) => assert!(c.validate().is_err(), "tampered covering validated"),
+        }
+    }
+}

@@ -2,9 +2,12 @@
 //!
 //! Persistence and presentation for the cycle-covering workspace:
 //!
-//! * [`format`] — the v1 line-oriented text format for
+//! * [`format`](mod@format) — the v1 line-oriented text format for
 //!   [`DrcCovering`](cyclecover_core::DrcCovering)s (serialize, parse,
 //!   re-validate);
+//! * [`json`] — the JSON wire format for solver
+//!   [`Solution`](cyclecover_solver::api::Solution)s (emit, parse,
+//!   re-validate) — the service layer's request/response artifact;
 //! * [`csv`] — a small RFC-4180-style CSV/ASCII table writer for the
 //!   experiment binaries;
 //! * [`svg`] — standalone SVG rendering of ring coverings.
@@ -27,4 +30,5 @@
 
 pub mod csv;
 pub mod format;
+pub mod json;
 pub mod svg;

@@ -35,7 +35,7 @@ impl CostModel {
         }
     }
 
-    /// The refs [3,4] objective: minimize total ADM count (Σ|V(I_k)|).
+    /// The refs \[3,4\] objective: minimize total ADM count (Σ|V(I_k)|).
     pub fn adm_objective() -> Self {
         CostModel {
             wavelength_cost: 0.0,

@@ -1,6 +1,6 @@
 //! Failure/repair timelines — automatic protection switching over time.
 //!
-//! The paper's ref [9] (Tillerot et al., OFC'98) is about *automatic
+//! The paper's ref \[9\] (Tillerot et al., OFC'98) is about *automatic
 //! protection switching* on a WDM layer; the combinatorics of the note
 //! decide *where* spare capacity lives, and this module simulates *how*
 //! the network behaves as failures arrive and crews repair them:
@@ -12,7 +12,7 @@
 //!   two overlapping failures);
 //! * every transition of a demand from working to protection (or back,
 //!   on repair — revertive switching) is counted as one switch
-//!   operation, the maintenance-cost quantity ref [9] cares about.
+//!   operation, the maintenance-cost quantity ref \[9\] cares about.
 //!
 //! [`simulate_timeline`] processes a deterministic event list, so tests
 //! and experiments replay exact scenarios; random soak scenarios are

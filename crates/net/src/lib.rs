@@ -14,13 +14,13 @@
 //! per subnetwork**, i.e. half the capacity of the pair, matching the
 //! paper's "on the cycle we use half of the capacity for the demands".
 //!
-//! ## Protection (paper §1 and ref [9])
+//! ## Protection (paper §1 and ref \[9\])
 //!
 //! On a single link failure, each subnetwork reroutes its (unique)
 //! affected demand "through the remaining part of the cycle using the
 //! other half of the capacity": the complement arc on the spare
 //! wavelength. [`WdmNetwork::fail_link`] simulates this and
-//! [`WdmNetwork::audit_survivability`] verifies the claim exhaustively —
+//! [`audit_all_failures`] verifies the claim exhaustively —
 //! every demand restored, protection path avoiding the failed link, spare
 //! capacity never exceeded.
 //!
@@ -30,7 +30,7 @@
 //! in each node, the number of wavelengths … and a cost of regeneration
 //! and amplification." [`CostModel`] exposes those three knobs; on a ring
 //! minimizing cost at fixed weights reduces to minimizing the number of
-//! subnetworks — the paper's objective — while refs [3,4] minimize total
+//! subnetworks — the paper's objective — while refs \[3,4\] minimize total
 //! ADM count instead. Experiment E7 compares coverings under both.
 //!
 //! ```

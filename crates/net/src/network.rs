@@ -80,7 +80,7 @@ impl WdmNetwork {
     }
 
     /// Total ADM count across subnetworks — the objective of the paper's
-    /// refs [3] (Eilam–Moran–Zaks) and [4] (Gerstel–Lin–Sasaki).
+    /// refs \[3\] (Eilam–Moran–Zaks) and \[4\] (Gerstel–Lin–Sasaki).
     pub fn total_adms(&self) -> usize {
         self.subnets.iter().map(Subnetwork::adm_count).sum()
     }

@@ -1,0 +1,1046 @@
+//! The unified solver surface: [`Problem`] + [`SolveRequest`] in,
+//! [`Solution`] out, through any registered [`Engine`].
+//!
+//! Every experiment in the paper is an instance of one question — *cover
+//! this demand spec on `C_n` within this budget, and certify it* — so the
+//! whole solver stack sits behind a single typed request/response
+//! boundary:
+//!
+//! * [`Problem`] — what to solve: the ring, a [`CoverSpec`], and the
+//!   precomputed [`TileUniverse`] the search runs on;
+//! * [`SolveRequest`] — what kind of answer is wanted (an [`Objective`]),
+//!   under which resource limits (node budget, wall-clock deadline, a
+//!   shareable [`CancelToken`]) and [`ExecPolicy`];
+//! * [`Solution`] — the covering (if any), an [`Optimality`] certificate
+//!   saying exactly what was proved, and unified [`Stats`].
+//!
+//! Engines are registered by name in [`engines`] / [`engine_by_name`] so
+//! CLIs, benches, and services select them with a string:
+//!
+//! | name | substrate |
+//! |------|-----------|
+//! | `bitset` | word-packed branch & bound (sequential; honors `ExecPolicy::Parallel`) |
+//! | `bitset-parallel` | the same search drained over a rayon frontier |
+//! | `legacy` | the multiplicity-counter reference search |
+//! | `dlx` | Dancing-Links exact partition (odd `n`, complete spec) |
+//! | `greedy` | max-coverage greedy |
+//! | `greedy-improve` | greedy + drop/merge local search |
+//! | `anneal` | greedy + simulated annealing + local search |
+//!
+//! ```
+//! use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+//!
+//! // Certify the paper's worked example, rho(4) = 3, end to end.
+//! let problem = Problem::complete(4);
+//! let engine = engine_by_name("bitset").unwrap();
+//! let solution = engine.solve(&problem, &SolveRequest::find_optimal());
+//! assert!(matches!(solution.optimality(), Optimality::Optimal { .. }));
+//! assert_eq!(solution.covering().unwrap().len(), 3);
+//! ```
+
+use crate::anneal::{anneal_covering, AnnealParams};
+use crate::bnb::{self, CoverSpec, Outcome, RunLimits};
+use crate::dlx::ExactCover;
+use crate::greedy::greedy_cover;
+use crate::improve::improve_covering;
+use crate::TileUniverse;
+use cyclecover_ring::{Ring, Tile};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Problem
+// ---------------------------------------------------------------------------
+
+/// A covering problem: the ring, the demand spec, and the precomputed tile
+/// universe every engine searches over.
+///
+/// The universe is owned so one `Problem` can be solved repeatedly (and by
+/// several engines) without re-enumerating tiles.
+pub struct Problem {
+    universe: TileUniverse,
+    spec: CoverSpec,
+}
+
+impl Problem {
+    /// A problem over an explicit universe and spec.
+    ///
+    /// # Panics
+    /// Panics if the spec's demand vector is not sized for the universe's
+    /// ring (`n(n−1)/2` entries).
+    pub fn new(universe: TileUniverse, spec: CoverSpec) -> Self {
+        let n = universe.ring().n() as usize;
+        assert_eq!(
+            spec.demand.len(),
+            n * (n - 1) / 2,
+            "demand vector sized for K_{n}"
+        );
+        Problem { universe, spec }
+    }
+
+    /// The standard instance: cover every request of `K_n` once, over the
+    /// full tile universe (`max_len = n`) — the `ρ(n)` workload.
+    pub fn complete(n: u32) -> Self {
+        Problem::new(
+            TileUniverse::new(Ring::new(n), n as usize),
+            CoverSpec::complete(n),
+        )
+    }
+
+    /// The λ-fold instance over the full tile universe.
+    pub fn lambda_fold(n: u32, lambda: u32) -> Self {
+        Problem::new(
+            TileUniverse::new(Ring::new(n), n as usize),
+            CoverSpec::lambda_fold(n, lambda),
+        )
+    }
+
+    /// The ring the problem lives on.
+    pub fn ring(&self) -> Ring {
+        self.universe.ring()
+    }
+
+    /// The tile universe.
+    pub fn universe(&self) -> &TileUniverse {
+        &self.universe
+    }
+
+    /// The demand spec.
+    pub fn spec(&self) -> &CoverSpec {
+        &self.spec
+    }
+
+    /// Whether the spec demands every request of `K_n` exactly once.
+    pub fn is_complete_unit(&self) -> bool {
+        self.spec.demand.iter().all(|&d| d == 1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SolveRequest
+// ---------------------------------------------------------------------------
+
+/// What kind of answer a [`SolveRequest`] asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Objective {
+    /// Find a minimum covering and certify its optimality.
+    FindOptimal,
+    /// Find any covering using at most this many tiles.
+    WithinBudget(u32),
+    /// Prove that no covering with at most this many tiles exists.
+    ProveInfeasible(u32),
+}
+
+/// How an engine may spend its CPU.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecPolicy {
+    /// Single-threaded depth-first search.
+    Sequential,
+    /// Frontier-parallel search: the tree is expanded breadth-first into
+    /// `threads × 2^prefix_depth` independent prefixes, drained on a
+    /// work-sharing rayon scope. `threads = 0` uses the available
+    /// parallelism.
+    Parallel {
+        /// Worker threads (`0` = available parallelism).
+        threads: usize,
+        /// log₂ of the frontier prefixes expanded per thread.
+        prefix_depth: u32,
+    },
+    /// Let the engine pick (engines default to their natural mode).
+    Auto,
+}
+
+impl ExecPolicy {
+    /// The default parallel policy: all cores, 8 prefixes per thread.
+    pub fn parallel() -> Self {
+        ExecPolicy::Parallel {
+            threads: 0,
+            prefix_depth: 3,
+        }
+    }
+}
+
+/// A shareable cooperative-cancellation flag.
+///
+/// Clones share one flag: hand a clone to a request (or several), keep
+/// one, and [`CancelToken::cancel`] stops every search holding it within
+/// ~4096 expanded nodes per worker.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent, visible to all clones).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// The raw flag, for the search hot loop.
+    pub(crate) fn flag(&self) -> &AtomicBool {
+        &self.flag
+    }
+}
+
+/// A builder-style solve request: objective, resource limits, execution
+/// policy. All limits default to "unlimited".
+#[derive(Clone, Debug)]
+pub struct SolveRequest {
+    objective: Objective,
+    max_nodes: u64,
+    deadline: Option<Duration>,
+    cancel: CancelToken,
+    policy: ExecPolicy,
+}
+
+impl SolveRequest {
+    /// A request with the given objective and default limits/policy.
+    pub fn new(objective: Objective) -> Self {
+        SolveRequest {
+            objective,
+            max_nodes: u64::MAX,
+            deadline: None,
+            cancel: CancelToken::new(),
+            policy: ExecPolicy::Auto,
+        }
+    }
+
+    /// Shorthand for [`Objective::FindOptimal`].
+    pub fn find_optimal() -> Self {
+        Self::new(Objective::FindOptimal)
+    }
+
+    /// Shorthand for [`Objective::WithinBudget`].
+    pub fn within_budget(budget: u32) -> Self {
+        Self::new(Objective::WithinBudget(budget))
+    }
+
+    /// Shorthand for [`Objective::ProveInfeasible`].
+    pub fn prove_infeasible(budget: u32) -> Self {
+        Self::new(Objective::ProveInfeasible(budget))
+    }
+
+    /// Caps the number of search-tree nodes expanded by the whole
+    /// request — across all workers and, for `FindOptimal`, across all
+    /// deepening budgets.
+    pub fn with_max_nodes(mut self, max_nodes: u64) -> Self {
+        self.max_nodes = max_nodes;
+        self
+    }
+
+    /// Sets a wall-clock deadline, measured from the moment an engine
+    /// starts solving; every worker checks it about every 4096 nodes.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a shared cancellation token.
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// Sets the execution policy.
+    pub fn with_policy(mut self, policy: ExecPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The objective.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The node budget (`u64::MAX` = unlimited).
+    pub fn max_nodes(&self) -> u64 {
+        self.max_nodes
+    }
+
+    /// The wall-clock deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The cancellation token (clone it to keep a cancel handle).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.cancel
+    }
+
+    /// The execution policy.
+    pub fn policy(&self) -> ExecPolicy {
+        self.policy
+    }
+
+    /// The [`RunLimits`] this request imposes on a search starting `now`.
+    fn run_limits(&self, start: Instant) -> RunLimits {
+        RunLimits {
+            max_nodes: self.max_nodes,
+            deadline: self.deadline.map(|d| start + d),
+            cancel: Some(self.cancel.clone()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solution
+// ---------------------------------------------------------------------------
+
+/// Why a search stopped without settling its objective.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Exhaustion {
+    /// The node budget ran out.
+    NodeBudget,
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The [`CancelToken`] was cancelled.
+    Cancelled,
+    /// The engine's method has no further moves (a heuristic finished
+    /// above the requested budget, or DLX found no exact partition).
+    EngineLimit,
+}
+
+/// How a [`Solution`] knows its covering size is a lower bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LowerBoundProof {
+    /// The closed-form capacity/diameter bound already equals the
+    /// covering size — no search was needed.
+    CombinatorialBound {
+        /// The bound's value.
+        bound: u32,
+    },
+    /// An exhaustive search proved one-below-the-answer infeasible.
+    ExhaustiveSearch {
+        /// The budget proved infeasible (= optimum − 1).
+        infeasible_budget: u32,
+        /// Nodes the infeasibility proof expanded.
+        nodes: u64,
+    },
+}
+
+/// The certificate attached to a [`Solution`]: exactly what the engine
+/// proved, never more.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Optimality {
+    /// The covering is a minimum: a matching lower bound was established.
+    Optimal {
+        /// How the matching lower bound was proved.
+        lower_bound_proof: LowerBoundProof,
+    },
+    /// A covering meeting the objective was found; optimality unknown.
+    Feasible,
+    /// Exhaustively proved: no covering within the requested budget.
+    Infeasible,
+    /// The engine stopped before reaching a verdict.
+    BudgetExhausted {
+        /// Which limit stopped it.
+        reason: Exhaustion,
+    },
+}
+
+/// Unified per-solve statistics.
+#[derive(Clone, Copy, Debug)]
+pub struct Stats {
+    /// Name of the engine that produced the solution.
+    pub engine: &'static str,
+    /// Search-tree nodes expanded (0 for non-search engines).
+    pub nodes: u64,
+    /// Nodes cut by the lower bounds.
+    pub pruned: u64,
+    /// Candidate branches skipped by dominance pruning.
+    pub dominated: u64,
+    /// Budgets tried (> 1 only for iterative-deepening `FindOptimal`).
+    pub budgets_tried: u32,
+    /// Wall-clock time spent inside the engine.
+    pub wall: Duration,
+}
+
+/// An engine's answer to a [`SolveRequest`].
+#[derive(Clone, Debug)]
+pub struct Solution {
+    ring: Ring,
+    covering: Option<Vec<Tile>>,
+    optimality: Optimality,
+    stats: Stats,
+}
+
+impl Solution {
+    /// The ring the problem was solved on (makes the solution
+    /// self-contained for serialization).
+    pub fn ring(&self) -> Ring {
+        self.ring
+    }
+
+    /// The covering, when one was found.
+    pub fn covering(&self) -> Option<&[Tile]> {
+        self.covering.as_deref()
+    }
+
+    /// The certificate.
+    pub fn optimality(&self) -> &Optimality {
+        &self.optimality
+    }
+
+    /// The unified statistics.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Covering size, when one was found.
+    pub fn size(&self) -> Option<usize> {
+        self.covering.as_ref().map(Vec::len)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Engine trait + registry
+// ---------------------------------------------------------------------------
+
+/// A solver that can sit behind the request/response boundary.
+///
+/// Engines are `Sync` so one registry entry serves concurrent requests.
+pub trait Engine: Sync {
+    /// Registry name (stable; used by CLIs and benches for selection).
+    fn name(&self) -> &'static str;
+
+    /// One-line human description.
+    fn description(&self) -> &'static str;
+
+    /// Whether this engine can honor the request on this problem.
+    /// [`Engine::solve`] on an unsupported pair is allowed to panic.
+    fn supports(&self, problem: &Problem, request: &SolveRequest) -> bool;
+
+    /// Solves the problem per the request.
+    fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution;
+}
+
+/// All registered engines, exact first.
+pub fn engines() -> &'static [&'static dyn Engine] {
+    static ENGINES: [&dyn Engine; 7] = [
+        &BitsetEngine,
+        &ParallelBitsetEngine,
+        &LegacyEngine,
+        &DlxEngine,
+        &HeuristicEngine::GREEDY,
+        &HeuristicEngine::GREEDY_IMPROVE,
+        &HeuristicEngine::ANNEAL,
+    ];
+    &ENGINES
+}
+
+/// Looks an engine up by registry name.
+pub fn engine_by_name(name: &str) -> Option<&'static dyn Engine> {
+    engines().iter().copied().find(|e| e.name() == name)
+}
+
+// ---------------------------------------------------------------------------
+// Exact engines (branch & bound)
+// ---------------------------------------------------------------------------
+
+/// Drives one exact budgeted-search function through any [`Objective`]:
+/// a single probe for `WithinBudget`/`ProveInfeasible`, iterative
+/// deepening from the combinatorial bound for `FindOptimal`.
+fn drive_exact(
+    engine: &'static str,
+    problem: &Problem,
+    request: &SolveRequest,
+    run: impl Fn(u32, &RunLimits) -> (Outcome, bnb::Stats, Option<Exhaustion>),
+) -> Solution {
+    let start = Instant::now();
+    let base_lim = request.run_limits(start);
+    let u = problem.universe();
+    let mut total = bnb::Stats::default();
+    let mut budgets_tried = 0u32;
+    // The node budget caps the whole request, not each deepening probe:
+    // every probe gets only what the earlier probes left over (the
+    // deadline is an absolute instant, so it is cumulative by nature).
+    let mut probe = |budget: u32| {
+        budgets_tried += 1;
+        let lim = RunLimits {
+            max_nodes: base_lim.max_nodes.saturating_sub(total.nodes),
+            ..base_lim.clone()
+        };
+        let (o, s, cause) = run(budget, &lim);
+        total.absorb(s);
+        (o, s, cause)
+    };
+
+    let (covering, optimality) = match request.objective() {
+        Objective::WithinBudget(k) | Objective::ProveInfeasible(k) => match probe(k) {
+            (Outcome::Feasible(idx), _, _) => {
+                let tiles: Vec<Tile> = idx.iter().map(|&i| u.tile(i).clone()).collect();
+                (Some(tiles), Optimality::Feasible)
+            }
+            (Outcome::Infeasible, _, _) => (None, Optimality::Infeasible),
+            (Outcome::NodeLimit, _, cause) => (
+                None,
+                Optimality::BudgetExhausted {
+                    reason: cause.unwrap_or(Exhaustion::NodeBudget),
+                },
+            ),
+        },
+        Objective::FindOptimal => {
+            let mut budget = bnb::deepening_start(u, problem.spec());
+            let mut proof = LowerBoundProof::CombinatorialBound { bound: budget };
+            loop {
+                match probe(budget) {
+                    (Outcome::Feasible(idx), _, _) => {
+                        let tiles: Vec<Tile> = idx.iter().map(|&i| u.tile(i).clone()).collect();
+                        break (
+                            Some(tiles),
+                            Optimality::Optimal {
+                                lower_bound_proof: proof,
+                            },
+                        );
+                    }
+                    (Outcome::Infeasible, s, _) => {
+                        proof = LowerBoundProof::ExhaustiveSearch {
+                            infeasible_budget: budget,
+                            nodes: s.nodes,
+                        };
+                        budget += 1;
+                    }
+                    (Outcome::NodeLimit, _, cause) => {
+                        break (
+                            None,
+                            Optimality::BudgetExhausted {
+                                reason: cause.unwrap_or(Exhaustion::NodeBudget),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    };
+
+    Solution {
+        ring: problem.ring(),
+        covering,
+        optimality,
+        stats: Stats {
+            engine,
+            nodes: total.nodes,
+            pruned: total.pruned,
+            dominated: total.dominated,
+            budgets_tried,
+            wall: start.elapsed(),
+        },
+    }
+}
+
+/// The word-packed branch & bound (`"bitset"`): the default exact engine.
+/// Unit-demand specs run on the bitset kernel, λ-fold specs fall back to
+/// the multiplicity kernel. `ExecPolicy::Sequential`/`Auto` run the
+/// depth-first search in-thread; `ExecPolicy::Parallel` drains a rayon
+/// frontier.
+pub struct BitsetEngine;
+
+impl Engine for BitsetEngine {
+    fn name(&self) -> &'static str {
+        "bitset"
+    }
+
+    fn description(&self) -> &'static str {
+        "word-packed branch & bound (dominance pruning; honors ExecPolicy::Parallel)"
+    }
+
+    fn supports(&self, _problem: &Problem, _request: &SolveRequest) -> bool {
+        true
+    }
+
+    fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
+        match request.policy() {
+            ExecPolicy::Parallel {
+                threads,
+                prefix_depth,
+            } => drive_exact("bitset", problem, request, |budget, lim| {
+                bnb::budget_search_parallel(
+                    problem.universe(),
+                    problem.spec(),
+                    budget,
+                    lim,
+                    threads,
+                    prefix_per_thread(prefix_depth),
+                )
+            }),
+            ExecPolicy::Sequential | ExecPolicy::Auto => {
+                drive_exact("bitset", problem, request, |budget, lim| {
+                    bnb::budget_search(problem.universe(), problem.spec(), budget, lim)
+                })
+            }
+        }
+    }
+}
+
+fn prefix_per_thread(prefix_depth: u32) -> usize {
+    1usize << prefix_depth.min(16)
+}
+
+/// The frontier-parallel branch & bound (`"bitset-parallel"`): always
+/// parallel, even under `ExecPolicy::Auto` (use [`BitsetEngine`] with an
+/// explicit policy for sequential runs).
+pub struct ParallelBitsetEngine;
+
+impl Engine for ParallelBitsetEngine {
+    fn name(&self) -> &'static str {
+        "bitset-parallel"
+    }
+
+    fn description(&self) -> &'static str {
+        "breadth-first frontier of search prefixes drained on a rayon scope"
+    }
+
+    fn supports(&self, _problem: &Problem, _request: &SolveRequest) -> bool {
+        true
+    }
+
+    fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
+        let (threads, prefix) = match request.policy() {
+            ExecPolicy::Parallel {
+                threads,
+                prefix_depth,
+            } => (threads, prefix_per_thread(prefix_depth)),
+            ExecPolicy::Sequential | ExecPolicy::Auto => (0, bnb::DEFAULT_PREFIX_PER_THREAD),
+        };
+        drive_exact("bitset-parallel", problem, request, |budget, lim| {
+            bnb::budget_search_parallel(
+                problem.universe(),
+                problem.spec(),
+                budget,
+                lim,
+                threads,
+                prefix,
+            )
+        })
+    }
+}
+
+/// The multiplicity-counter reference search (`"legacy"`): the faithful
+/// pre-bitset path, kept for differential testing and before/after
+/// benchmarking. Always sequential.
+pub struct LegacyEngine;
+
+impl Engine for LegacyEngine {
+    fn name(&self) -> &'static str {
+        "legacy"
+    }
+
+    fn description(&self) -> &'static str {
+        "multiplicity-counter branch & bound (pre-bitset reference path)"
+    }
+
+    fn supports(&self, _problem: &Problem, _request: &SolveRequest) -> bool {
+        true
+    }
+
+    fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
+        drive_exact("legacy", problem, request, |budget, lim| {
+            bnb::budget_search_legacy(problem.universe(), problem.spec(), budget, lim)
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DLX engine
+// ---------------------------------------------------------------------------
+
+/// Dancing-Links exact partition (`"dlx"`): odd `n`, complete unit spec.
+///
+/// For odd `n` the capacity bound `ρ(n) = Σdist/n` is met exactly, which
+/// forces any `ρ(n)` covering to be an exact *partition* of the chords
+/// into full-load tiles (no chord covered twice, every tile at load `n`).
+/// The engine therefore restricts the universe to full-load tiles and
+/// runs Knuth's Algorithm X: a partition found is an optimal covering,
+/// certified by the combinatorial bound alone.
+pub struct DlxEngine;
+
+impl DlxEngine {
+    /// Finds an exact partition into full-load tiles, as tile indices.
+    fn partition(u: &TileUniverse) -> Option<Vec<u32>> {
+        let n = u.ring().n();
+        let m = u.num_chords() as usize;
+        let mut ec = ExactCover::new(m);
+        let mut row_tile = Vec::new();
+        for i in 0..u.len() as u32 {
+            if u.tile_load(i) == n {
+                let cols: Vec<usize> =
+                    u.tile_chords(i).iter().map(|&c| c as usize).collect();
+                ec.add_row(&cols);
+                row_tile.push(i);
+            }
+        }
+        let rows = ec.solve_first()?;
+        Some(rows.into_iter().map(|r| row_tile[r as usize]).collect())
+    }
+}
+
+impl Engine for DlxEngine {
+    fn name(&self) -> &'static str {
+        "dlx"
+    }
+
+    fn description(&self) -> &'static str {
+        "Dancing-Links exact partition into full-load tiles (odd n, complete spec)"
+    }
+
+    fn supports(&self, problem: &Problem, _request: &SolveRequest) -> bool {
+        problem.ring().n() % 2 == 1 && problem.is_complete_unit()
+    }
+
+    fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
+        let start = Instant::now();
+        let u = problem.universe();
+        let lb = problem.spec().capacity_lower_bound(problem.ring()) as u32;
+        let partition = |u| {
+            Self::partition(u).map(|idx| -> Vec<Tile> {
+                idx.iter().map(|&i| u.tile(i).clone()).collect()
+            })
+        };
+        let (covering, optimality) = match request.objective() {
+            Objective::FindOptimal => match partition(u) {
+                Some(tiles) => {
+                    debug_assert_eq!(tiles.len() as u32, lb, "full-load partition size");
+                    (
+                        Some(tiles),
+                        Optimality::Optimal {
+                            lower_bound_proof: LowerBoundProof::CombinatorialBound { bound: lb },
+                        },
+                    )
+                }
+                None => (
+                    None,
+                    Optimality::BudgetExhausted {
+                        reason: Exhaustion::EngineLimit,
+                    },
+                ),
+            },
+            Objective::WithinBudget(k) | Objective::ProveInfeasible(k) => {
+                if k < lb {
+                    // The capacity bound alone settles it.
+                    (None, Optimality::Infeasible)
+                } else {
+                    match partition(u) {
+                        Some(tiles) => (Some(tiles), Optimality::Feasible),
+                        None => (
+                            None,
+                            Optimality::BudgetExhausted {
+                                reason: Exhaustion::EngineLimit,
+                            },
+                        ),
+                    }
+                }
+            }
+        };
+        Solution {
+            ring: problem.ring(),
+            covering,
+            optimality,
+            stats: Stats {
+                engine: "dlx",
+                nodes: 0,
+                pruned: 0,
+                dominated: 0,
+                budgets_tried: 1,
+                wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heuristic engine
+// ---------------------------------------------------------------------------
+
+/// The composed heuristic pipeline (`"greedy"`, `"greedy-improve"`,
+/// `"anneal"`): greedy max-coverage seeding, optionally annealed, then
+/// polished by the drop/merge local search. Complete unit specs only —
+/// heuristics produce feasible coverings (upper bounds), never proofs.
+pub struct HeuristicEngine {
+    name: &'static str,
+    description: &'static str,
+    anneal: bool,
+    improve: bool,
+}
+
+impl HeuristicEngine {
+    /// Plain greedy max-coverage.
+    pub const GREEDY: HeuristicEngine = HeuristicEngine {
+        name: "greedy",
+        description: "max-coverage greedy (lazy-bucket heap)",
+        anneal: false,
+        improve: false,
+    };
+    /// Greedy + drop/merge local search.
+    pub const GREEDY_IMPROVE: HeuristicEngine = HeuristicEngine {
+        name: "greedy-improve",
+        description: "greedy seeding polished by drop/merge local search",
+        anneal: false,
+        improve: true,
+    };
+    /// Greedy + simulated annealing + local search.
+    pub const ANNEAL: HeuristicEngine = HeuristicEngine {
+        name: "anneal",
+        description: "greedy seeding, simulated annealing, drop/merge polish",
+        anneal: true,
+        improve: true,
+    };
+}
+
+impl Engine for HeuristicEngine {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn supports(&self, problem: &Problem, request: &SolveRequest) -> bool {
+        problem.is_complete_unit()
+            && !matches!(request.objective(), Objective::ProveInfeasible(_))
+    }
+
+    fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
+        let start = Instant::now();
+        let u = problem.universe();
+        let mut tiles = greedy_cover(u);
+        if self.anneal {
+            tiles = anneal_covering(u, tiles, AnnealParams::default());
+        }
+        if self.improve {
+            tiles = improve_covering(u, tiles);
+        }
+        let optimality = match request.objective() {
+            Objective::WithinBudget(k) if tiles.len() as u64 > k as u64 => {
+                Optimality::BudgetExhausted {
+                    reason: Exhaustion::EngineLimit,
+                }
+            }
+            _ => Optimality::Feasible,
+        };
+        let covering =
+            (!matches!(optimality, Optimality::BudgetExhausted { .. })).then_some(tiles);
+        Solution {
+            ring: problem.ring(),
+            covering,
+            optimality,
+            stats: Stats {
+                engine: self.name,
+                nodes: 0,
+                pruned: 0,
+                dominated: 0,
+                budgets_tried: 1,
+                wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower_bound::rho_formula;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let mut names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
+        names.sort_unstable();
+        let len = names.len();
+        names.dedup();
+        assert_eq!(names.len(), len, "duplicate engine names");
+        for e in engines() {
+            assert!(engine_by_name(e.name()).is_some(), "{}", e.name());
+            assert!(!e.description().is_empty());
+        }
+        assert!(engine_by_name("no-such-engine").is_none());
+    }
+
+    #[test]
+    fn find_optimal_certifies_k4() {
+        let problem = Problem::complete(4);
+        let sol = engine_by_name("bitset")
+            .unwrap()
+            .solve(&problem, &SolveRequest::find_optimal());
+        assert_eq!(sol.size(), Some(3));
+        let Optimality::Optimal { lower_bound_proof } = sol.optimality() else {
+            panic!("expected an optimality certificate, got {:?}", sol.optimality());
+        };
+        // The capacity bound says only 2 — rho(4) = 3 needs the exhaustive
+        // budget-2 refutation (the paper's worked example).
+        assert!(
+            matches!(
+                lower_bound_proof,
+                LowerBoundProof::ExhaustiveSearch {
+                    infeasible_budget: 2,
+                    ..
+                }
+            ),
+            "{lower_bound_proof:?}"
+        );
+        assert_eq!(sol.stats().budgets_tried, 2);
+    }
+
+    #[test]
+    fn find_optimal_search_proof_on_n8() {
+        // rho(8) = 9 = capacity + 1: the deepening must record the
+        // exhaustive budget-8 infeasibility proof.
+        let problem = Problem::complete(8);
+        let sol = engine_by_name("bitset")
+            .unwrap()
+            .solve(&problem, &SolveRequest::find_optimal());
+        assert_eq!(sol.size(), Some(9));
+        match sol.optimality() {
+            Optimality::Optimal {
+                lower_bound_proof:
+                    LowerBoundProof::ExhaustiveSearch {
+                        infeasible_budget,
+                        nodes,
+                    },
+            } => {
+                assert_eq!(*infeasible_budget, 8);
+                assert!(*nodes > 0);
+            }
+            other => panic!("expected a search proof, got {other:?}"),
+        }
+        assert_eq!(sol.stats().budgets_tried, 2);
+    }
+
+    #[test]
+    fn prove_infeasible_and_disprove() {
+        let problem = Problem::complete(6);
+        let rho = rho_formula(6) as u32;
+        let engine = engine_by_name("bitset").unwrap();
+        let below = engine.solve(&problem, &SolveRequest::prove_infeasible(rho - 1));
+        assert_eq!(*below.optimality(), Optimality::Infeasible);
+        assert!(below.covering().is_none());
+        // A disproof: the budget is actually feasible.
+        let at = engine.solve(&problem, &SolveRequest::prove_infeasible(rho));
+        assert_eq!(*at.optimality(), Optimality::Feasible);
+        assert_eq!(at.size(), Some(rho as usize));
+    }
+
+    #[test]
+    fn find_optimal_node_budget_is_cumulative_across_deepening() {
+        // n = 8: the budget-8 refutation costs exactly 97,465 nodes and
+        // the budget-9 witness 9 more. A request cap of 97,470 leaves the
+        // second probe only 5 nodes — the request must exhaust instead of
+        // granting every deepening rung a fresh allowance.
+        let problem = Problem::complete(8);
+        let sol = engine_by_name("bitset").unwrap().solve(
+            &problem,
+            &SolveRequest::find_optimal().with_max_nodes(97_470),
+        );
+        assert_eq!(
+            *sol.optimality(),
+            Optimality::BudgetExhausted {
+                reason: Exhaustion::NodeBudget
+            }
+        );
+        assert!(
+            sol.stats().nodes <= 97_480,
+            "overspent the request cap: {:?}",
+            sol.stats()
+        );
+        // A few nodes of headroom for the witness and the same request
+        // completes, spending under the cap in total.
+        let sol = engine_by_name("bitset").unwrap().solve(
+            &problem,
+            &SolveRequest::find_optimal().with_max_nodes(97_500),
+        );
+        assert_eq!(sol.size(), Some(9));
+        assert!(sol.stats().nodes <= 97_500, "{:?}", sol.stats());
+    }
+
+    #[test]
+    fn node_budget_reports_exhaustion() {
+        let problem = Problem::complete(8);
+        let sol = engine_by_name("bitset").unwrap().solve(
+            &problem,
+            &SolveRequest::within_budget(8).with_max_nodes(10),
+        );
+        assert_eq!(
+            *sol.optimality(),
+            Optimality::BudgetExhausted {
+                reason: Exhaustion::NodeBudget
+            }
+        );
+    }
+
+    #[test]
+    fn cancel_token_stops_sequential_and_parallel() {
+        // A pre-cancelled token must stop the n = 8 budget-8 proof almost
+        // immediately (it needs ~100k nodes when allowed to finish).
+        for policy in [ExecPolicy::Sequential, ExecPolicy::parallel()] {
+            let problem = Problem::complete(8);
+            let token = CancelToken::new();
+            token.cancel();
+            let sol = engine_by_name("bitset").unwrap().solve(
+                &problem,
+                &SolveRequest::within_budget(8)
+                    .with_cancel_token(token)
+                    .with_policy(policy),
+            );
+            assert_eq!(
+                *sol.optimality(),
+                Optimality::BudgetExhausted {
+                    reason: Exhaustion::Cancelled
+                },
+                "policy {policy:?}"
+            );
+            assert!(sol.stats().nodes <= 8192, "stopped late: {:?}", sol.stats());
+        }
+    }
+
+    #[test]
+    fn deadline_stops_parallel_workers() {
+        // The satellite fix: an already-expired deadline must stop the
+        // frontier workers (pre-PR they honored only node budgets).
+        let problem = Problem::complete(8);
+        let sol = engine_by_name("bitset-parallel").unwrap().solve(
+            &problem,
+            &SolveRequest::within_budget(8).with_deadline(Duration::ZERO),
+        );
+        assert_eq!(
+            *sol.optimality(),
+            Optimality::BudgetExhausted {
+                reason: Exhaustion::Deadline
+            }
+        );
+        assert!(sol.stats().nodes <= 8192, "stopped late: {:?}", sol.stats());
+    }
+
+    #[test]
+    fn dlx_partitions_odd_rings() {
+        for n in [3u32, 5, 7, 9] {
+            let problem = Problem::complete(n);
+            let sol = engine_by_name("dlx")
+                .unwrap()
+                .solve(&problem, &SolveRequest::find_optimal());
+            assert_eq!(sol.size(), Some(rho_formula(n) as usize), "n={n}");
+            assert!(matches!(sol.optimality(), Optimality::Optimal { .. }));
+        }
+    }
+
+    #[test]
+    fn heuristics_report_feasible_not_optimal() {
+        let problem = Problem::complete(9);
+        for name in ["greedy", "greedy-improve", "anneal"] {
+            let sol = engine_by_name(name)
+                .unwrap()
+                .solve(&problem, &SolveRequest::find_optimal());
+            assert_eq!(*sol.optimality(), Optimality::Feasible, "{name}");
+            assert!(sol.size().unwrap() as u64 >= rho_formula(9), "{name}");
+        }
+    }
+}

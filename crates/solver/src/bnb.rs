@@ -52,13 +52,58 @@
 //! subtree immediately pulls the next pending prefix, so infeasibility
 //! proofs scale past the root branching factor.
 
+use crate::api::{CancelToken, Exhaustion};
 use crate::bitset::ChordSet;
 use crate::lower_bound::{combinatorial_lower_bound, weighted_demand_bound};
 use crate::TileUniverse;
 use cyclecover_graph::Edge;
 use cyclecover_ring::Tile;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Externally-imposed resource limits on one budgeted search: a node
+/// budget, an optional wall-clock deadline, and an optional shared
+/// cancellation flag. Built by the [`crate::api`] engines from a
+/// [`crate::api::SolveRequest`]; the deprecated free functions fill in
+/// node-budget-only limits.
+#[derive(Clone, Default)]
+pub(crate) struct RunLimits {
+    /// Maximum search-tree nodes to expand (`u64::MAX` = unlimited).
+    pub max_nodes: u64,
+    /// Absolute wall-clock instant after which the search aborts
+    /// (checked every ~4096 expanded nodes, in every worker).
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation (checked every ~4096 expanded nodes).
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunLimits {
+    /// Node-budget-only limits — the legacy free-function contract.
+    pub(crate) fn nodes_only(max_nodes: u64) -> Self {
+        RunLimits {
+            max_nodes,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// Whether the deadline has passed or cancellation was requested
+    /// *right now* (does not consider the node budget).
+    fn stop_requested(&self) -> Option<Exhaustion> {
+        if let Some(c) = &self.cancel {
+            if c.is_cancelled() {
+                return Some(Exhaustion::Cancelled);
+            }
+        }
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                return Some(Exhaustion::Deadline);
+            }
+        }
+        None
+    }
+}
 
 /// What must be covered: per-request multiplicities.
 #[derive(Clone, Debug)]
@@ -129,7 +174,7 @@ pub struct Stats {
 }
 
 impl Stats {
-    fn absorb(&mut self, other: Stats) {
+    pub(crate) fn absorb(&mut self, other: Stats) {
         self.nodes += other.nodes;
         self.pruned += other.pruned;
         self.dominated += other.dominated;
@@ -421,6 +466,13 @@ struct SearchCtx<'a, K: Kernel> {
     stats: Stats,
     chosen: Vec<u32>,
     hit_limit: bool,
+    /// Why the search stopped early (only meaningful when `hit_limit`);
+    /// `None` there means another worker's early-exit flag tripped.
+    stop_cause: Option<Exhaustion>,
+    /// Wall-clock deadline, checked every ~4096 nodes.
+    deadline: Option<Instant>,
+    /// Cooperative cancellation flag, checked every ~4096 nodes.
+    cancel: Option<&'a AtomicBool>,
     early_exit: Option<&'a AtomicBool>,
     /// Shared node accounting for the parallel search: `(counter, cap)`.
     /// Every 1024 local nodes the delta is flushed into the counter and
@@ -435,15 +487,18 @@ struct SearchCtx<'a, K: Kernel> {
 }
 
 impl<'a, K: Kernel> SearchCtx<'a, K> {
-    fn new(u: &'a TileUniverse, spec: &CoverSpec, budget: u32, max_nodes: u64) -> Self {
+    fn new(u: &'a TileUniverse, spec: &CoverSpec, budget: u32, lim: &'a RunLimits) -> Self {
         SearchCtx {
             u,
             kernel: K::new(u, spec),
             budget,
-            max_nodes,
+            max_nodes: lim.max_nodes,
             stats: Stats::default(),
             chosen: Vec::new(),
             hit_limit: false,
+            stop_cause: None,
+            deadline: lim.deadline,
+            cancel: lim.cancel.as_ref().map(|c| c.flag()),
             early_exit: None,
             shared_nodes: None,
             synced_nodes: 0,
@@ -537,6 +592,7 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
         self.stats.nodes += 1;
         if self.stats.nodes > self.max_nodes {
             self.hit_limit = true;
+            self.stop_cause = Some(Exhaustion::NodeBudget);
             return false;
         }
         if self.stats.nodes.is_multiple_of(1024) {
@@ -548,7 +604,24 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
             }
             if self.sync_shared_nodes() {
                 self.hit_limit = true;
+                self.stop_cause = Some(Exhaustion::NodeBudget);
                 return false;
+            }
+        }
+        if self.stats.nodes.is_multiple_of(4096) {
+            if let Some(flag) = self.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    self.hit_limit = true;
+                    self.stop_cause = Some(Exhaustion::Cancelled);
+                    return false;
+                }
+            }
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.hit_limit = true;
+                    self.stop_cause = Some(Exhaustion::Deadline);
+                    return false;
+                }
             }
         }
         let used = self.chosen.len() as u64;
@@ -594,49 +667,110 @@ fn search<K: Kernel>(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
-    max_nodes: u64,
-) -> (Outcome, Stats) {
-    let mut ctx = SearchCtx::<K>::new(u, spec, budget, max_nodes);
+    lim: &RunLimits,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    let mut ctx = SearchCtx::<K>::new(u, spec, budget, lim);
     if ctx.dfs() {
-        (Outcome::Feasible(ctx.chosen.clone()), ctx.stats)
+        (Outcome::Feasible(ctx.chosen.clone()), ctx.stats, None)
     } else if ctx.hit_limit {
-        (Outcome::NodeLimit, ctx.stats)
+        (Outcome::NodeLimit, ctx.stats, ctx.stop_cause)
     } else {
-        (Outcome::Infeasible, ctx.stats)
+        (Outcome::Infeasible, ctx.stats, None)
+    }
+}
+
+/// Budgeted search under full [`RunLimits`]: the engine-facing entry
+/// point. Unit-demand specs run on the bitset kernel; λ-fold specs on the
+/// multiplicity kernel. The third component reports why an inconclusive
+/// search stopped.
+pub(crate) fn budget_search(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    lim: &RunLimits,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    if spec.is_unit() {
+        search::<BitsetKernel>(u, spec, budget, lim)
+    } else {
+        search::<MultiKernel>(u, spec, budget, lim)
+    }
+}
+
+/// [`budget_search`] forced onto the multiplicity (`Vec<u32>`) kernel —
+/// the pre-bitset reference path for differential tests and benches.
+pub(crate) fn budget_search_legacy(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    lim: &RunLimits,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    search::<MultiKernel>(u, spec, budget, lim)
+}
+
+/// [`budget_search`] on the breadth-first frontier + `rayon` scope.
+/// `prefix_per_thread` controls how many independent prefixes are
+/// expanded per thread before the scope drains them.
+pub(crate) fn budget_search_parallel(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    lim: &RunLimits,
+    threads: usize,
+    prefix_per_thread: usize,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    if spec.is_unit() {
+        search_parallel::<BitsetKernel>(u, spec, budget, lim, threads, prefix_per_thread)
+    } else {
+        search_parallel::<MultiKernel>(u, spec, budget, lim, threads, prefix_per_thread)
     }
 }
 
 /// Searches for a covering of `spec` using at most `budget` tiles from the
 /// universe. Exhaustive up to `max_nodes` search nodes. Unit-demand specs
 /// run on the bitset kernel; λ-fold specs on the multiplicity kernel.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (engine \"bitset\" with `Objective::WithinBudget`)"
+)]
 pub fn cover_spec_within_budget(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
     max_nodes: u64,
 ) -> (Outcome, Stats) {
-    if spec.is_unit() {
-        search::<BitsetKernel>(u, spec, budget, max_nodes)
-    } else {
-        search::<MultiKernel>(u, spec, budget, max_nodes)
-    }
+    let (o, s, _) = budget_search(u, spec, budget, &RunLimits::nodes_only(max_nodes));
+    (o, s)
 }
 
 /// Reference implementation on the multiplicity (`Vec<u32>`) kernel
 /// regardless of the spec — the pre-bitset search path, kept callable for
 /// differential tests and before/after benchmarking.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (engine \"legacy\")"
+)]
 pub fn cover_spec_within_budget_legacy(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
     max_nodes: u64,
 ) -> (Outcome, Stats) {
-    search::<MultiKernel>(u, spec, budget, max_nodes)
+    let (o, s, _) = budget_search_legacy(u, spec, budget, &RunLimits::nodes_only(max_nodes));
+    (o, s)
 }
 
 /// [`cover_spec_within_budget`] for the standard all-of-`K_n` spec.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (engine \"bitset\" with `Objective::WithinBudget`)"
+)]
 pub fn cover_within_budget(u: &TileUniverse, budget: u32, max_nodes: u64) -> (Outcome, Stats) {
-    cover_spec_within_budget(u, &CoverSpec::complete(u.ring().n()), budget, max_nodes)
+    let spec = CoverSpec::complete(u.ring().n());
+    let (o, s, _) = budget_search(u, &spec, budget, &RunLimits::nodes_only(max_nodes));
+    (o, s)
 }
 
 /// Parallel variant: the tree is expanded breadth-first into a frontier of
@@ -644,6 +778,11 @@ pub fn cover_within_budget(u: &TileUniverse, budget: u32, max_nodes: u64) -> (Ou
 /// scope drains with a shared early-exit flag and node budget. Semantics
 /// match [`cover_spec_within_budget`] (up to which feasible solution is
 /// found). `threads = 0` uses the available parallelism.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (engine \"bitset-parallel\", or `ExecPolicy::Parallel`)"
+)]
 pub fn cover_spec_within_budget_parallel(
     u: &TileUniverse,
     spec: &CoverSpec,
@@ -651,29 +790,39 @@ pub fn cover_spec_within_budget_parallel(
     max_nodes: u64,
     threads: usize,
 ) -> (Outcome, Stats) {
-    if spec.is_unit() {
-        search_parallel::<BitsetKernel>(u, spec, budget, max_nodes, threads)
-    } else {
-        search_parallel::<MultiKernel>(u, spec, budget, max_nodes, threads)
-    }
+    let (o, s, _) = budget_search_parallel(
+        u,
+        spec,
+        budget,
+        &RunLimits::nodes_only(max_nodes),
+        threads,
+        DEFAULT_PREFIX_PER_THREAD,
+    );
+    (o, s)
 }
+
+/// Frontier prefixes expanded per thread when the caller does not choose
+/// (`prefix_depth = 3` in [`crate::api::ExecPolicy::Parallel`] terms).
+pub(crate) const DEFAULT_PREFIX_PER_THREAD: usize = 8;
 
 fn search_parallel<K: Kernel>(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
-    max_nodes: u64,
+    lim: &RunLimits,
     threads: usize,
-) -> (Outcome, Stats) {
+    prefix_per_thread: usize,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    let max_nodes = lim.max_nodes;
     // `num_threads(0)` = available parallelism, mirroring rayon's builder.
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(threads)
         .build()
         .expect("thread pool");
     let threads = pool.current_num_threads();
-    let mut root = SearchCtx::<K>::new(u, spec, budget, max_nodes);
+    let mut root = SearchCtx::<K>::new(u, spec, budget, lim);
     if root.kernel.satisfied() {
-        return (Outcome::Feasible(Vec::new()), root.stats);
+        return (Outcome::Feasible(Vec::new()), root.stats, None);
     }
     if root.kernel.remaining_lb(u) > budget as u64 {
         // Count the root node, matching what the sequential dfs reports
@@ -685,18 +834,22 @@ fn search_parallel<K: Kernel>(
                 pruned: 1,
                 dominated: 0,
             },
+            None,
         );
     }
 
     // Breadth-first frontier expansion: keep splitting the shallowest
     // prefix until there are enough independent tasks to keep every thread
     // busy through subtree-size imbalance.
-    let target = threads * 8;
+    let target = threads * prefix_per_thread.max(1);
     let mut frontier: VecDeque<Vec<u32>> = VecDeque::from([Vec::new()]);
     while frontier.len() < target {
         let Some(prefix) = frontier.pop_front() else {
             break;
         };
+        if let Some(cause) = lim.stop_requested() {
+            return (Outcome::NodeLimit, root.stats, Some(cause));
+        }
         for &t in &prefix {
             root.place(t);
         }
@@ -725,18 +878,24 @@ fn search_parallel<K: Kernel>(
             root.unplace(t);
         }
         if let Some(outcome) = early {
-            return (outcome, root.stats);
+            let cause = matches!(outcome, Outcome::NodeLimit)
+                .then_some(Exhaustion::NodeBudget);
+            return (outcome, root.stats, cause);
         }
     }
     let expand_stats = root.stats;
     drop(root);
     if frontier.is_empty() {
         // Every prefix was pruned or expanded away: exhaustive.
-        return (Outcome::Infeasible, expand_stats);
+        return (Outcome::Infeasible, expand_stats, None);
     }
 
     let found = AtomicBool::new(false);
     let limit_hit = AtomicBool::new(false);
+    // Why the first externally-stopped worker stopped (0 = none; see
+    // `encode_cause`). Deadline/cancel out-rank the node budget so a
+    // request that trips both reports the wall-clock cause.
+    let stop_cause = AtomicU8::new(0);
     let nodes = AtomicU64::new(expand_stats.nodes);
     let pruned = AtomicU64::new(expand_stats.pruned);
     let dominated = AtomicU64::new(expand_stats.dominated);
@@ -746,6 +905,7 @@ fn search_parallel<K: Kernel>(
         for prefix in &frontier {
             let found = &found;
             let limit_hit = &limit_hit;
+            let stop_cause = &stop_cause;
             let nodes = &nodes;
             let pruned = &pruned;
             let dominated = &dominated;
@@ -760,9 +920,19 @@ fn search_parallel<K: Kernel>(
                 // overshoots by at most `threads × 1024` nodes.
                 if nodes.load(Ordering::Relaxed) >= max_nodes {
                     limit_hit.store(true, Ordering::Relaxed);
+                    stop_cause.fetch_max(encode_cause(Exhaustion::NodeBudget), Ordering::Relaxed);
                     return;
                 }
-                let mut ctx = SearchCtx::<K>::new(u, spec, budget, u64::MAX);
+                // Workers inherit the deadline and cancellation flag (the
+                // per-worker node cap is lifted in favor of the shared
+                // counter above), so a wall-clock deadline stops every
+                // worker within ~4096 nodes.
+                let worker_lim = RunLimits {
+                    max_nodes: u64::MAX,
+                    deadline: lim.deadline,
+                    cancel: lim.cancel.clone(),
+                };
+                let mut ctx = SearchCtx::<K>::new(u, spec, budget, &worker_lim);
                 ctx.early_exit = Some(found);
                 ctx.shared_nodes = Some((nodes, max_nodes));
                 for &t in prefix {
@@ -780,6 +950,9 @@ fn search_parallel<K: Kernel>(
                 }
                 if ctx.hit_limit && !found.load(Ordering::Relaxed) {
                     limit_hit.store(true, Ordering::Relaxed);
+                    if let Some(cause) = ctx.stop_cause {
+                        stop_cause.fetch_max(encode_cause(cause), Ordering::Relaxed);
+                    }
                 }
             });
         }
@@ -792,61 +965,112 @@ fn search_parallel<K: Kernel>(
     };
     let sol = solution.lock().expect("poison-free").take();
     match sol {
-        Some(sol) => (Outcome::Feasible(sol), stats),
-        None if limit_hit.load(Ordering::Relaxed) => (Outcome::NodeLimit, stats),
-        None => (Outcome::Infeasible, stats),
+        Some(sol) => (Outcome::Feasible(sol), stats, None),
+        None if limit_hit.load(Ordering::Relaxed) => (
+            Outcome::NodeLimit,
+            stats,
+            Some(decode_cause(stop_cause.load(Ordering::Relaxed))),
+        ),
+        None => (Outcome::Infeasible, stats, None),
+    }
+}
+
+/// Ranks stop causes for the parallel aggregation (`fetch_max`): an
+/// explicit cancellation or deadline is more informative than "ran out of
+/// nodes", so it wins when workers disagree.
+fn encode_cause(c: Exhaustion) -> u8 {
+    match c {
+        Exhaustion::EngineLimit => 1,
+        Exhaustion::NodeBudget => 2,
+        Exhaustion::Deadline => 3,
+        Exhaustion::Cancelled => 4,
+    }
+}
+
+fn decode_cause(code: u8) -> Exhaustion {
+    match code {
+        3 => Exhaustion::Deadline,
+        4 => Exhaustion::Cancelled,
+        _ => Exhaustion::NodeBudget,
+    }
+}
+
+/// The deepening start budget for a spec: the combinatorial bound for the
+/// complete instance, the capacity bound otherwise. Shared by the
+/// deprecated `solve_optimal*` family and the [`crate::api`] engines so
+/// both explore the identical budget ladder.
+pub(crate) fn deepening_start(u: &TileUniverse, spec: &CoverSpec) -> u32 {
+    let n = u.ring().n();
+    let base = spec.capacity_lower_bound(u.ring());
+    if spec.demand == CoverSpec::complete(n).demand {
+        combinatorial_lower_bound(n).max(base) as u32
+    } else {
+        base as u32
     }
 }
 
 /// Optimal covering by iterative deepening from the combinatorial lower
 /// bound. Returns the tiles and the optimum, or `None` if the node limit
 /// was hit before a conclusion.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (engine \"bitset\" with `Objective::FindOptimal`)"
+)]
 pub fn solve_optimal(u: &TileUniverse, max_nodes: u64) -> Option<(Vec<Tile>, u32, Stats)> {
-    solve_optimal_spec(u, &CoverSpec::complete(u.ring().n()), max_nodes)
+    let spec = CoverSpec::complete(u.ring().n());
+    solve_optimal_spec_with(u, &spec, budget_search, max_nodes)
 }
 
 /// Optimal covering for an arbitrary [`CoverSpec`], by iterative deepening
 /// from the spec's capacity bound.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (engine \"bitset\" with `Objective::FindOptimal`)"
+)]
 pub fn solve_optimal_spec(
     u: &TileUniverse,
     spec: &CoverSpec,
     max_nodes: u64,
 ) -> Option<(Vec<Tile>, u32, Stats)> {
-    solve_optimal_spec_with(u, spec, max_nodes, |u, spec, budget, max_nodes| {
-        cover_spec_within_budget(u, spec, budget, max_nodes)
-    })
+    solve_optimal_spec_with(u, spec, budget_search, max_nodes)
 }
 
-/// [`solve_optimal_spec`] with every deepening step run on
-/// [`cover_spec_within_budget_parallel`] over `threads` threads.
+/// [`solve_optimal_spec`] with every deepening step run on the parallel
+/// frontier search over `threads` threads.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (engine \"bitset-parallel\" with `Objective::FindOptimal`)"
+)]
 pub fn solve_optimal_spec_parallel(
     u: &TileUniverse,
     spec: &CoverSpec,
     max_nodes: u64,
     threads: usize,
 ) -> Option<(Vec<Tile>, u32, Stats)> {
-    solve_optimal_spec_with(u, spec, max_nodes, |u, spec, budget, max_nodes| {
-        cover_spec_within_budget_parallel(u, spec, budget, max_nodes, threads)
-    })
+    solve_optimal_spec_with(
+        u,
+        spec,
+        |u, spec, budget, lim| {
+            budget_search_parallel(u, spec, budget, lim, threads, DEFAULT_PREFIX_PER_THREAD)
+        },
+        max_nodes,
+    )
 }
 
 fn solve_optimal_spec_with(
     u: &TileUniverse,
     spec: &CoverSpec,
+    run: impl Fn(&TileUniverse, &CoverSpec, u32, &RunLimits) -> (Outcome, Stats, Option<Exhaustion>),
     max_nodes: u64,
-    run: impl Fn(&TileUniverse, &CoverSpec, u32, u64) -> (Outcome, Stats),
 ) -> Option<(Vec<Tile>, u32, Stats)> {
-    let n = u.ring().n();
-    let base = spec.capacity_lower_bound(u.ring());
-    let complete = CoverSpec::complete(n);
-    let mut budget = if spec.demand == complete.demand {
-        combinatorial_lower_bound(n).max(base) as u32
-    } else {
-        base as u32
-    };
+    let lim = RunLimits::nodes_only(max_nodes);
+    let mut budget = deepening_start(u, spec);
     let mut total = Stats::default();
     loop {
-        let (outcome, stats) = run(u, spec, budget, max_nodes);
+        let (outcome, stats, _) = run(u, spec, budget, &lim);
         total.absorb(stats);
         match outcome {
             Outcome::Feasible(idx) => {
@@ -862,8 +1086,14 @@ fn solve_optimal_spec_with(
 /// Certifies that no covering with at most `budget` tiles exists.
 /// Returns `Some(true)` for a completed infeasibility proof, `Some(false)`
 /// if a covering was found, `None` if the node limit was hit.
+#[deprecated(
+    since = "0.2.0",
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
+            (`Objective::ProveInfeasible`)"
+)]
 pub fn prove_infeasible(u: &TileUniverse, budget: u32, max_nodes: u64) -> Option<bool> {
-    match cover_within_budget(u, budget, max_nodes).0 {
+    let spec = CoverSpec::complete(u.ring().n());
+    match budget_search(u, &spec, budget, &RunLimits::nodes_only(max_nodes)).0 {
         Outcome::Infeasible => Some(true),
         Outcome::Feasible(_) => Some(false),
         Outcome::NodeLimit => None,
@@ -876,6 +1106,62 @@ mod tests {
     use crate::lower_bound::rho_formula;
     use cyclecover_graph::EdgeMultiset;
     use cyclecover_ring::Ring;
+
+    // Kernel-level wrappers over the engine internals, mirroring the
+    // deprecated free functions' signatures (the public path is covered
+    // by `api`'s tests and `tests/engine_conformance.rs`).
+    fn within(u: &TileUniverse, spec: &CoverSpec, budget: u32, max_nodes: u64) -> (Outcome, Stats) {
+        let (o, s, _) = budget_search(u, spec, budget, &RunLimits::nodes_only(max_nodes));
+        (o, s)
+    }
+
+    fn within_legacy(
+        u: &TileUniverse,
+        spec: &CoverSpec,
+        budget: u32,
+        max_nodes: u64,
+    ) -> (Outcome, Stats) {
+        let (o, s, _) = budget_search_legacy(u, spec, budget, &RunLimits::nodes_only(max_nodes));
+        (o, s)
+    }
+
+    fn within_parallel(
+        u: &TileUniverse,
+        spec: &CoverSpec,
+        budget: u32,
+        max_nodes: u64,
+        threads: usize,
+    ) -> (Outcome, Stats) {
+        let (o, s, _) = budget_search_parallel(
+            u,
+            spec,
+            budget,
+            &RunLimits::nodes_only(max_nodes),
+            threads,
+            DEFAULT_PREFIX_PER_THREAD,
+        );
+        (o, s)
+    }
+
+    fn optimal_spec(
+        u: &TileUniverse,
+        spec: &CoverSpec,
+        max_nodes: u64,
+    ) -> Option<(Vec<Tile>, u32, Stats)> {
+        solve_optimal_spec_with(u, spec, budget_search, max_nodes)
+    }
+
+    fn optimal(u: &TileUniverse, max_nodes: u64) -> Option<(Vec<Tile>, u32, Stats)> {
+        optimal_spec(u, &CoverSpec::complete(u.ring().n()), max_nodes)
+    }
+
+    fn infeasible(u: &TileUniverse, budget: u32, max_nodes: u64) -> Option<bool> {
+        match within(u, &CoverSpec::complete(u.ring().n()), budget, max_nodes).0 {
+            Outcome::Infeasible => Some(true),
+            Outcome::Feasible(_) => Some(false),
+            Outcome::NodeLimit => None,
+        }
+    }
 
     fn assert_valid_cover(u: &TileUniverse, tiles: &[Tile], lambda: u32) {
         let ring = u.ring();
@@ -892,7 +1178,7 @@ mod tests {
     #[test]
     fn optimal_k4_matches_paper_example() {
         let u = TileUniverse::new(Ring::new(4), 4);
-        let (tiles, opt, _) = solve_optimal(&u, 1_000_000).expect("solved");
+        let (tiles, opt, _) = optimal(&u, 1_000_000).expect("solved");
         assert_eq!(opt, 3, "rho(4) = 3 per the paper's example");
         assert_valid_cover(&u, &tiles, 1);
     }
@@ -901,7 +1187,7 @@ mod tests {
     fn optimal_small_odd_matches_theorem1() {
         for n in [3u32, 5, 7, 9] {
             let u = TileUniverse::new(Ring::new(n), n as usize);
-            let (tiles, opt, _) = solve_optimal(&u, 50_000_000).expect("solved");
+            let (tiles, opt, _) = optimal(&u, 50_000_000).expect("solved");
             assert_eq!(opt as u64, rho_formula(n), "rho({n})");
             assert_valid_cover(&u, &tiles, 1);
         }
@@ -911,7 +1197,7 @@ mod tests {
     fn optimal_small_even_matches_theorem2() {
         for n in [6u32, 8] {
             let u = TileUniverse::new(Ring::new(n), n as usize);
-            let (tiles, opt, _) = solve_optimal(&u, 50_000_000).expect("solved");
+            let (tiles, opt, _) = optimal(&u, 50_000_000).expect("solved");
             assert_eq!(opt as u64, rho_formula(n), "rho({n})");
             assert_valid_cover(&u, &tiles, 1);
         }
@@ -922,8 +1208,8 @@ mod tests {
     #[test]
     fn n8_infeasible_at_capacity_bound() {
         let u = TileUniverse::new(Ring::new(8), 8);
-        assert_eq!(prove_infeasible(&u, 8, 50_000_000), Some(true));
-        assert_eq!(prove_infeasible(&u, 9, 50_000_000), Some(false));
+        assert_eq!(infeasible(&u, 8, 50_000_000), Some(true));
+        assert_eq!(infeasible(&u, 9, 50_000_000), Some(false));
     }
 
     #[test]
@@ -932,14 +1218,12 @@ mod tests {
             let u = TileUniverse::new(Ring::new(n), n as usize);
             let spec = CoverSpec::complete(n);
             let budget = rho_formula(n) as u32;
-            let (seq, _) = cover_spec_within_budget(&u, &spec, budget - 1, 100_000_000);
-            let (par, _) =
-                cover_spec_within_budget_parallel(&u, &spec, budget - 1, 100_000_000, 4);
+            let (seq, _) = within(&u, &spec, budget - 1, 100_000_000);
+            let (par, _) = within_parallel(&u, &spec, budget - 1, 100_000_000, 4);
             assert_eq!(seq, Outcome::Infeasible, "n={n}");
             assert_eq!(par, Outcome::Infeasible, "n={n}");
-            let (seq_ok, _) = cover_spec_within_budget(&u, &spec, budget, 100_000_000);
-            let (par_ok, _) =
-                cover_spec_within_budget_parallel(&u, &spec, budget, 100_000_000, 4);
+            let (seq_ok, _) = within(&u, &spec, budget, 100_000_000);
+            let (par_ok, _) = within_parallel(&u, &spec, budget, 100_000_000, 4);
             assert!(matches!(seq_ok, Outcome::Feasible(_)), "n={n}");
             assert!(matches!(par_ok, Outcome::Feasible(_)), "n={n}");
         }
@@ -952,7 +1236,7 @@ mod tests {
         let n = 6u32;
         let u = TileUniverse::new(Ring::new(n), n as usize);
         let spec = CoverSpec::lambda_fold(n, 2);
-        let (tiles, opt, _) = solve_optimal_spec(&u, &spec, 200_000_000).expect("solved");
+        let (tiles, opt, _) = optimal_spec(&u, &spec, 200_000_000).expect("solved");
         assert_valid_cover(&u, &tiles, 2);
         assert!(opt >= spec.capacity_lower_bound(Ring::new(n)) as u32);
         assert!(opt <= 2 * rho_formula(n) as u32);
@@ -965,7 +1249,7 @@ mod tests {
         let u = TileUniverse::new(Ring::new(n), 4);
         let star: Vec<Edge> = (1..n).map(|v| Edge::new(0, v)).collect();
         let spec = CoverSpec::subset(n, &star);
-        let (tiles, opt, _) = solve_optimal_spec(&u, &spec, 100_000_000).expect("solved");
+        let (tiles, opt, _) = optimal_spec(&u, &spec, 100_000_000).expect("solved");
         // Each tile uses at most 2 chords at vertex 0: >= ceil(6/2) = 3.
         assert!(opt >= 3, "opt={opt}");
         let ring = Ring::new(n);
@@ -985,7 +1269,7 @@ mod tests {
         // n = 8 at budget 8: the capacity bound allows it (8 = ⌈p²/2⌉), so
         // infeasibility needs real search — a 10-node limit must trip.
         let u = TileUniverse::new(Ring::new(8), 8);
-        let (outcome, stats) = cover_within_budget(&u, 8, 10);
+        let (outcome, stats) = within(&u, &CoverSpec::complete(8), 8, 10);
         assert_eq!(outcome, Outcome::NodeLimit);
         assert!(stats.nodes >= 10);
     }
@@ -997,7 +1281,7 @@ mod tests {
         let n = 7u32;
         let ring = Ring::new(n);
         let u = TileUniverse::with_max_gap(ring, 4, n / 2);
-        let (tiles, opt, _) = solve_optimal(&u, 10_000_000).expect("solved");
+        let (tiles, opt, _) = optimal(&u, 10_000_000).expect("solved");
         assert_eq!(opt as u64, rho_formula(n));
         assert_valid_cover(&u, &tiles, 1);
         assert!(tiles.iter().all(|t| t.len() <= 4));
@@ -1012,8 +1296,8 @@ mod tests {
             let spec = CoverSpec::complete(n);
             let rho = rho_formula(n) as u32;
             for budget in [rho - 1, rho, rho + 1] {
-                let (fast, _) = cover_spec_within_budget(&u, &spec, budget, 200_000_000);
-                let (slow, _) = cover_spec_within_budget_legacy(&u, &spec, budget, 200_000_000);
+                let (fast, _) = within(&u, &spec, budget, 200_000_000);
+                let (slow, _) = within_legacy(&u, &spec, budget, 200_000_000);
                 let fast_ok = matches!(fast, Outcome::Feasible(_));
                 let slow_ok = matches!(slow, Outcome::Feasible(_));
                 assert_eq!(fast_ok, slow_ok, "n={n} budget={budget}");
@@ -1037,7 +1321,7 @@ mod tests {
     #[test]
     fn dominance_fires_on_even_instances() {
         let u = TileUniverse::new(Ring::new(8), 8);
-        let (outcome, stats) = cover_within_budget(&u, 8, 50_000_000);
+        let (outcome, stats) = within(&u, &CoverSpec::complete(8), 8, 50_000_000);
         assert_eq!(outcome, Outcome::Infeasible);
         assert!(stats.dominated > 0, "dominance never fired: {stats:?}");
     }

@@ -4,11 +4,50 @@
 //! pick the tile covering the most still-uncovered requests (ties broken by
 //! less wasted ring capacity, then smaller index for determinism). Used by
 //! experiment E5 as the "what a straightforward engineer would ship"
-//! baseline against the paper's optimal constructions.
+//! baseline against the paper's optimal constructions, and as the seeding
+//! stage of the `greedy`/`greedy-improve`/`anneal` engines in
+//! [`crate::api`].
+//!
+//! Each pick runs on a **lazy-bucket max-coverage heap** instead of a full
+//! `O(tiles)` rescan: coverage is submodular (a tile's useful coverage
+//! only shrinks as others are placed), so every heap entry's stored score
+//! is an upper bound on its true score. Popping the max and re-scoring it
+//! is therefore sound — if the fresh score still matches, no other tile
+//! can beat it; otherwise the entry is pushed back with the smaller score.
+//! In practice most picks touch a handful of entries, making large-n
+//! baseline generation near-linear instead of quadratic in the universe
+//! size, while selecting the exact same tiles as the rescan did.
 
 use crate::TileUniverse;
 use cyclecover_graph::Edge;
 use cyclecover_ring::Tile;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry: a tile and its (possibly stale) useful-coverage score.
+/// Ordering matches the original scan's selection rule — more coverage
+/// first, then less waste, then smaller index.
+#[derive(PartialEq, Eq)]
+struct Entry {
+    cov: u32,
+    waste: u32,
+    idx: u32,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cov
+            .cmp(&other.cov)
+            .then_with(|| other.waste.cmp(&self.waste))
+            .then_with(|| other.idx.cmp(&self.idx))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Greedily covers all requests of `K_n`; returns the chosen tiles.
 ///
@@ -19,25 +58,35 @@ pub fn greedy_cover(u: &TileUniverse) -> Vec<Tile> {
     let mut uncovered = crate::bitset::ChordSet::full(u.num_chords());
     let mut chosen = Vec::new();
 
+    // Seed with exact scores (everything is uncovered, so a tile's initial
+    // coverage is just its chord count). Each tile has exactly one live
+    // entry: a pop either selects it, drops it (score 0), or re-inserts it
+    // once with its refreshed score.
+    let mut heap: BinaryHeap<Entry> = (0..u.len() as u32)
+        .map(|i| Entry {
+            cov: u.tile_chords(i).len() as u32,
+            waste: u.tile_waste(i),
+            idx: i,
+        })
+        .collect();
+
     while !uncovered.is_empty() {
-        let mut best: Option<(u32, u32, u32)> = None; // (idx, cov, waste)
-        for i in 0..u.len() as u32 {
-            let cov = u.tile_mask(i).intersection_count(&uncovered);
-            if cov == 0 {
-                continue;
-            }
-            let waste = u.tile_waste(i);
-            let better = match best {
-                None => true,
-                Some((_, bcov, bwaste)) => cov > bcov || (cov == bcov && waste < bwaste),
-            };
-            if better {
-                best = Some((i, cov, waste));
-            }
+        let top = heap
+            .pop()
+            .expect("uncovered chords remain but no tile covers any");
+        let cov = u.tile_mask(top.idx).intersection_count(&uncovered);
+        if cov == 0 {
+            // Dead tile: coverage never grows back, drop it for good.
+            continue;
         }
-        let (i, _, _) = best.expect("uncovered chords remain but no tile covers any");
-        uncovered.subtract(u.tile_mask(i));
-        chosen.push(u.tile(i).clone());
+        if cov == top.cov {
+            // Fresh score confirmed maximal: every other entry stores an
+            // upper bound on its true score, and all of those are <= this.
+            uncovered.subtract(u.tile_mask(top.idx));
+            chosen.push(u.tile(top.idx).clone());
+        } else {
+            heap.push(Entry { cov, ..top });
+        }
     }
     chosen
 }

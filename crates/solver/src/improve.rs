@@ -195,16 +195,18 @@ mod tests {
     /// (avoids a dev-dependency on cyclecover-core: the odd covering for
     /// n=9 is small enough to hand-roll via greedy + known size).
     fn cyclecover_ringless_optimal(n: u32) -> Vec<Tile> {
-        let u = TileUniverse::new(Ring::new(n), 4);
-        let (outcome, _) = crate::bnb::cover_within_budget(
-            &u,
-            crate::lower_bound::rho_formula(n) as u32,
-            50_000_000,
+        use crate::api::{engine_by_name, Optimality, Problem, SolveRequest};
+        let problem = Problem::new(
+            TileUniverse::new(Ring::new(n), 4),
+            crate::bnb::CoverSpec::complete(n),
         );
-        match outcome {
-            crate::bnb::Outcome::Feasible(idx) => {
-                idx.into_iter().map(|i| u.tile(i).clone()).collect()
-            }
+        let sol = engine_by_name("bitset").expect("registered engine").solve(
+            &problem,
+            &SolveRequest::within_budget(crate::lower_bound::rho_formula(n) as u32)
+                .with_max_nodes(50_000_000),
+        );
+        match sol.optimality() {
+            Optimality::Feasible => sol.covering().expect("feasible").to_vec(),
             other => panic!("optimal covering search failed: {other:?}"),
         }
     }

@@ -1,7 +1,47 @@
 //! # cyclecover-solver
 //!
-//! Exact and heuristic solvers for minimum DRC cycle coverings, used to
-//! *certify* the paper's theorems on small instances and as baselines:
+//! Exact and heuristic solvers for minimum DRC cycle coverings, behind a
+//! single typed request/response boundary.
+//!
+//! ## The solver surface: [`api`]
+//!
+//! Every workload — certifying the paper's `ρ(n)` formulas, λ-fold and
+//! partial instances, heuristic baselines — is one question: *cover this
+//! demand spec on `C_n` within this budget, and certify the answer*. The
+//! [`api`] module types that question end to end:
+//!
+//! * [`api::Problem`] — ring + [`bnb::CoverSpec`] + precomputed
+//!   [`TileUniverse`];
+//! * [`api::SolveRequest`] — objective (`FindOptimal` /
+//!   `WithinBudget(k)` / `ProveInfeasible(k)`), resource limits (node
+//!   budget, wall-clock deadline, shareable [`api::CancelToken`]), and an
+//!   execution policy (sequential / frontier-parallel / auto);
+//! * [`api::Solution`] — the covering plus an [`api::Optimality`]
+//!   certificate stating exactly what was proved, with unified stats;
+//! * [`api::Engine`] — the trait every solver implements, with a
+//!   name-keyed registry ([`api::engines`] / [`api::engine_by_name`]):
+//!   `bitset`, `bitset-parallel`, `legacy`, `dlx`, `greedy`,
+//!   `greedy-improve`, `anneal`.
+//!
+//! ```
+//! use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+//!
+//! // Certify the paper's worked example: rho(4) = 3.
+//! let problem = Problem::complete(4);
+//! let engine = engine_by_name("bitset").unwrap();
+//!
+//! let optimal = engine.solve(&problem, &SolveRequest::find_optimal());
+//! assert_eq!(optimal.size(), Some(3));
+//! assert!(matches!(optimal.optimality(), Optimality::Optimal { .. }));
+//!
+//! let refuted = engine.solve(&problem, &SolveRequest::prove_infeasible(2));
+//! assert!(matches!(refuted.optimality(), Optimality::Infeasible));
+//! ```
+//!
+//! ## Substrate modules
+//!
+//! The engines are thin drivers over these primitives (all public — the
+//! API layer composes, it does not hide):
 //!
 //! * [`TileUniverse`] — enumeration of all DRC-routable cycles (winding
 //!   tiles) of a ring, with per-chord candidate indices and precomputed
@@ -11,35 +51,22 @@
 //!   exact search's coverage bookkeeping runs on;
 //! * [`lower_bound`] — the capacity lower bound
 //!   `ρ(n) ≥ ⌈Σ dist(u,v) / n⌉` (and its arbitrary-demand form
-//!   [`lower_bound::weighted_demand_bound`]) plus the diameter bound
-//!   (≤ 1 diameter chord per cycle);
+//!   [`lower_bound::weighted_demand_bound`]) plus the diameter bound;
+//! * [`bnb`] — the branch & bound searches (bitset kernel with popcount
+//!   scoring and subset-dominance pruning; legacy multiplicity kernel;
+//!   rayon frontier parallelism). The old free functions remain as
+//!   deprecated wrappers over the engine internals;
 //! * [`dlx`] — a generic Dancing-Links exact-cover engine (Knuth's
-//!   Algorithm X), used for exact *partitions* (the odd case of the paper is
-//!   a partition) and for design-theory substrates;
-//! * [`bnb`] — depth-first branch & bound minimum covering with capacity
-//!   and diameter pruning: finds optimal coverings and proves infeasibility
-//!   of smaller budgets (the lower-bound certificates of `EXPERIMENTS.md`).
-//!   Unit-demand specs run on the bitset kernel (popcount scoring, subset
-//!   dominance pruning); λ-fold specs keep the multiplicity-counter path.
-//!   [`bnb::cover_spec_within_budget_parallel`] drains a breadth-first
-//!   frontier of search prefixes on a work-sharing `rayon` scope;
-//! * [`greedy`] — a greedy set-cover style baseline.
-//!
-//! ```
-//! use cyclecover_ring::Ring;
-//! use cyclecover_solver::{bnb, TileUniverse};
-//!
-//! // Certify the paper's worked example: rho(4) = 3.
-//! let universe = TileUniverse::new(Ring::new(4), 4);
-//! let (_, optimum, _) = bnb::solve_optimal(&universe, 1_000_000).unwrap();
-//! assert_eq!(optimum, 3);
-//! assert_eq!(bnb::prove_infeasible(&universe, 2, 1_000_000), Some(true));
-//! ```
+//!   Algorithm X) for exact partitions and design-theory substrates;
+//! * [`greedy`], [`improve`], [`anneal`] — the heuristic pipeline:
+//!   lazy-bucket max-coverage greedy, drop/merge local search, simulated
+//!   annealing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod anneal;
+pub mod api;
 pub mod bitset;
 pub mod bnb;
 pub mod dlx;

@@ -1,0 +1,185 @@
+//! Engine conformance suite: every registered engine, on every small
+//! instance it claims to support, must return coverings that validate,
+//! agree with the other exact engines on the optimum, and reach the same
+//! infeasibility verdicts — the contract the [`cyclecover_solver::api`]
+//! boundary promises to callers regardless of which engine answers.
+
+use cyclecover_graph::{Edge, EdgeMultiset};
+use cyclecover_ring::Ring;
+use cyclecover_solver::api::{
+    engine_by_name, engines, CancelToken, ExecPolicy, Objective, Optimality, Problem,
+    SolveRequest,
+};
+use cyclecover_solver::lower_bound::rho_formula;
+use proptest::prelude::*;
+use std::time::Duration;
+
+const NS: std::ops::RangeInclusive<u32> = 4..=8;
+const EXACT: [&str; 4] = ["bitset", "bitset-parallel", "legacy", "dlx"];
+
+/// Asserts `tiles` covers every request of `K_n` at least once.
+fn assert_covers_complete(n: u32, tiles: &[cyclecover_ring::Tile]) {
+    let ring = Ring::new(n);
+    let mut cov = EdgeMultiset::new(n as usize);
+    for t in tiles {
+        for c in t.chords(ring) {
+            cov.insert(c.to_edge());
+        }
+    }
+    for u in 0..n {
+        for v in (u + 1)..n {
+            assert!(cov.count(Edge::new(u, v)) >= 1, "request ({u},{v}) uncovered");
+        }
+    }
+}
+
+/// Every supporting engine returns a *valid* covering for `FindOptimal`,
+/// and every exact engine lands exactly on `ρ(n)` with an `Optimal`
+/// certificate (heuristics must be `Feasible` and no smaller than ρ).
+#[test]
+fn all_engines_return_valid_coverings_and_exact_engines_agree() {
+    for n in NS {
+        let problem = Problem::complete(n);
+        let request = SolveRequest::find_optimal().with_max_nodes(200_000_000);
+        let rho = rho_formula(n);
+        for engine in engines() {
+            if !engine.supports(&problem, &request) {
+                continue;
+            }
+            let sol = engine.solve(&problem, &request);
+            let name = engine.name();
+            let tiles = sol
+                .covering()
+                .unwrap_or_else(|| panic!("{name} n={n}: no covering: {:?}", sol.optimality()));
+            assert_covers_complete(n, tiles);
+            if EXACT.contains(&name) {
+                assert!(
+                    matches!(sol.optimality(), Optimality::Optimal { .. }),
+                    "{name} n={n}: {:?}",
+                    sol.optimality()
+                );
+                assert_eq!(tiles.len() as u64, rho, "{name} n={n}");
+            } else {
+                assert_eq!(*sol.optimality(), Optimality::Feasible, "{name} n={n}");
+                assert!(tiles.len() as u64 >= rho, "{name} n={n} beat rho?!");
+            }
+        }
+    }
+}
+
+/// `ProveInfeasible(ρ(n) − 1)` verdicts match across the exact engines
+/// (bitset, bitset-parallel, legacy, and DLX where it applies): all must
+/// return `Infeasible`, and at `ρ(n)` all must refute with a witness.
+#[test]
+fn infeasibility_verdicts_match_across_exact_engines() {
+    for n in NS {
+        let problem = Problem::complete(n);
+        let rho = rho_formula(n) as u32;
+        for name in EXACT {
+            let engine = engine_by_name(name).expect("registered engine");
+            let below = SolveRequest::prove_infeasible(rho - 1).with_max_nodes(200_000_000);
+            if !engine.supports(&problem, &below) {
+                continue;
+            }
+            let sol = engine.solve(&problem, &below);
+            assert_eq!(
+                *sol.optimality(),
+                Optimality::Infeasible,
+                "{name} n={n} at rho-1"
+            );
+            let at = engine.solve(
+                &problem,
+                &SolveRequest::prove_infeasible(rho).with_max_nodes(200_000_000),
+            );
+            assert_eq!(*at.optimality(), Optimality::Feasible, "{name} n={n} at rho");
+            assert_covers_complete(n, at.covering().expect("refutation witness"));
+        }
+    }
+}
+
+/// The DLX engine's declared scope: odd complete instances only.
+#[test]
+fn dlx_scope_is_odd_complete() {
+    let dlx = engine_by_name("dlx").unwrap();
+    let req = SolveRequest::find_optimal();
+    assert!(dlx.supports(&Problem::complete(7), &req));
+    assert!(!dlx.supports(&Problem::complete(8), &req), "even n");
+    assert!(!dlx.supports(&Problem::lambda_fold(7, 2), &req), "λ-fold");
+}
+
+/// Heuristics refuse to "prove" anything.
+#[test]
+fn heuristics_do_not_claim_proofs() {
+    for name in ["greedy", "greedy-improve", "anneal"] {
+        let engine = engine_by_name(name).unwrap();
+        let problem = Problem::complete(7);
+        assert!(
+            !engine.supports(&problem, &SolveRequest::prove_infeasible(5)),
+            "{name} claims to prove infeasibility"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request-builder round-trip: every combination of objective,
+    /// limits, and policy reads back exactly as it was written.
+    #[test]
+    fn request_builder_round_trips(
+        kind in 0u8..3,
+        budget in 0u32..64,
+        max_nodes in 1u64..=u64::MAX,
+        deadline_on in any::<bool>(),
+        deadline_raw in 0u64..100_000,
+        threads in 0usize..16,
+        prefix_depth in 0u32..8,
+        policy_kind in 0u8..3,
+    ) {
+        let objective = match kind {
+            0 => Objective::FindOptimal,
+            1 => Objective::WithinBudget(budget),
+            _ => Objective::ProveInfeasible(budget),
+        };
+        let policy = match policy_kind {
+            0 => ExecPolicy::Sequential,
+            1 => ExecPolicy::Parallel { threads, prefix_depth },
+            _ => ExecPolicy::Auto,
+        };
+        let deadline_ms = deadline_on.then_some(deadline_raw);
+        let token = CancelToken::new();
+        let mut request = SolveRequest::new(objective)
+            .with_max_nodes(max_nodes)
+            .with_cancel_token(token.clone())
+            .with_policy(policy);
+        if let Some(ms) = deadline_ms {
+            request = request.with_deadline(Duration::from_millis(ms));
+        }
+        prop_assert_eq!(request.objective(), objective);
+        prop_assert_eq!(request.max_nodes(), max_nodes);
+        prop_assert_eq!(request.deadline(), deadline_ms.map(Duration::from_millis));
+        prop_assert_eq!(request.policy(), policy);
+        // The token is shared, not copied: cancelling the caller's clone
+        // must be visible through the request's handle.
+        prop_assert!(!request.cancel_token().is_cancelled());
+        token.cancel();
+        prop_assert!(request.cancel_token().is_cancelled());
+    }
+
+    /// The convenience constructors agree with `new`.
+    #[test]
+    fn request_shorthands_match_new(budget in 0u32..64) {
+        prop_assert_eq!(
+            SolveRequest::find_optimal().objective(),
+            Objective::FindOptimal
+        );
+        prop_assert_eq!(
+            SolveRequest::within_budget(budget).objective(),
+            Objective::WithinBudget(budget)
+        );
+        prop_assert_eq!(
+            SolveRequest::prove_infeasible(budget).objective(),
+            Objective::ProveInfeasible(budget)
+        );
+    }
+}

@@ -1,32 +1,33 @@
-//! Differential property tests: the bitset coverage kernel must be
-//! observationally identical to the legacy multiplicity (`Vec<u32>`)
-//! kernel — same feasible/infeasible verdicts, same optimum — on every
-//! instance shape the solver supports (`n ≤ 9`, complete and random
-//! subset specs, full and restricted universes).
+//! Differential property tests through the engine boundary: the bitset
+//! coverage kernel (engine `bitset`) must be observationally identical to
+//! the legacy multiplicity kernel (engine `legacy`) — same
+//! feasible/infeasible verdicts, same optimum — on every instance shape
+//! the solver supports (`n ≤ 9`, complete and random subset specs, full
+//! and restricted universes), and the frontier-parallel policy must agree
+//! with both at the decisive budgets.
 
 use cyclecover_graph::{Edge, EdgeMultiset};
-use cyclecover_ring::Ring;
-use cyclecover_solver::bnb::{
-    self, cover_spec_within_budget, cover_spec_within_budget_legacy,
-    cover_spec_within_budget_parallel, CoverSpec, Outcome,
+use cyclecover_ring::{Ring, Tile};
+use cyclecover_solver::api::{
+    engine_by_name, ExecPolicy, Optimality, Problem, SolveRequest,
 };
+use cyclecover_solver::bnb::CoverSpec;
 use cyclecover_solver::TileUniverse;
 use proptest::prelude::*;
 
 const MAX_NODES: u64 = 200_000_000;
 
 /// Asserts the chosen tiles satisfy the spec's demands.
-fn assert_meets_spec(u: &TileUniverse, idx: &[u32], spec: &CoverSpec) {
-    let ring = u.ring();
-    let n = ring.n() as usize;
-    let mut cov = EdgeMultiset::new(n);
-    for &i in idx {
-        for c in u.tile(i).chords(ring) {
+fn assert_meets_spec(n: u32, tiles: &[Tile], spec: &CoverSpec) {
+    let ring = Ring::new(n);
+    let mut cov = EdgeMultiset::new(n as usize);
+    for t in tiles {
+        for c in t.chords(ring) {
             cov.insert(c.to_edge());
         }
     }
     for (d, &need) in spec.demand.iter().enumerate() {
-        let e = Edge::from_dense_index(d, n);
+        let e = Edge::from_dense_index(d, n as usize);
         assert!(
             cov.count(e) >= need,
             "request {e} covered {} < demand {need}",
@@ -35,18 +36,25 @@ fn assert_meets_spec(u: &TileUniverse, idx: &[u32], spec: &CoverSpec) {
     }
 }
 
-/// Optimum by iterative deepening on a given search function, from budget 0
-/// (spec bounds don't matter for agreement testing, only the verdicts).
-fn optimum_with(
-    u: &TileUniverse,
-    spec: &CoverSpec,
-    run: impl Fn(&TileUniverse, &CoverSpec, u32) -> Outcome,
-) -> (u32, Vec<u32>) {
+/// Optimum through one engine by probing every budget from 0 upward —
+/// deliberately NOT `FindOptimal`, whose deepening starts at the lower
+/// bound the engines share. Probing from 0 keeps this suite independent
+/// of the bound: if the bound ever overshot the true optimum, these
+/// probes would find the smaller covering `FindOptimal` misses.
+fn optimum_via(engine: &str, problem: &Problem) -> (u32, Vec<Tile>) {
+    let engine = engine_by_name(engine).expect("registered engine");
     for budget in 0..=64u32 {
-        match run(u, spec, budget) {
-            Outcome::Feasible(idx) => return (budget, idx),
-            Outcome::Infeasible => continue,
-            Outcome::NodeLimit => panic!("node limit hit during differential test"),
+        let sol = engine.solve(
+            problem,
+            &SolveRequest::within_budget(budget).with_max_nodes(MAX_NODES),
+        );
+        match sol.optimality() {
+            Optimality::Feasible => {
+                let tiles = sol.covering().expect("feasible carries covering").to_vec();
+                return (budget, tiles);
+            }
+            Optimality::Infeasible => continue,
+            other => panic!("inconclusive at budget {budget}: {other:?}"),
         }
     }
     panic!("no covering within 64 tiles — universe too restricted?");
@@ -55,34 +63,30 @@ fn optimum_with(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Complete specs: identical optimum and identical verdicts one below
-    /// it, across full (`max_len = n`) and C3/C4 universes.
+    /// Complete specs: identical optimum and valid witnesses on both
+    /// kernels, across full (`max_len = n`) and C3/C4 universes.
     #[test]
     fn complete_spec_kernels_agree(n in 5u32..=9, full in any::<bool>()) {
         let ring = Ring::new(n);
         let max_len = if full { n as usize } else { 4 };
-        let u = TileUniverse::new(ring, max_len);
-        let spec = CoverSpec::complete(n);
-        let (fast_opt, fast_idx) = optimum_with(&u, &spec, |u, s, b| {
-            cover_spec_within_budget(u, s, b, MAX_NODES).0
-        });
-        let (slow_opt, slow_idx) = optimum_with(&u, &spec, |u, s, b| {
-            cover_spec_within_budget_legacy(u, s, b, MAX_NODES).0
-        });
+        let make = || Problem::new(TileUniverse::new(ring, max_len), CoverSpec::complete(n));
+        let problem = make();
+        let (fast_opt, fast_tiles) = optimum_via("bitset", &problem);
+        let (slow_opt, slow_tiles) = optimum_via("legacy", &problem);
         prop_assert_eq!(fast_opt, slow_opt, "n={} max_len={}", n, max_len);
-        assert_meets_spec(&u, &fast_idx, &spec);
-        assert_meets_spec(&u, &slow_idx, &spec);
+        assert_meets_spec(n, &fast_tiles, problem.spec());
+        assert_meets_spec(n, &slow_tiles, problem.spec());
     }
 
-    /// Random subset specs: same optimum on both kernels, and the bitset
-    /// witness actually covers the demanded requests.
+    /// Random subset specs: same optimum on both kernels, the bitset
+    /// witness covers the demanded requests, and the parallel policy
+    /// agrees at the decisive budgets.
     #[test]
     fn subset_spec_kernels_agree(
         n in 5u32..=9,
         picks in proptest::collection::vec((0u32..1000, 0u32..1000), 1..10),
     ) {
         let ring = Ring::new(n);
-        let u = TileUniverse::new(ring, 4);
         let requests: Vec<Edge> = picks
             .iter()
             .filter_map(|&(a, b)| {
@@ -92,21 +96,35 @@ proptest! {
             .collect();
         prop_assume!(!requests.is_empty());
         let spec = CoverSpec::subset(n, &requests);
-        let (fast_opt, fast_idx) = optimum_with(&u, &spec, |u, s, b| {
-            cover_spec_within_budget(u, s, b, MAX_NODES).0
-        });
-        let (slow_opt, _) = optimum_with(&u, &spec, |u, s, b| {
-            cover_spec_within_budget_legacy(u, s, b, MAX_NODES).0
-        });
+        let problem = Problem::new(TileUniverse::new(ring, 4), spec);
+        let (fast_opt, fast_tiles) = optimum_via("bitset", &problem);
+        let (slow_opt, _) = optimum_via("legacy", &problem);
         prop_assert_eq!(fast_opt, slow_opt, "n={} requests={:?}", n, requests);
-        assert_meets_spec(&u, &fast_idx, &spec);
-        // And the parallel frontier search agrees at the decisive budgets.
-        let (par_at, _) = cover_spec_within_budget_parallel(&u, &spec, fast_opt, MAX_NODES, 3);
-        prop_assert!(matches!(par_at, Outcome::Feasible(_)), "parallel at opt");
+        assert_meets_spec(n, &fast_tiles, problem.spec());
+        // And the parallel frontier policy agrees at the decisive budgets.
+        let parallel = ExecPolicy::Parallel { threads: 3, prefix_depth: 3 };
+        let engine = engine_by_name("bitset").unwrap();
+        let at = engine.solve(
+            &problem,
+            &SolveRequest::within_budget(fast_opt)
+                .with_max_nodes(MAX_NODES)
+                .with_policy(parallel),
+        );
+        prop_assert!(
+            matches!(at.optimality(), Optimality::Feasible),
+            "parallel at opt: {:?}", at.optimality()
+        );
         if fast_opt > 0 {
-            let (par_below, _) =
-                cover_spec_within_budget_parallel(&u, &spec, fast_opt - 1, MAX_NODES, 3);
-            prop_assert_eq!(par_below, Outcome::Infeasible, "parallel below opt");
+            let below = engine.solve(
+                &problem,
+                &SolveRequest::prove_infeasible(fast_opt - 1)
+                    .with_max_nodes(MAX_NODES)
+                    .with_policy(parallel),
+            );
+            prop_assert!(
+                matches!(below.optimality(), Optimality::Infeasible),
+                "parallel below opt: {:?}", below.optimality()
+            );
         }
     }
 
@@ -115,16 +133,11 @@ proptest! {
     #[test]
     fn lambda_specs_still_solved(n in 5u32..=7, lambda in 2u32..=3) {
         let ring = Ring::new(n);
-        let u = TileUniverse::new(ring, 4);
         let spec = CoverSpec::lambda_fold(n, lambda);
         prop_assert!(!spec.is_unit());
-        let (tiles, opt, _) =
-            bnb::solve_optimal_spec(&u, &spec, MAX_NODES).expect("solved");
-        let idx: Vec<u32> = tiles
-            .iter()
-            .map(|t| u.index_of(t).expect("solver tiles come from the universe"))
-            .collect();
-        assert_meets_spec(&u, &idx, &spec);
-        prop_assert!(opt as u64 >= spec.capacity_lower_bound(ring));
+        let problem = Problem::new(TileUniverse::new(ring, 4), spec);
+        let (opt, tiles) = optimum_via("bitset", &problem);
+        assert_meets_spec(n, &tiles, problem.spec());
+        prop_assert!(opt as u64 >= problem.spec().capacity_lower_bound(ring));
     }
 }

@@ -65,7 +65,7 @@ pub struct GraphCoverStats {
     pub c4: usize,
     /// Cycles longer than 4.
     pub longer: usize,
-    /// Sum of cycle sizes (the refs [3,4] objective: total ADM count).
+    /// Sum of cycle sizes (the refs \[3,4\] objective: total ADM count).
     pub total_vertices: usize,
     /// Total physical edge slots consumed by all routings.
     pub total_load: u64,

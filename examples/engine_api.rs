@@ -1,0 +1,66 @@
+//! The request/engine API in five minutes: certify the paper's worked
+//! example `ρ(4) = 3` end to end, compare every registered engine on one
+//! instance, and emit the JSON wire format a service would return.
+//!
+//! ```sh
+//! cargo run --release --example engine_api
+//! ```
+
+use cyclecover::io::json::solution_to_json;
+use cyclecover::solver::api::{
+    engine_by_name, engines, LowerBoundProof, Optimality, Problem, SolveRequest,
+};
+
+fn main() {
+    // --- The paper's worked example: rho(4) = 3, certified. -------------
+    let problem = Problem::complete(4);
+    let engine = engine_by_name("bitset").expect("bitset is always registered");
+    let solution = engine.solve(&problem, &SolveRequest::find_optimal());
+
+    assert_eq!(solution.size(), Some(3), "rho(4) = 3 per the paper");
+    match solution.optimality() {
+        Optimality::Optimal { lower_bound_proof } => match lower_bound_proof {
+            LowerBoundProof::ExhaustiveSearch {
+                infeasible_budget,
+                nodes,
+            } => println!(
+                "rho(4) = 3 certified: budget {infeasible_budget} refuted \
+                 exhaustively in {nodes} nodes"
+            ),
+            LowerBoundProof::CombinatorialBound { bound } => {
+                println!("rho(4) = 3 certified by the combinatorial bound {bound}")
+            }
+        },
+        other => panic!("expected an optimality certificate, got {other:?}"),
+    }
+
+    // --- Same request, every engine that supports it. -------------------
+    println!("\nrho(9) across the registry:");
+    let problem = Problem::complete(9);
+    let request = SolveRequest::find_optimal().with_max_nodes(100_000_000);
+    for engine in engines() {
+        if !engine.supports(&problem, &request) {
+            continue;
+        }
+        let sol = engine.solve(&problem, &request);
+        println!(
+            "  {:16} size={:?} certificate={:10} nodes={} wall={:.1?}",
+            engine.name(),
+            sol.size(),
+            match sol.optimality() {
+                Optimality::Optimal { .. } => "OPTIMAL",
+                Optimality::Feasible => "feasible",
+                Optimality::Infeasible => "infeasible",
+                Optimality::BudgetExhausted { .. } => "exhausted",
+            },
+            sol.stats().nodes,
+            sol.stats().wall
+        );
+    }
+
+    // --- The wire format a solve service would hand back. ---------------
+    let sol = engine_by_name("bitset")
+        .expect("registered")
+        .solve(&Problem::complete(6), &SolveRequest::find_optimal());
+    println!("\nsolution JSON (n = 6):\n{}", solution_to_json(&sol));
+}

@@ -8,24 +8,29 @@
 
 use cyclecover::core::rho;
 use cyclecover::ring::Ring;
+use cyclecover::solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
 use cyclecover::solver::lower_bound::capacity_lower_bound;
-use cyclecover::solver::{bnb, dlx::ExactCover, greedy, TileUniverse};
+use cyclecover::solver::{dlx::ExactCover, greedy, TileUniverse};
 
 fn main() {
-    println!("exhaustive optimality on small rings:");
+    println!("exhaustive optimality on small rings (engine API):");
+    let engine = engine_by_name("bitset").expect("registered engine");
     for n in 4u32..=9 {
-        let u = TileUniverse::new(Ring::new(n), n as usize);
-        let (tiles, opt, stats) =
-            bnb::solve_optimal(&u, 1_000_000_000).expect("small n solve");
+        let problem = Problem::complete(n);
+        let universe_size = problem.universe().len();
+        let sol = engine.solve(
+            &problem,
+            &SolveRequest::find_optimal().with_max_nodes(1_000_000_000),
+        );
+        assert!(matches!(sol.optimality(), Optimality::Optimal { .. }));
+        let opt = sol.size().expect("covering");
         println!(
-            "  n={n}: universe={:4} tiles, optimum={opt} (rho={}, capacity LB={}), {} nodes",
-            u.len(),
+            "  n={n}: universe={universe_size:4} tiles, optimum={opt} (rho={}, capacity LB={}), {} nodes",
             rho(n),
             capacity_lower_bound(n),
-            stats.nodes
+            sol.stats().nodes
         );
         assert_eq!(opt as u64, rho(n));
-        drop(tiles);
     }
 
     println!("\ngreedy baseline vs optimum:");

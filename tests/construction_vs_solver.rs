@@ -4,17 +4,27 @@
 use cyclecover::core::rho;
 use cyclecover::design::{greedy_triangle_cover, triangle_covering_number};
 use cyclecover::ring::{Ring, Tile};
-use cyclecover::solver::{bnb, greedy, TileUniverse};
+use cyclecover::solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+use cyclecover::solver::{greedy, TileUniverse};
 
 /// The solver must reproduce rho(n) independently of the constructions.
 #[test]
 fn solver_confirms_formulas_small_n() {
+    let engine = engine_by_name("bitset").expect("registered engine");
     for n in 4u32..=9 {
-        let u = TileUniverse::new(Ring::new(n), n as usize);
-        let (tiles, opt, _) = bnb::solve_optimal(&u, 1_000_000_000).expect("solve");
-        assert_eq!(opt as u64, rho(n), "n={n}");
+        let sol = engine.solve(
+            &Problem::complete(n),
+            &SolveRequest::find_optimal().with_max_nodes(1_000_000_000),
+        );
+        assert!(
+            matches!(sol.optimality(), Optimality::Optimal { .. }),
+            "n={n}: {:?}",
+            sol.optimality()
+        );
+        let tiles = sol.covering().expect("optimal solutions carry coverings");
+        assert_eq!(tiles.len() as u64, rho(n), "n={n}");
         // And its solution is a genuine covering.
-        let cover = cyclecover::core::DrcCovering::from_tiles(Ring::new(n), tiles);
+        let cover = cyclecover::core::DrcCovering::from_tiles(Ring::new(n), tiles.to_vec());
         cover.validate().unwrap_or_else(|e| panic!("n={n}: {e}"));
     }
 }
@@ -74,8 +84,16 @@ fn bose_sts_as_drc_covering() {
 /// the parity +1 of Theorem 2 in executable form.
 #[test]
 fn n8_plus_one_certificate() {
-    let u = TileUniverse::new(Ring::new(8), 8);
-    assert_eq!(bnb::prove_infeasible(&u, 8, 500_000_000), Some(true));
-    let (outcome, _) = bnb::cover_within_budget(&u, 9, 500_000_000);
-    assert!(matches!(outcome, bnb::Outcome::Feasible(_)));
+    let engine = engine_by_name("bitset").expect("registered engine");
+    let problem = Problem::complete(8);
+    let below = engine.solve(
+        &problem,
+        &SolveRequest::prove_infeasible(8).with_max_nodes(500_000_000),
+    );
+    assert!(matches!(below.optimality(), Optimality::Infeasible));
+    let at = engine.solve(
+        &problem,
+        &SolveRequest::within_budget(9).with_max_nodes(500_000_000),
+    );
+    assert!(matches!(at.optimality(), Optimality::Feasible));
 }

@@ -275,7 +275,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy for `Vec`s with element strategy `S` — see [`vec`].
+    /// Strategy for `Vec`s with element strategy `S` — see [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         elem: S,
         size: SizeRange,
