@@ -1,47 +1,117 @@
 //! Fixed solver workload for tracking the perf trajectory across PRs.
 //!
-//! Certifies `ρ(n)` for `n = 6..=10` over the full tile universe — prove
-//! `ρ(n) − 1` infeasible, find a `ρ(n)` covering — through the
-//! [`cyclecover_solver::api`] engine registry (`bitset`,
-//! `bitset-parallel`, `legacy`), and writes `BENCH_1.json` (wall time +
-//! expanded nodes per instance) to the current directory. Running the
-//! identical workload through the request/engine boundary pins the API
-//! redesign as zero-cost: node counts must match the pre-redesign
-//! snapshot exactly.
+//! Certifies `ρ(n)` — prove `ρ(n) − 1` infeasible, find a `ρ(n)` covering
+//! over the full tile universe — through the [`cyclecover_solver::api`]
+//! engine registry, now across the symmetry dimension: `bitset` and
+//! `bitset-parallel` run at `SymmetryMode::Off`/`Root`/`Full`, `legacy` is
+//! the pre-bitset reference. Writes `BENCH_3.json` with node counts per
+//! (n, engine, symmetry) so the dihedral-reduction factor is tracked
+//! in-trajectory:
+//!
+//! * the `Off` rows must reproduce BENCH_1.json *exactly* (±0 nodes) —
+//!   the symmetry machinery is zero-cost when disabled;
+//! * the `n = 12` row certifies the budget-18 refutation (ROADMAP's last
+//!   open ρ row): a one-node parity-bound proof under `Root`/`Full`,
+//!   node-capped at 30M under `Off` where it exhausts (the pre-PR state).
 //!
 //! Usage: `cargo run --release -p cyclecover-bench --bin bench_snapshot`
-//! Pass `--max-n <k>` to stop earlier (the legacy kernel dominates the
-//! runtime at `n = 10`).
+//!
+//! * `--max-n <k>`: stop the n ≤ 10 sweep earlier (legacy dominates at 10)
+//! * `--skip-n12`: drop the n = 12 certification rows
+//! * `--quick`: regression subset only — n ∈ {8, 10}, engine `bitset`,
+//!   `Off` + `Root` (no n = 12, no legacy, no parallel)
+//! * `--check`: after running, fail unless the `Off` rows match BENCH_1
+//!   exactly and the `Root` rows are within the recorded baselines — the
+//!   CI node-count regression gate (`--quick --check`)
 
-use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+use cyclecover_solver::api::{
+    engine_by_name, Optimality, Problem, SolveRequest, SymmetryMode,
+};
 use cyclecover_solver::lower_bound::rho_formula;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+/// Node cap for the n = 12 budget-18 refutation probe: the pre-symmetry
+/// search exceeds this on one core (the ROADMAP open item); the reduced
+/// modes must finish far under it.
+const N12_PROOF_CAP: u64 = 30_000_000;
+
+/// `(n, symmetry, proof nodes, witness nodes)` ceilings for `--check`,
+/// engine `bitset`. `Off` rows are exact BENCH_1 reproductions (±0);
+/// `Root` rows are the recorded BENCH_3 counts — exceeding either fails
+/// the regression gate.
+const CHECK_BASELINES: [(u32, SymmetryMode, u64, u64); 4] = [
+    (8, SymmetryMode::Off, 97_465, 9),
+    (8, SymmetryMode::Root, 1, 9),
+    (10, SymmetryMode::Off, 1, 13_453_767),
+    (10, SymmetryMode::Root, 1, 770_227),
+];
+
 struct Row {
     n: u32,
-    kernel: &'static str,
+    engine: &'static str,
+    symmetry: SymmetryMode,
     nodes_infeasible: u64,
     nodes_feasible: u64,
+    sym_factor: u32,
     wall_ms: f64,
     certified: bool,
+    /// Whether an uncertified row is expected (the capped n = 12 `Off`
+    /// probe) rather than a failure.
+    may_exhaust: bool,
 }
 
-/// Proves `rho − 1` infeasible and finds a `rho` covering through one
-/// engine; returns (proof nodes, witness nodes, wall ms, certified).
-fn certify(engine: &'static str, problem: &Problem, rho: u32) -> (u64, u64, f64, bool) {
-    let engine = engine_by_name(engine).expect("registered engine");
+fn mode_name(sym: SymmetryMode) -> &'static str {
+    match sym {
+        SymmetryMode::Off => "off",
+        SymmetryMode::Root => "root",
+        SymmetryMode::Full => "full",
+    }
+}
+
+/// Proves `rho − 1` infeasible (optionally node-capped) and finds a `rho`
+/// covering through one engine at one symmetry level.
+fn certify(
+    engine: &'static str,
+    problem: &Problem,
+    rho: u32,
+    symmetry: SymmetryMode,
+    proof_cap: u64,
+) -> Row {
+    let n = problem.ring().n();
+    let eng = engine_by_name(engine).expect("registered engine");
     let t0 = Instant::now();
-    let below = engine.solve(problem, &SolveRequest::prove_infeasible(rho - 1));
-    let at = engine.solve(problem, &SolveRequest::within_budget(rho));
+    let below = eng.solve(
+        problem,
+        &SolveRequest::prove_infeasible(rho - 1)
+            .with_symmetry(symmetry)
+            .with_max_nodes(proof_cap),
+    );
+    let at = eng.solve(
+        problem,
+        &SolveRequest::within_budget(rho).with_symmetry(symmetry),
+    );
     let wall = t0.elapsed().as_secs_f64() * 1e3;
-    let ok = matches!(below.optimality(), Optimality::Infeasible)
+    let certified = matches!(below.optimality(), Optimality::Infeasible)
         && matches!(at.optimality(), Optimality::Feasible);
-    (below.stats().nodes, at.stats().nodes, wall, ok)
+    Row {
+        n,
+        engine,
+        symmetry,
+        nodes_infeasible: below.stats().nodes,
+        nodes_feasible: at.stats().nodes,
+        sym_factor: below.stats().sym_factor.max(at.stats().sym_factor),
+        wall_ms: wall,
+        certified,
+        may_exhaust: proof_cap < u64::MAX,
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let skip_n12 = quick || args.iter().any(|a| a == "--skip-n12");
     let max_n: u32 = args
         .iter()
         .position(|a| a == "--max-n")
@@ -51,52 +121,137 @@ fn main() {
     let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
 
     let mut rows: Vec<Row> = Vec::new();
-    for n in 6..=max_n {
+    let mut run = |row: Row| {
+        println!(
+            "n={:2}  {:15} {:5}  {:>10.1} ms  nodes {} + {}  x{}  certified={}",
+            row.n,
+            row.engine,
+            mode_name(row.symmetry),
+            row.wall_ms,
+            row.nodes_infeasible,
+            row.nodes_feasible,
+            row.sym_factor,
+            row.certified
+        );
+        rows.push(row);
+    };
+
+    let ns: Vec<u32> = if quick {
+        [8, 10].iter().copied().filter(|&n| n <= max_n).collect()
+    } else {
+        (6..=max_n).collect()
+    };
+    for &n in &ns {
         let rho = rho_formula(n) as u32;
         let problem = Problem::complete(n);
+        for sym in [SymmetryMode::Off, SymmetryMode::Root, SymmetryMode::Full] {
+            if quick && sym == SymmetryMode::Full {
+                continue;
+            }
+            run(certify("bitset", &problem, rho, sym, u64::MAX));
+        }
+        if !quick {
+            for sym in [SymmetryMode::Off, SymmetryMode::Root] {
+                run(certify("bitset-parallel", &problem, rho, sym, u64::MAX));
+            }
+            run(certify("legacy", &problem, rho, SymmetryMode::Off, u64::MAX));
+        }
+    }
 
-        for (kernel, label) in [
-            ("bitset", "bitset    "),
-            ("bitset-parallel", "bitset-par"),
-            ("legacy", "legacy    "),
-        ] {
-            let (ni, nf, wall, ok) = certify(kernel, &problem, rho);
-            rows.push(Row {
-                n,
-                kernel,
-                nodes_infeasible: ni,
-                nodes_feasible: nf,
-                wall_ms: wall,
-                certified: ok,
-            });
-            println!("n={n:2}  {label}  {wall:>10.1} ms  nodes {ni} + {nf}  certified={ok}");
+    if !skip_n12 {
+        // The n = 12 certification row: budget-18 refutation (Theorem 2's
+        // +1 at p = 6) plus the 19-tile witness. `Off` is capped at the
+        // 30M-node budget the ROADMAP open item named; the reduced modes
+        // must certify within it.
+        let problem = Problem::complete(12);
+        for sym in [SymmetryMode::Off, SymmetryMode::Root, SymmetryMode::Full] {
+            let cap = if sym == SymmetryMode::Off { N12_PROOF_CAP } else { u64::MAX };
+            run(certify("bitset", &problem, 19, sym, cap));
         }
     }
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"snapshot\": 1,\n");
+    json.push_str("  \"snapshot\": 3,\n");
     json.push_str(
-        "  \"workload\": \"certify rho(n) over the full tile universe: prove rho-1 infeasible, find a rho covering\",\n",
+        "  \"workload\": \"certify rho(n) over the full tile universe: prove rho-1 \
+         infeasible, find a rho covering; symmetry dimension off/root/full\",\n",
     );
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"n12_proof_cap\": {N12_PROOF_CAP},");
     json.push_str("  \"instances\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
-            "    {{\"n\": {}, \"rho\": {}, \"kernel\": \"{}\", \"nodes_infeasible\": {}, \"nodes_feasible\": {}, \"wall_ms\": {:.1}, \"certified\": {}}}",
+            "    {{\"n\": {}, \"rho\": {}, \"kernel\": \"{}\", \"symmetry\": \"{}\", \
+             \"nodes_infeasible\": {}, \"nodes_feasible\": {}, \"sym_factor\": {}, \
+             \"wall_ms\": {:.1}, \"certified\": {}}}",
             r.n,
             rho_formula(r.n),
-            r.kernel,
+            r.engine,
+            mode_name(r.symmetry),
             r.nodes_infeasible,
             r.nodes_feasible,
+            r.sym_factor,
             r.wall_ms,
             r.certified
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
-    std::fs::write("BENCH_1.json", &json).expect("write BENCH_1.json");
-    println!("\nwrote BENCH_1.json ({} instances)", rows.len());
-    assert!(rows.iter().all(|r| r.certified), "certification failed");
+    std::fs::write("BENCH_3.json", &json).expect("write BENCH_3.json");
+    println!("\nwrote BENCH_3.json ({} instances)", rows.len());
+
+    // Every row certifies except, possibly, the node-capped n = 12 `Off`
+    // probe (the documented pre-symmetry state).
+    for r in &rows {
+        assert!(
+            r.certified || r.may_exhaust,
+            "certification failed: n={} {} {}",
+            r.n,
+            r.engine,
+            mode_name(r.symmetry)
+        );
+    }
+
+    if check {
+        let mut failures = Vec::new();
+        for (n, sym, proof, witness) in CHECK_BASELINES {
+            let Some(row) = rows
+                .iter()
+                .find(|r| r.n == n && r.engine == "bitset" && r.symmetry == sym)
+            else {
+                failures.push(format!("missing row n={n} bitset {}", mode_name(sym)));
+                continue;
+            };
+            let exact = sym == SymmetryMode::Off;
+            let proof_bad = if exact {
+                row.nodes_infeasible != proof
+            } else {
+                row.nodes_infeasible > proof
+            };
+            let witness_bad = if exact {
+                row.nodes_feasible != witness
+            } else {
+                row.nodes_feasible > witness
+            };
+            if proof_bad || witness_bad {
+                failures.push(format!(
+                    "n={n} bitset {}: nodes {} + {} vs baseline {} + {} ({})",
+                    mode_name(sym),
+                    row.nodes_infeasible,
+                    row.nodes_feasible,
+                    proof,
+                    witness,
+                    if exact { "exact" } else { "ceiling" }
+                ));
+            }
+        }
+        assert!(
+            failures.is_empty(),
+            "node-count regression:\n  {}",
+            failures.join("\n  ")
+        );
+        println!("check passed: node counts within recorded baselines");
+    }
 }

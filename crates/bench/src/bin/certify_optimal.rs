@@ -74,5 +74,7 @@ fn main() {
     }
     println!();
     println!("Note the rows n = 8 and n = 12 would read 'cap.LB = rho' if Theorem 2 had no");
-    println!("+1 refinement; n = 8 (p = 4, even) certifies rho = capacity + 1 exhaustively.");
+    println!("+1 refinement; n = 8 and n = 12 (even p) certify rho = capacity + 1 — under");
+    println!("the default SymmetryMode::Root the parity bound proves it at the root node");
+    println!("(one-node refutations); rerun with SymmetryMode::Off for the exhaustive proofs.");
 }

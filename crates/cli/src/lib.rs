@@ -35,7 +35,7 @@ use cyclecover_io::{csv::Table, format, json, svg};
 use cyclecover_net::{audit_all_failures, compare_schemes, WdmNetwork};
 use cyclecover_solver::api::{
     engine_by_name, engines, LowerBoundProof, Optimality as SolveOptimality, Problem,
-    SolveRequest,
+    SolveRequest, SymmetryMode,
 };
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -47,10 +47,12 @@ cyclecover — survivable WDM ring design by DRC cycle covering
 
 USAGE:
   cyclecover solve <n> [--engine E] [--budget K] [--max-nodes N]
-                       [--deadline MS] [--json]
+                       [--deadline MS] [--symmetry off|root|full] [--json]
                                      solve/certify the covering of K_n on C_n
                                      (default: find + certify the optimum;
-                                      --budget K asks for any <= K covering)
+                                      --budget K asks for any <= K covering;
+                                      --symmetry sets the dihedral reduction
+                                      of the exact search, default root)
   cyclecover engines                 list the registered solver engines
   cyclecover rho <n>                 print the optimal covering size ρ(n)
   cyclecover construct <n>           emit a minimum covering in text format
@@ -72,6 +74,7 @@ fn run_solve(args: &[String]) -> Result<String, String> {
     let mut budget: Option<u32> = None;
     let mut max_nodes: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut symmetry: Option<SymmetryMode> = None;
     let mut as_json = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -103,6 +106,16 @@ fn run_solve(args: &[String]) -> Result<String, String> {
                         .map_err(|e| format!("bad --deadline: {e}"))?,
                 )
             }
+            "--symmetry" => {
+                symmetry = Some(match value("off|root|full")?.as_str() {
+                    "off" => SymmetryMode::Off,
+                    "root" => SymmetryMode::Root,
+                    "full" => SymmetryMode::Full,
+                    other => {
+                        return Err(format!("bad --symmetry '{other}' (want off|root|full)"))
+                    }
+                })
+            }
             "--json" => as_json = true,
             other => return Err(format!("unknown solve flag '{other}'")),
         }
@@ -116,6 +129,9 @@ fn run_solve(args: &[String]) -> Result<String, String> {
     }
     if let Some(ms) = deadline_ms {
         request = request.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(sym) = symmetry {
+        request = request.with_symmetry(sym);
     }
     let engine = engine_by_name(&engine_name).ok_or_else(|| {
         let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
@@ -147,11 +163,12 @@ fn run_solve(args: &[String]) -> Result<String, String> {
                 LowerBoundProof::ExhaustiveSearch {
                     infeasible_budget,
                     nodes,
+                    symmetry_factor,
                 } => {
                     let _ = writeln!(
                         out,
                         "lower bound: budget {infeasible_budget} proved infeasible \
-                         ({nodes} nodes)"
+                         ({nodes} nodes, symmetry x{symmetry_factor})"
                     );
                 }
             }
@@ -173,10 +190,13 @@ fn run_solve(args: &[String]) -> Result<String, String> {
     let st = solution.stats();
     let _ = writeln!(
         out,
-        "stats: {} nodes, {} pruned, {} dominated, {} budget(s), {:.1} ms",
+        "stats: {} nodes, {} pruned, {} dominated, {} sym-pruned (x{}), \
+         {} budget(s), {:.1} ms",
         st.nodes,
         st.pruned,
         st.dominated,
+        st.sym_pruned,
+        st.sym_factor,
         st.budgets_tried,
         st.wall.as_secs_f64() * 1e3
     );
@@ -417,8 +437,39 @@ mod tests {
     }
 
     #[test]
+    fn solve_symmetry_flag() {
+        // Default (root): the parity bound turns the budget-8 refutation
+        // into a one-node proof, and the witness search reports the
+        // order-4 dihedral root reduction in the stats line.
+        let out = runv(&["solve", "8"]).unwrap();
+        assert!(out.contains("budget 8 proved infeasible (1 nodes"), "{out}");
+        assert!(out.contains("sym-pruned (x4)"), "{out}");
+        // Off reproduces the historical exhaustive proof bit for bit.
+        let out = runv(&["solve", "8", "--symmetry", "off"]).unwrap();
+        assert!(
+            out.contains("budget 8 proved infeasible (97465 nodes, symmetry x1)"),
+            "{out}"
+        );
+        assert!(out.contains("sym-pruned (x1)"), "{out}");
+        let out = runv(&["solve", "8", "--symmetry", "full"]).unwrap();
+        assert!(out.contains("OPTIMAL: 9 cycles"), "{out}");
+        // The JSON wire format carries the factor in the stats block.
+        let json = runv(&["solve", "8", "--json"]).unwrap();
+        assert!(json.contains("\"symmetry_factor\": 4"), "{json}");
+        assert!(json.contains("\"symmetry_factor\": 1"), "proof block: {json}");
+        // Bad values are rejected helpfully.
+        let err = runv(&["solve", "8", "--symmetry", "sideways"]).unwrap_err();
+        assert!(err.contains("off|root|full"), "{err}");
+    }
+
+    #[test]
     fn solve_max_nodes_reports_inconclusive() {
-        let out = runv(&["solve", "8", "--budget", "8", "--max-nodes", "10"]).unwrap();
+        // Symmetry off: under the default root mode the parity bound
+        // finishes this refutation in one node, under any cap.
+        let out = runv(&[
+            "solve", "8", "--budget", "8", "--max-nodes", "10", "--symmetry", "off",
+        ])
+        .unwrap();
         assert!(out.contains("INCONCLUSIVE"), "{out}");
         assert!(out.contains("NodeBudget"), "{out}");
     }

@@ -15,13 +15,18 @@
 //!   "engine": "bitset",
 //!   "optimality": {"kind": "optimal",
 //!                  "proof": {"kind": "exhaustive_search",
-//!                            "infeasible_budget": 2, "nodes": 9}},
+//!                            "infeasible_budget": 2, "nodes": 9,
+//!                            "symmetry_factor": 1}},
 //!   "size": 3,
 //!   "cycles": [[0, 1, 2], [0, 2, 3], [0, 1, 3]],
-//!   "stats": {"nodes": 42, "pruned": 7, "dominated": 3,
-//!             "budgets_tried": 2, "wall_ms": 0.1}
+//!   "stats": {"nodes": 42, "pruned": 7, "dominated": 3, "sym_pruned": 0,
+//!             "symmetry_factor": 1, "budgets_tried": 2, "wall_ms": 0.1}
 //! }
 //! ```
+//!
+//! `symmetry_factor` in an `exhaustive_search` proof is the order of the
+//! dihedral subgroup the refutation's root branch was reduced by (1 =
+//! unreduced), keeping symmetry-reduced certificates auditable.
 //!
 //! `cycles` (and `size`) are `null` when the solution carries no covering
 //! (an infeasibility proof, or an exhausted budget). Everything is std
@@ -76,10 +81,13 @@ pub fn solution_to_json(sol: &Solution) -> String {
     let _ = writeln!(
         s,
         "  \"stats\": {{\"nodes\": {}, \"pruned\": {}, \"dominated\": {}, \
+         \"sym_pruned\": {}, \"symmetry_factor\": {}, \
          \"budgets_tried\": {}, \"wall_ms\": {:.3}}}",
         st.nodes,
         st.pruned,
         st.dominated,
+        st.sym_pruned,
+        st.sym_factor,
         st.budgets_tried,
         st.wall.as_secs_f64() * 1e3
     );
@@ -97,9 +105,11 @@ fn optimality_json(o: &Optimality) -> String {
                 LowerBoundProof::ExhaustiveSearch {
                     infeasible_budget,
                     nodes,
+                    symmetry_factor,
                 } => format!(
                     "{{\"kind\": \"exhaustive_search\", \"infeasible_budget\": \
-                     {infeasible_budget}, \"nodes\": {nodes}}}"
+                     {infeasible_budget}, \"nodes\": {nodes}, \
+                     \"symmetry_factor\": {symmetry_factor}}}"
                 ),
             };
             format!("{{\"kind\": \"optimal\", \"proof\": {proof}}}")
@@ -425,6 +435,38 @@ mod tests {
         let cover = covering_from_solution_json(&text).expect("covering validates");
         assert_eq!(cover.len(), sol.size().unwrap());
         assert!(cover.validate().is_ok());
+    }
+
+    #[test]
+    fn certificate_block_carries_symmetry_factor() {
+        // n = 8 needs the budget-8 refutation. Under the default
+        // SymmetryMode::Root the parity bound proves it in one node
+        // (factor 1 in the proof block), while the witness search's root
+        // was reduced by the order-4 diameter-chord stabilizer of D_8
+        // (factor 4 in the stats block). The document must carry both.
+        let sol = solve(8, &SolveRequest::find_optimal());
+        let text = solution_to_json(&sol);
+        let doc = Json::parse(&text).expect("emitted JSON parses");
+        let proof = doc
+            .get("optimality")
+            .and_then(|o| o.get("proof"))
+            .expect("optimal certificate has a proof");
+        assert_eq!(
+            proof.get("kind").and_then(Json::as_str),
+            Some("exhaustive_search")
+        );
+        assert_eq!(proof.get("nodes").and_then(Json::as_num), Some(1.0), "{text}");
+        assert_eq!(
+            proof.get("symmetry_factor").and_then(Json::as_num),
+            Some(1.0),
+            "{text}"
+        );
+        let stats = doc.get("stats").expect("stats block");
+        assert_eq!(
+            stats.get("symmetry_factor").and_then(Json::as_num),
+            Some(4.0)
+        );
+        assert!(stats.get("sym_pruned").and_then(Json::as_num).unwrap() > 0.0);
     }
 
     #[test]

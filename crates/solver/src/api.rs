@@ -10,7 +10,9 @@
 //!   precomputed [`TileUniverse`] the search runs on;
 //! * [`SolveRequest`] — what kind of answer is wanted (an [`Objective`]),
 //!   under which resource limits (node budget, wall-clock deadline, a
-//!   shareable [`CancelToken`]) and [`ExecPolicy`];
+//!   shareable [`CancelToken`]), [`ExecPolicy`], and [`SymmetryMode`]
+//!   (dihedral orbit reduction, default `Root`; certificates record the
+//!   applied symmetry factor);
 //! * [`Solution`] — the covering (if any), an [`Optimality`] certificate
 //!   saying exactly what was proved, and unified [`Stats`].
 //!
@@ -40,6 +42,7 @@
 
 use crate::anneal::{anneal_covering, AnnealParams};
 use crate::bnb::{self, CoverSpec, Outcome, RunLimits};
+pub use crate::bnb::SymmetryMode;
 use crate::dlx::ExactCover;
 use crate::greedy::greedy_cover;
 use crate::improve::improve_covering;
@@ -194,7 +197,11 @@ impl CancelToken {
 }
 
 /// A builder-style solve request: objective, resource limits, execution
-/// policy. All limits default to "unlimited".
+/// policy, symmetry reduction level. All limits default to "unlimited";
+/// symmetry defaults to [`SymmetryMode::Root`] (exact engines explore one
+/// root candidate per dihedral orbit and use the strengthened prefix
+/// bound — set [`SymmetryMode::Off`] to reproduce pre-symmetry node
+/// counts bit for bit).
 #[derive(Clone, Debug)]
 pub struct SolveRequest {
     objective: Objective,
@@ -202,6 +209,7 @@ pub struct SolveRequest {
     deadline: Option<Duration>,
     cancel: CancelToken,
     policy: ExecPolicy,
+    symmetry: SymmetryMode,
 }
 
 impl SolveRequest {
@@ -213,6 +221,7 @@ impl SolveRequest {
             deadline: None,
             cancel: CancelToken::new(),
             policy: ExecPolicy::Auto,
+            symmetry: SymmetryMode::default(),
         }
     }
 
@@ -258,6 +267,14 @@ impl SolveRequest {
         self
     }
 
+    /// Sets the dihedral symmetry reduction level for exact engines
+    /// (`bitset`, `bitset-parallel`). The `legacy` reference engine and
+    /// the non-search engines ignore it.
+    pub fn with_symmetry(mut self, symmetry: SymmetryMode) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
     /// The objective.
     pub fn objective(&self) -> Objective {
         self.objective
@@ -281,6 +298,11 @@ impl SolveRequest {
     /// The execution policy.
     pub fn policy(&self) -> ExecPolicy {
         self.policy
+    }
+
+    /// The symmetry reduction level.
+    pub fn symmetry(&self) -> SymmetryMode {
+        self.symmetry
     }
 
     /// The [`RunLimits`] this request imposes on a search starting `now`.
@@ -326,6 +348,11 @@ pub enum LowerBoundProof {
         infeasible_budget: u32,
         /// Nodes the infeasibility proof expanded.
         nodes: u64,
+        /// Order of the dihedral subgroup the proof's root branch was
+        /// reduced by (1 = unreduced) — recorded so a symmetry-reduced
+        /// refutation stays auditable: each explored root subtree stands
+        /// for up to this many mirror images.
+        symmetry_factor: u32,
     },
 }
 
@@ -360,6 +387,11 @@ pub struct Stats {
     pub pruned: u64,
     /// Candidate branches skipped by dominance pruning.
     pub dominated: u64,
+    /// Candidate branches skipped by dihedral orbit filtering.
+    pub sym_pruned: u64,
+    /// Order of the symmetry subgroup the root branch was reduced by
+    /// (1 = no reduction).
+    pub sym_factor: u32,
     /// Budgets tried (> 1 only for iterative-deepening `FindOptimal`).
     pub budgets_tried: u32,
     /// Wall-clock time spent inside the engine.
@@ -508,6 +540,7 @@ fn drive_exact(
                         proof = LowerBoundProof::ExhaustiveSearch {
                             infeasible_budget: budget,
                             nodes: s.nodes,
+                            symmetry_factor: s.sym_factor.max(1),
                         };
                         budget += 1;
                     }
@@ -533,6 +566,8 @@ fn drive_exact(
             nodes: total.nodes,
             pruned: total.pruned,
             dominated: total.dominated,
+            sym_pruned: total.sym_pruned,
+            sym_factor: total.sym_factor.max(1),
             budgets_tried,
             wall: start.elapsed(),
         },
@@ -560,6 +595,7 @@ impl Engine for BitsetEngine {
     }
 
     fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
+        let sym = request.symmetry();
         match request.policy() {
             ExecPolicy::Parallel {
                 threads,
@@ -572,11 +608,12 @@ impl Engine for BitsetEngine {
                     lim,
                     threads,
                     prefix_per_thread(prefix_depth),
+                    sym,
                 )
             }),
             ExecPolicy::Sequential | ExecPolicy::Auto => {
                 drive_exact("bitset", problem, request, |budget, lim| {
-                    bnb::budget_search(problem.universe(), problem.spec(), budget, lim)
+                    bnb::budget_search(problem.universe(), problem.spec(), budget, lim, sym)
                 })
             }
         }
@@ -621,6 +658,7 @@ impl Engine for ParallelBitsetEngine {
                 lim,
                 threads,
                 prefix,
+                request.symmetry(),
             )
         })
     }
@@ -628,7 +666,9 @@ impl Engine for ParallelBitsetEngine {
 
 /// The multiplicity-counter reference search (`"legacy"`): the faithful
 /// pre-bitset path, kept for differential testing and before/after
-/// benchmarking. Always sequential.
+/// benchmarking. Always sequential, and always [`SymmetryMode::Off`] —
+/// this engine *is* the measured baseline the symmetry machinery is
+/// compared against.
 pub struct LegacyEngine;
 
 impl Engine for LegacyEngine {
@@ -751,6 +791,8 @@ impl Engine for DlxEngine {
                 nodes: 0,
                 pruned: 0,
                 dominated: 0,
+                sym_pruned: 0,
+                sym_factor: 1,
                 budgets_tried: 1,
                 wall: start.elapsed(),
             },
@@ -840,6 +882,8 @@ impl Engine for HeuristicEngine {
                 nodes: 0,
                 pruned: 0,
                 dominated: 0,
+                sym_pruned: 0,
+                sym_factor: 1,
                 budgets_tried: 1,
                 wall: start.elapsed(),
             },
@@ -906,14 +950,58 @@ mod tests {
                     LowerBoundProof::ExhaustiveSearch {
                         infeasible_budget,
                         nodes,
+                        symmetry_factor,
                     },
             } => {
                 assert_eq!(*infeasible_budget, 8);
-                assert!(*nodes > 0);
+                // Under the default SymmetryMode::Root the parity (T-join)
+                // bound refutes the capacity-tight budget at the root: a
+                // one-node proof, unreduced (factor 1).
+                assert_eq!(*nodes, 1);
+                assert_eq!(*symmetry_factor, 1);
             }
             other => panic!("expected a search proof, got {other:?}"),
         }
         assert_eq!(sol.stats().budgets_tried, 2);
+        // The budget-9 witness search did get its root reduced by the
+        // diameter-chord stabilizer of D_8 (order 4).
+        assert_eq!(sol.stats().sym_factor, 4);
+        assert!(sol.stats().sym_pruned > 0);
+    }
+
+    /// `SymmetryMode::Off` must reproduce the historical search exactly —
+    /// here pinned by the n = 8 refutation's node count from BENCH_1.
+    #[test]
+    fn symmetry_off_reproduces_baseline_node_counts() {
+        let problem = Problem::complete(8);
+        let sol = engine_by_name("bitset").unwrap().solve(
+            &problem,
+            &SolveRequest::prove_infeasible(8).with_symmetry(SymmetryMode::Off),
+        );
+        assert_eq!(*sol.optimality(), Optimality::Infeasible);
+        assert_eq!(sol.stats().nodes, 97_465, "BENCH_1 baseline drifted");
+        assert_eq!(sol.stats().sym_factor, 1);
+        assert_eq!(sol.stats().sym_pruned, 0);
+    }
+
+    /// All symmetry modes certify the same optimum through the engines.
+    #[test]
+    fn symmetry_modes_agree_through_engine() {
+        for n in [6u32, 8] {
+            let problem = Problem::complete(n);
+            let mut sizes = Vec::new();
+            for sym in [SymmetryMode::Off, SymmetryMode::Root, SymmetryMode::Full] {
+                let sol = engine_by_name("bitset")
+                    .unwrap()
+                    .solve(&problem, &SolveRequest::find_optimal().with_symmetry(sym));
+                assert!(
+                    matches!(sol.optimality(), Optimality::Optimal { .. }),
+                    "n={n} {sym:?}"
+                );
+                sizes.push(sol.size().unwrap());
+            }
+            assert!(sizes.windows(2).all(|w| w[0] == w[1]), "n={n}: {sizes:?}");
+        }
     }
 
     #[test]
@@ -936,10 +1024,13 @@ mod tests {
         // the budget-9 witness 9 more. A request cap of 97,470 leaves the
         // second probe only 5 nodes — the request must exhaust instead of
         // granting every deepening rung a fresh allowance.
+        // Symmetry off: the historical counts are the test fixture.
         let problem = Problem::complete(8);
         let sol = engine_by_name("bitset").unwrap().solve(
             &problem,
-            &SolveRequest::find_optimal().with_max_nodes(97_470),
+            &SolveRequest::find_optimal()
+                .with_symmetry(SymmetryMode::Off)
+                .with_max_nodes(97_470),
         );
         assert_eq!(
             *sol.optimality(),
@@ -956,7 +1047,9 @@ mod tests {
         // completes, spending under the cap in total.
         let sol = engine_by_name("bitset").unwrap().solve(
             &problem,
-            &SolveRequest::find_optimal().with_max_nodes(97_500),
+            &SolveRequest::find_optimal()
+                .with_symmetry(SymmetryMode::Off)
+                .with_max_nodes(97_500),
         );
         assert_eq!(sol.size(), Some(9));
         assert!(sol.stats().nodes <= 97_500, "{:?}", sol.stats());
@@ -964,10 +1057,14 @@ mod tests {
 
     #[test]
     fn node_budget_reports_exhaustion() {
+        // Symmetry off: the parity bound would otherwise settle this
+        // refutation in one node, under any cap.
         let problem = Problem::complete(8);
         let sol = engine_by_name("bitset").unwrap().solve(
             &problem,
-            &SolveRequest::within_budget(8).with_max_nodes(10),
+            &SolveRequest::within_budget(8)
+                .with_symmetry(SymmetryMode::Off)
+                .with_max_nodes(10),
         );
         assert_eq!(
             *sol.optimality(),
@@ -988,6 +1085,7 @@ mod tests {
             let sol = engine_by_name("bitset").unwrap().solve(
                 &problem,
                 &SolveRequest::within_budget(8)
+                    .with_symmetry(SymmetryMode::Off)
                     .with_cancel_token(token)
                     .with_policy(policy),
             );
@@ -1009,7 +1107,9 @@ mod tests {
         let problem = Problem::complete(8);
         let sol = engine_by_name("bitset-parallel").unwrap().solve(
             &problem,
-            &SolveRequest::within_budget(8).with_deadline(Duration::ZERO),
+            &SolveRequest::within_budget(8)
+                .with_symmetry(SymmetryMode::Off)
+                .with_deadline(Duration::ZERO),
         );
         assert_eq!(
             *sol.optimality(),

@@ -43,6 +43,18 @@
 //! per-chord `Vec<u32>` counters, still driven by the precomputed chord
 //! index lists.
 //!
+//! # Symmetry reduction
+//!
+//! Under [`SymmetryMode::Root`] (the engine default) the root branch only
+//! explores one candidate per orbit of the branch chord's dihedral
+//! stabilizer (order 4 at the priority diameter chord of an even complete
+//! instance), and prefix bounds are strengthened by the greedy dual
+//! [`diameter_slack_bound`]; [`SymmetryMode::Full`] extends the orbit
+//! filtering to every depth under the incrementally maintained pointwise
+//! stabilizer of the placed prefix. [`SymmetryMode::Off`] reproduces the
+//! pre-symmetry search node for node — the deprecated free functions pin
+//! it, and `bench_snapshot` uses it to track the reduction factor.
+//!
 //! # Parallel search
 //!
 //! [`cover_spec_within_budget_parallel`] expands the tree breadth-first
@@ -54,13 +66,57 @@
 
 use crate::api::{CancelToken, Exhaustion};
 use crate::bitset::ChordSet;
-use crate::lower_bound::{combinatorial_lower_bound, weighted_demand_bound};
+use crate::lower_bound::{
+    combinatorial_lower_bound, diameter_slack_bound, parity_join_bound, weighted_demand_bound,
+};
+use crate::tiles::DihedralTables;
 use crate::TileUniverse;
 use cyclecover_graph::Edge;
 use cyclecover_ring::Tile;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::time::Instant;
+
+/// How much dihedral symmetry reduction a search applies. `C_n`'s
+/// automorphism group is the full dihedral group `D_n`, and a complete (or
+/// λ-fold) demand spec is invariant under all `2n` elements — so without
+/// reduction the search explores up to `2n` mirror images of every prefix.
+///
+/// * [`SymmetryMode::Off`] — the exact PR-1 baseline search, bit for bit:
+///   no orbit filtering *and* no [`diameter_slack_bound`] strengthening.
+///   `bench_snapshot` runs this mode to reproduce historical node counts
+///   (BENCH_1.json) unchanged.
+/// * [`SymmetryMode::Root`] — the default for exact engines: the root
+///   branch explores one candidate per orbit of the stabilizer of the
+///   branch chord inside the spec-preserving subgroup (order 4 at the
+///   priority diameter chord of an even complete instance), and prefix
+///   bounds include the diameter-slack dual ascent.
+/// * [`SymmetryMode::Full`] — additionally filters every deeper branch by
+///   the pointwise stabilizer of the already-placed prefix, maintained
+///   incrementally as a subgroup bitmask (`stab(P ∪ {t}) = stab(P) ∩
+///   stab(t)`, one AND per placement). The stabilizer usually collapses
+///   to the identity within a tile or two, after which the check is a
+///   single word test per node — root-plus-depth-1 reduction in practice,
+///   at every depth in principle.
+///
+/// Soundness of the filter: a kept candidate `t` and a skipped sibling
+/// `h·t` (with `h` fixing the spec, every placed tile, and the branch
+/// chord) head subtrees that are exact mirror images — `h` maps any
+/// covering extending the prefix through `h·t` to one of equal size
+/// through `t`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SymmetryMode {
+    /// No symmetry reduction, no strengthened bound (the measured
+    /// pre-symmetry baseline).
+    Off,
+    /// Orbit-representative filtering at the root branch only, plus the
+    /// diameter-slack prefix bound.
+    #[default]
+    Root,
+    /// Prefix-stabilizer orbit filtering at every depth, plus the
+    /// diameter-slack prefix bound.
+    Full,
+}
 
 /// Externally-imposed resource limits on one budgeted search: a node
 /// budget, an optional wall-clock deadline, and an optional shared
@@ -167,10 +223,15 @@ pub enum Outcome {
 pub struct Stats {
     /// Search-tree nodes expanded.
     pub nodes: u64,
-    /// Nodes cut by the capacity/diameter bound.
+    /// Nodes cut by the lower bounds.
     pub pruned: u64,
     /// Candidate branches skipped by dominance pruning.
     pub dominated: u64,
+    /// Candidate branches skipped by dihedral orbit filtering.
+    pub sym_pruned: u64,
+    /// Order of the symmetry subgroup the root branch was reduced by
+    /// (1 = no reduction; 0 = no search ran).
+    pub sym_factor: u32,
 }
 
 impl Stats {
@@ -178,6 +239,8 @@ impl Stats {
         self.nodes += other.nodes;
         self.pruned += other.pruned;
         self.dominated += other.dominated;
+        self.sym_pruned += other.sym_pruned;
+        self.sym_factor = self.sym_factor.max(other.sym_factor);
     }
 }
 
@@ -209,6 +272,14 @@ trait Kernel {
 
     /// Lower bound on additional tiles needed for the unsatisfied demand.
     fn remaining_lb(&self, u: &TileUniverse) -> u64;
+
+    /// A stronger (and costlier) bound, consulted only at nodes that
+    /// survive [`Kernel::remaining_lb`] and only when the search runs with
+    /// [`SymmetryMode::Root`]/[`SymmetryMode::Full`]; may return early
+    /// once the bound exceeds `stop_above`. Kernels without one return 0.
+    fn strong_lb(&self, _u: &TileUniverse, _stop_above: u64) -> u64 {
+        0
+    }
 
     /// Whether nodes at `depth` placed tiles score/sort/dominance-filter
     /// their candidates; otherwise the static universe order is used. With
@@ -347,6 +418,17 @@ impl Kernel for BitsetKernel {
         }
         lb
     }
+
+    fn strong_lb(&self, u: &TileUniverse, stop_above: u64) -> u64 {
+        // Cheap parity (T-join) term first — it alone settles the
+        // capacity-tight even refutations — then the pricier
+        // diameter-slack dual ascent only if the node is still alive.
+        let parity = parity_join_bound(u, &self.uncovered, self.rem_dist);
+        if parity > stop_above {
+            return parity;
+        }
+        diameter_slack_bound(u, &self.uncovered, self.rem_dist, stop_above).max(parity)
+    }
 }
 
 /// Multiplicity kernel for λ-fold specs (demand > 1): per-chord counters,
@@ -484,16 +566,62 @@ struct SearchCtx<'a, K: Kernel> {
     /// Scratch masks reused across dominance passes (index = candidate
     /// position within the current node).
     dom_scratch: Vec<ChordSet>,
+    /// Dihedral reduction level (degraded to `Off` when the tables are
+    /// unavailable or the spec has no symmetry).
+    mode: SymmetryMode,
+    /// Whether the strong (diameter-slack) prefix bound is consulted —
+    /// the requested mode was not `Off`, independent of table
+    /// availability.
+    strong: bool,
+    /// The dihedral tables, when `mode != Off`.
+    sym: Option<&'a DihedralTables>,
+    /// Subgroup preserving the spec's initial demand (bitmask).
+    spec_group: u64,
+    /// `Full` mode: `stab_stack[d]` = pointwise stabilizer of the first
+    /// `d` placed tiles intersected with `spec_group` (seeded with
+    /// `spec_group` at depth 0).
+    stab_stack: Vec<u64>,
+    /// Stamp array over tile indices backing the per-branch "already kept
+    /// a candidate of this orbit" test (lazily sized).
+    sym_seen: Vec<u64>,
+    sym_stamp: u64,
 }
 
 impl<'a, K: Kernel> SearchCtx<'a, K> {
-    fn new(u: &'a TileUniverse, spec: &CoverSpec, budget: u32, lim: &'a RunLimits) -> Self {
+    fn new(
+        u: &'a TileUniverse,
+        spec: &CoverSpec,
+        budget: u32,
+        lim: &'a RunLimits,
+        requested: SymmetryMode,
+    ) -> Self {
+        let strong = requested != SymmetryMode::Off;
+        let (mode, sym, spec_group) = if requested == SymmetryMode::Off {
+            (SymmetryMode::Off, None, 0)
+        } else {
+            match u.dihedral() {
+                Some(tables) => {
+                    let group = tables
+                        .demand_preserving(|pri| spec.demand[u.dense_of_pri(pri) as usize]);
+                    if group & !1 == 0 {
+                        // Only the identity: nothing to reduce by.
+                        (SymmetryMode::Off, None, 0)
+                    } else {
+                        (requested, Some(tables), group)
+                    }
+                }
+                None => (SymmetryMode::Off, None, 0),
+            }
+        };
         SearchCtx {
             u,
             kernel: K::new(u, spec),
             budget,
             max_nodes: lim.max_nodes,
-            stats: Stats::default(),
+            stats: Stats {
+                sym_factor: 1,
+                ..Stats::default()
+            },
             chosen: Vec::new(),
             hit_limit: false,
             stop_cause: None,
@@ -503,6 +631,17 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
             shared_nodes: None,
             synced_nodes: 0,
             dom_scratch: Vec::new(),
+            mode,
+            strong,
+            sym,
+            spec_group,
+            stab_stack: if mode == SymmetryMode::Full {
+                vec![spec_group]
+            } else {
+                Vec::new()
+            },
+            sym_seen: Vec::new(),
+            sym_stamp: 0,
         }
     }
 
@@ -520,6 +659,11 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
 
     #[inline]
     fn place(&mut self, t: u32) {
+        if self.mode == SymmetryMode::Full {
+            let top = *self.stab_stack.last().expect("stab stack seeded");
+            let stab = self.sym.expect("tables exist in Full mode").tile_stab(t);
+            self.stab_stack.push(top & stab);
+        }
         self.kernel.place(self.u, t);
         self.chosen.push(t);
     }
@@ -529,6 +673,63 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
         debug_assert_eq!(self.chosen.last(), Some(&t));
         self.chosen.pop();
         self.kernel.unplace(self.u, t);
+        if self.mode == SymmetryMode::Full {
+            self.stab_stack.pop();
+        }
+    }
+
+    /// Drops candidates whose subtree mirrors an earlier sibling's: a
+    /// candidate is skipped when some symmetry `h` — preserving the spec,
+    /// every placed tile, and the branch chord — maps it onto an
+    /// already-kept candidate. `Root` mode applies this at the empty
+    /// prefix only; `Full` mode at every node, under the incrementally
+    /// maintained prefix stabilizer.
+    fn filter_symmetric(&mut self, branch: u32, cands: Vec<u32>) -> Vec<u32> {
+        let Some(sym) = self.sym else { return cands };
+        let group = match self.mode {
+            SymmetryMode::Off => return cands,
+            SymmetryMode::Root => {
+                if !self.chosen.is_empty() {
+                    return cands;
+                }
+                self.spec_group
+            }
+            SymmetryMode::Full => *self.stab_stack.last().expect("stab stack seeded"),
+        };
+        let filter = group & sym.chord_stab(branch);
+        if self.chosen.is_empty() {
+            self.stats.sym_factor = self.stats.sym_factor.max(filter.count_ones());
+        }
+        if filter & !1 == 0 {
+            // Identity only: every orbit is a singleton.
+            return cands;
+        }
+        if self.sym_seen.len() < sym.num_tiles() as usize {
+            self.sym_seen.resize(sym.num_tiles() as usize, 0);
+        }
+        self.sym_stamp += 1;
+        let stamp = self.sym_stamp;
+        let mut kept = Vec::with_capacity(cands.len());
+        for t in cands {
+            let mut elements = filter & !1;
+            let mut mirrored = false;
+            while elements != 0 {
+                let g = elements.trailing_zeros();
+                elements &= elements - 1;
+                let image = sym.tile_image(g, t);
+                if image != t && self.sym_seen[image as usize] == stamp {
+                    mirrored = true;
+                    break;
+                }
+            }
+            if mirrored {
+                self.stats.sym_pruned += 1;
+            } else {
+                self.sym_seen[t as usize] = stamp;
+                kept.push(t);
+            }
+        }
+        kept
     }
 
     /// Scored, sorted, dominance-filtered candidates for the branch chord.
@@ -566,7 +767,7 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
                 }
             }
         }
-        if masks_ok {
+        let cands: Vec<u32> = if masks_ok {
             let mut keep = vec![true; c];
             for (i, keep_i) in keep.iter_mut().enumerate().skip(1) {
                 let (earlier, rest) = self.dom_scratch.split_at(i);
@@ -576,13 +777,15 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
                     self.stats.dominated += 1;
                 }
             }
-            return scored
+            scored
                 .into_iter()
                 .zip(keep)
                 .filter_map(|((t, _, _), k)| k.then_some(t))
-                .collect();
-        }
-        scored.into_iter().map(|(t, _, _)| t).collect()
+                .collect()
+        } else {
+            scored.into_iter().map(|(t, _, _)| t).collect()
+        };
+        self.filter_symmetric(branch, cands)
     }
 
     fn dfs(&mut self) -> bool {
@@ -629,9 +832,39 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
             self.stats.pruned += 1;
             return false;
         }
+        if self.strong {
+            let slack = self.budget as u64 - used;
+            if self.kernel.strong_lb(self.u, slack) > slack {
+                self.stats.pruned += 1;
+                return false;
+            }
+        }
         let branch = self.kernel.branch_chord().expect("unsatisfied demand exists");
         if K::sorts_at(self.chosen.len()) {
             for t in self.sorted_candidates(branch) {
+                self.place(t);
+                if self.dfs() {
+                    return true;
+                }
+                self.unplace(t);
+                if self.hit_limit {
+                    return false;
+                }
+            }
+        } else if self.mode == SymmetryMode::Full {
+            // `Full` keeps its every-depth filtering promise on the
+            // non-sorting (multiplicity) path too: materialize the useful
+            // candidates in universe order and run them through the
+            // orbit filter. Only reachable with a nontrivial spec group,
+            // so the extra Vec is never paid by `Off`/`Root` here.
+            let u = self.u;
+            let cands: Vec<u32> = u
+                .candidates_pri(branch)
+                .iter()
+                .copied()
+                .filter(|&t| self.kernel.new_coverage(u, t).0 > 0)
+                .collect();
+            for t in self.filter_symmetric(branch, cands) {
                 self.place(t);
                 if self.dfs() {
                     return true;
@@ -668,8 +901,9 @@ fn search<K: Kernel>(
     spec: &CoverSpec,
     budget: u32,
     lim: &RunLimits,
+    sym: SymmetryMode,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
-    let mut ctx = SearchCtx::<K>::new(u, spec, budget, lim);
+    let mut ctx = SearchCtx::<K>::new(u, spec, budget, lim, sym);
     if ctx.dfs() {
         (Outcome::Feasible(ctx.chosen.clone()), ctx.stats, None)
     } else if ctx.hit_limit {
@@ -688,23 +922,26 @@ pub(crate) fn budget_search(
     spec: &CoverSpec,
     budget: u32,
     lim: &RunLimits,
+    sym: SymmetryMode,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
-        search::<BitsetKernel>(u, spec, budget, lim)
+        search::<BitsetKernel>(u, spec, budget, lim, sym)
     } else {
-        search::<MultiKernel>(u, spec, budget, lim)
+        search::<MultiKernel>(u, spec, budget, lim, sym)
     }
 }
 
 /// [`budget_search`] forced onto the multiplicity (`Vec<u32>`) kernel —
 /// the pre-bitset reference path for differential tests and benches.
+/// Always runs [`SymmetryMode::Off`]: this path *is* the measured
+/// "before".
 pub(crate) fn budget_search_legacy(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
     lim: &RunLimits,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
-    search::<MultiKernel>(u, spec, budget, lim)
+    search::<MultiKernel>(u, spec, budget, lim, SymmetryMode::Off)
 }
 
 /// [`budget_search`] on the breadth-first frontier + `rayon` scope.
@@ -717,21 +954,27 @@ pub(crate) fn budget_search_parallel(
     lim: &RunLimits,
     threads: usize,
     prefix_per_thread: usize,
+    sym: SymmetryMode,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
-        search_parallel::<BitsetKernel>(u, spec, budget, lim, threads, prefix_per_thread)
+        search_parallel::<BitsetKernel>(u, spec, budget, lim, threads, prefix_per_thread, sym)
     } else {
-        search_parallel::<MultiKernel>(u, spec, budget, lim, threads, prefix_per_thread)
+        search_parallel::<MultiKernel>(u, spec, budget, lim, threads, prefix_per_thread, sym)
     }
 }
 
 /// Searches for a covering of `spec` using at most `budget` tiles from the
 /// universe. Exhaustive up to `max_nodes` search nodes. Unit-demand specs
 /// run on the bitset kernel; λ-fold specs on the multiplicity kernel.
+///
+/// Runs without symmetry reduction, preserving this function's historical
+/// node counts; the engine path defaults to [`SymmetryMode::Root`].
 #[deprecated(
     since = "0.2.0",
-    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
-            (engine \"bitset\" with `Objective::WithinBudget`)"
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api`: \
+            engine \"bitset\" with `Objective::WithinBudget`; \
+            `SolveRequest::with_symmetry(SymmetryMode::Off)` reproduces this \
+            function's exact search"
 )]
 pub fn cover_spec_within_budget(
     u: &TileUniverse,
@@ -739,7 +982,13 @@ pub fn cover_spec_within_budget(
     budget: u32,
     max_nodes: u64,
 ) -> (Outcome, Stats) {
-    let (o, s, _) = budget_search(u, spec, budget, &RunLimits::nodes_only(max_nodes));
+    let (o, s, _) = budget_search(
+        u,
+        spec,
+        budget,
+        &RunLimits::nodes_only(max_nodes),
+        SymmetryMode::Off,
+    );
     (o, s)
 }
 
@@ -764,12 +1013,20 @@ pub fn cover_spec_within_budget_legacy(
 /// [`cover_spec_within_budget`] for the standard all-of-`K_n` spec.
 #[deprecated(
     since = "0.2.0",
-    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
-            (engine \"bitset\" with `Objective::WithinBudget`)"
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api`: \
+            engine \"bitset\" with `Objective::WithinBudget`; \
+            `SolveRequest::with_symmetry(SymmetryMode::Off)` reproduces this \
+            function's exact search"
 )]
 pub fn cover_within_budget(u: &TileUniverse, budget: u32, max_nodes: u64) -> (Outcome, Stats) {
     let spec = CoverSpec::complete(u.ring().n());
-    let (o, s, _) = budget_search(u, &spec, budget, &RunLimits::nodes_only(max_nodes));
+    let (o, s, _) = budget_search(
+        u,
+        &spec,
+        budget,
+        &RunLimits::nodes_only(max_nodes),
+        SymmetryMode::Off,
+    );
     (o, s)
 }
 
@@ -780,8 +1037,10 @@ pub fn cover_within_budget(u: &TileUniverse, budget: u32, max_nodes: u64) -> (Ou
 /// found). `threads = 0` uses the available parallelism.
 #[deprecated(
     since = "0.2.0",
-    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api` \
-            (engine \"bitset-parallel\", or `ExecPolicy::Parallel`)"
+    note = "use the `SolveRequest`/`Engine` API in `cyclecover_solver::api`: \
+            engine \"bitset-parallel\" (or `ExecPolicy::Parallel`); \
+            `SolveRequest::with_symmetry(SymmetryMode::Off)` reproduces this \
+            function's exact search"
 )]
 pub fn cover_spec_within_budget_parallel(
     u: &TileUniverse,
@@ -797,6 +1056,7 @@ pub fn cover_spec_within_budget_parallel(
         &RunLimits::nodes_only(max_nodes),
         threads,
         DEFAULT_PREFIX_PER_THREAD,
+        SymmetryMode::Off,
     );
     (o, s)
 }
@@ -812,6 +1072,7 @@ fn search_parallel<K: Kernel>(
     lim: &RunLimits,
     threads: usize,
     prefix_per_thread: usize,
+    sym: SymmetryMode,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     let max_nodes = lim.max_nodes;
     // `num_threads(0)` = available parallelism, mirroring rayon's builder.
@@ -820,11 +1081,13 @@ fn search_parallel<K: Kernel>(
         .build()
         .expect("thread pool");
     let threads = pool.current_num_threads();
-    let mut root = SearchCtx::<K>::new(u, spec, budget, lim);
+    let mut root = SearchCtx::<K>::new(u, spec, budget, lim, sym);
     if root.kernel.satisfied() {
         return (Outcome::Feasible(Vec::new()), root.stats, None);
     }
-    if root.kernel.remaining_lb(u) > budget as u64 {
+    let root_infeasible = root.kernel.remaining_lb(u) > budget as u64
+        || (root.strong && root.kernel.strong_lb(u, budget as u64) > budget as u64);
+    if root_infeasible {
         // Count the root node, matching what the sequential dfs reports
         // for the identical workload.
         return (
@@ -832,7 +1095,8 @@ fn search_parallel<K: Kernel>(
             Stats {
                 nodes: 1,
                 pruned: 1,
-                dominated: 0,
+                sym_factor: 1,
+                ..Stats::default()
             },
             None,
         );
@@ -858,10 +1122,12 @@ fn search_parallel<K: Kernel>(
             early = Some(Outcome::Feasible(root.chosen.clone()));
         } else {
             root.stats.nodes += 1;
+            let prefix_slack = (budget as u64).saturating_sub(root.chosen.len() as u64);
             if root.stats.nodes > max_nodes {
                 early = Some(Outcome::NodeLimit);
             } else if root.chosen.len() as u64 + root.kernel.remaining_lb(u)
                 > budget as u64
+                || (root.strong && root.kernel.strong_lb(u, prefix_slack) > prefix_slack)
             {
                 // The prefix dies here; nothing gets enqueued.
                 root.stats.pruned += 1;
@@ -899,6 +1165,8 @@ fn search_parallel<K: Kernel>(
     let nodes = AtomicU64::new(expand_stats.nodes);
     let pruned = AtomicU64::new(expand_stats.pruned);
     let dominated = AtomicU64::new(expand_stats.dominated);
+    let sym_pruned = AtomicU64::new(expand_stats.sym_pruned);
+    let sym_factor = AtomicU32::new(expand_stats.sym_factor);
     let solution = std::sync::Mutex::new(None::<Vec<u32>>);
 
     pool.scope(|scope| {
@@ -909,6 +1177,8 @@ fn search_parallel<K: Kernel>(
             let nodes = &nodes;
             let pruned = &pruned;
             let dominated = &dominated;
+            let sym_pruned = &sym_pruned;
+            let sym_factor = &sym_factor;
             let solution = &solution;
             scope.spawn(move |_| {
                 if found.load(Ordering::Relaxed) {
@@ -932,7 +1202,7 @@ fn search_parallel<K: Kernel>(
                     deadline: lim.deadline,
                     cancel: lim.cancel.clone(),
                 };
-                let mut ctx = SearchCtx::<K>::new(u, spec, budget, &worker_lim);
+                let mut ctx = SearchCtx::<K>::new(u, spec, budget, &worker_lim, sym);
                 ctx.early_exit = Some(found);
                 ctx.shared_nodes = Some((nodes, max_nodes));
                 for &t in prefix {
@@ -943,6 +1213,8 @@ fn search_parallel<K: Kernel>(
                 ctx.sync_shared_nodes();
                 pruned.fetch_add(ctx.stats.pruned, Ordering::Relaxed);
                 dominated.fetch_add(ctx.stats.dominated, Ordering::Relaxed);
+                sym_pruned.fetch_add(ctx.stats.sym_pruned, Ordering::Relaxed);
+                sym_factor.fetch_max(ctx.stats.sym_factor, Ordering::Relaxed);
                 if ok {
                     found.store(true, Ordering::Relaxed);
                     *solution.lock().expect("poison-free") = Some(ctx.chosen.clone());
@@ -962,6 +1234,8 @@ fn search_parallel<K: Kernel>(
         nodes: nodes.load(Ordering::Relaxed),
         pruned: pruned.load(Ordering::Relaxed),
         dominated: dominated.load(Ordering::Relaxed),
+        sym_pruned: sym_pruned.load(Ordering::Relaxed),
+        sym_factor: sym_factor.load(Ordering::Relaxed),
     };
     let sol = solution.lock().expect("poison-free").take();
     match sol {
@@ -1019,7 +1293,18 @@ pub(crate) fn deepening_start(u: &TileUniverse, spec: &CoverSpec) -> u32 {
 )]
 pub fn solve_optimal(u: &TileUniverse, max_nodes: u64) -> Option<(Vec<Tile>, u32, Stats)> {
     let spec = CoverSpec::complete(u.ring().n());
-    solve_optimal_spec_with(u, &spec, budget_search, max_nodes)
+    solve_optimal_spec_with(u, &spec, budget_search_off, max_nodes)
+}
+
+/// [`budget_search`] pinned to [`SymmetryMode::Off`] — the deprecated
+/// free functions' historical search, bit for bit.
+fn budget_search_off(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    lim: &RunLimits,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    budget_search(u, spec, budget, lim, SymmetryMode::Off)
 }
 
 /// Optimal covering for an arbitrary [`CoverSpec`], by iterative deepening
@@ -1034,7 +1319,7 @@ pub fn solve_optimal_spec(
     spec: &CoverSpec,
     max_nodes: u64,
 ) -> Option<(Vec<Tile>, u32, Stats)> {
-    solve_optimal_spec_with(u, spec, budget_search, max_nodes)
+    solve_optimal_spec_with(u, spec, budget_search_off, max_nodes)
 }
 
 /// [`solve_optimal_spec`] with every deepening step run on the parallel
@@ -1054,7 +1339,15 @@ pub fn solve_optimal_spec_parallel(
         u,
         spec,
         |u, spec, budget, lim| {
-            budget_search_parallel(u, spec, budget, lim, threads, DEFAULT_PREFIX_PER_THREAD)
+            budget_search_parallel(
+                u,
+                spec,
+                budget,
+                lim,
+                threads,
+                DEFAULT_PREFIX_PER_THREAD,
+                SymmetryMode::Off,
+            )
         },
         max_nodes,
     )
@@ -1093,7 +1386,7 @@ fn solve_optimal_spec_with(
 )]
 pub fn prove_infeasible(u: &TileUniverse, budget: u32, max_nodes: u64) -> Option<bool> {
     let spec = CoverSpec::complete(u.ring().n());
-    match budget_search(u, &spec, budget, &RunLimits::nodes_only(max_nodes)).0 {
+    match budget_search_off(u, &spec, budget, &RunLimits::nodes_only(max_nodes)).0 {
         Outcome::Infeasible => Some(true),
         Outcome::Feasible(_) => Some(false),
         Outcome::NodeLimit => None,
@@ -1111,7 +1404,18 @@ mod tests {
     // deprecated free functions' signatures (the public path is covered
     // by `api`'s tests and `tests/engine_conformance.rs`).
     fn within(u: &TileUniverse, spec: &CoverSpec, budget: u32, max_nodes: u64) -> (Outcome, Stats) {
-        let (o, s, _) = budget_search(u, spec, budget, &RunLimits::nodes_only(max_nodes));
+        let (o, s, _) = budget_search_off(u, spec, budget, &RunLimits::nodes_only(max_nodes));
+        (o, s)
+    }
+
+    fn within_sym(
+        u: &TileUniverse,
+        spec: &CoverSpec,
+        budget: u32,
+        max_nodes: u64,
+        sym: SymmetryMode,
+    ) -> (Outcome, Stats) {
+        let (o, s, _) = budget_search(u, spec, budget, &RunLimits::nodes_only(max_nodes), sym);
         (o, s)
     }
 
@@ -1139,6 +1443,7 @@ mod tests {
             &RunLimits::nodes_only(max_nodes),
             threads,
             DEFAULT_PREFIX_PER_THREAD,
+            SymmetryMode::Off,
         );
         (o, s)
     }
@@ -1148,7 +1453,7 @@ mod tests {
         spec: &CoverSpec,
         max_nodes: u64,
     ) -> Option<(Vec<Tile>, u32, Stats)> {
-        solve_optimal_spec_with(u, spec, budget_search, max_nodes)
+        solve_optimal_spec_with(u, spec, budget_search_off, max_nodes)
     }
 
     fn optimal(u: &TileUniverse, max_nodes: u64) -> Option<(Vec<Tile>, u32, Stats)> {
@@ -1324,5 +1629,169 @@ mod tests {
         let (outcome, stats) = within(&u, &CoverSpec::complete(8), 8, 50_000_000);
         assert_eq!(outcome, Outcome::Infeasible);
         assert!(stats.dominated > 0, "dominance never fired: {stats:?}");
+    }
+
+    /// All three symmetry modes reach identical verdicts around the
+    /// optimum; the reduced modes never expand more nodes than `Off` on
+    /// the hard even refutations.
+    #[test]
+    fn symmetry_modes_agree_on_verdicts() {
+        for n in [6u32, 7, 8] {
+            let u = TileUniverse::new(Ring::new(n), n as usize);
+            let spec = CoverSpec::complete(n);
+            let rho = rho_formula(n) as u32;
+            for budget in [rho - 1, rho] {
+                let (off, off_stats) = within(&u, &spec, budget, 200_000_000);
+                for sym in [SymmetryMode::Root, SymmetryMode::Full] {
+                    let (got, stats) = within_sym(&u, &spec, budget, 200_000_000, sym);
+                    assert_eq!(
+                        matches!(got, Outcome::Feasible(_)),
+                        matches!(off, Outcome::Feasible(_)),
+                        "n={n} budget={budget} {sym:?}"
+                    );
+                    if let Outcome::Feasible(idx) = &got {
+                        let tiles: Vec<Tile> = idx.iter().map(|&i| u.tile(i).clone()).collect();
+                        assert_valid_cover(&u, &tiles, 1);
+                        assert_eq!(idx.len() as u32, budget.min(rho), "n={n} {sym:?}");
+                    }
+                    if budget == rho - 1 && n == 8 {
+                        assert!(
+                            stats.nodes <= off_stats.nodes,
+                            "n={n} {sym:?}: {} > {} nodes",
+                            stats.nodes,
+                            off_stats.nodes
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The capacity-tight even refutations collapse to one-node proofs
+    /// under the parity (T-join) bound: every vertex of `K_8` (and
+    /// `K_12`) has odd degree while the budget leaves zero slack.
+    #[test]
+    fn parity_bound_refutes_tight_even_budgets_at_the_root() {
+        for (n, tight) in [(8u32, 8u32), (12, 18)] {
+            let u = TileUniverse::new(Ring::new(n), n as usize);
+            let spec = CoverSpec::complete(n);
+            let (off, off_stats) = within(&u, &spec, tight, 200_000);
+            let (root, root_stats) = within_sym(&u, &spec, tight, 200_000, SymmetryMode::Root);
+            assert_eq!(root, Outcome::Infeasible, "n={n}");
+            assert_eq!(root_stats.nodes, 1, "n={n}: parity prunes the root");
+            if n == 8 {
+                // Off needs the full 97,465-node exhaustive proof; the
+                // 200k cap is enough for it but pins the contrast.
+                assert_eq!(off, Outcome::Infeasible);
+                assert_eq!(off_stats.nodes, 97_465, "BENCH_1 baseline drifted");
+            } else {
+                // n = 12: off exceeds any reasonable cap (> 30M nodes).
+                assert_eq!(off, Outcome::NodeLimit);
+            }
+        }
+    }
+
+    /// The orbit filter itself fires where a real branch survives the
+    /// bounds: the n = 8 budget-9 witness search reduces its root by the
+    /// diameter-chord stabilizer (order 4) and skips mirrored candidates.
+    #[test]
+    fn symmetry_root_filters_witness_search() {
+        let u = TileUniverse::new(Ring::new(8), 8);
+        let spec = CoverSpec::complete(8);
+        let (off, off_stats) = within(&u, &spec, 9, 50_000_000);
+        let (root, root_stats) = within_sym(&u, &spec, 9, 50_000_000, SymmetryMode::Root);
+        assert!(matches!(off, Outcome::Feasible(_)));
+        assert!(matches!(root, Outcome::Feasible(_)));
+        assert_eq!(off_stats.sym_factor, 1);
+        assert_eq!(off_stats.sym_pruned, 0);
+        assert_eq!(root_stats.sym_factor, 4, "diameter-chord stabilizer");
+        assert!(root_stats.sym_pruned > 0, "{root_stats:?}");
+        assert!(
+            root_stats.nodes <= off_stats.nodes,
+            "{} vs {}",
+            root_stats.nodes,
+            off_stats.nodes
+        );
+    }
+
+    /// Frontier-parallel search honors the symmetry mode and agrees with
+    /// the sequential verdicts.
+    #[test]
+    fn symmetry_parallel_agrees_with_sequential() {
+        let u = TileUniverse::new(Ring::new(8), 8);
+        let spec = CoverSpec::complete(8);
+        for sym in [SymmetryMode::Root, SymmetryMode::Full] {
+            let (seq, seq_stats) = within_sym(&u, &spec, 8, 100_000_000, sym);
+            let (par, par_stats, _) = budget_search_parallel(
+                &u,
+                &spec,
+                8,
+                &RunLimits::nodes_only(100_000_000),
+                4,
+                DEFAULT_PREFIX_PER_THREAD,
+                sym,
+            );
+            assert_eq!(seq, Outcome::Infeasible, "{sym:?}");
+            assert_eq!(par, Outcome::Infeasible, "{sym:?}");
+            // Both prune the capacity-tight root via the parity bound.
+            assert_eq!(seq_stats.nodes, 1, "{sym:?}");
+            assert_eq!(par_stats.nodes, 1, "{sym:?}");
+            let (par_ok, ok_stats, _) = budget_search_parallel(
+                &u,
+                &spec,
+                9,
+                &RunLimits::nodes_only(100_000_000),
+                4,
+                DEFAULT_PREFIX_PER_THREAD,
+                sym,
+            );
+            assert!(matches!(par_ok, Outcome::Feasible(_)), "{sym:?}");
+            // The witness search's frontier expansion reduced its root by
+            // the order-4 diameter-chord stabilizer.
+            assert_eq!(ok_stats.sym_factor, 4, "{sym:?}");
+        }
+    }
+
+    /// Asymmetric (subset) specs degrade gracefully: the spec-preserving
+    /// subgroup collapses, no filtering happens, verdicts are unchanged.
+    #[test]
+    fn symmetry_degrades_on_asymmetric_specs() {
+        let n = 7u32;
+        let u = TileUniverse::new(Ring::new(n), 4);
+        let requests: Vec<Edge> = vec![Edge::new(0, 2), Edge::new(1, 4), Edge::new(2, 6)];
+        let spec = CoverSpec::subset(n, &requests);
+        for budget in 1..=3u32 {
+            let (off, _) = within(&u, &spec, budget, 10_000_000);
+            let (root, stats) = within_sym(&u, &spec, budget, 10_000_000, SymmetryMode::Root);
+            assert_eq!(
+                matches!(off, Outcome::Feasible(_)),
+                matches!(root, Outcome::Feasible(_)),
+                "budget={budget}"
+            );
+            assert_eq!(stats.sym_pruned, 0, "nothing to filter by");
+        }
+    }
+
+    /// λ-fold specs stay fully symmetric: the multiplicity kernel accepts
+    /// orbit filtering — including `Full`'s every-depth filtering on the
+    /// non-sorting deep path (λ-fold searches exceed the depth-4 sorting
+    /// cutoff) — and agrees with the unreduced search.
+    #[test]
+    fn symmetry_applies_to_lambda_fold() {
+        let n = 6u32;
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let spec = CoverSpec::lambda_fold(n, 2);
+        let lb = spec.capacity_lower_bound(Ring::new(n)) as u32;
+        for budget in [lb - 1, lb] {
+            let (off, _) = within(&u, &spec, budget, 200_000_000);
+            for sym in [SymmetryMode::Root, SymmetryMode::Full] {
+                let (got, _) = within_sym(&u, &spec, budget, 200_000_000, sym);
+                assert_eq!(
+                    matches!(off, Outcome::Feasible(_)),
+                    matches!(got, Outcome::Feasible(_)),
+                    "budget={budget} {sym:?}"
+                );
+            }
+        }
     }
 }

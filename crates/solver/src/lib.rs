@@ -46,12 +46,19 @@
 //! * [`TileUniverse`] — enumeration of all DRC-routable cycles (winding
 //!   tiles) of a ring, with per-chord candidate indices and precomputed
 //!   per-tile metadata (chord index lists, chord bitmasks, load, wasted
-//!   capacity, diameter counts) in a branch-priority chord order;
+//!   capacity, diameter counts) in a branch-priority chord order, plus
+//!   lazily-built dihedral action tables ([`DihedralTables`]: `D_n`
+//!   permutations of chords and tiles, stabilizer bitmasks, orbit
+//!   representatives) backing the [`bnb::SymmetryMode`] search reduction;
 //! * [`bitset`] — [`bitset::ChordSet`], the word-packed chord sets the
 //!   exact search's coverage bookkeeping runs on;
 //! * [`lower_bound`] — the capacity lower bound
 //!   `ρ(n) ≥ ⌈Σ dist(u,v) / n⌉` (and its arbitrary-demand form
-//!   [`lower_bound::weighted_demand_bound`]) plus the diameter bound;
+//!   [`lower_bound::weighted_demand_bound`]), the diameter bound, and
+//!   the search-state prefix bounds: the parity/T-join bound
+//!   ([`lower_bound::parity_join_bound`] — Theorem 2's `+1` derived at
+//!   the root of capacity-tight even probes) and the diameter-slack
+//!   greedy dual ([`lower_bound::diameter_slack_bound`]);
 //! * [`bnb`] — the branch & bound searches (bitset kernel with popcount
 //!   scoring and subset-dominance pruning; legacy multiplicity kernel;
 //!   rayon frontier parallelism). The old free functions remain as
@@ -75,4 +82,4 @@ pub mod improve;
 pub mod lower_bound;
 mod tiles;
 
-pub use tiles::TileUniverse;
+pub use tiles::{DihedralTables, TileUniverse};

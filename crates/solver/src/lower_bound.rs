@@ -1,5 +1,7 @@
 //! Lower bounds on the size of a DRC covering of `K_n` over `C_n`.
 
+use crate::bitset::ChordSet;
+use crate::TileUniverse;
 use cyclecover_graph::Edge;
 use cyclecover_ring::Ring;
 
@@ -54,15 +56,134 @@ pub fn diameter_lower_bound(n: u32) -> u64 {
     }
 }
 
-/// The best known combinatorial lower bound implemented here: the max of
-/// capacity and diameter bounds.
+/// The best known *closed-form* combinatorial lower bound implemented
+/// here: the max of capacity and diameter bounds. This is the iterative
+/// deepening start, so it deliberately excludes Theorem 2's `+1`.
 ///
 /// The paper's Theorem 2 additionally proves `+1` over the capacity bound
-/// for `n = 2p` with `p` even; that refinement is *certified* exhaustively
-/// by [`crate::bnb::prove_infeasible`] on small instances (see
-/// `EXPERIMENTS.md` E4) rather than assumed here.
+/// for `n = 2p` with `p` even; that refinement is *certified* per
+/// instance rather than assumed: the search's [`parity_join_bound`]
+/// derives it at the root of the capacity-tight probe (a one-node
+/// refutation under `SymmetryMode::Root`/`Full`), and
+/// [`SymmetryMode::Off`](crate::bnb::SymmetryMode) still proves it by
+/// plain exhaustion (see `EXPERIMENTS.md` E4).
 pub fn combinatorial_lower_bound(n: u32) -> u64 {
     capacity_lower_bound(n).max(diameter_lower_bound(n))
+}
+
+/// The parity (T-join) bound over per-vertex residual degrees.
+///
+/// Every tile covers an *even* number of chords at every vertex — exactly
+/// 2 at each vertex it visits (its two ring-consecutive neighbours), 0
+/// elsewhere. So across any covering, the per-vertex coverage count is
+/// even, and a vertex `v` whose uncovered degree `deg_U(v)` is odd forces
+/// at least one *excess* coverage (a chord at `v` covered twice, or an
+/// already-covered chord re-covered). The excess multiset has odd degree
+/// exactly at the odd-degree vertex set `T`, hence contains a `T`-join,
+/// whose ring-distance cost is at least `|T|/2` (each joining chord has
+/// distance ≥ 1 and repairs two vertices). Charging that forced excess
+/// into the capacity bound:
+///
+/// `tiles needed ≥ ⌈(rem_dist + |T|/2) / n⌉`.
+///
+/// This is the paper's Theorem 2 parity argument as a prefix bound. At
+/// capacity-tight even instances it refutes at the root: for `n = 2p`
+/// with `p` even, the budget `p²/2` has zero slack while every vertex has
+/// odd degree `n − 1`, so `|T| = n` and the bound reads `p²/2 + 1/2`
+/// rounded up — the `+1` of Theorem 2, turning the `n = 8` and `n = 12`
+/// exhaustive refutations into one-node proofs. Deeper in a witness
+/// search it keeps pruning: any prefix that strands odd residual degrees
+/// with too little slack dies immediately.
+pub fn parity_join_bound(u: &TileUniverse, uncovered: &ChordSet, rem_dist: u64) -> u64 {
+    let n = u.ring().n();
+    let mut odd = 0u64;
+    for v in 0..n {
+        let deg = u.vertex_mask(v).intersection_count(uncovered);
+        odd += (deg & 1) as u64;
+    }
+    debug_assert!(odd.is_multiple_of(2), "handshake: odd-degree count is even");
+    (rem_dist + odd / 2).div_ceil(n as u64)
+}
+
+/// The diameter-slack bound: a greedy dual ascent over the fractional
+/// covering LP, no LP solver needed.
+///
+/// Start from the capacity dual `y_c = dist(c)/n` (feasible: a tile's
+/// chords carry total shortest-path load ≤ `n`). Every uncovered diameter
+/// chord `d` then gets its dual raised by the *minimum effective slack*
+/// of the tiles covering it,
+///
+/// `δ_d = min_t (n − useful_load(t)) / n` over tiles `t ∋ d`,
+///
+/// where `useful_load(t)` counts only `t`'s still-uncovered chords. The
+/// raises are jointly feasible because no tile carries two diameter
+/// chords (each one needs its endpoints ring-consecutive in the tile, and
+/// two such pairs interleave), so each tile absorbs at most one `δ_d` —
+/// and by construction `δ_d` never exceeds that tile's slack. Weak LP
+/// duality then gives, over the uncovered demand `U` with total distance
+/// `rem_dist`,
+///
+/// `tiles needed ≥ ⌈(rem_dist + Σ_d minwaste(d)) / n⌉`.
+///
+/// At a fresh instance every diameter has a full-load disjoint tile and
+/// the bound degenerates to capacity; *inside* the search tree it bites
+/// hard: once the placed prefix overlaps every remaining way to cover
+/// some diameter, that forced waste is charged immediately instead of
+/// being discovered branches later. On capacity-tight refutations (the
+/// `n = 12` budget-18 proof, where slack is zero) a single unit of
+/// forced waste prunes the node.
+///
+/// `uncovered` is in the universe's priority chord space; `rem_dist`
+/// must be the total ring distance of the uncovered chords. The scan
+/// returns early once the bound exceeds `stop_above` (the caller's
+/// remaining budget), and returns `u64::MAX / 2` if some uncovered
+/// diameter has no covering tile at all.
+pub fn diameter_slack_bound(
+    u: &TileUniverse,
+    uncovered: &ChordSet,
+    rem_dist: u64,
+    stop_above: u64,
+) -> u64 {
+    let n = u.ring().n() as u64;
+    let diam = u.diam_chords();
+    let mut extra = 0u64;
+    let mut bound = rem_dist.div_ceil(n);
+    for d in uncovered.iter().take_while(|&d| d < diam) {
+        let mut minwaste = u64::MAX;
+        for &t in u.candidates_pri(d) {
+            let mut useful = 0u64;
+            for (wi, (a, b)) in u
+                .tile_mask(t)
+                .words()
+                .iter()
+                .zip(uncovered.words())
+                .enumerate()
+            {
+                let mut w = a & b;
+                while w != 0 {
+                    let c = (wi as u32) * 64 + w.trailing_zeros();
+                    useful += u.dist_of_pri(c) as u64;
+                    w &= w - 1;
+                }
+            }
+            let waste = n.saturating_sub(useful);
+            if waste < minwaste {
+                minwaste = waste;
+                if minwaste == 0 {
+                    break;
+                }
+            }
+        }
+        if minwaste == u64::MAX {
+            return u64::MAX / 2;
+        }
+        extra += minwaste;
+        bound = (rem_dist + extra).div_ceil(n);
+        if bound > stop_above {
+            return bound;
+        }
+    }
+    bound
 }
 
 /// The paper's claimed optimal value `ρ(n)`:
@@ -173,5 +294,55 @@ mod tests {
         assert_eq!(diameter_lower_bound(8), 4);
         assert_eq!(diameter_lower_bound(9), 0);
         assert!(combinatorial_lower_bound(8) >= 4);
+    }
+
+    #[test]
+    fn diameter_slack_bound_degenerates_to_capacity_when_fresh() {
+        // On the untouched complete instance every diameter chord has a
+        // full-load tile covering it, so no dual raise happens.
+        for n in [8u32, 10, 12] {
+            let ring = Ring::new(n);
+            let u = TileUniverse::new(ring, n as usize);
+            let uncovered = ChordSet::full(u.num_chords());
+            let rem = ring.total_pair_distance();
+            assert_eq!(
+                diameter_slack_bound(&u, &uncovered, rem, u64::MAX),
+                capacity_lower_bound(n),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn diameter_slack_bound_charges_forced_waste() {
+        // Leave only the diameter chords uncovered: every tile covering
+        // one now wastes n − n/2 capacity, and the dual ascent recovers
+        // the full diameter bound where raw capacity sees ⌈p²/(2p)⌉.
+        let n = 8u32;
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let mut uncovered = ChordSet::empty(u.num_chords());
+        for d in 0..u.diam_chords() {
+            uncovered.insert(d);
+        }
+        let rem = (u.diam_chords() * (n / 2)) as u64;
+        assert_eq!(rem.div_ceil(n as u64), 2, "raw capacity sees only 2");
+        assert_eq!(
+            diameter_slack_bound(&u, &uncovered, rem, u64::MAX),
+            u.diam_chords() as u64,
+            "dual ascent recovers one tile per leftover diameter"
+        );
+    }
+
+    #[test]
+    fn diameter_slack_bound_honors_stop_above() {
+        let n = 8u32;
+        let u = TileUniverse::new(Ring::new(n), n as usize);
+        let mut uncovered = ChordSet::empty(u.num_chords());
+        for d in 0..u.diam_chords() {
+            uncovered.insert(d);
+        }
+        let rem = (u.diam_chords() * (n / 2)) as u64;
+        // Early exit still reports a value strictly above the cap.
+        assert!(diameter_slack_bound(&u, &uncovered, rem, 2) > 2);
     }
 }

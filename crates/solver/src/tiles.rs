@@ -5,6 +5,7 @@ use crate::bitset::ChordSet;
 use cyclecover_graph::Edge;
 use cyclecover_ring::{Ring, Tile};
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 /// The universe of candidate covering cycles for exact search on `C_n`:
 /// all winding tiles with size in `3..=max_len`, optionally restricted by a
@@ -72,6 +73,185 @@ pub struct TileUniverse {
     /// `vertex_masks[v]`: the chords incident to ring vertex `v`
     /// (priority space) — the support of the vertex-degree lower bound.
     vertex_masks: Vec<ChordSet>,
+
+    /// Lazily-built dihedral action tables (`None` inside the cell when
+    /// the group order `2n` exceeds the 64-bit subgroup masks).
+    dihedral: OnceLock<Option<DihedralTables>>,
+}
+
+/// The action of the dihedral group `D_n = Aut(C_n)` on the universe,
+/// precomputed as flat permutation tables so the exact search can do
+/// symmetry reduction with plain array lookups and word operations.
+///
+/// Group elements are indexed `g ∈ 0..2n`: `g < n` is the rotation
+/// `v ↦ v + g (mod n)`; `g = n + r` is the reflection-then-rotation
+/// `v ↦ r − v (mod n)`. Element `0` is the identity. Subgroups are
+/// represented as `u64` bitmasks over the element indices (hence the
+/// `2n ≤ 64` limit — every ring this workspace searches exactly fits).
+///
+/// The tables are only valid for the universe they were built from: the
+/// tile enumeration criteria (`max_len`, `max_gap`) are `D_n`-invariant,
+/// so the universe is closed under the action and every image is again a
+/// universe index.
+pub struct DihedralTables {
+    /// Group order `2n`.
+    order: u32,
+    /// Number of chord slots `m`.
+    num_chords: u32,
+    /// Number of tiles `T`.
+    num_tiles: u32,
+    /// `chord_perm[g · m + c]`: image of priority chord `c` under `g`.
+    chord_perm: Vec<u32>,
+    /// `tile_perm[g · T + t]`: image of tile `t` under `g`.
+    tile_perm: Vec<u32>,
+    /// `chord_stab[c]`: bitmask of elements fixing priority chord `c`.
+    chord_stab: Vec<u64>,
+    /// `tile_stab[t]`: bitmask of elements fixing tile `t`.
+    tile_stab: Vec<u64>,
+    /// `canon_tile[t]`: the smallest tile index in `t`'s orbit — the
+    /// canonical image; `canon_tile[t] == t` marks orbit representatives.
+    canon_tile: Vec<u32>,
+}
+
+impl DihedralTables {
+    fn build(u: &TileUniverse) -> Option<DihedralTables> {
+        let n = u.ring.n();
+        let order = 2 * n;
+        if order > 64 {
+            return None;
+        }
+        let m = u.num_chords();
+        let t_count = u.len() as u32;
+        let mut chord_perm = vec![0u32; (order * m) as usize];
+        let mut tile_perm = vec![0u32; order as usize * t_count as usize];
+        let mut chord_stab = vec![0u64; m as usize];
+        let mut tile_stab = vec![0u64; t_count as usize];
+        let mut canon_tile: Vec<u32> = (0..t_count).collect();
+        for g in 0..order {
+            // Vertex action of element g (see the type docs).
+            let map = |v: u32| -> u32 {
+                if g < n {
+                    u.ring.add(v, g)
+                } else {
+                    u.ring.sub(g - n, v)
+                }
+            };
+            for c in 0..m {
+                let e = Edge::from_dense_index(u.dense_of_pri(c) as usize, n as usize);
+                let img = Edge::new(map(e.u()), map(e.v()));
+                let img_pri = u.pri_of_dense(img.dense_index(n as usize) as u32);
+                chord_perm[(g * m + c) as usize] = img_pri;
+                if img_pri == c {
+                    chord_stab[c as usize] |= 1 << g;
+                }
+            }
+            for t in 0..t_count {
+                let verts: Vec<u32> = u.tiles[t as usize]
+                    .vertices()
+                    .iter()
+                    .map(|&v| map(v))
+                    .collect();
+                let img = u
+                    .index_of(&Tile::from_vertices(u.ring, verts))
+                    .expect("tile universe is closed under the dihedral action");
+                tile_perm[g as usize * t_count as usize + t as usize] = img;
+                if img == t {
+                    tile_stab[t as usize] |= 1 << g;
+                }
+                if img < canon_tile[t as usize] {
+                    canon_tile[t as usize] = img;
+                }
+            }
+        }
+        Some(DihedralTables {
+            order,
+            num_chords: m,
+            num_tiles: t_count,
+            chord_perm,
+            tile_perm,
+            chord_stab,
+            tile_stab,
+            canon_tile,
+        })
+    }
+
+    /// Group order `2n`.
+    #[inline]
+    pub fn order(&self) -> u32 {
+        self.order
+    }
+
+    /// Number of tiles the tables act on.
+    #[inline]
+    pub fn num_tiles(&self) -> u32 {
+        self.num_tiles
+    }
+
+    /// Image of priority chord `c` under element `g`.
+    #[inline]
+    pub fn chord_image(&self, g: u32, c: u32) -> u32 {
+        self.chord_perm[(g * self.num_chords + c) as usize]
+    }
+
+    /// Image of tile `t` under element `g`.
+    #[inline]
+    pub fn tile_image(&self, g: u32, t: u32) -> u32 {
+        self.tile_perm[g as usize * self.num_tiles as usize + t as usize]
+    }
+
+    /// Subgroup mask of the elements fixing priority chord `c`.
+    #[inline]
+    pub fn chord_stab(&self, c: u32) -> u64 {
+        self.chord_stab[c as usize]
+    }
+
+    /// Subgroup mask of the elements fixing tile `t`.
+    #[inline]
+    pub fn tile_stab(&self, t: u32) -> u64 {
+        self.tile_stab[t as usize]
+    }
+
+    /// The canonical (smallest-index) image of tile `t`'s orbit.
+    #[inline]
+    pub fn canonical_tile(&self, t: u32) -> u32 {
+        self.canon_tile[t as usize]
+    }
+
+    /// Whether tile `t` is its orbit's representative.
+    #[inline]
+    pub fn is_orbit_rep(&self, t: u32) -> bool {
+        self.canon_tile[t as usize] == t
+    }
+
+    /// Iterator over the orbit representatives (canonical tiles).
+    pub fn orbit_reps(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.num_tiles).filter(move |&t| self.is_orbit_rep(t))
+    }
+
+    /// Stabilizer mask of the highest-priority diameter chord (priority
+    /// index 0), or `None` when the ring has no diameter class. This is
+    /// the subgroup the root branch of an even complete instance is
+    /// reduced by: order 4 (identity, the `n/2` rotation, and the two
+    /// reflections through the chord's axis and its perpendicular).
+    pub fn diameter_chord_stab(&self, u: &TileUniverse) -> Option<u64> {
+        (u.diam_chords() > 0).then(|| self.chord_stab(0))
+    }
+
+    /// Subgroup mask of the elements preserving a demand level function
+    /// over priority chords — the symmetry group of a search's initial
+    /// state. For complete and λ-fold specs this is all of `D_n`.
+    pub fn demand_preserving(&self, demand_of_pri: impl Fn(u32) -> u32) -> u64 {
+        let mut mask = 0u64;
+        'g: for g in 0..self.order {
+            for c in 0..self.num_chords {
+                if demand_of_pri(self.chord_image(g, c)) != demand_of_pri(c) {
+                    continue 'g;
+                }
+            }
+            mask |= 1 << g;
+        }
+        mask
+    }
 }
 
 impl TileUniverse {
@@ -217,7 +397,17 @@ impl TileUniverse {
             waste,
             diam_count,
             vertex_masks,
+            dihedral: OnceLock::new(),
         }
+    }
+
+    /// The dihedral action tables, built on first use (`None` for rings
+    /// with `2n > 64`, where the `u64` subgroup masks don't fit — far
+    /// beyond any instance the exact search can finish anyway).
+    pub fn dihedral(&self) -> Option<&DihedralTables> {
+        self.dihedral
+            .get_or_init(|| DihedralTables::build(self))
+            .as_ref()
     }
 
     /// The ring.
@@ -427,6 +617,101 @@ mod tests {
                     "n={n} pri={pri}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn dihedral_tables_are_group_actions() {
+        for n in [6u32, 7, 8] {
+            let ring = Ring::new(n);
+            let u = TileUniverse::new(ring, n as usize);
+            let d = u.dihedral().expect("2n <= 64");
+            assert_eq!(d.order(), 2 * n);
+            let m = u.num_chords();
+            let t_count = u.len() as u32;
+            // Element 0 is the identity.
+            for c in 0..m {
+                assert_eq!(d.chord_image(0, c), c);
+            }
+            for t in 0..t_count {
+                assert_eq!(d.tile_image(0, t), t);
+            }
+            for g in 0..d.order() {
+                // Permutations (bijective) and distance-preserving.
+                let mut seen_c = vec![false; m as usize];
+                for c in 0..m {
+                    let img = d.chord_image(g, c);
+                    assert!(!seen_c[img as usize], "n={n} g={g}: chord collision");
+                    seen_c[img as usize] = true;
+                    assert_eq!(u.dist_of_pri(img), u.dist_of_pri(c), "n={n} g={g}");
+                }
+                let mut seen_t = vec![false; t_count as usize];
+                for t in 0..t_count {
+                    let img = d.tile_image(g, t);
+                    assert!(!seen_t[img as usize], "n={n} g={g}: tile collision");
+                    seen_t[img as usize] = true;
+                    // Tile metadata is invariant under the action.
+                    assert_eq!(u.tile_load(img), u.tile_load(t), "n={n} g={g} t={t}");
+                    assert_eq!(u.tile_waste(img), u.tile_waste(t), "n={n} g={g} t={t}");
+                    assert_eq!(
+                        u.tile_diam_count(img),
+                        u.tile_diam_count(t),
+                        "n={n} g={g} t={t}"
+                    );
+                    // The tile's chord mask maps chord-wise.
+                    let mut mapped: Vec<u32> =
+                        u.tile_chords(t).iter().map(|&c| d.chord_image(g, c)).collect();
+                    mapped.sort_unstable();
+                    let img_chords: Vec<u32> = u.tile_mask(img).iter().collect();
+                    assert_eq!(mapped, img_chords, "n={n} g={g} t={t}");
+                }
+            }
+            // Stabilizer masks: bit g set iff g fixes the object.
+            for t in (0..t_count).step_by(7) {
+                for g in 0..d.order() {
+                    assert_eq!(
+                        d.tile_stab(t) >> g & 1 == 1,
+                        d.tile_image(g, t) == t,
+                        "n={n} t={t} g={g}"
+                    );
+                }
+            }
+            // Orbits partition the universe; canonical images are orbit
+            // minima and idempotent.
+            let mut orbit_total = 0usize;
+            for rep in d.orbit_reps() {
+                assert_eq!(d.canonical_tile(rep), rep);
+                let orbit: std::collections::BTreeSet<u32> =
+                    (0..d.order()).map(|g| d.tile_image(g, rep)).collect();
+                assert!(orbit.iter().all(|&t| d.canonical_tile(t) == rep), "n={n}");
+                assert_eq!(*orbit.iter().next().unwrap(), rep, "rep is the minimum");
+                assert_eq!(2 * n as usize % orbit.len(), 0, "orbit divides |D_n|");
+                orbit_total += orbit.len();
+            }
+            assert_eq!(orbit_total, t_count as usize, "orbits partition, n={n}");
+            // Complete demand is preserved by the whole group; the
+            // diameter-chord stabilizer has order 4 exactly for even n.
+            let full = d.demand_preserving(|_| 1);
+            assert_eq!(full.count_ones(), 2 * n, "n={n}");
+            match d.diameter_chord_stab(&u) {
+                Some(stab) => {
+                    assert!(n.is_multiple_of(2));
+                    assert_eq!(stab.count_ones(), 4, "n={n}");
+                }
+                None => assert!(!n.is_multiple_of(2)),
+            }
+        }
+    }
+
+    /// An asymmetric demand function shrinks the preserved subgroup: a
+    /// single demanded chord is preserved exactly by its stabilizer.
+    #[test]
+    fn demand_preserving_respects_asymmetry() {
+        let u = TileUniverse::new(Ring::new(8), 4);
+        let d = u.dihedral().unwrap();
+        for c in [0u32, 5, 17] {
+            let mask = d.demand_preserving(|pri| (pri == c) as u32);
+            assert_eq!(mask, d.chord_stab(c), "chord {c}");
         }
     }
 

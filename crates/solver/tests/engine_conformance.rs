@@ -5,12 +5,14 @@
 //! boundary promises to callers regardless of which engine answers.
 
 use cyclecover_graph::{Edge, EdgeMultiset};
-use cyclecover_ring::Ring;
+use cyclecover_ring::{symmetry as ring_symmetry, Ring};
 use cyclecover_solver::api::{
     engine_by_name, engines, CancelToken, ExecPolicy, Objective, Optimality, Problem,
-    SolveRequest,
+    SolveRequest, SymmetryMode,
 };
+use cyclecover_solver::bnb::CoverSpec;
 use cyclecover_solver::lower_bound::rho_formula;
+use cyclecover_solver::TileUniverse;
 use proptest::prelude::*;
 use std::time::Duration;
 
@@ -120,6 +122,147 @@ fn heuristics_do_not_claim_proofs() {
     }
 }
 
+/// `SymmetryMode::Off` and the reduced modes agree on `ρ(n)` and on the
+/// `ProveInfeasible(ρ(n) − 1)` verdicts for every `n ≤ 10` over the full
+/// tile universe — the orbit filtering and the strengthened bound must
+/// never change an answer, only the node count. (The `n = 10` `Off` run
+/// is the suite's heavyweight: the unreduced 13.45M-node BENCH_1 witness
+/// search.)
+#[test]
+fn symmetry_modes_agree_on_rho_up_to_n10() {
+    for n in 4..=10u32 {
+        let problem = Problem::complete(n);
+        let rho = rho_formula(n) as u32;
+        let engine = engine_by_name("bitset").unwrap();
+        for sym in [SymmetryMode::Off, SymmetryMode::Root, SymmetryMode::Full] {
+            let optimal = engine.solve(
+                &problem,
+                &SolveRequest::find_optimal()
+                    .with_symmetry(sym)
+                    .with_max_nodes(200_000_000),
+            );
+            assert!(
+                matches!(optimal.optimality(), Optimality::Optimal { .. }),
+                "n={n} {sym:?}: {:?}",
+                optimal.optimality()
+            );
+            assert_eq!(optimal.size(), Some(rho as usize), "n={n} {sym:?}");
+            assert_covers_complete(n, optimal.covering().unwrap());
+            let below = engine.solve(
+                &problem,
+                &SolveRequest::prove_infeasible(rho - 1)
+                    .with_symmetry(sym)
+                    .with_max_nodes(200_000_000),
+            );
+            assert_eq!(
+                *below.optimality(),
+                Optimality::Infeasible,
+                "n={n} {sym:?} at rho-1"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dihedral action correctness, property-tested across ring sizes and
+    /// universe restrictions: every group element maps tiles to valid
+    /// universe tiles with identical load/waste/diameter metadata, the
+    /// canonical images are orbit invariants agreeing with the ring
+    /// crate's reference `canonical_tile`, and the orbits partition the
+    /// universe.
+    #[test]
+    fn dihedral_action_is_correct(
+        n in 5u32..=11,
+        max_len in 3usize..=5,
+        restrict_gap in any::<bool>(),
+    ) {
+        let ring = Ring::new(n);
+        let max_gap = if restrict_gap { ring.diameter().max(2) } else { n };
+        let u = TileUniverse::with_max_gap(ring, max_len.min(n as usize), max_gap);
+        let d = u.dihedral().expect("2n <= 64 for n <= 11");
+        prop_assert_eq!(d.order(), 2 * n);
+        let t_count = u.len() as u32;
+        let mut orbit_sum = 0u64;
+        for t in 0..t_count {
+            let tile = u.tile(t);
+            // Canonical image: a valid universe tile with identical
+            // metadata, idempotent, and an orbit invariant.
+            let canon = d.canonical_tile(t);
+            prop_assert_eq!(d.canonical_tile(canon), canon, "idempotent");
+            prop_assert_eq!(u.tile_load(canon), u.tile_load(t));
+            prop_assert_eq!(u.tile_waste(canon), u.tile_waste(t));
+            prop_assert_eq!(u.tile_diam_count(canon), u.tile_diam_count(t));
+            prop_assert_eq!(u.tile(canon).len(), tile.len());
+            // The ring crate's reference canonicalization lands in the
+            // same orbit class.
+            let ref_canon = ring_symmetry::canonical_tile(ring, tile);
+            let ref_idx = u.index_of(&ref_canon).expect("closed under D_n");
+            prop_assert_eq!(d.canonical_tile(ref_idx), canon, "reference orbit agrees");
+            // Orbit size divides 2n and matches the reference count; sum
+            // over representatives partitions the universe.
+            if d.is_orbit_rep(t) {
+                let orbit: std::collections::BTreeSet<u32> =
+                    (0..d.order()).map(|g| d.tile_image(g, t)).collect();
+                prop_assert_eq!(
+                    orbit.len(),
+                    ring_symmetry::orbit_size(ring, tile),
+                    "orbit size matches reference"
+                );
+                prop_assert_eq!(2 * n as usize % orbit.len(), 0);
+                orbit_sum += orbit.len() as u64;
+            }
+        }
+        prop_assert_eq!(orbit_sum, t_count as u64, "orbits partition the universe");
+    }
+
+    /// Off/Root equivalence on randomized partial instances: symmetry
+    /// reduction may not flip any within-budget verdict, even when the
+    /// spec itself is asymmetric.
+    #[test]
+    fn symmetry_modes_agree_on_random_subsets(
+        n in 6u32..=9,
+        seed in any::<u64>(),
+    ) {
+        let ring = Ring::new(n);
+        let m = n as usize * (n as usize - 1) / 2;
+        // Deterministic pseudo-random subset of requests from the seed.
+        let mut state = seed | 1;
+        let mut requests = Vec::new();
+        for dense in 0..m {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state >> 60 < 8 {
+                requests.push(Edge::from_dense_index(dense, n as usize));
+            }
+        }
+        if requests.is_empty() {
+            requests.push(Edge::new(0, n / 2));
+        }
+        let problem = Problem::new(
+            TileUniverse::new(ring, n as usize),
+            CoverSpec::subset(n, &requests),
+        );
+        let engine = engine_by_name("bitset").unwrap();
+        let mut verdicts = Vec::new();
+        for sym in [SymmetryMode::Off, SymmetryMode::Root, SymmetryMode::Full] {
+            let sol = engine.solve(
+                &problem,
+                &SolveRequest::find_optimal()
+                    .with_symmetry(sym)
+                    .with_max_nodes(50_000_000),
+            );
+            let size = sol.size();
+            prop_assert!(size.is_some(), "{sym:?}: {:?}", sol.optimality());
+            verdicts.push(size.unwrap());
+        }
+        prop_assert!(
+            verdicts.windows(2).all(|w| w[0] == w[1]),
+            "optimum differs across modes: {verdicts:?}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -135,6 +278,7 @@ proptest! {
         threads in 0usize..16,
         prefix_depth in 0u32..8,
         policy_kind in 0u8..3,
+        sym_kind in 0u8..3,
     ) {
         let objective = match kind {
             0 => Objective::FindOptimal,
@@ -146,12 +290,20 @@ proptest! {
             1 => ExecPolicy::Parallel { threads, prefix_depth },
             _ => ExecPolicy::Auto,
         };
+        let symmetry = match sym_kind {
+            0 => SymmetryMode::Off,
+            1 => SymmetryMode::Root,
+            _ => SymmetryMode::Full,
+        };
         let deadline_ms = deadline_on.then_some(deadline_raw);
         let token = CancelToken::new();
+        // The default is Root — the reduced search is opt-out.
+        prop_assert_eq!(SolveRequest::new(objective).symmetry(), SymmetryMode::Root);
         let mut request = SolveRequest::new(objective)
             .with_max_nodes(max_nodes)
             .with_cancel_token(token.clone())
-            .with_policy(policy);
+            .with_policy(policy)
+            .with_symmetry(symmetry);
         if let Some(ms) = deadline_ms {
             request = request.with_deadline(Duration::from_millis(ms));
         }
@@ -159,6 +311,7 @@ proptest! {
         prop_assert_eq!(request.max_nodes(), max_nodes);
         prop_assert_eq!(request.deadline(), deadline_ms.map(Duration::from_millis));
         prop_assert_eq!(request.policy(), policy);
+        prop_assert_eq!(request.symmetry(), symmetry);
         // The token is shared, not copied: cancelling the caller's clone
         // must be visible through the request's handle.
         prop_assert!(!request.cancel_token().is_cancelled());

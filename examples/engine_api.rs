@@ -23,9 +23,10 @@ fn main() {
             LowerBoundProof::ExhaustiveSearch {
                 infeasible_budget,
                 nodes,
+                symmetry_factor,
             } => println!(
                 "rho(4) = 3 certified: budget {infeasible_budget} refuted \
-                 exhaustively in {nodes} nodes"
+                 exhaustively in {nodes} nodes (symmetry x{symmetry_factor})"
             ),
             LowerBoundProof::CombinatorialBound { bound } => {
                 println!("rho(4) = 3 certified by the combinatorial bound {bound}")
