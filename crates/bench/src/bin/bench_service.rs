@@ -1,0 +1,159 @@
+//! Throughput snapshot of the batching solve service on a mixed,
+//! workload-generated queue.
+//!
+//! Builds a reproducible (seeded) job queue mixing the shapes real
+//! provisioning traffic has — repeated complete instances over a few
+//! ring sizes, partial instances drawn from the `cyclecover-workload`
+//! generators (uniform, locality, permutation demands), heuristic-engine
+//! jobs, deadline-carrying jobs, and one already-expired job — then
+//! drains it through [`SolveService`] and reports the service-level
+//! numbers that matter for the "heavy traffic" north star: jobs/s,
+//! universe-cache hit rate, coalescing rate, and per-engine node totals.
+//!
+//! Usage: `cargo run --release -p cyclecover-bench --bin bench_service
+//! [-- --jobs N] [--workers N] [--cache-mb M] [--quick] [--json]`
+//!
+//! Node counts and the hit/coalesce accounting are deterministic for a
+//! given queue; wall-clock is hardware noise (see the ROADMAP bench
+//! notes). `--json` prints the raw `cyclecover-batch-summary` document
+//! instead of the table.
+
+use cyclecover_graph::Graph;
+use cyclecover_io::json::SolveJob;
+use cyclecover_service::{batch_summary_json, ServiceConfig, SolveService};
+use cyclecover_solver::api::Objective;
+use cyclecover_solver::lower_bound::rho_formula;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn requests_of(g: &Graph) -> Vec<(u32, u32)> {
+    g.edges().iter().map(|e| (e.u(), e.v())).collect()
+}
+
+/// The mixed queue: `count` jobs over rings `6..=max_n`, seeded.
+fn build_queue(count: usize, max_n: u32, rng: &mut StdRng) -> Vec<SolveJob> {
+    let mut jobs: Vec<SolveJob> = Vec::with_capacity(count);
+    for i in 0..count {
+        let n = rng.gen_range(6..=max_n);
+        let mut job = SolveJob::new(format!("q{i}"), n);
+        match i % 6 {
+            // Complete certification — the ρ(n) workload.
+            0 => {}
+            // Feasibility probe just above the optimum.
+            1 => job.objective = Objective::WithinBudget(rho_formula(n) as u32 + 1),
+            // Heuristic upper bound (complete spec only).
+            2 => job.engine = "greedy-improve".to_string(),
+            // Partial instances from the workload generators.
+            3 => {
+                let g = cyclecover_workload::uniform_random(n as usize, 0.5, rng);
+                let reqs = requests_of(&g);
+                if !reqs.is_empty() {
+                    job.requests = Some(reqs);
+                }
+            }
+            4 => {
+                let g = cyclecover_workload::locality(n as usize, 2);
+                job.requests = Some(requests_of(&g));
+            }
+            _ => {
+                let g = cyclecover_workload::permutation(n as usize, rng);
+                let reqs = requests_of(&g);
+                if !reqs.is_empty() {
+                    job.requests = Some(reqs);
+                }
+                // A generous deadline: exercises the EDF path without
+                // cutting anything short.
+                job.deadline_ms = Some(60_000);
+            }
+        }
+        // Every fourth job is an exact duplicate of an earlier one (new
+        // id): the coalescing workload.
+        if i % 4 == 3 && i > 0 {
+            let mut dup = jobs[rng.gen_range(0..jobs.len())].clone();
+            dup.id = format!("q{i}");
+            job = dup;
+        }
+        jobs.push(job);
+    }
+    // One unmeetable deadline: the rejected-without-running path.
+    let mut doomed = SolveJob::new("doomed", max_n);
+    doomed.deadline_ms = Some(0);
+    jobs.push(doomed);
+    jobs
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs = 60usize;
+    let mut workers = 1usize;
+    let mut cache_mb = 64usize;
+    let mut as_json = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--jobs" => jobs = it.next().and_then(|v| v.parse().ok()).expect("--jobs N"),
+            "--workers" => workers = it.next().and_then(|v| v.parse().ok()).expect("--workers N"),
+            "--cache-mb" => {
+                cache_mb = it.next().and_then(|v| v.parse().ok()).expect("--cache-mb M")
+            }
+            "--quick" => jobs = 20,
+            "--json" => as_json = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    let max_n = 9;
+    let mut rng = StdRng::seed_from_u64(2001);
+    let queue = build_queue(jobs, max_n, &mut rng);
+
+    let mut service = SolveService::new(ServiceConfig {
+        workers,
+        cache_bytes: cache_mb << 20,
+    });
+    for job in queue {
+        service.submit(job).expect("generated jobs are admissible");
+    }
+    let report = service.drain();
+
+    if as_json {
+        print!("{}", batch_summary_json(&report));
+        return;
+    }
+    let st = &report.stats;
+    println!("bench_service — mixed workload queue (seeded, n <= {max_n})");
+    println!(
+        "jobs: {} submitted, {} solved, {} coalesced, {} expired, {} errors",
+        st.submitted, st.solved, st.coalesced, st.expired, st.errors
+    );
+    let wall = st.wall.as_secs_f64();
+    println!(
+        "throughput: {:.1} jobs/s ({:.1} ms total, {workers} worker(s))",
+        st.solved as f64 / wall.max(1e-9),
+        wall * 1e3
+    );
+    println!(
+        "universe cache: {} hits / {} misses ({:.0}% hit rate), {} evictions, {} KiB resident (budget {} MiB)",
+        st.cache.hits,
+        st.cache.misses,
+        st.cache.hit_rate() * 100.0,
+        st.cache.evictions,
+        st.cache.bytes / 1024,
+        cache_mb
+    );
+    println!(
+        "queue wait: {:.3} ms mean over {} jobs",
+        st.mean_queue_wait.as_secs_f64() * 1e3,
+        report.jobs.len()
+    );
+    for e in &st.engines {
+        println!(
+            "engine {:16} {:4} solves, {:4} jobs served, {:10} nodes",
+            e.name, e.solves, e.jobs, e.nodes
+        );
+    }
+    // Sanity: the snapshot is only meaningful if the service-level
+    // machinery actually engaged.
+    assert!(st.cache.hits > 0, "no universe reuse in the mixed queue");
+    assert!(st.coalesced > 0, "no coalescing in the mixed queue");
+    assert_eq!(st.expired, 1, "the doomed job must expire");
+    assert_eq!(st.errors, 0, "admission errors in the generated queue");
+}

@@ -3,6 +3,28 @@
 //! The experiment harness for the reproduction: one binary per table /
 //! figure of `EXPERIMENTS.md` (E1–E14) plus Criterion timing benches
 //! (B1–B7). See `DESIGN.md` §4 for the experiment index.
+//!
+//! # `BENCH_*.json` provenance
+//!
+//! The `BENCH_<k>.json` files at the repository root are perf-trajectory
+//! snapshots written by the `bench_snapshot` binary at the PR that
+//! changed the solver, on the reference single-core container:
+//!
+//! * `BENCH_1.json` — PR 1 (bitset kernel): ρ(n ≤ 10) certification node
+//!   counts, engines `bitset` vs `legacy`. These are the **exact** (±0)
+//!   baselines the `SymmetryMode::Off` rows are gated against.
+//! * `BENCH_3.json` — PR 3 (dihedral symmetry + stronger bounds): the
+//!   same workload across the `off`/`root`/`full` symmetry dimension,
+//!   plus the n = 12 certification rows. The `root` counts are the
+//!   regression *ceilings* used by `bench_snapshot --quick --check`, the
+//!   CI node-count gate.
+//!
+//! Node counts are deterministic and machine-independent; the `wall_ms`
+//! fields are hardware noise and never gated on. Service-level
+//! throughput (cache hit rate, coalescing, jobs/s) is snapshotted by the
+//! `bench_service` binary, which asserts its queue exercises the
+//! machinery but writes no baseline file — wall-clock on the shared box
+//! is too noisy to gate.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! cyclecover solve <n> [flags]    run a solver engine, emit a certificate
+//! cyclecover serve --batch <jobs.jsonl>  run a batch through the solve service
 //! cyclecover engines              list the registered solver engines
 //! cyclecover rho <n>              minimum covering size ρ(n)
 //! cyclecover construct <n>        emit the optimal covering (text format)
@@ -23,6 +24,14 @@
 //! human summary or the JSON wire format (`--json`) that `validate`
 //! accepts back.
 //!
+//! `serve` is the front door to the
+//! [`cyclecover_service`] batch service: it reads one
+//! `cyclecover-request` document per line (see `docs/wire-format.md`),
+//! schedules them earliest-deadline-first over the engine registry with
+//! the universe cache and request coalescing, prints the batch summary
+//! JSON, and (with `--out`) writes each job's solution document where
+//! `validate` can re-check it.
+//!
 //! The dispatch logic lives in [`run`] (pure: arguments in, output
 //! string out) so the whole surface is unit-testable without spawning
 //! processes; `main` is a 10-line shim.
@@ -33,6 +42,7 @@
 use cyclecover_core::{construct_with_status, rho, Optimality};
 use cyclecover_io::{csv::Table, format, json, svg};
 use cyclecover_net::{audit_all_failures, compare_schemes, WdmNetwork};
+use cyclecover_service::{batch_summary_json, ServiceConfig, SolveService};
 use cyclecover_solver::api::{
     engine_by_name, engines, LowerBoundProof, Optimality as SolveOptimality, Problem,
     SolveRequest, SymmetryMode,
@@ -53,6 +63,14 @@ USAGE:
                                       --budget K asks for any <= K covering;
                                       --symmetry sets the dihedral reduction
                                       of the exact search, default root)
+  cyclecover serve --batch <jobs.jsonl> [--workers N] [--cache-mb M]
+                       [--out DIR]   run a batch of request documents (one
+                                     JSON per line; see docs/wire-format.md)
+                                     through the batching solve service:
+                                     EDF scheduling, universe cache, request
+                                     coalescing. Prints the batch summary
+                                     JSON; --out writes per-job solution
+                                     documents that `validate` accepts
   cyclecover engines                 list the registered solver engines
   cyclecover rho <n>                 print the optimal covering size ρ(n)
   cyclecover construct <n>           emit a minimum covering in text format
@@ -213,11 +231,79 @@ fn run_solve(args: &[String]) -> Result<String, String> {
 }
 
 
+/// Runs the `serve` subcommand: a `.jsonl` batch file → [`SolveService`]
+/// → batch summary JSON (and, with `--out`, one solution document per
+/// job).
+fn run_serve(args: &[String]) -> Result<String, String> {
+    let mut batch: Option<String> = None;
+    let mut workers = 1usize;
+    let mut cache_mb = 64usize;
+    let mut out_dir: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--batch" => batch = Some(value("a jobs file")?),
+            "--workers" => {
+                workers = value("a thread count")?
+                    .parse()
+                    .map_err(|e| format!("bad --workers: {e}"))?;
+                if workers == 0 {
+                    return Err("--workers must be >= 1".into());
+                }
+            }
+            "--cache-mb" => {
+                cache_mb = value("a size in MiB")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-mb: {e}"))?;
+            }
+            "--out" => out_dir = Some(value("a directory")?),
+            other => return Err(format!("unknown serve flag '{other}'")),
+        }
+    }
+    let path = batch.ok_or("serve needs --batch <jobs.jsonl>")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut service = SolveService::new(ServiceConfig {
+        workers,
+        cache_bytes: cache_mb.saturating_mul(1 << 20),
+    });
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let job = json::request_from_json(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        service
+            .submit(job)
+            .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+    }
+    if service.queued() == 0 {
+        return Err(format!("{path}: no request documents found"));
+    }
+    let report = service.drain();
+    if let Some(dir) = out_dir {
+        std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        for job in &report.jobs {
+            if let Some(sol) = &job.solution {
+                let file = format!("{dir}/{}.json", job.id);
+                std::fs::write(&file, json::solution_to_json(sol))
+                    .map_err(|e| format!("cannot write {file}: {e}"))?;
+            }
+        }
+    }
+    Ok(batch_summary_json(&report))
+}
+
 /// Executes a command line (without the program name); returns the
 /// output to print on success or an error message.
 pub fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("solve") => run_solve(&args[1..]),
+        Some("serve") => run_serve(&args[1..]),
         Some("engines") => {
             let mut out = String::new();
             for e in engines() {
@@ -490,6 +576,92 @@ mod tests {
         // that can't be met reports engine exhaustion instead of lying.
         let out = runv(&["solve", "9", "--engine", "greedy", "--budget", "1"]).unwrap();
         assert!(out.contains("INCONCLUSIVE"), "{out}");
+    }
+
+    #[test]
+    fn serve_runs_a_mixed_batch_end_to_end() {
+        // Three distinct universe keys, one repeat (coalesces + cache
+        // hit), one unmeetable deadline: the ISSUE acceptance scenario.
+        let jobs = r#"# mixed smoke queue
+{"format": "cyclecover-request", "version": 1, "id": "k6-a", "n": 6}
+{"format": "cyclecover-request", "version": 1, "id": "k6-b", "n": 6}
+
+{"format": "cyclecover-request", "version": 1, "id": "k6-probe", "n": 6, "objective": {"kind": "within_budget", "budget": 6}}
+{"format": "cyclecover-request", "version": 1, "id": "k7-dlx", "n": 7, "engine": "dlx"}
+{"format": "cyclecover-request", "version": 1, "id": "k8", "n": 8, "objective": {"kind": "within_budget", "budget": 9}}
+{"format": "cyclecover-request", "version": 1, "id": "late", "n": 9, "deadline_ms": 0}
+"#;
+        let dir = std::env::temp_dir().join("cyclecover_cli_test_serve");
+        std::fs::create_dir_all(&dir).unwrap();
+        let batch = dir.join("jobs.jsonl");
+        std::fs::write(&batch, jobs).unwrap();
+        let out = dir.join("out");
+        let summary = runv(&[
+            "serve",
+            "--batch",
+            batch.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--cache-mb",
+            "16",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(summary.contains("\"cyclecover-batch-summary\""), "{summary}");
+        assert!(summary.contains("\"expired\": 1"), "{summary}");
+        assert!(summary.contains("\"coalesced\": 1"), "{summary}");
+        assert!(
+            summary.contains("\"reason\": \"deadline\""),
+            "expired job must report budget_exhausted/deadline: {summary}"
+        );
+        // Cache hits > 0: the k6 repeat shares one universe.
+        assert!(!summary.contains("\"hits\": 0"), "{summary}");
+        // Every emitted solution with a covering round-trips through
+        // `validate`.
+        let mut validated = 0;
+        for id in ["k6-a", "k6-b", "k6-probe", "k7-dlx", "k8"] {
+            let file = out.join(format!("{id}.json"));
+            let ok = runv(&["validate", file.to_str().unwrap()]).unwrap();
+            assert!(ok.starts_with("OK:"), "{id}: {ok}");
+            validated += 1;
+        }
+        assert_eq!(validated, 5);
+        // The expired job's document exists and carries no covering.
+        let late = std::fs::read_to_string(out.join("late.json")).unwrap();
+        assert!(late.contains("\"budget_exhausted\""), "{late}");
+        assert!(late.contains("\"cycles\": null"), "{late}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_flag_errors_are_helpful() {
+        assert!(runv(&["serve"]).unwrap_err().contains("--batch"));
+        assert!(runv(&["serve", "--workers", "2"])
+            .unwrap_err()
+            .contains("--batch"));
+        assert!(runv(&["serve", "--frobnicate"])
+            .unwrap_err()
+            .contains("unknown serve flag"));
+        let dir = std::env::temp_dir();
+        let empty = dir.join("cyclecover_cli_test_empty.jsonl");
+        std::fs::write(&empty, "# nothing here\n\n").unwrap();
+        let err = runv(&["serve", "--batch", empty.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("no request documents"), "{err}");
+        std::fs::remove_file(&empty).ok();
+        let bad = dir.join("cyclecover_cli_test_bad.jsonl");
+        std::fs::write(&bad, "{\"format\": \"cyclecover-request\", \"version\": 1, \"n\": 2}\n")
+            .unwrap();
+        let err = runv(&["serve", "--batch", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains(":1:"), "line number missing: {err}");
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn usage_covers_the_command_surface() {
+        for needle in ["solve", "--symmetry", "engines", "serve", "--batch", "--cache-mb"] {
+            assert!(USAGE.contains(needle), "USAGE missing {needle}");
+        }
     }
 
     #[test]

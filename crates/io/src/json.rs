@@ -1,43 +1,119 @@
-//! The JSON wire format for solver [`Solution`]s.
+//! The JSON wire protocol: request and solution documents.
 //!
-//! A service front-end needs one parseable artifact per solve: what was
-//! asked, what was found, what was *proved*, and what it cost. This module
-//! serializes [`Solution`] to a stable, self-contained JSON document and
-//! parses it back far enough to independently re-validate the covering —
-//! the same trust boundary as the v1 text format, for machines instead of
-//! humans:
+//! This module is the normative definition of the two document kinds the
+//! workspace speaks over the wire — what the batch solve service
+//! (`cyclecover-service`, `cyclecover serve --batch`) consumes and what
+//! every solver front-end emits. Worked examples live in
+//! `docs/wire-format.md` at the repository root; an integration test
+//! round-trips every example there through this parser.
 //!
-//! ```json
-//! {
-//!   "format": "cyclecover-solution",
-//!   "version": 1,
-//!   "n": 4,
-//!   "engine": "bitset",
-//!   "optimality": {"kind": "optimal",
-//!                  "proof": {"kind": "exhaustive_search",
-//!                            "infeasible_budget": 2, "nodes": 9,
-//!                            "symmetry_factor": 1}},
-//!   "size": 3,
-//!   "cycles": [[0, 1, 2], [0, 2, 3], [0, 1, 3]],
-//!   "stats": {"nodes": 42, "pruned": 7, "dominated": 3, "sym_pruned": 0,
-//!             "symmetry_factor": 1, "budgets_tried": 2, "wall_ms": 0.1}
-//! }
+//! # Common rules
+//!
+//! * Documents are JSON objects. Every document carries a `"format"`
+//!   discriminator string and an integer `"version"`.
+//! * **Versioning**: a consumer MUST reject a document whose `version`
+//!   exceeds the version it implements (currently `1` for both kinds),
+//!   and MUST ignore object fields it does not recognize — additive
+//!   fields are a compatible change, renames/removals/semantic changes
+//!   require a version bump.
+//! * Numbers are interchanged as JSON numbers; every field below is an
+//!   unsigned integer unless stated otherwise. Parsing is std-only:
+//!   [`Json`] is a minimal recursive-descent reader sufficient for this
+//!   schema (and for any well-formed document without surrogate-pair
+//!   escapes).
+//!
+//! # Request documents — `"format": "cyclecover-request"` (version 1)
+//!
+//! One solve job. Parsed by [`request_from_json`] into a [`SolveJob`],
+//! emitted (single-line, suitable for `.jsonl` batch files) by
+//! [`request_to_json`].
+//!
+//! | field | required | meaning |
+//! |-------|----------|---------|
+//! | `format` | yes | the string `"cyclecover-request"` |
+//! | `version` | yes | `1` |
+//! | `id` | no | job identifier: 1–64 chars from `[A-Za-z0-9._-]`; defaults to `""` (the service assigns `job-<seq>`) |
+//! | `n` | yes | ring size, `≥ 3` |
+//! | `max_len` | no | max tile vertex count, `3 ≤ max_len ≤ n`; default `n` |
+//! | `max_gap` | no | max ring gap between consecutive tile vertices, `1 ≤ max_gap ≤ n`; default `n` (unconstrained) |
+//! | `requests` | no | array of `[u, v]` vertex pairs (`u ≠ v`, both `< n`): the demand is *exactly these requests once*; absent or `null` = all of `K_n` once |
+//! | `engine` | no | engine registry name; default `"bitset"` (validated against the registry at admission, not parse, time) |
+//! | `objective` | no | `{"kind": "find_optimal"}` (default), `{"kind": "within_budget", "budget": K}`, or `{"kind": "prove_infeasible", "budget": K}` |
+//! | `max_nodes` | no | search-node budget for the whole request |
+//! | `deadline_ms` | no | wall-clock deadline in milliseconds, **measured from batch start**: the scheduler admits the job only while `now < start + deadline_ms`, and an admitted job runs with the remaining slice; an expired job is reported `budget_exhausted`/`deadline` without running |
+//! | `symmetry` | no | `"off"`, `"root"`, or `"full"`; absent = the engine default (`root` for exact engines) |
+//!
+//! `(n, max_len, max_gap)` is the **universe key**: jobs agreeing on it
+//! share one precomputed [`TileUniverse`](cyclecover_solver::TileUniverse)
+//! (the service caches these by key under a byte budget). Everything
+//! *except* `id` and `deadline_ms` forms the **coalescing key**: identical
+//! jobs are solved once and fanned back out to every waiter.
+//!
+//! # Solution documents — `"format": "cyclecover-solution"` (version 1)
+//!
+//! One engine answer. Emitted by [`solution_to_json`]; the covering is
+//! independently re-validated on receipt by [`covering_from_solution_json`]
+//! — the same trust boundary as the v1 text format, for machines instead
+//! of humans.
+//!
+//! | field | meaning |
+//! |-------|---------|
+//! | `format` | the string `"cyclecover-solution"` |
+//! | `version` | `1` |
+//! | `n` | ring size the problem was solved on |
+//! | `engine` | registry name of the engine that answered (`"service"` when a scheduler rejected the job unrun) |
+//! | `optimality` | the certificate object, below |
+//! | `size` | number of cycles, or `null` when no covering is carried |
+//! | `cycles` | array of cycles (each an array of ring vertices), or `null` |
+//! | `stats` | `{nodes, pruned, dominated, sym_pruned, symmetry_factor, budgets_tried, wall_ms}`; `wall_ms` is a float |
+//!
+//! `optimality.kind` is one of:
+//!
+//! * `"optimal"` — carries `proof`, either
+//!   `{"kind": "combinatorial_bound", "bound": B}` or
+//!   `{"kind": "exhaustive_search", "infeasible_budget": K, "nodes": N,
+//!   "symmetry_factor": F}` (`F` = order of the dihedral subgroup the
+//!   refutation's root branch was reduced by, `1` = unreduced — keeps
+//!   symmetry-reduced certificates auditable);
+//! * `"feasible"` — a covering meeting the objective, optimality unknown;
+//! * `"infeasible"` — exhaustively proved impossible within the budget;
+//! * `"budget_exhausted"` — carries `reason`: `"node_budget"`,
+//!   `"deadline"`, `"cancelled"`, or `"engine_limit"`.
+//!
+//! `cycles` (and `size`) are `null` exactly when the verdict carries no
+//! covering (`infeasible`, `budget_exhausted`).
+//!
+//! **Limitation (v1, normative):** a solution document does not carry
+//! the demand spec it answered, so [`covering_from_solution_json`]
+//! re-validates each cycle against the ring's DRC rules but full
+//! *coverage* validation ([`DrcCovering::validate`]) asserts the
+//! complete-`K_n` spec. Answers to partial-instance requests
+//! (`requests` set) therefore re-validate only at the DRC trust
+//! boundary; receivers that need coverage checked against a partial
+//! spec must keep the request document alongside. Carrying the spec in
+//! the solution document is a planned v2 addition.
+//!
+//! A round trip:
+//!
 //! ```
+//! use cyclecover_io::json;
+//! use cyclecover_solver::api::{engine_by_name, Problem, SolveRequest};
 //!
-//! `symmetry_factor` in an `exhaustive_search` proof is the order of the
-//! dihedral subgroup the refutation's root branch was reduced by (1 =
-//! unreduced), keeping symmetry-reduced certificates auditable.
-//!
-//! `cycles` (and `size`) are `null` when the solution carries no covering
-//! (an infeasibility proof, or an exhausted budget). Everything is std
-//! only, per the workspace's offline-crate policy: [`Json`] is a minimal
-//! recursive-descent JSON reader sufficient for this schema (and for any
-//! well-formed document without exotic escapes).
+//! let solution = engine_by_name("bitset")
+//!     .unwrap()
+//!     .solve(&Problem::complete(6), &SolveRequest::find_optimal());
+//! let doc = json::solution_to_json(&solution);
+//! let covering = json::covering_from_solution_json(&doc).unwrap();
+//! assert_eq!(covering.len(), 5); // ρ(6), re-validated from the wire
+//! ```
 
 use cyclecover_core::DrcCovering;
-use cyclecover_graph::CycleSubgraph;
+use cyclecover_graph::{CycleSubgraph, Edge};
 use cyclecover_ring::{routing, Ring, Tile};
-use cyclecover_solver::api::{Exhaustion, LowerBoundProof, Optimality, Solution};
+use cyclecover_solver::api::{
+    Exhaustion, LowerBoundProof, Objective, Optimality, Solution, SolveRequest, SymmetryMode,
+};
+use cyclecover_solver::bnb::CoverSpec;
 use std::fmt::Write as _;
 
 // ---------------------------------------------------------------------------
@@ -128,7 +204,10 @@ fn optimality_json(o: &Optimality) -> String {
     }
 }
 
-fn quote(raw: &str) -> String {
+/// Quotes a string as a JSON string literal (escaping quotes,
+/// backslashes, and control characters) — the one escaper every
+/// document emitter in the workspace shares.
+pub fn quote(raw: &str) -> String {
     let mut s = String::with_capacity(raw.len() + 2);
     s.push('"');
     for c in raw.chars() {
@@ -410,6 +489,298 @@ pub fn covering_from_solution_json(text: &str) -> Result<DrcCovering, String> {
     Ok(DrcCovering::from_tiles(ring, tiles))
 }
 
+// ---------------------------------------------------------------------------
+// Request documents
+// ---------------------------------------------------------------------------
+
+/// A parsed, validated `cyclecover-request` document: one solve job for
+/// the batch service (see the [module docs](self) for the normative field
+/// list and defaults).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SolveJob {
+    /// Job identifier (`[A-Za-z0-9._-]{1,64}`, or empty = unnamed; the
+    /// service assigns `job-<seq>` to unnamed jobs).
+    pub id: String,
+    /// Ring size (`≥ 3`).
+    pub n: u32,
+    /// Maximum tile vertex count (`3 ..= n`).
+    pub max_len: u32,
+    /// Maximum ring gap between consecutive tile vertices (`1 ..= n`;
+    /// `n` = unconstrained).
+    pub max_gap: u32,
+    /// `None` = cover all of `K_n` once; `Some(pairs)` = cover exactly
+    /// these requests once (normalized `u < v`, sorted, deduplicated).
+    pub requests: Option<Vec<(u32, u32)>>,
+    /// Engine registry name (validated against the registry at admission).
+    pub engine: String,
+    /// What to solve for.
+    pub objective: Objective,
+    /// Search-node budget for the whole request.
+    pub max_nodes: Option<u64>,
+    /// Wall-clock deadline in milliseconds, measured from batch start.
+    pub deadline_ms: Option<u64>,
+    /// Dihedral symmetry reduction; `None` = the engine default.
+    pub symmetry: Option<SymmetryMode>,
+}
+
+impl SolveJob {
+    /// A job with the given id and ring size and every other field at its
+    /// documented default (full universe, complete spec, `bitset` engine,
+    /// `FindOptimal`, no limits).
+    pub fn new(id: impl Into<String>, n: u32) -> Self {
+        SolveJob {
+            id: id.into(),
+            n,
+            max_len: n,
+            max_gap: n,
+            requests: None,
+            engine: "bitset".to_string(),
+            objective: Objective::FindOptimal,
+            max_nodes: None,
+            deadline_ms: None,
+            symmetry: None,
+        }
+    }
+
+    /// The universe cache key: jobs agreeing on `(n, max_len, max_gap)`
+    /// search the same precomputed tile enumeration.
+    pub fn universe_key(&self) -> (u32, u32, u32) {
+        (self.n, self.max_len, self.max_gap)
+    }
+
+    /// The demand spec this job asks to cover.
+    pub fn spec(&self) -> CoverSpec {
+        match &self.requests {
+            None => CoverSpec::complete(self.n),
+            Some(pairs) => {
+                let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
+                CoverSpec::subset(self.n, &edges)
+            }
+        }
+    }
+
+    /// The [`SolveRequest`] this job describes — objective, node budget,
+    /// and symmetry. The deadline is *not* attached here: `deadline_ms`
+    /// is relative to batch start, so the scheduler converts it to the
+    /// remaining slice (and attaches its cancellation token) at admission.
+    pub fn to_solve_request(&self) -> SolveRequest {
+        let mut request = match self.objective {
+            Objective::FindOptimal => SolveRequest::find_optimal(),
+            Objective::WithinBudget(k) => SolveRequest::within_budget(k),
+            Objective::ProveInfeasible(k) => SolveRequest::prove_infeasible(k),
+        };
+        if let Some(nodes) = self.max_nodes {
+            request = request.with_max_nodes(nodes);
+        }
+        if let Some(sym) = self.symmetry {
+            request = request.with_symmetry(sym);
+        }
+        request
+    }
+}
+
+/// Serializes a [`SolveJob`] as a single-line `cyclecover-request`
+/// document — the shape batch files (`.jsonl`, one request per line)
+/// are made of. [`request_from_json`] parses it back; the pair round-trips.
+pub fn request_to_json(job: &SolveJob) -> String {
+    let mut s = String::new();
+    s.push_str("{\"format\": \"cyclecover-request\", \"version\": 1");
+    let _ = write!(s, ", \"id\": {}", quote(&job.id));
+    let _ = write!(s, ", \"n\": {}", job.n);
+    let _ = write!(s, ", \"max_len\": {}", job.max_len);
+    let _ = write!(s, ", \"max_gap\": {}", job.max_gap);
+    match &job.requests {
+        None => s.push_str(", \"requests\": null"),
+        Some(pairs) => {
+            s.push_str(", \"requests\": [");
+            for (i, (u, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "[{u}, {v}]");
+            }
+            s.push(']');
+        }
+    }
+    let _ = write!(s, ", \"engine\": {}", quote(&job.engine));
+    let objective = match job.objective {
+        Objective::FindOptimal => "{\"kind\": \"find_optimal\"}".to_string(),
+        Objective::WithinBudget(k) => {
+            format!("{{\"kind\": \"within_budget\", \"budget\": {k}}}")
+        }
+        Objective::ProveInfeasible(k) => {
+            format!("{{\"kind\": \"prove_infeasible\", \"budget\": {k}}}")
+        }
+    };
+    let _ = write!(s, ", \"objective\": {objective}");
+    match job.max_nodes {
+        Some(nodes) => {
+            let _ = write!(s, ", \"max_nodes\": {nodes}");
+        }
+        None => s.push_str(", \"max_nodes\": null"),
+    }
+    match job.deadline_ms {
+        Some(ms) => {
+            let _ = write!(s, ", \"deadline_ms\": {ms}");
+        }
+        None => s.push_str(", \"deadline_ms\": null"),
+    }
+    match job.symmetry {
+        Some(SymmetryMode::Off) => s.push_str(", \"symmetry\": \"off\""),
+        Some(SymmetryMode::Root) => s.push_str(", \"symmetry\": \"root\""),
+        Some(SymmetryMode::Full) => s.push_str(", \"symmetry\": \"full\""),
+        None => s.push_str(", \"symmetry\": null"),
+    }
+    s.push('}');
+    s
+}
+
+/// Reads an optional unsigned integer field: absent and `null` both mean
+/// `None`; anything non-integral or out of `[0, max]` is an error.
+fn opt_uint(doc: &Json, key: &str, max: u64) -> Result<Option<u64>, String> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => {
+            let x = v.as_num().ok_or_else(|| format!("'{key}' must be a number"))?;
+            if x.fract() != 0.0 || !(0.0..=max as f64).contains(&x) {
+                return Err(format!("'{key}' = {x} out of range"));
+            }
+            Ok(Some(x as u64))
+        }
+    }
+}
+
+/// Parses and validates a `cyclecover-request` document into a
+/// [`SolveJob`]. Enforces every constraint in the [module docs](self)
+/// (ranges, id charset, request pairs); unknown fields are ignored per
+/// the compatibility rules. The engine *name* is accepted unchecked —
+/// registry membership is an admission-time concern.
+pub fn request_from_json(text: &str) -> Result<SolveJob, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("format").and_then(Json::as_str) {
+        Some("cyclecover-request") => {}
+        other => return Err(format!("not a cyclecover-request document: {other:?}")),
+    }
+    match opt_uint(&doc, "version", u64::MAX)? {
+        Some(1) => {}
+        Some(v) => return Err(format!("unsupported request version {v} (this parser speaks 1)")),
+        None => return Err("missing 'version'".into()),
+    }
+    let n = opt_uint(&doc, "n", u32::MAX as u64)?.ok_or("missing ring size 'n'")? as u32;
+    if n < 3 {
+        return Err(format!("ring size n = {n} must be >= 3"));
+    }
+    let mut job = SolveJob::new("", n);
+
+    if let Some(id) = doc.get("id") {
+        if let Some(id) = id.as_str() {
+            if !id.is_empty() {
+                if id.len() > 64
+                    || !id
+                        .bytes()
+                        .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b'-'))
+                {
+                    return Err(format!(
+                        "bad id {id:?}: want 1-64 chars from [A-Za-z0-9._-]"
+                    ));
+                }
+                job.id = id.to_string();
+            }
+        } else if *id != Json::Null {
+            return Err("'id' must be a string".into());
+        }
+    }
+    if let Some(len) = opt_uint(&doc, "max_len", u32::MAX as u64)? {
+        let len = len as u32;
+        if !(3..=n).contains(&len) {
+            return Err(format!("max_len = {len} out of range 3..={n}"));
+        }
+        job.max_len = len;
+    }
+    if let Some(gap) = opt_uint(&doc, "max_gap", u32::MAX as u64)? {
+        let gap = gap as u32;
+        if !(1..=n).contains(&gap) {
+            return Err(format!("max_gap = {gap} out of range 1..={n}"));
+        }
+        job.max_gap = gap;
+    }
+    match doc.get("requests") {
+        None | Some(Json::Null) => {}
+        Some(Json::Arr(pairs)) => {
+            let mut out = Vec::with_capacity(pairs.len());
+            for (i, p) in pairs.iter().enumerate() {
+                let p = p
+                    .as_arr()
+                    .ok_or_else(|| format!("request {i} is not a [u, v] pair"))?;
+                if p.len() != 2 {
+                    return Err(format!("request {i} is not a [u, v] pair"));
+                }
+                let mut uv = [0u32; 2];
+                for (slot, v) in uv.iter_mut().zip(p) {
+                    let x = v
+                        .as_num()
+                        .ok_or_else(|| format!("request {i}: non-numeric vertex"))?;
+                    if x.fract() != 0.0 || !(0.0..n as f64).contains(&x) {
+                        return Err(format!("request {i}: vertex {x} out of range for n = {n}"));
+                    }
+                    *slot = x as u32;
+                }
+                if uv[0] == uv[1] {
+                    return Err(format!("request {i}: self-loop [{}, {}]", uv[0], uv[1]));
+                }
+                out.push((uv[0].min(uv[1]), uv[0].max(uv[1])));
+            }
+            out.sort_unstable();
+            out.dedup();
+            job.requests = Some(out);
+        }
+        Some(_) => return Err("'requests' must be an array of [u, v] pairs or null".into()),
+    }
+    if let Some(engine) = doc.get("engine") {
+        if let Some(engine) = engine.as_str() {
+            if engine.is_empty() {
+                return Err("'engine' must not be empty".into());
+            }
+            job.engine = engine.to_string();
+        } else if *engine != Json::Null {
+            return Err("'engine' must be a string".into());
+        }
+    }
+    match doc.get("objective") {
+        None | Some(Json::Null) => {}
+        Some(obj) => {
+            let budget = || -> Result<u32, String> {
+                Ok(opt_uint(obj, "budget", u32::MAX as u64)?
+                    .ok_or("objective needs a 'budget'")? as u32)
+            };
+            job.objective = match obj.get("kind").and_then(Json::as_str) {
+                Some("find_optimal") => Objective::FindOptimal,
+                Some("within_budget") => Objective::WithinBudget(budget()?),
+                Some("prove_infeasible") => Objective::ProveInfeasible(budget()?),
+                other => {
+                    return Err(format!(
+                        "bad objective kind {other:?} (want find_optimal|within_budget|prove_infeasible)"
+                    ))
+                }
+            };
+        }
+    }
+    job.max_nodes = opt_uint(&doc, "max_nodes", u64::MAX)?;
+    job.deadline_ms = opt_uint(&doc, "deadline_ms", u64::MAX)?;
+    match doc.get("symmetry") {
+        None | Some(Json::Null) => {}
+        Some(sym) => {
+            job.symmetry = Some(match sym.as_str() {
+                Some("off") => SymmetryMode::Off,
+                Some("root") => SymmetryMode::Root,
+                Some("full") => SymmetryMode::Full,
+                other => return Err(format!("bad symmetry {other:?} (want off|root|full)")),
+            });
+        }
+    }
+    Ok(job)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -516,6 +887,101 @@ mod tests {
         let tampered = solution_to_json(&sol).replace("\"n\": 6", "\"n\": 6.9");
         let err = covering_from_solution_json(&tampered).unwrap_err();
         assert!(err.contains("ring size"), "{err}");
+    }
+
+    #[test]
+    fn request_round_trips_through_emit_and_parse() {
+        let mut job = SolveJob::new("mixed-42", 10);
+        job.max_len = 6;
+        job.max_gap = 4;
+        job.requests = Some(vec![(0, 3), (1, 5), (2, 7)]);
+        job.engine = "bitset-parallel".to_string();
+        job.objective = Objective::WithinBudget(9);
+        job.max_nodes = Some(1_000_000);
+        job.deadline_ms = Some(250);
+        job.symmetry = Some(SymmetryMode::Full);
+        let text = request_to_json(&job);
+        assert!(!text.contains('\n'), "requests must be single-line: {text}");
+        assert_eq!(request_from_json(&text).unwrap(), job);
+        // Defaults round-trip too.
+        let plain = SolveJob::new("", 6);
+        assert_eq!(request_from_json(&request_to_json(&plain)).unwrap(), plain);
+    }
+
+    #[test]
+    fn request_defaults_fill_in() {
+        let job = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 8}"#,
+        )
+        .unwrap();
+        assert_eq!(job, SolveJob::new("", 8));
+        assert_eq!(job.universe_key(), (8, 8, 8));
+        assert!(job.spec().is_unit());
+        assert_eq!(job.to_solve_request().objective(), Objective::FindOptimal);
+        // Unknown fields are ignored (compat rule)…
+        let job = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 8,
+                "some_future_field": {"x": 1}}"#,
+        )
+        .unwrap();
+        assert_eq!(job.n, 8);
+        // …but a future version is rejected.
+        let err = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 2, "n": 8}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("version 2"), "{err}");
+    }
+
+    #[test]
+    fn request_normalizes_and_validates_pairs() {
+        let job = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 6,
+                "requests": [[4, 1], [1, 4], [0, 2]]}"#,
+        )
+        .unwrap();
+        assert_eq!(job.requests, Some(vec![(0, 2), (1, 4)]));
+        assert!(!job.spec().is_unit() || job.spec().demand.iter().sum::<u32>() == 2);
+        for (bad, want) in [
+            (r#"{"format": "cyclecover-request", "version": 1}"#, "missing ring size"),
+            (r#"{"format": "cyclecover-solution", "version": 1, "n": 6}"#, "not a cyclecover-request"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 2}"#, ">= 3"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "max_len": 2}"#, "max_len"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "max_gap": 0}"#, "max_gap"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "requests": [[1, 1]]}"#, "self-loop"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "requests": [[0, 6]]}"#, "out of range"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "id": "a/b"}"#, "bad id"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "objective": {"kind": "levitate"}}"#, "objective kind"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "objective": {"kind": "within_budget"}}"#, "budget"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "symmetry": "sideways"}"#, "symmetry"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "deadline_ms": -1}"#, "out of range"),
+        ] {
+            let err = request_from_json(bad).unwrap_err();
+            assert!(err.contains(want), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn request_solves_end_to_end() {
+        // A parsed request document drives an engine directly.
+        let job = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 6,
+                "objective": {"kind": "prove_infeasible", "budget": 4},
+                "symmetry": "off"}"#,
+        )
+        .unwrap();
+        let problem = Problem::new(
+            cyclecover_solver::TileUniverse::with_max_gap(
+                Ring::new(job.n),
+                job.max_len as usize,
+                job.max_gap,
+            ),
+            job.spec(),
+        );
+        let sol = engine_by_name(&job.engine)
+            .unwrap()
+            .solve(&problem, &job.to_solve_request());
+        assert_eq!(*sol.optimality(), Optimality::Infeasible);
     }
 
     #[test]

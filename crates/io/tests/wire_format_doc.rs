@@ -1,0 +1,82 @@
+//! Keeps `docs/wire-format.md` honest: every fenced ```json block in the
+//! document must parse, and each document kind must survive the full
+//! round trip its consumers apply (requests: parse → emit → parse to the
+//! same job; solutions with coverings: DRC re-validation; solutions
+//! without: the documented "no covering" rejection).
+
+use cyclecover_io::json::{
+    covering_from_solution_json, request_from_json, request_to_json, Json,
+};
+
+const DOC: &str = include_str!("../../../docs/wire-format.md");
+
+/// Extracts the contents of every ```json fence in the document.
+fn json_blocks(doc: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in doc.lines() {
+        match (&mut current, line.trim_end()) {
+            (None, "```json") => current = Some(String::new()),
+            (Some(block), "```") => {
+                blocks.push(std::mem::take(block));
+                current = None;
+            }
+            (Some(block), text) => {
+                block.push_str(text);
+                block.push('\n');
+            }
+            (None, _) => {}
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json fence");
+    blocks
+}
+
+#[test]
+fn every_example_parses_and_round_trips() {
+    let blocks = json_blocks(DOC);
+    assert!(
+        blocks.len() >= 5,
+        "expected the documented example set, found {}",
+        blocks.len()
+    );
+    let mut requests = 0;
+    let mut solutions_with_covering = 0;
+    let mut solutions_without = 0;
+    for block in &blocks {
+        let doc = Json::parse(block).unwrap_or_else(|e| panic!("bad example: {e}\n{block}"));
+        match doc.get("format").and_then(Json::as_str) {
+            Some("cyclecover-request") => {
+                requests += 1;
+                let job = request_from_json(block)
+                    .unwrap_or_else(|e| panic!("request example rejected: {e}\n{block}"));
+                // Emit → parse lands on the same job (the documented
+                // round trip).
+                let emitted = request_to_json(&job);
+                assert_eq!(
+                    request_from_json(&emitted).unwrap(),
+                    job,
+                    "round trip drifted for:\n{block}"
+                );
+            }
+            Some("cyclecover-solution") => match doc.get("cycles") {
+                Some(Json::Null) => {
+                    solutions_without += 1;
+                    let err = covering_from_solution_json(block).unwrap_err();
+                    assert!(err.contains("no covering"), "{err}");
+                }
+                _ => {
+                    solutions_with_covering += 1;
+                    let covering = covering_from_solution_json(block)
+                        .unwrap_or_else(|e| panic!("solution example rejected: {e}\n{block}"));
+                    covering
+                        .validate()
+                        .unwrap_or_else(|e| panic!("example covering invalid: {e:?}\n{block}"));
+                }
+            },
+            other => panic!("example with unknown format {other:?}:\n{block}"),
+        }
+    }
+    assert!(requests >= 3, "documented request examples went missing");
+    assert!(solutions_with_covering >= 1 && solutions_without >= 1);
+}

@@ -1,0 +1,528 @@
+//! The batching solve service: submit [`SolveJob`]s, drain a batch.
+//!
+//! Scheduling model, in order of application:
+//!
+//! 1. **Admission (EDF)** — jobs are ordered earliest-absolute-deadline
+//!    first (`deadline_ms` is measured from the moment [`SolveService::drain`]
+//!    begins; jobs without a deadline run after all deadlined jobs, in
+//!    submission order). A job whose deadline has already passed when a
+//!    worker picks it up is *rejected without running*: it reports
+//!    `budget_exhausted`/`deadline` with zero nodes, attributed to the
+//!    pseudo-engine `"service"`.
+//! 2. **Coalescing** — jobs identical up to `id` and `deadline_ms` form
+//!    one group; the group is solved once (under the EDF position of its
+//!    earliest member) and the solution is fanned back out to every
+//!    waiter. The solve runs under the *most permissive* deadline among
+//!    the group's admitted waiters, so a shared answer is never cut
+//!    shorter than its latest waiter allows.
+//! 3. **Universe reuse** — each group's `(n, max_len, max_gap)` key is
+//!    resolved through the byte-budgeted LRU [`UniverseCache`];
+//!    construction happens at most once per key per residency.
+//! 4. **Cancellation tree** — every kernel runs under a child of the
+//!    service's root [`CancelToken`]: [`SolveService::cancel_all`] aborts
+//!    every in-flight and future kernel of the batch within ~4096 nodes
+//!    per worker, without touching tokens owned by other batches.
+//!
+//! `workers > 1` drains the group list on that many OS threads (engines
+//! are `Sync`; the EDF order is preserved by having workers pull group
+//! indices from a shared counter).
+
+use crate::cache::{CacheStats, UniverseCache};
+use cyclecover_io::json::{self, quote as json_escape, SolveJob};
+use cyclecover_ring::Ring;
+use cyclecover_solver::api::{
+    engine_by_name, engines, Exhaustion, Optimality, Problem, Solution,
+};
+use cyclecover_solver::api::CancelToken;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads draining the batch (`≥ 1`; clamped up to 1).
+    pub workers: usize,
+    /// Byte budget for the universe cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    /// One worker, 64 MiB of universe cache.
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            cache_bytes: 64 << 20,
+        }
+    }
+}
+
+struct Pending {
+    seq: u64,
+    job: SolveJob,
+    submitted: Instant,
+}
+
+/// One job's outcome within a [`BatchReport`].
+#[derive(Clone, Debug)]
+pub struct JobReport {
+    /// Submission sequence number (reports are returned in this order).
+    pub seq: u64,
+    /// Job id (as submitted, or the assigned `job-<seq>`).
+    pub id: String,
+    /// The engine the job requested.
+    pub engine: String,
+    /// Position of the job's group in the admission (EDF) order.
+    pub admit_order: usize,
+    /// Satisfied by another job's solve (same coalescing key).
+    pub coalesced: bool,
+    /// The group's universe lookup hit the cache (recorded on the
+    /// group's primary job only; coalesced waiters never looked).
+    pub cache_hit: bool,
+    /// Rejected at admission: the deadline had already passed.
+    pub expired: bool,
+    /// Admission error (unsupported engine/problem pair); `solution` is
+    /// `None` exactly when this is `Some`.
+    pub error: Option<String>,
+    /// Time from submission to admission.
+    pub queue_wait: Duration,
+    /// The engine's answer (shared across a coalesced group), or the
+    /// `unstarted` rejection document for expired jobs.
+    pub solution: Option<Solution>,
+}
+
+/// Per-engine work accounting for one batch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineTotal {
+    /// Engine registry name.
+    pub name: String,
+    /// Kernel runs (coalesced groups count once).
+    pub solves: u64,
+    /// Jobs served, including coalesced waiters.
+    pub jobs: u64,
+    /// Search nodes expanded (summed over kernel runs).
+    pub nodes: u64,
+}
+
+/// Batch-level statistics.
+#[derive(Clone, Debug)]
+pub struct BatchStats {
+    /// Jobs drained from the queue.
+    pub submitted: usize,
+    /// Jobs that received an engine answer (including coalesced waiters).
+    pub solved: usize,
+    /// Jobs rejected at admission because their deadline had passed.
+    pub expired: usize,
+    /// Jobs satisfied by another job's solve.
+    pub coalesced: usize,
+    /// Jobs rejected with an admission error.
+    pub errors: usize,
+    /// Universe-cache counters at drain end.
+    pub cache: CacheStats,
+    /// Per-engine totals, sorted by name.
+    pub engines: Vec<EngineTotal>,
+    /// Mean time from submission to admission.
+    pub mean_queue_wait: Duration,
+    /// Wall-clock time for the whole drain.
+    pub wall: Duration,
+}
+
+/// Everything a [`SolveService::drain`] call produced: one report per
+/// submitted job (in submission order) plus batch statistics.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job outcomes, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Batch statistics.
+    pub stats: BatchStats,
+}
+
+/// The batching solve service — EDF admission, request coalescing,
+/// cached universes (the scheduling model is spelled out at the top of
+/// this source file); the [`crate`] docs hold a worked example.
+pub struct SolveService {
+    config: ServiceConfig,
+    cache: Mutex<UniverseCache>,
+    queue: Vec<Pending>,
+    root: CancelToken,
+    next_seq: u64,
+}
+
+impl SolveService {
+    /// A service with the given configuration and an empty queue.
+    pub fn new(config: ServiceConfig) -> Self {
+        SolveService {
+            cache: Mutex::new(UniverseCache::new(config.cache_bytes)),
+            config,
+            queue: Vec::new(),
+            root: CancelToken::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Enqueues a job; returns its id (assigning `job-<seq>` when the
+    /// job came unnamed). Rejects unknown engine names and ids already
+    /// queued — everything else waits for admission.
+    pub fn submit(&mut self, mut job: SolveJob) -> Result<String, String> {
+        if engine_by_name(&job.engine).is_none() {
+            let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
+            return Err(format!(
+                "unknown engine '{}' (have: {})",
+                job.engine,
+                names.join(", ")
+            ));
+        }
+        if job.id.is_empty() {
+            // Skip over ids the user already took ("job-3" is a legal
+            // explicit id): an unnamed job must never be rejected as a
+            // duplicate of a name it didn't choose.
+            let mut bump = self.next_seq;
+            let mut candidate = format!("job-{bump}");
+            while self.queue.iter().any(|p| p.job.id == candidate) {
+                bump += 1;
+                candidate = format!("job-{bump}");
+            }
+            job.id = candidate;
+        }
+        if self.queue.iter().any(|p| p.job.id == job.id) {
+            return Err(format!("duplicate job id '{}' in batch", job.id));
+        }
+        let id = job.id.clone();
+        self.queue.push(Pending {
+            seq: self.next_seq,
+            job,
+            submitted: Instant::now(),
+        });
+        self.next_seq += 1;
+        Ok(id)
+    }
+
+    /// Number of queued jobs.
+    pub fn queued(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The batch's root cancellation token (clone it to keep a handle).
+    pub fn cancel_token(&self) -> &CancelToken {
+        &self.root
+    }
+
+    /// Cancels every in-flight and future kernel of this batch: each
+    /// solve runs under a child of the root token, so this stops all
+    /// workers within ~4096 expanded nodes.
+    pub fn cancel_all(&self) {
+        self.root.cancel();
+    }
+
+    /// Processes the whole queue — EDF admission, coalescing, cached
+    /// universes — and returns one report per job in submission order.
+    /// The batch clock (the origin `deadline_ms` is measured from) starts
+    /// now.
+    pub fn drain(&mut self) -> BatchReport {
+        let epoch = Instant::now();
+        let submitted = self.queue.len();
+        let mut pending = std::mem::take(&mut self.queue);
+        // EDF: by deadline, no-deadline last, submission order as the tie
+        // break. Sorting happens before grouping so each group's first
+        // member is its earliest-deadline waiter.
+        pending.sort_by_key(|p| (p.job.deadline_ms.is_none(), p.job.deadline_ms, p.seq));
+
+        struct Group {
+            members: Vec<Pending>,
+        }
+        let mut groups: Vec<Group> = Vec::new();
+        let mut by_key: HashMap<String, usize> = HashMap::new();
+        for p in pending {
+            let key = coalesce_key(&p.job);
+            match by_key.get(&key) {
+                Some(&g) => groups[g].members.push(p),
+                None => {
+                    by_key.insert(key, groups.len());
+                    groups.push(Group { members: vec![p] });
+                }
+            }
+        }
+
+        let next = AtomicUsize::new(0);
+        let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(submitted));
+        let cache = &self.cache;
+        let root = &self.root;
+        let workers = self.config.workers.max(1).min(groups.len().max(1));
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let g = next.fetch_add(1, Ordering::SeqCst);
+                    if g >= groups.len() {
+                        break;
+                    }
+                    let out = process_group(g, &groups[g].members, epoch, cache, root);
+                    reports.lock().expect("report sink poisoned").extend(out);
+                });
+            }
+        });
+
+        let mut jobs = reports.into_inner().expect("report sink poisoned");
+        jobs.sort_by_key(|r| r.seq);
+
+        let mut stats = BatchStats {
+            submitted,
+            solved: 0,
+            expired: 0,
+            coalesced: 0,
+            errors: 0,
+            cache: cache.lock().expect("cache poisoned").stats(),
+            engines: Vec::new(),
+            mean_queue_wait: Duration::ZERO,
+            wall: Duration::ZERO,
+        };
+        let mut per_engine: HashMap<String, EngineTotal> = HashMap::new();
+        let mut total_wait = Duration::ZERO;
+        for r in &jobs {
+            total_wait += r.queue_wait;
+            if r.expired {
+                stats.expired += 1;
+                continue;
+            }
+            if r.error.is_some() {
+                stats.errors += 1;
+                continue;
+            }
+            stats.solved += 1;
+            if r.coalesced {
+                stats.coalesced += 1;
+            }
+            let entry = per_engine
+                .entry(r.engine.clone())
+                .or_insert_with(|| EngineTotal {
+                    name: r.engine.clone(),
+                    ..EngineTotal::default()
+                });
+            entry.jobs += 1;
+            if !r.coalesced {
+                entry.solves += 1;
+                if let Some(sol) = &r.solution {
+                    entry.nodes += sol.stats().nodes;
+                }
+            }
+        }
+        stats.engines = per_engine.into_values().collect();
+        stats.engines.sort_by(|a, b| a.name.cmp(&b.name));
+        if !jobs.is_empty() {
+            stats.mean_queue_wait = total_wait / jobs.len() as u32;
+        }
+        stats.wall = epoch.elapsed();
+        BatchReport { jobs, stats }
+    }
+}
+
+/// The coalescing key: the request document with `id` and `deadline_ms`
+/// blanked — two jobs coalesce iff they are wire-identical otherwise.
+fn coalesce_key(job: &SolveJob) -> String {
+    let mut key = job.clone();
+    key.id = String::new();
+    key.deadline_ms = None;
+    json::request_to_json(&key)
+}
+
+fn process_group(
+    admit_order: usize,
+    members: &[Pending],
+    epoch: Instant,
+    cache: &Mutex<UniverseCache>,
+    root: &CancelToken,
+) -> Vec<JobReport> {
+    let now = Instant::now();
+    let mut out = Vec::with_capacity(members.len());
+    let mut survivors: Vec<(&Pending, Option<Instant>)> = Vec::new();
+    for p in members {
+        let abs = p.job.deadline_ms.map(|ms| epoch + Duration::from_millis(ms));
+        if let Some(abs) = abs {
+            if now >= abs {
+                out.push(JobReport {
+                    seq: p.seq,
+                    id: p.job.id.clone(),
+                    engine: p.job.engine.clone(),
+                    admit_order,
+                    coalesced: false,
+                    cache_hit: false,
+                    expired: true,
+                    error: None,
+                    queue_wait: now.saturating_duration_since(p.submitted),
+                    solution: Some(Solution::unstarted(
+                        Ring::new(p.job.n),
+                        Exhaustion::Deadline,
+                        "service",
+                    )),
+                });
+                continue;
+            }
+        }
+        survivors.push((p, abs));
+    }
+    let Some(&(primary, _)) = survivors.first() else {
+        return out;
+    };
+
+    let engine = engine_by_name(&primary.job.engine).expect("engine validated at submit");
+    let (universe, cache_hit) = cache
+        .lock()
+        .expect("cache poisoned")
+        .get_or_build(primary.job.universe_key());
+    let problem = Problem::shared(universe, primary.job.spec());
+    let mut request = primary.job.to_solve_request();
+    if !engine.supports(&problem, &request) {
+        for (p, _) in survivors {
+            out.push(JobReport {
+                seq: p.seq,
+                id: p.job.id.clone(),
+                engine: p.job.engine.clone(),
+                admit_order,
+                coalesced: false,
+                cache_hit: false,
+                expired: false,
+                error: Some(format!(
+                    "engine '{}' does not support this problem/request",
+                    p.job.engine
+                )),
+                queue_wait: now.saturating_duration_since(p.submitted),
+                solution: None,
+            });
+        }
+        return out;
+    }
+    // The solve's deadline is the most permissive among the admitted
+    // waiters: a waiter without a deadline lifts it entirely.
+    let group_deadline = if survivors.iter().any(|(_, abs)| abs.is_none()) {
+        None
+    } else {
+        survivors.iter().filter_map(|(_, abs)| *abs).max()
+    };
+    if let Some(abs) = group_deadline {
+        request = request.with_deadline(abs.saturating_duration_since(Instant::now()));
+    }
+    request = request.with_cancel_token(root.child());
+    let solution = engine.solve(&problem, &request);
+    for (i, (p, _)) in survivors.iter().enumerate() {
+        out.push(JobReport {
+            seq: p.seq,
+            id: p.job.id.clone(),
+            engine: p.job.engine.clone(),
+            admit_order,
+            coalesced: i > 0,
+            cache_hit: i == 0 && cache_hit,
+            expired: false,
+            error: None,
+            queue_wait: now.saturating_duration_since(p.submitted),
+            solution: Some(solution.clone()),
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Batch summary JSON
+// ---------------------------------------------------------------------------
+
+/// One job's status line for the summary: the optimality kind, plus the
+/// exhaustion reason where applicable.
+fn status_of(report: &JobReport) -> (&'static str, Option<&'static str>) {
+    if report.error.is_some() {
+        return ("error", None);
+    }
+    match report.solution.as_ref().map(Solution::optimality) {
+        Some(Optimality::Optimal { .. }) => ("optimal", None),
+        Some(Optimality::Feasible) => ("feasible", None),
+        Some(Optimality::Infeasible) => ("infeasible", None),
+        Some(Optimality::BudgetExhausted { reason }) => (
+            "budget_exhausted",
+            Some(match reason {
+                Exhaustion::NodeBudget => "node_budget",
+                Exhaustion::Deadline => "deadline",
+                Exhaustion::Cancelled => "cancelled",
+                Exhaustion::EngineLimit => "engine_limit",
+            }),
+        ),
+        None => ("error", None),
+    }
+}
+
+/// Serializes a [`BatchReport`] as the `cyclecover-batch-summary` JSON
+/// document (version 1): one `jobs[]` entry per submitted job plus the
+/// batch `stats` block — what `cyclecover serve --batch` prints.
+pub fn batch_summary_json(report: &BatchReport) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"format\": \"cyclecover-batch-summary\",\n  \"version\": 1,\n");
+    s.push_str("  \"jobs\": [\n");
+    for (i, r) in report.jobs.iter().enumerate() {
+        let (status, reason) = status_of(r);
+        let _ = write!(
+            s,
+            "    {{\"id\": {}, \"engine\": {}, \"status\": {}, \"reason\": {}, \
+             \"size\": {}, \"nodes\": {}, \"wall_ms\": {}, \"admit_order\": {}, \
+             \"cache_hit\": {}, \"coalesced\": {}, \"expired\": {}, \"queue_wait_ms\": {:.3}}}",
+            json_escape(&r.id),
+            json_escape(&r.engine),
+            json_escape(status),
+            reason.map_or("null".to_string(), json_escape),
+            r.solution
+                .as_ref()
+                .and_then(Solution::size)
+                .map_or("null".to_string(), |n| n.to_string()),
+            r.solution.as_ref().map_or(0, |sol| sol.stats().nodes),
+            r.solution.as_ref().map_or("null".to_string(), |sol| format!(
+                "{:.3}",
+                sol.stats().wall.as_secs_f64() * 1e3
+            )),
+            r.admit_order,
+            r.cache_hit,
+            r.coalesced,
+            r.expired,
+            r.queue_wait.as_secs_f64() * 1e3,
+        );
+        s.push_str(if i + 1 < report.jobs.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+    let st = &report.stats;
+    let _ = writeln!(
+        s,
+        "  \"stats\": {{\n    \"submitted\": {}, \"solved\": {}, \"expired\": {}, \
+         \"coalesced\": {}, \"errors\": {},",
+        st.submitted, st.solved, st.expired, st.coalesced, st.errors
+    );
+    let _ = writeln!(
+        s,
+        "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"bytes\": {}, \"peak_bytes\": {}, \"hit_rate\": {:.3}}},",
+        st.cache.hits,
+        st.cache.misses,
+        st.cache.evictions,
+        st.cache.bytes,
+        st.cache.peak_bytes,
+        st.cache.hit_rate()
+    );
+    s.push_str("    \"engines\": {");
+    for (i, e) in st.engines.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{}: {{\"solves\": {}, \"jobs\": {}, \"nodes\": {}}}",
+            json_escape(&e.name),
+            e.solves,
+            e.jobs,
+            e.nodes
+        );
+    }
+    s.push_str("},\n");
+    let _ = writeln!(
+        s,
+        "    \"mean_queue_wait_ms\": {:.3}, \"wall_ms\": {:.3}\n  }}",
+        st.mean_queue_wait.as_secs_f64() * 1e3,
+        st.wall.as_secs_f64() * 1e3
+    );
+    s.push_str("}\n");
+    s
+}

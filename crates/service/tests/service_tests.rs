@@ -1,0 +1,319 @@
+//! Behavioral suite for the batching solve service: universe-cache
+//! accounting, deadline-aware (EDF) scheduling, coalescing, and the
+//! cancellation tree.
+
+use cyclecover_io::json::{self, SolveJob};
+use cyclecover_service::{
+    batch_summary_json, BatchReport, ServiceConfig, SolveService, UniverseCache,
+};
+use cyclecover_solver::api::{Exhaustion, Objective, Optimality, SymmetryMode};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn service() -> SolveService {
+    SolveService::new(ServiceConfig::default())
+}
+
+fn by_id<'r>(report: &'r BatchReport, id: &str) -> &'r cyclecover_service::JobReport {
+    report
+        .jobs
+        .iter()
+        .find(|j| j.id == id)
+        .unwrap_or_else(|| panic!("no report for {id}"))
+}
+
+#[test]
+fn edf_admission_early_deadline_cannot_be_starved() {
+    let mut svc = service();
+    // Submitted first, generous deadline; then no deadline; then tight.
+    let mut relaxed = SolveJob::new("relaxed", 8);
+    relaxed.deadline_ms = Some(600_000);
+    svc.submit(relaxed).unwrap();
+    svc.submit(SolveJob::new("unbounded", 7)).unwrap();
+    let mut urgent = SolveJob::new("urgent", 6);
+    urgent.deadline_ms = Some(60_000);
+    svc.submit(urgent).unwrap();
+
+    let report = svc.drain();
+    assert_eq!(report.stats.solved, 3);
+    assert_eq!(report.stats.expired, 0);
+    // Admission must follow deadlines, not submission: urgent first,
+    // relaxed second, the deadline-free job last.
+    assert_eq!(by_id(&report, "urgent").admit_order, 0);
+    assert_eq!(by_id(&report, "relaxed").admit_order, 1);
+    assert_eq!(by_id(&report, "unbounded").admit_order, 2);
+    for id in ["urgent", "relaxed", "unbounded"] {
+        let sol = by_id(&report, id).solution.as_ref().unwrap();
+        assert!(
+            matches!(sol.optimality(), Optimality::Optimal { .. }),
+            "{id}: {:?}",
+            sol.optimality()
+        );
+    }
+}
+
+#[test]
+fn expired_jobs_are_rejected_without_running() {
+    let mut svc = service();
+    let mut doomed = SolveJob::new("doomed", 10);
+    doomed.deadline_ms = Some(0); // unmeetable: expired the moment the batch clock starts
+    svc.submit(doomed).unwrap();
+    svc.submit(SolveJob::new("fine", 6)).unwrap();
+
+    let report = svc.drain();
+    assert_eq!(report.stats.expired, 1);
+    assert_eq!(report.stats.solved, 1);
+    let doomed = by_id(&report, "doomed");
+    assert!(doomed.expired);
+    let sol = doomed.solution.as_ref().unwrap();
+    assert_eq!(
+        *sol.optimality(),
+        Optimality::BudgetExhausted {
+            reason: Exhaustion::Deadline
+        }
+    );
+    // "Without running": zero nodes, zero budgets tried, attributed to
+    // the scheduler — no kernel was ever entered.
+    assert_eq!(sol.stats().nodes, 0);
+    assert_eq!(sol.stats().budgets_tried, 0);
+    assert_eq!(sol.stats().engine, "service");
+    // The survivor is untouched.
+    assert_eq!(by_id(&report, "fine").solution.as_ref().unwrap().size(), Some(5));
+}
+
+#[test]
+fn identical_requests_coalesce_into_one_solve() {
+    let mut svc = service();
+    for id in ["a", "b", "c"] {
+        let mut job = SolveJob::new(id, 8);
+        job.symmetry = Some(SymmetryMode::Root);
+        svc.submit(job).unwrap();
+    }
+    // Same ring shape, different objective: shares the universe but not
+    // the solve.
+    let mut probe = SolveJob::new("probe", 8);
+    probe.objective = Objective::WithinBudget(9);
+    svc.submit(probe).unwrap();
+
+    let report = svc.drain();
+    assert_eq!(report.stats.solved, 4);
+    assert_eq!(report.stats.coalesced, 2, "b and c ride along with a");
+    // One universe build for all four jobs.
+    assert_eq!(report.stats.cache.misses, 1);
+    assert!(report.stats.cache.hits >= 1);
+    // Exactly two kernel runs were charged.
+    let totals = &report.stats.engines;
+    assert_eq!(totals.len(), 1);
+    assert_eq!(totals[0].name, "bitset");
+    assert_eq!(totals[0].solves, 2);
+    assert_eq!(totals[0].jobs, 4);
+    assert!(totals[0].nodes > 0);
+    // All coalesced waiters got the same answer.
+    let size_a = by_id(&report, "a").solution.as_ref().unwrap().size();
+    for id in ["b", "c"] {
+        assert_eq!(by_id(&report, id).solution.as_ref().unwrap().size(), size_a);
+        assert!(by_id(&report, id).coalesced);
+    }
+    assert_eq!(size_a, Some(9));
+}
+
+#[test]
+fn deadlines_do_not_fragment_coalescing_groups() {
+    // Same request, different deadlines: still one solve, and the late
+    // waiter's generous deadline governs the kernel.
+    let mut svc = service();
+    let mut tight = SolveJob::new("tight", 6);
+    tight.deadline_ms = Some(120_000);
+    let mut loose = SolveJob::new("loose", 6);
+    loose.deadline_ms = Some(240_000);
+    svc.submit(tight).unwrap();
+    svc.submit(loose).unwrap();
+    let report = svc.drain();
+    assert_eq!(report.stats.coalesced, 1);
+    assert_eq!(report.stats.engines[0].solves, 1);
+    assert_eq!(by_id(&report, "tight").solution.as_ref().unwrap().size(), Some(5));
+    assert_eq!(by_id(&report, "loose").solution.as_ref().unwrap().size(), Some(5));
+}
+
+#[test]
+fn multi_worker_drain_matches_single_worker() {
+    let build = |workers: usize| {
+        let mut svc = SolveService::new(ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        });
+        for (id, n) in [("w6", 6u32), ("w7", 7), ("w8", 8), ("w6b", 6)] {
+            svc.submit(SolveJob::new(id, n)).unwrap();
+        }
+        svc.drain()
+    };
+    let solo = build(1);
+    let duo = build(3);
+    assert_eq!(solo.stats.solved, duo.stats.solved);
+    for job in &solo.jobs {
+        let twin = by_id(&duo, &job.id);
+        assert_eq!(
+            job.solution.as_ref().unwrap().size(),
+            twin.solution.as_ref().unwrap().size(),
+            "{}",
+            job.id
+        );
+    }
+}
+
+#[test]
+fn cancel_all_aborts_the_batch_through_the_token_tree() {
+    let mut svc = service();
+    // Symmetry off: the budget-8 probe needs ~97k nodes, far past the
+    // ~4096-node cancellation check interval (under Root the whole solve
+    // finishes in 10 nodes — before any check could fire).
+    let mut victim = SolveJob::new("victim", 8);
+    victim.objective = Objective::WithinBudget(8);
+    victim.symmetry = Some(SymmetryMode::Off);
+    svc.submit(victim).unwrap();
+    svc.cancel_all();
+    let report = svc.drain();
+    let sol = by_id(&report, "victim").solution.as_ref().unwrap();
+    assert_eq!(
+        *sol.optimality(),
+        Optimality::BudgetExhausted {
+            reason: Exhaustion::Cancelled
+        }
+    );
+    assert!(sol.stats().nodes <= 8192, "{:?}", sol.stats());
+}
+
+#[test]
+fn admission_validation_and_errors() {
+    let mut svc = service();
+    let mut bad = SolveJob::new("bad", 6);
+    bad.engine = "warp-drive".to_string();
+    let err = svc.submit(bad).unwrap_err();
+    assert!(err.contains("unknown engine"), "{err}");
+
+    svc.submit(SolveJob::new("dup", 6)).unwrap();
+    let err = svc.submit(SolveJob::new("dup", 7)).unwrap_err();
+    assert!(err.contains("duplicate"), "{err}");
+
+    // Heuristics can't prove infeasibility: admission reports the error
+    // instead of lying.
+    let mut unsupported = SolveJob::new("greedy-proof", 7);
+    unsupported.engine = "greedy".to_string();
+    unsupported.objective = Objective::ProveInfeasible(5);
+    svc.submit(unsupported).unwrap();
+    let report = svc.drain();
+    assert_eq!(report.stats.errors, 1);
+    let r = by_id(&report, "greedy-proof");
+    assert!(r.error.as_ref().unwrap().contains("does not support"));
+    assert!(r.solution.is_none());
+
+    // Unnamed jobs get sequential ids…
+    let mut svc = service();
+    let id = svc.submit(SolveJob::new("", 6)).unwrap();
+    assert_eq!(id, "job-0");
+    // …which skip over names the user already took.
+    svc.submit(SolveJob::new("job-1", 7)).unwrap();
+    let id = svc.submit(SolveJob::new("", 8)).unwrap();
+    assert_eq!(id, "job-2");
+}
+
+#[test]
+fn mixed_batch_meets_the_acceptance_shape() {
+    // The ISSUE acceptance scenario, in-library: >= 3 distinct (n, spec)
+    // keys, repeated requests, one unmeetable deadline.
+    let mut svc = service();
+    let mut jobs = vec![
+        SolveJob::new("k6-a", 6),
+        SolveJob::new("k6-b", 6), // repeat → coalesces
+        SolveJob::new("k7", 7),
+        SolveJob::new("k8", 8),
+    ];
+    let mut partial = SolveJob::new("k8-partial", 8);
+    partial.requests = Some(vec![(0, 2), (1, 5), (3, 7)]);
+    jobs.push(partial); // same universe key as k8 → cache hit
+    let mut hopeless = SolveJob::new("hopeless", 9);
+    hopeless.deadline_ms = Some(0);
+    jobs.push(hopeless);
+    for job in jobs {
+        svc.submit(job).unwrap();
+    }
+    let report = svc.drain();
+    assert_eq!(report.stats.submitted, 6);
+    assert_eq!(report.stats.expired, 1);
+    assert!(report.stats.cache.hits > 0, "{:?}", report.stats.cache);
+    assert!(report.stats.coalesced >= 1);
+    // Every served job carries a covering that re-validates through the
+    // wire format. Complete-spec solutions pass the full `cyclecover
+    // validate` check; the partial job's covering is re-validated at the
+    // DRC trust boundary (full validation demands all of K_n).
+    let mut validated = 0;
+    for r in &report.jobs {
+        if r.expired {
+            continue;
+        }
+        let sol = r.solution.as_ref().unwrap();
+        if sol.covering().is_some() {
+            let doc = json::solution_to_json(sol);
+            let covering = json::covering_from_solution_json(&doc).unwrap();
+            if r.id != "k8-partial" {
+                covering.validate().unwrap();
+            }
+            validated += 1;
+        }
+    }
+    assert!(validated >= 4, "only {validated} coverings validated");
+
+    // The summary document is well-formed JSON carrying the headline
+    // numbers.
+    let summary = batch_summary_json(&report);
+    let doc = json::Json::parse(&summary).expect("summary parses");
+    assert_eq!(
+        doc.get("format").and_then(json::Json::as_str),
+        Some("cyclecover-batch-summary")
+    );
+    let stats = doc.get("stats").unwrap();
+    assert_eq!(stats.get("expired").and_then(json::Json::as_num), Some(1.0));
+    assert!(stats.get("cache").unwrap().get("hits").and_then(json::Json::as_num).unwrap() > 0.0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Cache keyed equality: a repeated key always returns the same
+    /// allocation (and counts a hit); the key fully determines the
+    /// universe shape.
+    #[test]
+    fn cache_key_determines_identity(
+        n in 4u32..9,
+        len_off in 0u32..3,
+        gap in 1u32..9,
+    ) {
+        let key = (n, (3 + len_off).min(n), gap.min(n));
+        let mut cache = UniverseCache::new(usize::MAX);
+        let (a, hit_a) = cache.get_or_build(key);
+        let (b, hit_b) = cache.get_or_build(key);
+        prop_assert!(!hit_a && hit_b);
+        prop_assert!(Arc::ptr_eq(&a, &b));
+        // A fresh build from the same key is structurally identical.
+        let mut other = UniverseCache::new(usize::MAX);
+        let (c, _) = other.get_or_build(key);
+        prop_assert_eq!(a.len(), c.len());
+        prop_assert_eq!(a.approx_bytes(), c.approx_bytes());
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+    }
+
+    /// The (n, max_len, max_gap) key is what SolveJob exposes, and jobs
+    /// differing only in spec/objective share it.
+    #[test]
+    fn universe_key_ignores_spec_and_objective(
+        n in 4u32..9,
+        budget in 1u32..20,
+    ) {
+        let complete = SolveJob::new("x", n);
+        let mut partial = SolveJob::new("y", n);
+        partial.requests = Some(vec![(0, 2)]);
+        partial.objective = Objective::WithinBudget(budget);
+        prop_assert_eq!(complete.universe_key(), partial.universe_key());
+    }
+}

@@ -49,7 +49,7 @@ use crate::improve::improve_covering;
 use crate::TileUniverse;
 use cyclecover_ring::{Ring, Tile};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -59,20 +59,34 @@ use std::time::{Duration, Instant};
 /// A covering problem: the ring, the demand spec, and the precomputed tile
 /// universe every engine searches over.
 ///
-/// The universe is owned so one `Problem` can be solved repeatedly (and by
-/// several engines) without re-enumerating tiles.
+/// The universe is held behind an [`Arc`] so one `Problem` can be solved
+/// repeatedly (and by several engines), and so *many* problems — distinct
+/// specs over the same ring — can share one enumeration. Universe
+/// construction is the expensive, spec-independent part of a solve; a
+/// batch service caches universes by `(n, max_len, max_gap)` and builds
+/// each problem with [`Problem::shared`].
 pub struct Problem {
-    universe: TileUniverse,
+    universe: Arc<TileUniverse>,
     spec: CoverSpec,
 }
 
 impl Problem {
-    /// A problem over an explicit universe and spec.
+    /// A problem over an explicit (exclusively owned) universe and spec.
     ///
     /// # Panics
     /// Panics if the spec's demand vector is not sized for the universe's
     /// ring (`n(n−1)/2` entries).
     pub fn new(universe: TileUniverse, spec: CoverSpec) -> Self {
+        Problem::shared(Arc::new(universe), spec)
+    }
+
+    /// A problem over a shared universe — the zero-copy path for callers
+    /// (caches, services) that solve many specs over one enumeration.
+    ///
+    /// # Panics
+    /// Panics if the spec's demand vector is not sized for the universe's
+    /// ring (`n(n−1)/2` entries).
+    pub fn shared(universe: Arc<TileUniverse>, spec: CoverSpec) -> Self {
         let n = universe.ring().n() as usize;
         assert_eq!(
             spec.demand.len(),
@@ -106,6 +120,12 @@ impl Problem {
 
     /// The tile universe.
     pub fn universe(&self) -> &TileUniverse {
+        &self.universe
+    }
+
+    /// The shared handle to the tile universe (clone it to build further
+    /// problems over the same enumeration without copying).
+    pub fn universe_arc(&self) -> &Arc<TileUniverse> {
         &self.universe
     }
 
@@ -164,35 +184,103 @@ impl ExecPolicy {
     }
 }
 
-/// A shareable cooperative-cancellation flag.
+/// A shareable cooperative-cancellation flag, arranged in a tree.
 ///
 /// Clones share one flag: hand a clone to a request (or several), keep
 /// one, and [`CancelToken::cancel`] stops every search holding it within
 /// ~4096 expanded nodes per worker.
+///
+/// [`CancelToken::child`] derives a *subordinate* token: cancelling the
+/// parent cancels every descendant (transitively), while cancelling a
+/// child leaves its parent — and its siblings — running. This is the
+/// primitive a batch service needs: one root token per batch, one child
+/// per in-flight job, so an expired or superseded batch aborts all of its
+/// kernels without disturbing unrelated work. Each token still reads as a
+/// single `AtomicBool` in the search hot loop — propagation happens
+/// eagerly at `cancel()` time, not on every check.
+///
+/// ```
+/// use cyclecover_solver::api::CancelToken;
+///
+/// let batch = CancelToken::new();
+/// let job_a = batch.child();
+/// let job_b = batch.child();
+/// job_a.cancel();                  // superseded: only job A stops
+/// assert!(job_a.is_cancelled() && !job_b.is_cancelled());
+/// batch.cancel();                  // batch expired: everything stops
+/// assert!(job_b.is_cancelled() && batch.is_cancelled());
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
-    flag: Arc<AtomicBool>,
+    inner: Arc<CancelInner>,
+}
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    flag: AtomicBool,
+    /// Children to propagate `cancel()` into; weak so dropped subtrees
+    /// don't accumulate (dead entries are purged on cancellation).
+    children: Mutex<Vec<Weak<CancelInner>>>,
+}
+
+impl CancelInner {
+    fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+        // Detach the children before recursing: once cancelled, they can
+        // never be "un-cancelled", so the edges carry no more information.
+        let children = std::mem::take(&mut *self.children.lock().expect("cancel tree poisoned"));
+        for child in children {
+            if let Some(child) = child.upgrade() {
+                child.cancel();
+            }
+        }
+    }
 }
 
 impl CancelToken {
-    /// A fresh, un-cancelled token.
+    /// A fresh, un-cancelled root token.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Requests cancellation (idempotent, visible to all clones).
+    /// Requests cancellation of this token and every token derived from
+    /// it via [`CancelToken::child`] (idempotent, visible to all clones).
     pub fn cancel(&self) {
-        self.flag.store(true, Ordering::Relaxed);
+        self.inner.cancel();
     }
 
-    /// Whether cancellation has been requested.
+    /// Whether cancellation has been requested (directly, or through an
+    /// ancestor).
     pub fn is_cancelled(&self) -> bool {
-        self.flag.load(Ordering::Relaxed)
+        self.inner.flag.load(Ordering::Relaxed)
+    }
+
+    /// Derives a subordinate token: cancelled when `self` is cancelled,
+    /// cancellable on its own without affecting `self`. A child of an
+    /// already-cancelled token is born cancelled.
+    pub fn child(&self) -> CancelToken {
+        let child = CancelToken::new();
+        // Hold the registry lock across the flag check so a concurrent
+        // `cancel()` either sees the registration or the child sees the
+        // flag — never neither.
+        let mut children = self.inner.children.lock().expect("cancel tree poisoned");
+        // Opportunistically drop edges to dead children, so a long-lived
+        // never-cancelled root (a service handing out one child per job)
+        // doesn't accumulate Weak entries — or the allocations they pin —
+        // across its lifetime.
+        children.retain(|w| w.strong_count() > 0);
+        if self.inner.flag.load(Ordering::Relaxed) {
+            child.inner.flag.store(true, Ordering::Relaxed);
+        } else {
+            children.push(Arc::downgrade(&child.inner));
+        }
+        drop(children);
+        child
     }
 
     /// The raw flag, for the search hot loop.
     pub(crate) fn flag(&self) -> &AtomicBool {
-        &self.flag
+        &self.inner.flag
     }
 }
 
@@ -202,6 +290,21 @@ impl CancelToken {
 /// root candidate per dihedral orbit and use the strengthened prefix
 /// bound — set [`SymmetryMode::Off`] to reproduce pre-symmetry node
 /// counts bit for bit).
+///
+/// ```
+/// use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+/// use std::time::Duration;
+///
+/// // Probe a budget under explicit limits: at most 100k nodes, 2 s wall.
+/// let request = SolveRequest::within_budget(5)
+///     .with_max_nodes(100_000)
+///     .with_deadline(Duration::from_secs(2));
+/// let solution = engine_by_name("bitset")
+///     .unwrap()
+///     .solve(&Problem::complete(6), &request);
+/// assert_eq!(*solution.optimality(), Optimality::Feasible);
+/// assert_eq!(solution.size(), Some(5)); // ρ(6) = 5
+/// ```
 #[derive(Clone, Debug)]
 pub struct SolveRequest {
     objective: Objective,
@@ -270,6 +373,25 @@ impl SolveRequest {
     /// Sets the dihedral symmetry reduction level for exact engines
     /// (`bitset`, `bitset-parallel`). The `legacy` reference engine and
     /// the non-search engines ignore it.
+    ///
+    /// ```
+    /// use cyclecover_solver::api::{engine_by_name, Problem, SolveRequest, SymmetryMode};
+    ///
+    /// // Off reproduces the pre-symmetry search; Root certifies the same
+    /// // optimum while pruning mirror-image root branches.
+    /// let engine = engine_by_name("bitset").unwrap();
+    /// let problem = Problem::complete(6);
+    /// let off = engine.solve(
+    ///     &problem,
+    ///     &SolveRequest::find_optimal().with_symmetry(SymmetryMode::Off),
+    /// );
+    /// let root = engine.solve(
+    ///     &problem,
+    ///     &SolveRequest::find_optimal().with_symmetry(SymmetryMode::Root),
+    /// );
+    /// assert_eq!(off.size(), root.size());
+    /// assert!(root.stats().nodes <= off.stats().nodes);
+    /// ```
     pub fn with_symmetry(mut self, symmetry: SymmetryMode) -> Self {
         self.symmetry = symmetry;
         self
@@ -432,6 +554,29 @@ impl Solution {
     /// Covering size, when one was found.
     pub fn size(&self) -> Option<usize> {
         self.covering.as_ref().map(Vec::len)
+    }
+
+    /// A solution for a request that was *never started*: no covering, a
+    /// [`Optimality::BudgetExhausted`] verdict with the given reason, and
+    /// all-zero stats attributed to `engine` (a scheduler rejecting an
+    /// already-expired job reports itself, e.g. `"service"`, so the
+    /// document stays honest about no kernel having run).
+    pub fn unstarted(ring: Ring, reason: Exhaustion, engine: &'static str) -> Solution {
+        Solution {
+            ring,
+            covering: None,
+            optimality: Optimality::BudgetExhausted { reason },
+            stats: Stats {
+                engine,
+                nodes: 0,
+                pruned: 0,
+                dominated: 0,
+                sym_pruned: 0,
+                sym_factor: 1,
+                budgets_tried: 0,
+                wall: Duration::ZERO,
+            },
+        }
     }
 }
 
@@ -1071,6 +1216,86 @@ mod tests {
             Optimality::BudgetExhausted {
                 reason: Exhaustion::NodeBudget
             }
+        );
+    }
+
+    #[test]
+    fn cancel_token_tree_propagates_down_not_up() {
+        let root = CancelToken::new();
+        let a = root.child();
+        let b = root.child();
+        let a1 = a.child();
+        // Sibling cancellation is isolated…
+        a.cancel();
+        assert!(a.is_cancelled() && a1.is_cancelled());
+        assert!(!b.is_cancelled() && !root.is_cancelled());
+        // …root cancellation reaches every live descendant…
+        let b1 = b.child();
+        root.cancel();
+        assert!(root.is_cancelled() && b.is_cancelled() && b1.is_cancelled());
+        // …and a child of a cancelled token is born cancelled.
+        assert!(root.child().is_cancelled());
+        // Clones still share one flag (a clone is the same node, not a child).
+        let c = CancelToken::new();
+        let c2 = c.clone();
+        c2.cancel();
+        assert!(c.is_cancelled());
+    }
+
+    #[test]
+    fn child_cancel_token_stops_engine_like_its_parent() {
+        // The service pattern: the batch root is cancelled, a job holding
+        // a child token must abort its kernel.
+        let problem = Problem::complete(8);
+        let root = CancelToken::new();
+        let job = root.child();
+        root.cancel();
+        let sol = engine_by_name("bitset").unwrap().solve(
+            &problem,
+            &SolveRequest::within_budget(8)
+                .with_symmetry(SymmetryMode::Off)
+                .with_cancel_token(job),
+        );
+        assert_eq!(
+            *sol.optimality(),
+            Optimality::BudgetExhausted {
+                reason: Exhaustion::Cancelled
+            }
+        );
+        assert!(sol.stats().nodes <= 8192, "stopped late: {:?}", sol.stats());
+    }
+
+    #[test]
+    fn unstarted_solution_reports_zero_work() {
+        let sol = Solution::unstarted(Ring::new(6), Exhaustion::Deadline, "service");
+        assert!(sol.covering().is_none());
+        assert_eq!(
+            *sol.optimality(),
+            Optimality::BudgetExhausted {
+                reason: Exhaustion::Deadline
+            }
+        );
+        assert_eq!(sol.stats().nodes, 0);
+        assert_eq!(sol.stats().engine, "service");
+    }
+
+    #[test]
+    fn shared_universe_problems_reuse_one_enumeration() {
+        let universe = Arc::new(TileUniverse::new(Ring::new(6), 6));
+        let complete = Problem::shared(universe.clone(), CoverSpec::complete(6));
+        let pair = Problem::shared(
+            universe.clone(),
+            CoverSpec::subset(6, &[cyclecover_graph::Edge::new(0, 2)]),
+        );
+        assert!(Arc::ptr_eq(complete.universe_arc(), pair.universe_arc()));
+        let engine = engine_by_name("bitset").unwrap();
+        assert_eq!(
+            engine.solve(&complete, &SolveRequest::find_optimal()).size(),
+            Some(5)
+        );
+        assert_eq!(
+            engine.solve(&pair, &SolveRequest::find_optimal()).size(),
+            Some(1)
         );
     }
 

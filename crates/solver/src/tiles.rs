@@ -415,6 +415,42 @@ impl TileUniverse {
         self.ring
     }
 
+    /// Approximate heap footprint of this universe in bytes — the figure
+    /// a byte-budgeted universe cache charges per entry. Counts the
+    /// dominant owned allocations (tile vertex lists, CSR chord tables,
+    /// bitmasks, per-chord candidate lists); deliberately excludes the
+    /// lazily-built dihedral tables, which are a lower-order term.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let m = self.pri_of_dense.len();
+        let words_per_mask = m.div_ceil(64);
+        let mask_bytes = size_of::<ChordSet>() + words_per_mask * 8;
+        let mut bytes = size_of::<Self>();
+        bytes += self
+            .tiles
+            .iter()
+            .map(|t| size_of::<Tile>() + t.len() * size_of::<u32>())
+            .sum::<usize>();
+        // index_of mirrors the tile list (key clone + u32 + bucket slack).
+        bytes += self
+            .tiles
+            .iter()
+            .map(|t| size_of::<Tile>() + t.len() * size_of::<u32>() + 2 * size_of::<usize>())
+            .sum::<usize>();
+        bytes += self
+            .by_chord
+            .iter()
+            .map(|c| size_of::<Vec<u32>>() + c.len() * size_of::<u32>())
+            .sum::<usize>();
+        bytes += (self.pri_of_dense.len() + self.dense_of_pri.len() + self.dist_of_pri.len())
+            * size_of::<u32>();
+        bytes += (self.chord_off.len() + self.chord_idx.len()) * size_of::<u32>();
+        bytes += self.masks.len() * mask_bytes;
+        bytes += (self.load.len() + self.waste.len() + self.diam_count.len()) * size_of::<u32>();
+        bytes += self.vertex_masks.len() * mask_bytes;
+        bytes
+    }
+
     /// All tiles.
     pub fn tiles(&self) -> &[Tile] {
         &self.tiles

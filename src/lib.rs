@@ -17,7 +17,10 @@
 //! * [`topo`] — extension topologies: grids, tori, trees of rings;
 //! * [`color`] — conflict-graph coloring for wavelength assignment;
 //! * [`workload`] — traffic-instance generators;
-//! * [`io`] — persistence (text format), CSV tables, SVG rendering.
+//! * [`io`] — persistence (text format), the JSON wire protocol, CSV
+//!   tables, SVG rendering;
+//! * [`service`] — the batching solve service: universe cache, EDF
+//!   scheduling, request coalescing over the engine registry.
 
 pub use cyclecover_color as color;
 pub use cyclecover_core as core;
@@ -26,6 +29,7 @@ pub use cyclecover_graph as graph;
 pub use cyclecover_io as io;
 pub use cyclecover_net as net;
 pub use cyclecover_ring as ring;
+pub use cyclecover_service as service;
 pub use cyclecover_solver as solver;
 pub use cyclecover_topo as topo;
 pub use cyclecover_workload as workload;

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Asserts that every intra-repo markdown link in the given files (or the
+# default doc set) resolves to an existing file or directory, relative
+# to the linking document. External (http/mailto) links and pure
+# fragment links are skipped. Exits non-zero listing every broken link.
+set -u
+
+docs=("$@")
+if [ ${#docs[@]} -eq 0 ]; then
+    docs=(README.md ARCHITECTURE.md docs/wire-format.md)
+fi
+
+status=0
+for doc in "${docs[@]}"; do
+    if [ ! -f "$doc" ]; then
+        echo "missing document: $doc"
+        status=1
+        continue
+    fi
+    dir=$(dirname "$doc")
+    # Inline markdown links: [text](target). Reference-style links are
+    # not used in this repo.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        # Strip a trailing #fragment.
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "broken link in $doc: ($target)"
+            status=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ $status -eq 0 ]; then
+    echo "all intra-repo links resolve (${docs[*]})"
+fi
+exit $status
