@@ -3,7 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cyclecover_ring::Ring;
-use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest, SymmetryMode};
+use cyclecover_solver::bnb::{budget_search_reference, CoverSpec, Outcome};
 use cyclecover_solver::{dlx::ExactCover, greedy, TileUniverse};
 
 fn bench_bnb_optimal(c: &mut Criterion) {
@@ -47,6 +48,45 @@ fn bench_kernel_comparison(c: &mut Criterion) {
                 })
             });
         }
+    }
+    g.finish();
+}
+
+/// The PR-3 recursive search vs the iterative allocation-free core on
+/// the same workload (the n = 8 budget-8 refutation, `SymmetryMode::Off`
+/// so both explore the identical 97,465-node tree), plus the iterative
+/// core with its residual-state memo on — the recursion-to-arena rewrite
+/// and the memo's node cut, measured side by side.
+fn bench_recursive_vs_iterative(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solver/recursive_vs_iterative");
+    g.sample_size(10);
+    let problem = Problem::complete(8);
+    let spec = CoverSpec::complete(8);
+    g.bench_function("recursive", |b| {
+        b.iter(|| {
+            let (outcome, stats) = budget_search_reference(
+                problem.universe(),
+                &spec,
+                8,
+                u64::MAX,
+                SymmetryMode::Off,
+            );
+            assert_eq!(outcome, Outcome::Infeasible);
+            stats.nodes
+        })
+    });
+    let engine = engine_by_name("bitset").unwrap();
+    for (label, memo) in [("iterative", false), ("iterative-memo", true)] {
+        let request = SolveRequest::prove_infeasible(8)
+            .with_symmetry(SymmetryMode::Off)
+            .with_memo(memo);
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let sol = engine.solve(&problem, &request);
+                assert!(matches!(sol.optimality(), Optimality::Infeasible));
+                sol.stats().nodes
+            })
+        });
     }
     g.finish();
 }
@@ -107,6 +147,7 @@ criterion_group!(
     benches,
     bench_bnb_optimal,
     bench_kernel_comparison,
+    bench_recursive_vs_iterative,
     bench_rho10_certification,
     bench_greedy,
     bench_dlx

@@ -15,9 +15,15 @@
 //!   baselines the `SymmetryMode::Off` rows are gated against.
 //! * `BENCH_3.json` — PR 3 (dihedral symmetry + stronger bounds): the
 //!   same workload across the `off`/`root`/`full` symmetry dimension,
-//!   plus the n = 12 certification rows. The `root` counts are the
-//!   regression *ceilings* used by `bench_snapshot --quick --check`, the
-//!   CI node-count gate.
+//!   plus the n = 12 certification rows.
+//! * `BENCH_5.json` — PR 5 (iterative search core + residual-state
+//!   memo): the symmetry dimension crossed with the memo off/on
+//!   dimension, with per-row memo hit and canonical-prune counts. The
+//!   `off` memo-off rows must still equal BENCH_1 ±0 (the iterative
+//!   core's exactness gate) and the memo-on rows are the regression
+//!   *ceilings* used by `bench_snapshot --quick --check`, the CI
+//!   node-count gate — including the ρ(10) `root`+memo acceptance
+//!   ceiling (≤ 400k witness nodes vs BENCH_3's 770,227).
 //!
 //! Node counts are deterministic and machine-independent; the `wall_ms`
 //! fields are hardware noise and never gated on. Service-level

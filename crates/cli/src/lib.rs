@@ -57,12 +57,16 @@ cyclecover — survivable WDM ring design by DRC cycle covering
 
 USAGE:
   cyclecover solve <n> [--engine E] [--budget K] [--max-nodes N]
-                       [--deadline MS] [--symmetry off|root|full] [--json]
+                       [--deadline MS] [--symmetry off|root|full]
+                       [--no-memo] [--memo-mb M] [--json]
                                      solve/certify the covering of K_n on C_n
                                      (default: find + certify the optimum;
                                       --budget K asks for any <= K covering;
                                       --symmetry sets the dihedral reduction
-                                      of the exact search, default root)
+                                      of the exact search, default root;
+                                      --no-memo disables the residual-state
+                                      dominance memo, --memo-mb caps its
+                                      memory like the service universe cache)
   cyclecover serve --batch <jobs.jsonl> [--workers N] [--cache-mb M]
                        [--out DIR]   run a batch of request documents (one
                                      JSON per line; see docs/wire-format.md)
@@ -93,6 +97,8 @@ fn run_solve(args: &[String]) -> Result<String, String> {
     let mut max_nodes: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut symmetry: Option<SymmetryMode> = None;
+    let mut memo = true;
+    let mut memo_mb: Option<usize> = None;
     let mut as_json = false;
     let mut it = args[1..].iter();
     while let Some(flag) = it.next() {
@@ -134,6 +140,14 @@ fn run_solve(args: &[String]) -> Result<String, String> {
                     }
                 })
             }
+            "--no-memo" => memo = false,
+            "--memo-mb" => {
+                memo_mb = Some(
+                    value("a size in MiB")?
+                        .parse()
+                        .map_err(|e| format!("bad --memo-mb: {e}"))?,
+                )
+            }
             "--json" => as_json = true,
             other => return Err(format!("unknown solve flag '{other}'")),
         }
@@ -150,6 +164,10 @@ fn run_solve(args: &[String]) -> Result<String, String> {
     }
     if let Some(sym) = symmetry {
         request = request.with_symmetry(sym);
+    }
+    request = request.with_memo(memo);
+    if let Some(mb) = memo_mb {
+        request = request.with_memo_budget_bytes(mb << 20);
     }
     let engine = engine_by_name(&engine_name).ok_or_else(|| {
         let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
@@ -209,12 +227,15 @@ fn run_solve(args: &[String]) -> Result<String, String> {
     let _ = writeln!(
         out,
         "stats: {} nodes, {} pruned, {} dominated, {} sym-pruned (x{}), \
-         {} budget(s), {:.1} ms",
+         {} canon-pruned, memo {} hits / {} entries, {} budget(s), {:.1} ms",
         st.nodes,
         st.pruned,
         st.dominated,
         st.sym_pruned,
         st.sym_factor,
+        st.canon_pruned,
+        st.memo_hits,
+        st.memo_entries,
         st.budgets_tried,
         st.wall.as_secs_f64() * 1e3
     );
@@ -530,13 +551,15 @@ mod tests {
         let out = runv(&["solve", "8"]).unwrap();
         assert!(out.contains("budget 8 proved infeasible (1 nodes"), "{out}");
         assert!(out.contains("sym-pruned (x4)"), "{out}");
-        // Off reproduces the historical exhaustive proof bit for bit.
-        let out = runv(&["solve", "8", "--symmetry", "off"]).unwrap();
+        // Off + --no-memo reproduces the historical exhaustive proof bit
+        // for bit.
+        let out = runv(&["solve", "8", "--symmetry", "off", "--no-memo"]).unwrap();
         assert!(
             out.contains("budget 8 proved infeasible (97465 nodes, symmetry x1)"),
             "{out}"
         );
         assert!(out.contains("sym-pruned (x1)"), "{out}");
+        assert!(out.contains("memo 0 hits / 0 entries"), "{out}");
         let out = runv(&["solve", "8", "--symmetry", "full"]).unwrap();
         assert!(out.contains("OPTIMAL: 9 cycles"), "{out}");
         // The JSON wire format carries the factor in the stats block.
@@ -546,6 +569,21 @@ mod tests {
         // Bad values are rejected helpfully.
         let err = runv(&["solve", "8", "--symmetry", "sideways"]).unwrap_err();
         assert!(err.contains("off|root|full"), "{err}");
+    }
+
+    #[test]
+    fn solve_memo_flags() {
+        // Memo on by default: the n = 8 off-mode refutation runs under
+        // the historical 97,465 nodes and reports its hits, here with an
+        // explicit 8 MiB table budget.
+        let out = runv(&["solve", "8", "--symmetry", "off", "--memo-mb", "8"]).unwrap();
+        assert!(out.contains("proved infeasible"), "{out}");
+        assert!(!out.contains("(97465 nodes"), "memo never engaged: {out}");
+        let json = runv(&["solve", "8", "--symmetry", "off", "--json"]).unwrap();
+        assert!(json.contains("\"memo_hits\""), "{json}");
+        assert!(json.contains("\"canon_pruned\""), "{json}");
+        let err = runv(&["solve", "8", "--memo-mb", "lots"]).unwrap_err();
+        assert!(err.contains("bad --memo-mb"), "{err}");
     }
 
     #[test]
@@ -659,7 +697,16 @@ mod tests {
 
     #[test]
     fn usage_covers_the_command_surface() {
-        for needle in ["solve", "--symmetry", "engines", "serve", "--batch", "--cache-mb"] {
+        for needle in [
+            "solve",
+            "--symmetry",
+            "--no-memo",
+            "--memo-mb",
+            "engines",
+            "serve",
+            "--batch",
+            "--cache-mb",
+        ] {
             assert!(USAGE.contains(needle), "USAGE missing {needle}");
         }
     }

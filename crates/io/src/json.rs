@@ -65,7 +65,7 @@
 //! | `optimality` | the certificate object, below |
 //! | `size` | number of cycles, or `null` when no covering is carried |
 //! | `cycles` | array of cycles (each an array of ring vertices), or `null` |
-//! | `stats` | `{nodes, pruned, dominated, sym_pruned, symmetry_factor, budgets_tried, wall_ms}`; `wall_ms` is a float |
+//! | `stats` | `{nodes, pruned, dominated, sym_pruned, canon_pruned, memo_hits, memo_entries, symmetry_factor, budgets_tried, wall_ms}`; `wall_ms` is a float |
 //!
 //! `optimality.kind` is one of:
 //!
@@ -157,12 +157,16 @@ pub fn solution_to_json(sol: &Solution) -> String {
     let _ = writeln!(
         s,
         "  \"stats\": {{\"nodes\": {}, \"pruned\": {}, \"dominated\": {}, \
-         \"sym_pruned\": {}, \"symmetry_factor\": {}, \
+         \"sym_pruned\": {}, \"canon_pruned\": {}, \"memo_hits\": {}, \
+         \"memo_entries\": {}, \"symmetry_factor\": {}, \
          \"budgets_tried\": {}, \"wall_ms\": {:.3}}}",
         st.nodes,
         st.pruned,
         st.dominated,
         st.sym_pruned,
+        st.canon_pruned,
+        st.memo_hits,
+        st.memo_entries,
         st.sym_factor,
         st.budgets_tried,
         st.wall.as_secs_f64() * 1e3

@@ -41,7 +41,7 @@
 //! ```
 
 use crate::anneal::{anneal_covering, AnnealParams};
-use crate::bnb::{self, CoverSpec, Outcome, RunLimits};
+use crate::bnb::{self, CoverSpec, MemoConfig, Outcome, RunLimits, DEFAULT_MEMO_BYTES};
 pub use crate::bnb::SymmetryMode;
 use crate::dlx::ExactCover;
 use crate::greedy::greedy_cover;
@@ -313,6 +313,8 @@ pub struct SolveRequest {
     cancel: CancelToken,
     policy: ExecPolicy,
     symmetry: SymmetryMode,
+    memo: bool,
+    memo_bytes: usize,
 }
 
 impl SolveRequest {
@@ -325,6 +327,8 @@ impl SolveRequest {
             cancel: CancelToken::new(),
             policy: ExecPolicy::Auto,
             symmetry: SymmetryMode::default(),
+            memo: true,
+            memo_bytes: DEFAULT_MEMO_BYTES,
         }
     }
 
@@ -397,6 +401,39 @@ impl SolveRequest {
         self
     }
 
+    /// Enables or disables the residual-state dominance memo of the
+    /// exact unit-demand search (default: enabled). With the memo *and*
+    /// symmetry off, the search reproduces the pre-memo node counts bit
+    /// for bit — the CI exactness gate runs that configuration.
+    ///
+    /// ```
+    /// use cyclecover_solver::api::{engine_by_name, Problem, SolveRequest};
+    ///
+    /// let engine = engine_by_name("bitset").unwrap();
+    /// let problem = Problem::complete(8);
+    /// let plain = engine.solve(
+    ///     &problem,
+    ///     &SolveRequest::prove_infeasible(8).with_memo(false),
+    /// );
+    /// let memoed = engine.solve(&problem, &SolveRequest::prove_infeasible(8));
+    /// // Same verdict, never more nodes with the memo on.
+    /// assert_eq!(plain.optimality(), memoed.optimality());
+    /// assert!(memoed.stats().nodes <= plain.stats().nodes);
+    /// ```
+    pub fn with_memo(mut self, enabled: bool) -> Self {
+        self.memo = enabled;
+        self
+    }
+
+    /// Caps the memory the residual-state memo may claim, in bytes
+    /// (default 32 MiB). The table stops growing at the budget and falls
+    /// back to keep-the-stronger replacement — budgeted like the
+    /// service layer's universe cache.
+    pub fn with_memo_budget_bytes(mut self, bytes: usize) -> Self {
+        self.memo_bytes = bytes;
+        self
+    }
+
     /// The objective.
     pub fn objective(&self) -> Objective {
         self.objective
@@ -427,12 +464,30 @@ impl SolveRequest {
         self.symmetry
     }
 
+    /// Whether the residual-state dominance memo is enabled.
+    pub fn memo_enabled(&self) -> bool {
+        self.memo
+    }
+
+    /// The memo's byte budget.
+    pub fn memo_budget_bytes(&self) -> usize {
+        self.memo_bytes
+    }
+
     /// The [`RunLimits`] this request imposes on a search starting `now`.
     fn run_limits(&self, start: Instant) -> RunLimits {
         RunLimits {
             max_nodes: self.max_nodes,
             deadline: self.deadline.map(|d| start + d),
             cancel: Some(self.cancel.clone()),
+        }
+    }
+
+    /// The [`MemoConfig`] this request imposes on the exact search.
+    fn memo_config(&self) -> MemoConfig {
+        MemoConfig {
+            enabled: self.memo,
+            budget_bytes: self.memo_bytes,
         }
     }
 }
@@ -509,8 +564,18 @@ pub struct Stats {
     pub pruned: u64,
     /// Candidate branches skipped by dominance pruning.
     pub dominated: u64,
-    /// Candidate branches skipped by dihedral orbit filtering.
+    /// Candidate branches skipped by dihedral orbit filtering (pointwise
+    /// prefix stabilizer).
     pub sym_pruned: u64,
+    /// Prunes owed to the canonical/setwise symmetry machinery of
+    /// `SymmetryMode::Full` (canonical-state memo hits plus
+    /// setwise-only sibling cuts).
+    pub canon_pruned: u64,
+    /// Nodes pruned by the residual-state dominance memo.
+    pub memo_hits: u64,
+    /// Residual states resident in the memo at the end of the solve
+    /// (summed across deepening probes and parallel workers).
+    pub memo_entries: u64,
     /// Order of the symmetry subgroup the root branch was reduced by
     /// (1 = no reduction).
     pub sym_factor: u32,
@@ -572,6 +637,9 @@ impl Solution {
                 pruned: 0,
                 dominated: 0,
                 sym_pruned: 0,
+                canon_pruned: 0,
+                memo_hits: 0,
+                memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 0,
                 wall: Duration::ZERO,
@@ -712,6 +780,9 @@ fn drive_exact(
             pruned: total.pruned,
             dominated: total.dominated,
             sym_pruned: total.sym_pruned,
+            canon_pruned: total.canon_pruned,
+            memo_hits: total.memo_hits,
+            memo_entries: total.memo_entries,
             sym_factor: total.sym_factor.max(1),
             budgets_tried,
             wall: start.elapsed(),
@@ -741,6 +812,7 @@ impl Engine for BitsetEngine {
 
     fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
         let sym = request.symmetry();
+        let memo = request.memo_config();
         match request.policy() {
             ExecPolicy::Parallel {
                 threads,
@@ -754,11 +826,12 @@ impl Engine for BitsetEngine {
                     threads,
                     prefix_per_thread(prefix_depth),
                     sym,
+                    memo,
                 )
             }),
             ExecPolicy::Sequential | ExecPolicy::Auto => {
                 drive_exact("bitset", problem, request, |budget, lim| {
-                    bnb::budget_search(problem.universe(), problem.spec(), budget, lim, sym)
+                    bnb::budget_search(problem.universe(), problem.spec(), budget, lim, sym, memo)
                 })
             }
         }
@@ -804,6 +877,7 @@ impl Engine for ParallelBitsetEngine {
                 threads,
                 prefix,
                 request.symmetry(),
+                request.memo_config(),
             )
         })
     }
@@ -937,6 +1011,9 @@ impl Engine for DlxEngine {
                 pruned: 0,
                 dominated: 0,
                 sym_pruned: 0,
+                canon_pruned: 0,
+                memo_hits: 0,
+                memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 1,
                 wall: start.elapsed(),
@@ -1028,6 +1105,9 @@ impl Engine for HeuristicEngine {
                 pruned: 0,
                 dominated: 0,
                 sym_pruned: 0,
+                canon_pruned: 0,
+                memo_hits: 0,
+                memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 1,
                 wall: start.elapsed(),
@@ -1114,19 +1194,37 @@ mod tests {
         assert!(sol.stats().sym_pruned > 0);
     }
 
-    /// `SymmetryMode::Off` must reproduce the historical search exactly —
-    /// here pinned by the n = 8 refutation's node count from BENCH_1.
+    /// `SymmetryMode::Off` with the memo disabled must reproduce the
+    /// historical search exactly — here pinned by the n = 8 refutation's
+    /// node count from BENCH_1. With the memo on (the default), the same
+    /// refutation must still hold, in strictly fewer nodes.
     #[test]
     fn symmetry_off_reproduces_baseline_node_counts() {
         let problem = Problem::complete(8);
         let sol = engine_by_name("bitset").unwrap().solve(
             &problem,
-            &SolveRequest::prove_infeasible(8).with_symmetry(SymmetryMode::Off),
+            &SolveRequest::prove_infeasible(8)
+                .with_symmetry(SymmetryMode::Off)
+                .with_memo(false),
         );
         assert_eq!(*sol.optimality(), Optimality::Infeasible);
         assert_eq!(sol.stats().nodes, 97_465, "BENCH_1 baseline drifted");
         assert_eq!(sol.stats().sym_factor, 1);
         assert_eq!(sol.stats().sym_pruned, 0);
+        assert_eq!(sol.stats().memo_hits, 0);
+        assert_eq!(sol.stats().memo_entries, 0);
+        let memoed = engine_by_name("bitset").unwrap().solve(
+            &problem,
+            &SolveRequest::prove_infeasible(8).with_symmetry(SymmetryMode::Off),
+        );
+        assert_eq!(*memoed.optimality(), Optimality::Infeasible);
+        assert!(
+            memoed.stats().nodes < 97_465,
+            "memo did not bite: {:?}",
+            memoed.stats()
+        );
+        assert!(memoed.stats().memo_hits > 0);
+        assert!(memoed.stats().memo_entries > 0);
     }
 
     /// All symmetry modes certify the same optimum through the engines.
@@ -1169,12 +1267,13 @@ mod tests {
         // the budget-9 witness 9 more. A request cap of 97,470 leaves the
         // second probe only 5 nodes — the request must exhaust instead of
         // granting every deepening rung a fresh allowance.
-        // Symmetry off: the historical counts are the test fixture.
+        // Symmetry and memo off: the historical counts are the fixture.
         let problem = Problem::complete(8);
         let sol = engine_by_name("bitset").unwrap().solve(
             &problem,
             &SolveRequest::find_optimal()
                 .with_symmetry(SymmetryMode::Off)
+                .with_memo(false)
                 .with_max_nodes(97_470),
         );
         assert_eq!(
@@ -1194,6 +1293,7 @@ mod tests {
             &problem,
             &SolveRequest::find_optimal()
                 .with_symmetry(SymmetryMode::Off)
+                .with_memo(false)
                 .with_max_nodes(97_500),
         );
         assert_eq!(sol.size(), Some(9));

@@ -31,6 +31,17 @@
 //! ([`TileUniverse::tile_mask`] and friends), so search nodes never touch
 //! ring arithmetic.
 //!
+//! Since PR 5, unit-demand searches run on the **iterative,
+//! allocation-free core** in `crate::search_core` — an explicit stack
+//! over depth-indexed scratch arenas with incrementally maintained bound
+//! ingredients and an optional **residual-state dominance memo**
+//! ([`MemoConfig`], `crate::memo`) that prunes nodes reaching an
+//! already-exhausted uncovered set with an equal-or-worse budget. With
+//! the memo off the core reproduces the recursive search here *to the
+//! node* ([`budget_search_reference`] keeps the recursive path callable
+//! as the differential fixture); λ-fold specs still run the recursive
+//! multiplicity kernel.
+//!
 //! On top of the word kernel the search applies **dominance pruning** at
 //! every node: a candidate whose useful-coverage mask is a subset of an
 //! earlier sibling's is skipped — replacing it by the dominator in any
@@ -69,6 +80,7 @@ use crate::bitset::ChordSet;
 use crate::lower_bound::{
     combinatorial_lower_bound, diameter_slack_bound, parity_join_bound, weighted_demand_bound,
 };
+pub use crate::memo::{MemoConfig, DEFAULT_MEMO_BYTES};
 use crate::tiles::DihedralTables;
 use crate::TileUniverse;
 use cyclecover_graph::Edge;
@@ -146,7 +158,7 @@ impl RunLimits {
 
     /// Whether the deadline has passed or cancellation was requested
     /// *right now* (does not consider the node budget).
-    fn stop_requested(&self) -> Option<Exhaustion> {
+    pub(crate) fn stop_requested(&self) -> Option<Exhaustion> {
         if let Some(c) = &self.cancel {
             if c.is_cancelled() {
                 return Some(Exhaustion::Cancelled);
@@ -227,8 +239,20 @@ pub struct Stats {
     pub pruned: u64,
     /// Candidate branches skipped by dominance pruning.
     pub dominated: u64,
-    /// Candidate branches skipped by dihedral orbit filtering.
+    /// Candidate branches skipped by dihedral orbit filtering under the
+    /// pointwise prefix stabilizer.
     pub sym_pruned: u64,
+    /// Prunes owed to the canonical/setwise symmetry machinery: memo
+    /// hits whose residual state matched only after canonicalization,
+    /// plus sibling candidates cut by setwise-but-not-pointwise
+    /// stabilizer elements (`SymmetryMode::Full` only).
+    pub canon_pruned: u64,
+    /// Nodes pruned by the residual-state dominance memo (includes the
+    /// canonical hits counted in `canon_pruned`).
+    pub memo_hits: u64,
+    /// Residual states resident in the memo when the search finished
+    /// (summed across deepening probes and parallel workers).
+    pub memo_entries: u64,
     /// Order of the symmetry subgroup the root branch was reduced by
     /// (1 = no reduction; 0 = no search ran).
     pub sym_factor: u32,
@@ -240,6 +264,9 @@ impl Stats {
         self.pruned += other.pruned;
         self.dominated += other.dominated;
         self.sym_pruned += other.sym_pruned;
+        self.canon_pruned += other.canon_pruned;
+        self.memo_hits += other.memo_hits;
+        self.memo_entries += other.memo_entries;
         self.sym_factor = self.sym_factor.max(other.sym_factor);
     }
 }
@@ -587,6 +614,34 @@ struct SearchCtx<'a, K: Kernel> {
     sym_stamp: u64,
 }
 
+/// Resolves a *requested* symmetry level into the effective one: `Off`
+/// when the tables are unavailable (`2n > 64`) or the spec-preserving
+/// subgroup is only the identity; otherwise the requested mode with the
+/// tables and the subgroup mask. Shared by the recursive context and
+/// the iterative core — the differential node-count gate relies on both
+/// degrading identically.
+pub(crate) fn resolve_symmetry<'a>(
+    u: &'a TileUniverse,
+    spec: &CoverSpec,
+    requested: SymmetryMode,
+) -> (SymmetryMode, Option<&'a DihedralTables>, u64) {
+    if requested == SymmetryMode::Off {
+        return (SymmetryMode::Off, None, 0);
+    }
+    match u.dihedral() {
+        Some(tables) => {
+            let group = tables.demand_preserving(|pri| spec.demand[u.dense_of_pri(pri) as usize]);
+            if group & !1 == 0 {
+                // Only the identity: nothing to reduce by.
+                (SymmetryMode::Off, None, 0)
+            } else {
+                (requested, Some(tables), group)
+            }
+        }
+        None => (SymmetryMode::Off, None, 0),
+    }
+}
+
 impl<'a, K: Kernel> SearchCtx<'a, K> {
     fn new(
         u: &'a TileUniverse,
@@ -596,23 +651,7 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
         requested: SymmetryMode,
     ) -> Self {
         let strong = requested != SymmetryMode::Off;
-        let (mode, sym, spec_group) = if requested == SymmetryMode::Off {
-            (SymmetryMode::Off, None, 0)
-        } else {
-            match u.dihedral() {
-                Some(tables) => {
-                    let group = tables
-                        .demand_preserving(|pri| spec.demand[u.dense_of_pri(pri) as usize]);
-                    if group & !1 == 0 {
-                        // Only the identity: nothing to reduce by.
-                        (SymmetryMode::Off, None, 0)
-                    } else {
-                        (requested, Some(tables), group)
-                    }
-                }
-                None => (SymmetryMode::Off, None, 0),
-            }
-        };
+        let (mode, sym, spec_group) = resolve_symmetry(u, spec, requested);
         SearchCtx {
             u,
             kernel: K::new(u, spec),
@@ -630,7 +669,13 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
             early_exit: None,
             shared_nodes: None,
             synced_nodes: 0,
-            dom_scratch: Vec::new(),
+            // Sized once from the longest candidate list any branch chord
+            // can present — no node ever allocates a scratch mask
+            // mid-search (the old growth loop built full-width empty
+            // `ChordSet`s from inside `sorted_candidates`).
+            dom_scratch: (0..u.max_candidates())
+                .map(|_| ChordSet::empty(u.num_chords()))
+                .collect(),
             mode,
             strong,
             sym,
@@ -752,9 +797,10 @@ impl<'a, K: Kernel> SearchCtx<'a, K> {
         // masks the first occurrence survives. Transitivity makes
         // comparing against dropped earlier candidates safe.
         let c = scored.len();
-        while self.dom_scratch.len() < c {
-            self.dom_scratch.push(ChordSet::empty(self.u.num_chords()));
-        }
+        debug_assert!(
+            c <= self.dom_scratch.len(),
+            "scratch arena pre-sized from max_candidates"
+        );
         let mut masks_ok = c > 1;
         if masks_ok {
             for (slot, &(t, _, _)) in scored.iter().enumerate() {
@@ -914,21 +960,47 @@ fn search<K: Kernel>(
 }
 
 /// Budgeted search under full [`RunLimits`]: the engine-facing entry
-/// point. Unit-demand specs run on the bitset kernel; λ-fold specs on the
-/// multiplicity kernel. The third component reports why an inconclusive
-/// search stopped.
+/// point. Unit-demand specs run on the **iterative bitset core**
+/// (allocation-free search stack, incremental bounds, residual-state
+/// memo per `memo`); λ-fold specs on the recursive multiplicity kernel
+/// (which ignores the memo — subset-of-uncovered dominance does not
+/// capture multiplicities). The third component reports why an
+/// inconclusive search stopped.
 pub(crate) fn budget_search(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
     lim: &RunLimits,
     sym: SymmetryMode,
+    memo: MemoConfig,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
-        search::<BitsetKernel>(u, spec, budget, lim, sym)
+        crate::search_core::search_iterative(u, spec, budget, lim, sym, memo)
     } else {
         search::<MultiKernel>(u, spec, budget, lim, sym)
     }
+}
+
+/// The PR-3 **recursive** search path, kept callable as the differential
+/// reference for the iterative core: unit-demand specs on the recursive
+/// bitset kernel, λ-fold specs on the multiplicity kernel — never the
+/// memo, never the setwise/canonical machinery. With the memo off the
+/// iterative core must agree with this function on verdicts, optima,
+/// *and exact node counts* (`tests/kernel_proptests.rs` pins it).
+pub fn budget_search_reference(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    max_nodes: u64,
+    sym: SymmetryMode,
+) -> (Outcome, Stats) {
+    let lim = RunLimits::nodes_only(max_nodes);
+    let (o, s, _) = if spec.is_unit() {
+        search::<BitsetKernel>(u, spec, budget, &lim, sym)
+    } else {
+        search::<MultiKernel>(u, spec, budget, &lim, sym)
+    };
+    (o, s)
 }
 
 /// [`budget_search`] forced onto the multiplicity (`Vec<u32>`) kernel —
@@ -946,7 +1018,10 @@ pub(crate) fn budget_search_legacy(
 
 /// [`budget_search`] on the breadth-first frontier + `rayon` scope.
 /// `prefix_per_thread` controls how many independent prefixes are
-/// expanded per thread before the scope drains them.
+/// expanded per thread before the scope drains them. Unit-demand specs
+/// drain [`crate::search_core`] workers (each with its own memo);
+/// λ-fold specs keep the recursive multiplicity workers.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn budget_search_parallel(
     u: &TileUniverse,
     spec: &CoverSpec,
@@ -955,9 +1030,19 @@ pub(crate) fn budget_search_parallel(
     threads: usize,
     prefix_per_thread: usize,
     sym: SymmetryMode,
+    memo: MemoConfig,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
-        search_parallel::<BitsetKernel>(u, spec, budget, lim, threads, prefix_per_thread, sym)
+        crate::search_core::search_iterative_parallel(
+            u,
+            spec,
+            budget,
+            lim,
+            threads,
+            prefix_per_thread,
+            sym,
+            memo,
+        )
     } else {
         search_parallel::<MultiKernel>(u, spec, budget, lim, threads, prefix_per_thread, sym)
     }
@@ -988,6 +1073,7 @@ pub fn cover_spec_within_budget(
         budget,
         &RunLimits::nodes_only(max_nodes),
         SymmetryMode::Off,
+        MemoConfig::disabled(),
     );
     (o, s)
 }
@@ -1026,6 +1112,7 @@ pub fn cover_within_budget(u: &TileUniverse, budget: u32, max_nodes: u64) -> (Ou
         budget,
         &RunLimits::nodes_only(max_nodes),
         SymmetryMode::Off,
+        MemoConfig::disabled(),
     );
     (o, s)
 }
@@ -1057,6 +1144,7 @@ pub fn cover_spec_within_budget_parallel(
         threads,
         DEFAULT_PREFIX_PER_THREAD,
         SymmetryMode::Off,
+        MemoConfig::disabled(),
     );
     (o, s)
 }
@@ -1065,6 +1153,10 @@ pub fn cover_spec_within_budget_parallel(
 /// (`prefix_depth = 3` in [`crate::api::ExecPolicy::Parallel`] terms).
 pub(crate) const DEFAULT_PREFIX_PER_THREAD: usize = 8;
 
+/// The recursive frontier-parallel driver (λ-fold specs; unit specs run
+/// `crate::search_core::search_iterative_parallel`, which mirrors this
+/// function stanza for stanza — a fix to either's scheduling logic
+/// belongs in both).
 fn search_parallel<K: Kernel>(
     u: &TileUniverse,
     spec: &CoverSpec,
@@ -1236,6 +1328,9 @@ fn search_parallel<K: Kernel>(
         dominated: dominated.load(Ordering::Relaxed),
         sym_pruned: sym_pruned.load(Ordering::Relaxed),
         sym_factor: sym_factor.load(Ordering::Relaxed),
+        // The recursive parallel driver never runs the memo machinery
+        // (λ-fold specs only — the iterative core serves unit specs).
+        ..Stats::default()
     };
     let sol = solution.lock().expect("poison-free").take();
     match sol {
@@ -1252,7 +1347,7 @@ fn search_parallel<K: Kernel>(
 /// Ranks stop causes for the parallel aggregation (`fetch_max`): an
 /// explicit cancellation or deadline is more informative than "ran out of
 /// nodes", so it wins when workers disagree.
-fn encode_cause(c: Exhaustion) -> u8 {
+pub(crate) fn encode_cause(c: Exhaustion) -> u8 {
     match c {
         Exhaustion::EngineLimit => 1,
         Exhaustion::NodeBudget => 2,
@@ -1261,7 +1356,7 @@ fn encode_cause(c: Exhaustion) -> u8 {
     }
 }
 
-fn decode_cause(code: u8) -> Exhaustion {
+pub(crate) fn decode_cause(code: u8) -> Exhaustion {
     match code {
         3 => Exhaustion::Deadline,
         4 => Exhaustion::Cancelled,
@@ -1296,15 +1391,16 @@ pub fn solve_optimal(u: &TileUniverse, max_nodes: u64) -> Option<(Vec<Tile>, u32
     solve_optimal_spec_with(u, &spec, budget_search_off, max_nodes)
 }
 
-/// [`budget_search`] pinned to [`SymmetryMode::Off`] — the deprecated
-/// free functions' historical search, bit for bit.
+/// [`budget_search`] pinned to [`SymmetryMode::Off`] with the memo
+/// disabled — the deprecated free functions' historical search, bit for
+/// bit.
 fn budget_search_off(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
     lim: &RunLimits,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
-    budget_search(u, spec, budget, lim, SymmetryMode::Off)
+    budget_search(u, spec, budget, lim, SymmetryMode::Off, MemoConfig::disabled())
 }
 
 /// Optimal covering for an arbitrary [`CoverSpec`], by iterative deepening
@@ -1347,6 +1443,7 @@ pub fn solve_optimal_spec_parallel(
                 threads,
                 DEFAULT_PREFIX_PER_THREAD,
                 SymmetryMode::Off,
+                MemoConfig::disabled(),
             )
         },
         max_nodes,
@@ -1415,7 +1512,32 @@ mod tests {
         max_nodes: u64,
         sym: SymmetryMode,
     ) -> (Outcome, Stats) {
-        let (o, s, _) = budget_search(u, spec, budget, &RunLimits::nodes_only(max_nodes), sym);
+        let (o, s, _) = budget_search(
+            u,
+            spec,
+            budget,
+            &RunLimits::nodes_only(max_nodes),
+            sym,
+            MemoConfig::disabled(),
+        );
+        (o, s)
+    }
+
+    fn within_memo(
+        u: &TileUniverse,
+        spec: &CoverSpec,
+        budget: u32,
+        max_nodes: u64,
+        sym: SymmetryMode,
+    ) -> (Outcome, Stats) {
+        let (o, s, _) = budget_search(
+            u,
+            spec,
+            budget,
+            &RunLimits::nodes_only(max_nodes),
+            sym,
+            MemoConfig::default(),
+        );
         (o, s)
     }
 
@@ -1444,6 +1566,7 @@ mod tests {
             threads,
             DEFAULT_PREFIX_PER_THREAD,
             SymmetryMode::Off,
+            MemoConfig::disabled(),
         );
         (o, s)
     }
@@ -1730,6 +1853,7 @@ mod tests {
                 4,
                 DEFAULT_PREFIX_PER_THREAD,
                 sym,
+                MemoConfig::disabled(),
             );
             assert_eq!(seq, Outcome::Infeasible, "{sym:?}");
             assert_eq!(par, Outcome::Infeasible, "{sym:?}");
@@ -1744,12 +1868,91 @@ mod tests {
                 4,
                 DEFAULT_PREFIX_PER_THREAD,
                 sym,
+                MemoConfig::disabled(),
             );
             assert!(matches!(par_ok, Outcome::Feasible(_)), "{sym:?}");
             // The witness search's frontier expansion reduced its root by
             // the order-4 diameter-chord stabilizer.
             assert_eq!(ok_stats.sym_factor, 4, "{sym:?}");
         }
+    }
+
+    /// The residual-state memo prunes a real refutation without changing
+    /// its verdict: the n = 8 budget-8 proof (97,465 nodes memo-off,
+    /// bit-exact with BENCH_1) completes in strictly fewer nodes with
+    /// the memo on, reporting its hits and resident entries.
+    #[test]
+    fn memo_prunes_the_even_refutation() {
+        let u = TileUniverse::new(Ring::new(8), 8);
+        let spec = CoverSpec::complete(8);
+        let (plain, plain_stats) = within_sym(&u, &spec, 8, 50_000_000, SymmetryMode::Off);
+        let (memoed, memo_stats) = within_memo(&u, &spec, 8, 50_000_000, SymmetryMode::Off);
+        assert_eq!(plain, Outcome::Infeasible);
+        assert_eq!(memoed, Outcome::Infeasible, "memo flipped a verdict");
+        assert_eq!(plain_stats.nodes, 97_465, "BENCH_1 baseline drifted");
+        assert_eq!(plain_stats.memo_hits, 0);
+        assert_eq!(plain_stats.memo_entries, 0);
+        assert!(
+            memo_stats.nodes < plain_stats.nodes,
+            "memo never pruned: {memo_stats:?}"
+        );
+        assert!(memo_stats.memo_hits > 0, "{memo_stats:?}");
+        assert!(memo_stats.memo_entries > 0, "{memo_stats:?}");
+    }
+
+    /// Canonical residual-state keying engages under `Full`: the ρ(10)
+    /// witness search with the memo on prunes nodes whose uncovered set
+    /// matched only after dihedral canonicalization (`canon_pruned`),
+    /// lands under the `Root` memo node count, and still finds a valid
+    /// covering. This is the ROADMAP's setwise/canonical-prefix open
+    /// item doing real work on the workspace's hardest row.
+    #[test]
+    fn canonical_memo_cuts_the_rho10_witness() {
+        let u = TileUniverse::new(Ring::new(10), 10);
+        let spec = CoverSpec::complete(10);
+        let (root, root_stats) = within_memo(&u, &spec, 13, 50_000_000, SymmetryMode::Root);
+        let (full, full_stats) = within_memo(&u, &spec, 13, 50_000_000, SymmetryMode::Full);
+        assert!(matches!(root, Outcome::Feasible(_)));
+        let Outcome::Feasible(idx) = &full else {
+            panic!("full+memo lost the witness: {full_stats:?}");
+        };
+        let tiles: Vec<Tile> = idx.iter().map(|&i| u.tile(i).clone()).collect();
+        assert_valid_cover(&u, &tiles, 1);
+        assert!(
+            root_stats.nodes <= 400_000,
+            "rho(10) acceptance ceiling: {root_stats:?}"
+        );
+        assert!(full_stats.canon_pruned > 0, "{full_stats:?}");
+        assert!(
+            full_stats.nodes < root_stats.nodes,
+            "canonical keys under Full should out-prune Root: {} vs {}",
+            full_stats.nodes,
+            root_stats.nodes
+        );
+    }
+
+    /// A tiny memo budget degrades pruning power, never correctness:
+    /// the verdict holds at any table size, and the resident entry count
+    /// respects the floor-sized table.
+    #[test]
+    fn memo_budget_only_trades_pruning() {
+        let u = TileUniverse::new(Ring::new(8), 8);
+        let spec = CoverSpec::complete(8);
+        let lim = RunLimits::nodes_only(50_000_000);
+        let (o, s, _) = budget_search(
+            &u,
+            &spec,
+            8,
+            &lim,
+            SymmetryMode::Off,
+            MemoConfig {
+                enabled: true,
+                budget_bytes: 0,
+            },
+        );
+        assert_eq!(o, Outcome::Infeasible);
+        assert!(s.nodes <= 97_465, "worse than memo-free: {s:?}");
+        assert!(s.memo_entries > 0, "{s:?}");
     }
 
     /// Asymmetric (subset) specs degrade gracefully: the spec-preserving

@@ -59,10 +59,15 @@
 //!   ([`lower_bound::parity_join_bound`] — Theorem 2's `+1` derived at
 //!   the root of capacity-tight even probes) and the diameter-slack
 //!   greedy dual ([`lower_bound::diameter_slack_bound`]);
-//! * [`bnb`] — the branch & bound searches (bitset kernel with popcount
-//!   scoring and subset-dominance pruning; legacy multiplicity kernel;
-//!   rayon frontier parallelism). The old free functions remain as
-//!   deprecated wrappers over the engine internals;
+//! * [`bnb`] — the branch & bound searches: unit-demand specs run the
+//!   iterative allocation-free core (explicit search stack over reused
+//!   arenas, incremental bound ingredients, and the residual-state
+//!   dominance memo — Zobrist-keyed, byte-budgeted via
+//!   [`bnb::MemoConfig`], with canonical dihedral state keying under
+//!   `SymmetryMode::Full`); the recursive bitset path survives as the
+//!   differential reference ([`bnb::budget_search_reference`]) and the
+//!   legacy multiplicity kernel serves λ-fold specs. The old free
+//!   functions remain as deprecated wrappers over the engine internals;
 //! * [`dlx`] — a generic Dancing-Links exact-cover engine (Knuth's
 //!   Algorithm X) for exact partitions and design-theory substrates;
 //! * [`greedy`], [`improve`], [`anneal`] — the heuristic pipeline:
@@ -80,6 +85,8 @@ pub mod dlx;
 pub mod greedy;
 pub mod improve;
 pub mod lower_bound;
+mod memo;
+mod search_core;
 mod tiles;
 
 pub use tiles::{DihedralTables, TileUniverse};

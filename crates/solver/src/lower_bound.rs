@@ -101,6 +101,17 @@ pub fn parity_join_bound(u: &TileUniverse, uncovered: &ChordSet, rem_dist: u64) 
         let deg = u.vertex_mask(v).intersection_count(uncovered);
         odd += (deg & 1) as u64;
     }
+    parity_join_bound_from_odd(n, rem_dist, odd)
+}
+
+/// [`parity_join_bound`] when the caller already knows `|T|` — the count
+/// of vertices with odd uncovered degree. The iterative search core
+/// maintains that count incrementally on place/unplace (each newly
+/// covered chord flips the parity of its two endpoints), turning the
+/// parity bound into a constant-time check per node instead of a
+/// per-vertex mask scan.
+#[inline]
+pub fn parity_join_bound_from_odd(n: u32, rem_dist: u64, odd: u64) -> u64 {
     debug_assert!(odd.is_multiple_of(2), "handshake: odd-degree count is even");
     (rem_dist + odd / 2).div_ceil(n as u64)
 }

@@ -1,0 +1,329 @@
+//! The residual-state dominance memo: a transposition table over the
+//! exact search's uncovered [`ChordSet`]s.
+//!
+//! Distinct search prefixes frequently reach the *same* residual state —
+//! two tiles placed in either order, or different tile pairs covering the
+//! same chords — and restricted-cover instances share that structure
+//! across subproblems aggressively (Manthey, *On Approximating Restricted
+//! Cycle Covers*). The memo exploits it: when a node's subtree has been
+//! exhausted without finding a covering, the node's uncovered set is
+//! recorded together with how many tiles were already used. Any later
+//! node reaching the same uncovered set with an **equal-or-worse budget**
+//! (at least as many tiles used, hence at most as much slack) is pruned —
+//! its subtree is a sub-search of one already proved empty.
+//!
+//! Soundness: an entry `(state, used)` is written only after the search
+//! exhaustively explored the node (under the sound dominance, bound, and
+//! orbit reductions) and found no covering within `budget − used` further
+//! tiles. A later visit with `used' ≥ used` asks for a covering within
+//! `budget − used' ≤ budget − used` tiles from the same state — none
+//! exists. Aborted subtrees (node/deadline/cancel limits) record nothing,
+//! and the table is rebuilt per budget probe, so entries never leak
+//! across budgets.
+//!
+//! Under [`crate::bnb::SymmetryMode::Full`] the search keys the memo by
+//! the **canonical** residual state — the lexicographically smallest
+//! dihedral image of the uncovered set under the spec-preserving
+//! subgroup. Two prefixes whose residual states are mirror images then
+//! share one entry: this is the ROADMAP's canonical-prefix test, applied
+//! where it is sound (a completion of a state maps element-wise to a
+//! completion of every state in its orbit, so "orbit exhausted" proofs
+//! transfer; a naive lexicographic test on the prefix *multiset* itself
+//! would not be sound here, because prefix reachability under the
+//! chord-priority branch rule is not orbit-invariant).
+//!
+//! # Mechanics
+//!
+//! States are keyed *exactly*: the uncovered set's words (`≤ 128` chord
+//! slots, i.e. every `n ≤ 16` — far beyond what exact search finishes)
+//! are the key, so a hash collision can never cause a false prune and
+//! certificates stay exact. A Zobrist hash — one 64-bit key per chord
+//! slot, generated deterministically by the vendored xoshiro256**
+//! generator, XOR-folded incrementally as chords are covered/uncovered —
+//! picks the table slot. The table probes an eight-slot window per hash,
+//! doubling while under its byte budget; with the window full, a
+//! colliding insert keeps whichever entries have the *smaller* used
+//! counts (the stronger pruners). Lost entries only lose pruning, never
+//! correctness.
+
+use rand::prelude::*;
+
+/// Bytes one [`ResidualMemo`] slot occupies (key + used count + padding).
+const SLOT_BYTES: usize = std::mem::size_of::<Slot>();
+
+/// Smallest slot count the table starts from (and the floor the byte
+/// budget is clamped to).
+const MIN_SLOTS: usize = 1 << 10;
+
+/// The deterministic seed of the Zobrist key stream. Fixed so node
+/// counts are reproducible run to run and machine to machine.
+const ZOBRIST_SEED: u64 = 0xC0DE_C0FF_EE15_5EED;
+
+/// Whether the memo machinery is engaged for a search, and how much
+/// memory it may claim. Defaults to enabled with a 32 MiB budget —
+/// budgeted like the service layer's universe cache, and overridable
+/// from the CLI (`--no-memo` / `--memo-mb`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoConfig {
+    /// Whether the memo (and, under `SymmetryMode::Full`, canonical
+    /// residual-state keying) runs at all. Disabled, the search
+    /// reproduces its memo-free node counts bit for bit.
+    pub enabled: bool,
+    /// Byte budget for the table (clamped to at least one minimal
+    /// table); the table doubles up to the largest power-of-two slot
+    /// count fitting the budget, then falls back to keep-the-stronger
+    /// replacement.
+    pub budget_bytes: usize,
+}
+
+/// Default memo byte budget: 32 MiB (~1.3M resident states).
+pub const DEFAULT_MEMO_BYTES: usize = 32 << 20;
+
+impl Default for MemoConfig {
+    fn default() -> Self {
+        MemoConfig {
+            enabled: true,
+            budget_bytes: DEFAULT_MEMO_BYTES,
+        }
+    }
+}
+
+impl MemoConfig {
+    /// The memo switched off entirely — the historical search.
+    pub fn disabled() -> Self {
+        MemoConfig {
+            enabled: false,
+            budget_bytes: 0,
+        }
+    }
+}
+
+/// One table slot: the exact residual state (as up to two words of the
+/// uncovered set) and the smallest tiles-used count whose subtree was
+/// exhausted from it. `used == u32::MAX` marks an empty slot (real used
+/// counts are bounded by the search budget).
+#[derive(Clone, Copy)]
+struct Slot {
+    key: [u64; 2],
+    used: u32,
+}
+
+const EMPTY: u32 = u32::MAX;
+
+/// The residual-state dominance memo of one budgeted search. See the
+/// module docs for the pruning rule and its soundness.
+pub(crate) struct ResidualMemo {
+    slots: Vec<Slot>,
+    /// `slots.len() - 1` (the table is a power of two).
+    mask: usize,
+    /// Occupied slot count.
+    len: usize,
+    /// Largest slot count the byte budget allows.
+    cap_slots: usize,
+    /// Per-chord Zobrist keys (indexed by priority chord).
+    zobrist: Vec<u64>,
+}
+
+impl ResidualMemo {
+    /// A memo for `num_chords` chord slots under the given byte budget.
+    /// Returns `None` when the state cannot be keyed exactly
+    /// (`num_chords > 128`, i.e. `n ≥ 17` — beyond exact search anyway).
+    pub(crate) fn new(num_chords: u32, budget_bytes: usize) -> Option<ResidualMemo> {
+        if num_chords > 128 {
+            return None;
+        }
+        let budget_slots = (budget_bytes / SLOT_BYTES).max(MIN_SLOTS);
+        // Floor to a power of two so `hash & mask` indexes uniformly.
+        let cap_slots = 1usize << (usize::BITS - 1 - budget_slots.leading_zeros());
+        let start = MIN_SLOTS.min(cap_slots);
+        let mut rng = StdRng::seed_from_u64(ZOBRIST_SEED);
+        let zobrist: Vec<u64> = (0..num_chords).map(|_| rng.next_u64()).collect();
+        Some(ResidualMemo {
+            slots: vec![
+                Slot {
+                    key: [0, 0],
+                    used: EMPTY,
+                };
+                start
+            ],
+            mask: start - 1,
+            len: 0,
+            cap_slots,
+            zobrist,
+        })
+    }
+
+    /// The Zobrist key of priority chord `c` — XOR it into a running
+    /// hash whenever `c` enters or leaves the uncovered set.
+    #[inline]
+    pub(crate) fn chord_key(&self, c: u32) -> u64 {
+        self.zobrist[c as usize]
+    }
+
+    /// Occupied entries (the `memo_entries` statistic).
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// How many consecutive slots one hash may land in (a small
+    /// associativity window: collisions displace far less pruning than a
+    /// direct-mapped table would).
+    const WAYS: usize = 8;
+
+    /// Whether a recorded state equal to `key` exists with a used count
+    /// `≤ used` — i.e. whether the current node is dominated and may be
+    /// pruned.
+    #[inline]
+    pub(crate) fn dominated(&self, hash: u64, key: [u64; 2], used: u32) -> bool {
+        let base = hash as usize;
+        for i in 0..Self::WAYS {
+            let slot = &self.slots[(base + i) & self.mask];
+            if slot.used != EMPTY && slot.key == key {
+                return slot.used <= used;
+            }
+        }
+        false
+    }
+
+    /// Records that the node with residual state `key` and `used` placed
+    /// tiles was exhausted without a covering. Keeps the smaller used
+    /// count on key match; with the window full at capacity, evicts the
+    /// weakest resident (largest used) if the newcomer prunes more.
+    pub(crate) fn record(&mut self, hash: u64, key: [u64; 2], used: u32) {
+        debug_assert_ne!(used, EMPTY);
+        if self.len * 4 > self.slots.len() * 3 && self.slots.len() < self.cap_slots {
+            self.grow();
+        }
+        let base = hash as usize;
+        let mut weakest = 0usize;
+        let mut weakest_used = 0u32;
+        for i in 0..Self::WAYS {
+            let idx = (base + i) & self.mask;
+            let slot = &mut self.slots[idx];
+            if slot.used == EMPTY {
+                self.len += 1;
+                *slot = Slot { key, used };
+                return;
+            }
+            if slot.key == key {
+                slot.used = slot.used.min(used);
+                return;
+            }
+            if slot.used >= weakest_used {
+                weakest_used = slot.used;
+                weakest = idx;
+            }
+        }
+        if used < weakest_used {
+            self.slots[weakest] = Slot { key, used };
+        }
+    }
+
+    /// Doubles the table, re-seating every entry under the wider mask.
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let old = std::mem::replace(
+            &mut self.slots,
+            vec![
+                Slot {
+                    key: [0, 0],
+                    used: EMPTY,
+                };
+                new_len
+            ],
+        );
+        self.mask = new_len - 1;
+        self.len = 0;
+        for slot in old {
+            if slot.used != EMPTY {
+                let hash = self.hash_of_key(slot.key);
+                self.record(hash, slot.key, slot.used);
+            }
+        }
+    }
+
+    /// The Zobrist hash of an explicit state (used on rehash and by the
+    /// canonicalization path, which builds keys it has no running hash
+    /// for).
+    pub(crate) fn hash_of_key(&self, key: [u64; 2]) -> u64 {
+        let mut hash = 0u64;
+        for (w, base) in key.iter().zip([0u32, 64]) {
+            let mut bits = *w;
+            while bits != 0 {
+                let c = base + bits.trailing_zeros();
+                hash ^= self.zobrist[c as usize];
+                bits &= bits - 1;
+            }
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominated_only_with_equal_or_better_used() {
+        let mut memo = ResidualMemo::new(66, 1 << 20).expect("n=12 fits");
+        let key = [0b1011, 0b1];
+        let hash = memo.hash_of_key(key);
+        assert!(!memo.dominated(hash, key, 5));
+        memo.record(hash, key, 5);
+        assert!(memo.dominated(hash, key, 5), "equal used prunes");
+        assert!(memo.dominated(hash, key, 9), "worse used prunes");
+        assert!(!memo.dominated(hash, key, 4), "better used explores");
+        memo.record(hash, key, 3);
+        assert!(memo.dominated(hash, key, 3), "record keeps the minimum");
+        assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_never_alias() {
+        // Exact keys: even a forced hash-slot collision cannot prune the
+        // wrong state.
+        let mut memo = ResidualMemo::new(64, 0).expect("floor budget");
+        let a = [0x1u64, 0];
+        let b = [0x2u64, 0];
+        memo.record(memo.hash_of_key(a), a, 2);
+        assert!(!memo.dominated(memo.hash_of_key(b), b, 10));
+    }
+
+    #[test]
+    fn grows_and_survives_rehash() {
+        let mut memo = ResidualMemo::new(128, 8 << 20).expect("fits");
+        let mut rng = StdRng::seed_from_u64(7);
+        let keys: Vec<[u64; 2]> = (0..5000).map(|_| [rng.next_u64(), rng.next_u64()]).collect();
+        for (i, &k) in keys.iter().enumerate() {
+            memo.record(memo.hash_of_key(k), k, (i % 17) as u32);
+        }
+        assert!(memo.len() > MIN_SLOTS, "table grew past its seed size");
+        let survived = keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, &k)| memo.dominated(memo.hash_of_key(k), k, (i % 17) as u32))
+            .count();
+        // Collisions may evict a few entries (pruning loss, never a
+        // correctness issue); the overwhelming majority must survive.
+        assert!(
+            survived * 100 >= keys.len() * 90,
+            "only {survived}/{} entries survived the rehashes",
+            keys.len()
+        );
+    }
+
+    #[test]
+    fn zobrist_stream_is_deterministic() {
+        let a = ResidualMemo::new(45, 1 << 20).unwrap();
+        let b = ResidualMemo::new(45, 1 << 20).unwrap();
+        for c in 0..45 {
+            assert_eq!(a.chord_key(c), b.chord_key(c));
+        }
+    }
+
+    #[test]
+    fn too_wide_states_disable_the_memo() {
+        assert!(ResidualMemo::new(129, 1 << 20).is_none(), "n >= 17");
+        assert!(ResidualMemo::new(128, 1 << 20).is_some(), "n = 16");
+    }
+}

@@ -1,0 +1,900 @@
+//! The iterative, allocation-free search core for unit-demand specs.
+//!
+//! This is the engine behind [`crate::bnb::budget_search`] on every
+//! unit-demand instance: the same branch & bound the recursive
+//! [`crate::bnb`] reference runs — identical branch order, candidate
+//! scoring, dominance and orbit filtering, hence **identical node counts
+//! when the memo is off** — rebuilt so a search node costs near-zero
+//! bookkeeping:
+//!
+//! * **Explicit stack, depth-indexed arenas.** Recursion becomes a loop
+//!   over per-depth [`Frame`]s whose candidate/score buffers are reused
+//!   across every node at that depth; dominance masks live in one arena
+//!   pre-sized from [`TileUniverse::max_candidates`]. After warm-up no
+//!   search node allocates.
+//! * **Incremental bound ingredients.** Residual distance, the
+//!   uncovered-diameter count, and per-vertex uncovered degrees (with
+//!   the odd-degree population the parity/T-join bound needs) are
+//!   maintained on place/unplace — O(changed chords) per node — so the
+//!   per-node vertex-degree bound drops from `n` mask intersections to
+//!   an `n`-entry array scan and [`parity_join_bound_from_odd`] runs in
+//!   constant time at every depth. (A per-tile useful-load array was
+//!   measured too: updating every affected tile per placement cost ~2×
+//!   what recomputing loads at scoring time does, so scoring recomputes
+//!   — the memo, not array plumbing, is where the nodes go.)
+//! * **Residual-state dominance memo.** See [`crate::memo`]: nodes whose
+//!   uncovered set was already exhausted with an equal-or-better budget
+//!   are pruned. Under [`SymmetryMode::Full`] the memo keys by the
+//!   *canonical* (lexicographically smallest) dihedral image of the
+//!   residual state, and sibling filtering upgrades from the pointwise
+//!   to the **setwise** prefix stabilizer — the ROADMAP's
+//!   canonical-prefix reduction, in the two places it is sound.
+//!
+//! Dominance subset tests and scratch recycling touch only the words a
+//! tile's mask spans ([`TileUniverse::tile_mask_span`]) instead of the
+//! full chord width.
+
+use crate::api::Exhaustion;
+use crate::bitset::ChordSet;
+use crate::bnb::{
+    decode_cause, encode_cause, CoverSpec, Outcome, RunLimits, Stats, SymmetryMode,
+};
+use crate::lower_bound::{diameter_slack_bound, parity_join_bound_from_odd};
+use crate::memo::{MemoConfig, ResidualMemo};
+use crate::tiles::DihedralTables;
+use crate::TileUniverse;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::time::Instant;
+
+/// Per-depth iteration state: the node's filtered candidate list, the
+/// cursor into it, and the memo key captured at entry (recorded if the
+/// node exhausts). Buffers are reused by every node at this depth.
+#[derive(Default)]
+struct Frame {
+    /// `(tile, new coverage, waste)` scoring scratch.
+    scored: Vec<(u32, u32, u32)>,
+    /// Candidates surviving dominance + orbit filtering, in order.
+    cands: Vec<u32>,
+    /// Next unexplored candidate.
+    cursor: usize,
+    /// Residual-state key/hash at node entry (memo bookkeeping).
+    key: [u64; 2],
+    hash: u64,
+    /// Whether the node may be recorded on exhaust.
+    memoable: bool,
+}
+
+/// What happened when the loop entered a node.
+enum Enter {
+    /// Demand satisfied — the placed prefix is a covering.
+    Solved,
+    /// A resource limit tripped; the whole search stops.
+    Abort,
+    /// Bound- or memo-pruned; backtrack.
+    Dead,
+    /// Candidates are staged in the depth's frame.
+    Ready,
+}
+
+/// The iterative search over one budgeted probe. Mirrors
+/// `bnb::SearchCtx<BitsetKernel>` observably (same nodes, same order,
+/// same stats) while keeping all per-node state incremental.
+pub(crate) struct IterCore<'a> {
+    u: &'a TileUniverse,
+    budget: u32,
+
+    // ---- residual state, maintained on place/unplace ----
+    /// Still-unsatisfied chords (priority space).
+    uncovered: ChordSet,
+    rem_dist: u64,
+    rem_diam: u64,
+    /// Per-vertex uncovered degree.
+    deg: Vec<u32>,
+    /// Number of vertices with odd uncovered degree (`|T|` of the
+    /// parity bound).
+    odd: u64,
+    /// Incremental Zobrist hash of `uncovered` (0 when the memo is off).
+    hash: u64,
+
+    // ---- the explicit stack ----
+    frames: Vec<Frame>,
+    /// `undo[d]`: chords newly covered by the tile placed at depth `d`.
+    undo: Vec<ChordSet>,
+    chosen: Vec<u32>,
+
+    // ---- dominance arena (slot = candidate position in the node) ----
+    dom_masks: Vec<ChordSet>,
+    /// Word span each arena slot was last written in (so retiring a
+    /// slot clears only those words).
+    dom_spans: Vec<(u32, u32)>,
+
+    // ---- statistics and limits (as the recursive context) ----
+    stats: Stats,
+    max_nodes: u64,
+    hit_limit: bool,
+    stop_cause: Option<Exhaustion>,
+    deadline: Option<Instant>,
+    cancel: Option<&'a AtomicBool>,
+    early_exit: Option<&'a AtomicBool>,
+    shared_nodes: Option<(&'a AtomicU64, u64)>,
+    synced_nodes: u64,
+
+    // ---- symmetry ----
+    mode: SymmetryMode,
+    strong: bool,
+    sym: Option<&'a DihedralTables>,
+    spec_group: u64,
+    /// `Full`: pointwise prefix stabilizer per depth (seeded with the
+    /// spec group).
+    stab_stack: Vec<u64>,
+    /// `Full`: the placed tile multiset, kept sorted for the setwise
+    /// stabilizer test.
+    placed_sorted: Vec<u32>,
+    image_scratch: Vec<u32>,
+    sym_seen: Vec<u64>,
+    sym_stamp: u64,
+
+    // ---- memo ----
+    memo: Option<ResidualMemo>,
+    /// Key by the canonical dihedral image of the residual state
+    /// (`Full` mode with the memo on).
+    canon: bool,
+}
+
+impl<'a> IterCore<'a> {
+    pub(crate) fn new(
+        u: &'a TileUniverse,
+        spec: &CoverSpec,
+        budget: u32,
+        lim: &'a RunLimits,
+        requested: SymmetryMode,
+        memo_cfg: MemoConfig,
+    ) -> Self {
+        let m = u.num_chords();
+        assert_eq!(spec.demand.len(), m as usize, "spec size mismatch");
+        debug_assert!(spec.is_unit(), "iterative core requires unit demands");
+        let strong = requested != SymmetryMode::Off;
+        let (mode, sym, spec_group) = crate::bnb::resolve_symmetry(u, spec, requested);
+
+        let n = u.ring().n();
+        let diam = u.diam_chords();
+        let mut uncovered = ChordSet::empty(m);
+        let mut rem_dist = 0u64;
+        let mut rem_diam = 0u64;
+        let mut deg = vec![0u32; n as usize];
+        for dense in 0..m {
+            if spec.demand[dense as usize] > 0 {
+                let pri = u.pri_of_dense(dense);
+                uncovered.insert(pri);
+                rem_dist += u.dist_of_pri(pri) as u64;
+                rem_diam += (pri < diam) as u64;
+                let (a, b) = u.chord_ends_of_pri(pri);
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+            }
+        }
+        let odd = deg.iter().filter(|&&d| d & 1 == 1).count() as u64;
+
+        let memo = if memo_cfg.enabled {
+            ResidualMemo::new(m, memo_cfg.budget_bytes)
+        } else {
+            None
+        };
+        let hash = memo.as_ref().map_or(0, |mm| {
+            uncovered.iter().fold(0u64, |h, c| h ^ mm.chord_key(c))
+        });
+        let canon = memo.is_some() && mode == SymmetryMode::Full;
+
+        let max_cands = u.max_candidates() as usize;
+        IterCore {
+            u,
+            budget,
+            uncovered,
+            rem_dist,
+            rem_diam,
+            deg,
+            odd,
+            hash,
+            frames: Vec::new(),
+            undo: Vec::new(),
+            chosen: Vec::new(),
+            dom_masks: (0..max_cands).map(|_| ChordSet::empty(m)).collect(),
+            dom_spans: vec![(0, 0); max_cands],
+            stats: Stats {
+                sym_factor: 1,
+                ..Stats::default()
+            },
+            max_nodes: lim.max_nodes,
+            hit_limit: false,
+            stop_cause: None,
+            deadline: lim.deadline,
+            cancel: lim.cancel.as_ref().map(|c| c.flag()),
+            early_exit: None,
+            shared_nodes: None,
+            synced_nodes: 0,
+            mode,
+            strong,
+            sym,
+            spec_group,
+            stab_stack: if mode == SymmetryMode::Full {
+                vec![spec_group]
+            } else {
+                Vec::new()
+            },
+            placed_sorted: Vec::new(),
+            image_scratch: Vec::new(),
+            sym_seen: Vec::new(),
+            sym_stamp: 0,
+            memo,
+            canon,
+        }
+    }
+
+    /// Flushes local node counts into the shared counter; `true` when
+    /// the global budget is exhausted.
+    fn sync_shared_nodes(&mut self) -> bool {
+        let Some((counter, cap)) = self.shared_nodes else {
+            return false;
+        };
+        let delta = self.stats.nodes - self.synced_nodes;
+        self.synced_nodes = self.stats.nodes;
+        let total = counter.fetch_add(delta, Ordering::Relaxed) + delta;
+        total > cap
+    }
+
+    /// Places tile `t`: covers its new chords and updates every
+    /// incremental ingredient in one sweep over the changed chords.
+    fn place(&mut self, t: u32) {
+        if self.mode == SymmetryMode::Full {
+            let top = *self.stab_stack.last().expect("stab stack seeded");
+            let stab = self.sym.expect("tables exist in Full mode").tile_stab(t);
+            self.stab_stack.push(top & stab);
+            let pos = self.placed_sorted.partition_point(|&x| x < t);
+            self.placed_sorted.insert(pos, t);
+        }
+        let depth = self.chosen.len();
+        if self.undo.len() == depth {
+            self.undo.push(ChordSet::empty(self.uncovered.len()));
+        }
+        let newly = &mut self.undo[depth];
+        self.u.tile_mask(t).intersection_into(&self.uncovered, newly);
+        self.uncovered.subtract(newly);
+        let diam = self.u.diam_chords();
+        for i in newly.iter() {
+            let d = self.u.dist_of_pri(i);
+            self.rem_dist -= d as u64;
+            self.rem_diam -= (i < diam) as u64;
+            let (a, b) = self.u.chord_ends_of_pri(i);
+            for v in [a, b] {
+                let dv = &mut self.deg[v as usize];
+                if *dv & 1 == 1 {
+                    self.odd -= 1;
+                } else {
+                    self.odd += 1;
+                }
+                *dv -= 1;
+            }
+            if let Some(memo) = &self.memo {
+                self.hash ^= memo.chord_key(i);
+            }
+        }
+        self.chosen.push(t);
+    }
+
+    /// Reverts the most recent placement.
+    fn unplace(&mut self) {
+        let t = self.chosen.pop().expect("unplace without place");
+        let depth = self.chosen.len();
+        let newly = &self.undo[depth];
+        let diam = self.u.diam_chords();
+        for i in newly.iter() {
+            let d = self.u.dist_of_pri(i);
+            self.rem_dist += d as u64;
+            self.rem_diam += (i < diam) as u64;
+            let (a, b) = self.u.chord_ends_of_pri(i);
+            for v in [a, b] {
+                let dv = &mut self.deg[v as usize];
+                if *dv & 1 == 1 {
+                    self.odd -= 1;
+                } else {
+                    self.odd += 1;
+                }
+                *dv += 1;
+            }
+            if let Some(memo) = &self.memo {
+                self.hash ^= memo.chord_key(i);
+            }
+        }
+        self.uncovered.union_with(newly);
+        if self.mode == SymmetryMode::Full {
+            self.stab_stack.pop();
+            let pos = self.placed_sorted.partition_point(|&x| x < t);
+            debug_assert_eq!(self.placed_sorted.get(pos), Some(&t));
+            self.placed_sorted.remove(pos);
+        }
+    }
+
+    /// The cheap per-node lower bound (capacity, diameter, vertex
+    /// degree) from the incremental ingredients — value-identical to the
+    /// recursive kernel's rescanning version.
+    fn remaining_lb(&self) -> u64 {
+        let n = self.u.ring().n() as u64;
+        let mut lb = self.rem_dist.div_ceil(n).max(self.rem_diam);
+        for &d in &self.deg {
+            lb = lb.max((d as u64).div_ceil(2));
+        }
+        lb
+    }
+
+    /// The strong bound: the parity/T-join term first — constant-time
+    /// from the incremental odd-degree count, and alone it settles the
+    /// capacity-tight even refutations — then the pricier diameter-slack
+    /// dual only if the node is still alive. Deep in a witness search
+    /// the dual's loop body rarely runs at all: diameter chords carry
+    /// top branch priority, so they are covered early and the
+    /// uncovered-diameter iteration is empty (`rem_diam`, maintained
+    /// incrementally, is the same information the capacity/diameter
+    /// part of the cheap bound uses).
+    fn strong_lb(&self, stop_above: u64) -> u64 {
+        let parity = parity_join_bound_from_odd(self.u.ring().n(), self.rem_dist, self.odd);
+        if parity > stop_above {
+            return parity;
+        }
+        diameter_slack_bound(self.u, &self.uncovered, self.rem_dist, stop_above).max(parity)
+    }
+
+    /// The memo key of the current residual state: the raw uncovered
+    /// words, or (canonical mode) the lexicographically smallest
+    /// dihedral image. Returns `(key, hash, key_is_raw)`.
+    fn state_key(&self) -> ([u64; 2], u64, bool) {
+        let words = self.uncovered.words();
+        let raw = [words[0], words.get(1).copied().unwrap_or(0)];
+        if !self.canon {
+            return (raw, self.hash, true);
+        }
+        let memo = self.memo.as_ref().expect("canonical mode implies memo");
+        let sym = self.sym.expect("canonical mode implies tables");
+        let mut best = raw;
+        let mut best_hash = self.hash;
+        let mut elements = self.spec_group & !1;
+        while elements != 0 {
+            let g = elements.trailing_zeros();
+            elements &= elements - 1;
+            let mut img = [0u64; 2];
+            let mut h = 0u64;
+            for c in self.uncovered.iter() {
+                let ic = sym.chord_image(g, c);
+                img[(ic / 64) as usize] |= 1u64 << (ic % 64);
+                h ^= memo.chord_key(ic);
+            }
+            if img < best {
+                best = img;
+                best_hash = h;
+            }
+        }
+        (best, best_hash, best == raw)
+    }
+
+    /// Steps A–I of one node: satisfied / limits / bounds / memo /
+    /// candidate staging.
+    fn enter_node(&mut self) -> Enter {
+        if self.uncovered.is_empty() {
+            return Enter::Solved;
+        }
+        self.stats.nodes += 1;
+        if self.stats.nodes > self.max_nodes {
+            self.hit_limit = true;
+            self.stop_cause = Some(Exhaustion::NodeBudget);
+            return Enter::Abort;
+        }
+        if self.stats.nodes.is_multiple_of(1024) {
+            if let Some(flag) = self.early_exit {
+                if flag.load(Ordering::Relaxed) {
+                    self.hit_limit = true;
+                    return Enter::Abort;
+                }
+            }
+            if self.sync_shared_nodes() {
+                self.hit_limit = true;
+                self.stop_cause = Some(Exhaustion::NodeBudget);
+                return Enter::Abort;
+            }
+        }
+        if self.stats.nodes.is_multiple_of(4096) {
+            if let Some(flag) = self.cancel {
+                if flag.load(Ordering::Relaxed) {
+                    self.hit_limit = true;
+                    self.stop_cause = Some(Exhaustion::Cancelled);
+                    return Enter::Abort;
+                }
+            }
+            if let Some(d) = self.deadline {
+                if Instant::now() >= d {
+                    self.hit_limit = true;
+                    self.stop_cause = Some(Exhaustion::Deadline);
+                    return Enter::Abort;
+                }
+            }
+        }
+        let used = self.chosen.len() as u64;
+        if used + self.remaining_lb() > self.budget as u64 {
+            self.stats.pruned += 1;
+            return Enter::Dead;
+        }
+        if self.strong {
+            let slack = self.budget as u64 - used;
+            if self.strong_lb(slack) > slack {
+                self.stats.pruned += 1;
+                return Enter::Dead;
+            }
+        }
+        let mut key = [0u64; 2];
+        let mut khash = 0u64;
+        let mut memoable = false;
+        if self.memo.is_some() {
+            let (k, h, raw) = self.state_key();
+            let dominated = self
+                .memo
+                .as_ref()
+                .is_some_and(|memo| memo.dominated(h, k, used as u32));
+            if dominated {
+                self.stats.memo_hits += 1;
+                if !raw {
+                    self.stats.canon_pruned += 1;
+                }
+                return Enter::Dead;
+            }
+            key = k;
+            khash = h;
+            memoable = true;
+        }
+        let branch = self.uncovered.first_set().expect("unsatisfied demand exists");
+        self.fill_candidates(branch);
+        let depth = self.chosen.len();
+        let f = &mut self.frames[depth];
+        f.cursor = 0;
+        f.key = key;
+        f.hash = khash;
+        f.memoable = memoable;
+        Enter::Ready
+    }
+
+    /// Scores, sorts, dominance-filters, and orbit-filters the branch
+    /// chord's candidates into the current depth's frame — the exact
+    /// sequence of the recursive `sorted_candidates`, over reused
+    /// buffers.
+    fn fill_candidates(&mut self, branch: u32) {
+        let depth = self.chosen.len();
+        // Workers of the parallel driver enter at their prefix depth, so
+        // the arena may need to leap several levels at once.
+        while self.frames.len() <= depth {
+            self.frames.push(Frame::default());
+        }
+        let u = self.u;
+        let n = u.ring().n();
+        let mut scored = std::mem::take(&mut self.frames[depth].scored);
+        let mut cands = std::mem::take(&mut self.frames[depth].cands);
+        scored.clear();
+        cands.clear();
+        // Score each candidate's new coverage and wasted capacity over
+        // the words its mask spans (value-identical to the recursive
+        // kernel's `new_coverage`).
+        for &t in u.candidates_pri(branch) {
+            let (lo, hi) = u.tile_mask_span(t);
+            let mut cov = 0u32;
+            let mut useful = 0u32;
+            for (wi, (a, b)) in u.tile_mask(t).words()[lo as usize..hi as usize]
+                .iter()
+                .zip(&self.uncovered.words()[lo as usize..hi as usize])
+                .enumerate()
+            {
+                let mut w = a & b;
+                cov += w.count_ones();
+                while w != 0 {
+                    let i = (lo + wi as u32) * 64 + w.trailing_zeros();
+                    useful += u.dist_of_pri(i);
+                    w &= w - 1;
+                }
+            }
+            if cov > 0 {
+                let waste = n - useful.min(n);
+                scored.push((t, cov, waste));
+            }
+        }
+        scored.sort_by_key(|&(_, cov, waste)| (std::cmp::Reverse(cov), waste));
+
+        // Dominance: a candidate whose useful coverage is a subset of an
+        // earlier one's is dropped (sorting put dominators first; ties
+        // keep the first occurrence). Mask writes and subset tests touch
+        // only each tile's word span.
+        let c = scored.len();
+        debug_assert!(c <= self.dom_masks.len(), "arena sized from max_candidates");
+        if c > 1 {
+            for (slot, &(t, _, _)) in scored.iter().enumerate() {
+                let (lo, hi) = u.tile_mask_span(t);
+                let (plo, phi) = self.dom_spans[slot];
+                self.dom_masks[slot].clear_words(plo as usize, phi as usize);
+                u.tile_mask(t).intersection_into_in(
+                    &self.uncovered,
+                    &mut self.dom_masks[slot],
+                    lo as usize,
+                    hi as usize,
+                );
+                self.dom_spans[slot] = (lo, hi);
+            }
+            for (i, &(t, _, _)) in scored.iter().enumerate() {
+                if i > 0 {
+                    let (lo, hi) = u.tile_mask_span(t);
+                    let (earlier, rest) = self.dom_masks.split_at(i);
+                    let mask_i = &rest[0];
+                    if earlier
+                        .iter()
+                        .any(|prior| mask_i.is_subset_of_in(prior, lo as usize, hi as usize))
+                    {
+                        self.stats.dominated += 1;
+                        continue;
+                    }
+                }
+                cands.push(t);
+            }
+        } else {
+            cands.extend(scored.iter().map(|&(t, _, _)| t));
+        }
+
+        self.filter_symmetric(branch, &mut cands);
+        let f = &mut self.frames[depth];
+        f.scored = scored;
+        f.cands = cands;
+    }
+
+    /// Sibling orbit filtering, in place. `Root` filters the empty
+    /// prefix under the spec group; `Full` filters every depth under the
+    /// **setwise** stabilizer of the placed tile multiset (a superset of
+    /// the recursive path's pointwise stabilizer — the extra elements'
+    /// prunes are counted as `canon_pruned`).
+    fn filter_symmetric(&mut self, branch: u32, cands: &mut Vec<u32>) {
+        let Some(sym) = self.sym else { return };
+        let (group, pointwise) = match self.mode {
+            SymmetryMode::Off => return,
+            SymmetryMode::Root => {
+                if !self.chosen.is_empty() {
+                    return;
+                }
+                (self.spec_group, self.spec_group)
+            }
+            SymmetryMode::Full => {
+                let pw = *self.stab_stack.last().expect("stab stack seeded");
+                // The setwise upgrade is part of the canonical machinery:
+                // with the memo (and hence canonical pruning) off, `Full`
+                // filters exactly as the recursive reference does, so the
+                // differential node-count gate stays exact.
+                if self.canon {
+                    (self.setwise_stab(pw, sym), pw)
+                } else {
+                    (pw, pw)
+                }
+            }
+        };
+        let filter = group & sym.chord_stab(branch);
+        if self.chosen.is_empty() {
+            self.stats.sym_factor = self.stats.sym_factor.max(filter.count_ones());
+        }
+        if filter & !1 == 0 {
+            return;
+        }
+        if self.sym_seen.len() < sym.num_tiles() as usize {
+            self.sym_seen.resize(sym.num_tiles() as usize, 0);
+        }
+        self.sym_stamp += 1;
+        let stamp = self.sym_stamp;
+        let pw_filter = pointwise & sym.chord_stab(branch);
+        let sym_seen = &mut self.sym_seen;
+        let stats = &mut self.stats;
+        cands.retain(|&t| {
+            let mut elements = filter & !1;
+            while elements != 0 {
+                let g = elements.trailing_zeros();
+                elements &= elements - 1;
+                let image = sym.tile_image(g, t);
+                if image != t && sym_seen[image as usize] == stamp {
+                    if pw_filter >> g & 1 == 1 {
+                        stats.sym_pruned += 1;
+                    } else {
+                        stats.canon_pruned += 1;
+                    }
+                    return false;
+                }
+            }
+            sym_seen[t as usize] = stamp;
+            true
+        });
+    }
+
+    /// The setwise stabilizer of the placed tile multiset inside the
+    /// spec group: every pointwise element, plus each element mapping
+    /// the multiset onto itself (tested against the sorted placement
+    /// list — at most `2n` sorts of a ≤-budget-length vector per node).
+    fn setwise_stab(&mut self, pointwise: u64, sym: &DihedralTables) -> u64 {
+        let mut stab = pointwise;
+        let mut rest = self.spec_group & !pointwise;
+        while rest != 0 {
+            let g = rest.trailing_zeros();
+            rest &= rest - 1;
+            self.image_scratch.clear();
+            self.image_scratch
+                .extend(self.placed_sorted.iter().map(|&t| sym.tile_image(g, t)));
+            self.image_scratch.sort_unstable();
+            if self.image_scratch == self.placed_sorted {
+                stab |= 1u64 << g;
+            }
+        }
+        stab
+    }
+
+    /// Drives the search to a conclusion from the current placement
+    /// depth (the root for the sequential search; the assigned prefix
+    /// for a parallel worker — siblings of the prefix belong to other
+    /// workers, so the loop never retreats past it). `true` = covering
+    /// found (in `chosen`); `false` = subtree exhausted or limit hit
+    /// (see `hit_limit`).
+    fn run(&mut self) -> bool {
+        let base = self.chosen.len();
+        let mut entering = true;
+        loop {
+            if entering {
+                match self.enter_node() {
+                    Enter::Solved => return true,
+                    Enter::Abort => return false,
+                    Enter::Dead => {
+                        if self.chosen.len() == base {
+                            return false;
+                        }
+                        self.unplace();
+                        entering = false;
+                        continue;
+                    }
+                    Enter::Ready => {}
+                }
+            }
+            let depth = self.chosen.len();
+            let f = &mut self.frames[depth];
+            if f.cursor < f.cands.len() {
+                let t = f.cands[f.cursor];
+                f.cursor += 1;
+                self.place(t);
+                entering = true;
+            } else {
+                if f.memoable {
+                    let (hash, key) = (f.hash, f.key);
+                    self.memo
+                        .as_mut()
+                        .expect("memoable implies memo")
+                        .record(hash, key, depth as u32);
+                }
+                if depth == base {
+                    return false;
+                }
+                self.unplace();
+                entering = false;
+            }
+        }
+    }
+
+    /// Final statistics (stamps the memo's resident entry count).
+    fn take_stats(&mut self) -> Stats {
+        self.stats.memo_entries = self.memo.as_ref().map_or(0, |m| m.len() as u64);
+        self.stats
+    }
+}
+
+/// Budgeted iterative search over the bitset state — the unit-demand
+/// engine path. Same contract as the recursive `bnb::search`.
+pub(crate) fn search_iterative(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    lim: &RunLimits,
+    sym: SymmetryMode,
+    memo: MemoConfig,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    let mut core = IterCore::new(u, spec, budget, lim, sym, memo);
+    if core.run() {
+        let chosen = core.chosen.clone();
+        (Outcome::Feasible(chosen), core.take_stats(), None)
+    } else if core.hit_limit {
+        let cause = core.stop_cause;
+        (Outcome::NodeLimit, core.take_stats(), cause)
+    } else {
+        (Outcome::Infeasible, core.take_stats(), None)
+    }
+}
+
+/// The frontier-parallel driver over [`IterCore`] workers: expands a
+/// breadth-first frontier of independent prefixes, then drains it on a
+/// work-sharing rayon scope with a shared early-exit flag and a global
+/// node budget — the iterative twin of `bnb::search_parallel`, which
+/// keeps serving λ-fold specs. The two drivers deliberately mirror each
+/// other stanza for stanza (expansion accounting, pre-spawn guards,
+/// stop-cause ranking): a fix to either's scheduling logic belongs in
+/// both.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_iterative_parallel(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    lim: &RunLimits,
+    threads: usize,
+    prefix_per_thread: usize,
+    sym: SymmetryMode,
+    memo: MemoConfig,
+) -> (Outcome, Stats, Option<Exhaustion>) {
+    let max_nodes = lim.max_nodes;
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool");
+    let threads = pool.current_num_threads();
+    let mut root = IterCore::new(u, spec, budget, lim, sym, memo);
+    if root.uncovered.is_empty() {
+        return (Outcome::Feasible(Vec::new()), root.take_stats(), None);
+    }
+    let root_infeasible = root.remaining_lb() > budget as u64
+        || (root.strong && root.strong_lb(budget as u64) > budget as u64);
+    if root_infeasible {
+        return (
+            Outcome::Infeasible,
+            Stats {
+                nodes: 1,
+                pruned: 1,
+                sym_factor: 1,
+                ..Stats::default()
+            },
+            None,
+        );
+    }
+
+    // Breadth-first frontier expansion, mirroring the recursive driver.
+    let target = threads * prefix_per_thread.max(1);
+    let mut frontier: VecDeque<Vec<u32>> = VecDeque::from([Vec::new()]);
+    while frontier.len() < target {
+        let Some(prefix) = frontier.pop_front() else {
+            break;
+        };
+        if let Some(cause) = lim.stop_requested() {
+            return (Outcome::NodeLimit, root.take_stats(), Some(cause));
+        }
+        for &t in &prefix {
+            root.place(t);
+        }
+        let mut early: Option<Outcome> = None;
+        if root.uncovered.is_empty() {
+            early = Some(Outcome::Feasible(root.chosen.clone()));
+        } else {
+            root.stats.nodes += 1;
+            let prefix_slack = (budget as u64).saturating_sub(root.chosen.len() as u64);
+            if root.stats.nodes > max_nodes {
+                early = Some(Outcome::NodeLimit);
+            } else if root.chosen.len() as u64 + root.remaining_lb() > budget as u64
+                || (root.strong && root.strong_lb(prefix_slack) > prefix_slack)
+            {
+                root.stats.pruned += 1;
+            } else {
+                let branch = root.uncovered.first_set().expect("unsatisfied");
+                root.fill_candidates(branch);
+                for &t in &root.frames[root.chosen.len()].cands {
+                    let mut child = prefix.clone();
+                    child.push(t);
+                    frontier.push_back(child);
+                }
+            }
+        }
+        for _ in 0..prefix.len() {
+            root.unplace();
+        }
+        if let Some(outcome) = early {
+            let cause =
+                matches!(outcome, Outcome::NodeLimit).then_some(Exhaustion::NodeBudget);
+            return (outcome, root.take_stats(), cause);
+        }
+    }
+    let expand_stats = root.take_stats();
+    drop(root);
+    if frontier.is_empty() {
+        return (Outcome::Infeasible, expand_stats, None);
+    }
+
+    let found = AtomicBool::new(false);
+    let limit_hit = AtomicBool::new(false);
+    let stop_cause = AtomicU8::new(0);
+    let nodes = AtomicU64::new(expand_stats.nodes);
+    let pruned = AtomicU64::new(expand_stats.pruned);
+    let dominated = AtomicU64::new(expand_stats.dominated);
+    let sym_pruned = AtomicU64::new(expand_stats.sym_pruned);
+    let canon_pruned = AtomicU64::new(expand_stats.canon_pruned);
+    let memo_hits = AtomicU64::new(expand_stats.memo_hits);
+    let memo_entries = AtomicU64::new(expand_stats.memo_entries);
+    let sym_factor = AtomicU32::new(expand_stats.sym_factor);
+    let solution = std::sync::Mutex::new(None::<Vec<u32>>);
+
+    pool.scope(|scope| {
+        for prefix in &frontier {
+            let found = &found;
+            let limit_hit = &limit_hit;
+            let stop_cause = &stop_cause;
+            let nodes = &nodes;
+            let pruned = &pruned;
+            let dominated = &dominated;
+            let sym_pruned = &sym_pruned;
+            let canon_pruned = &canon_pruned;
+            let memo_hits = &memo_hits;
+            let memo_entries = &memo_entries;
+            let sym_factor = &sym_factor;
+            let solution = &solution;
+            scope.spawn(move |_| {
+                if found.load(Ordering::Relaxed) {
+                    return;
+                }
+                if nodes.load(Ordering::Relaxed) >= max_nodes {
+                    limit_hit.store(true, Ordering::Relaxed);
+                    stop_cause
+                        .fetch_max(encode_cause(Exhaustion::NodeBudget), Ordering::Relaxed);
+                    return;
+                }
+                let worker_lim = RunLimits {
+                    max_nodes: u64::MAX,
+                    deadline: lim.deadline,
+                    cancel: lim.cancel.clone(),
+                };
+                let mut ctx = IterCore::new(u, spec, budget, &worker_lim, sym, memo);
+                ctx.early_exit = Some(found);
+                ctx.shared_nodes = Some((nodes, max_nodes));
+                for &t in prefix {
+                    ctx.place(t);
+                }
+                let ok = ctx.run();
+                ctx.sync_shared_nodes();
+                let st = ctx.take_stats();
+                pruned.fetch_add(st.pruned, Ordering::Relaxed);
+                dominated.fetch_add(st.dominated, Ordering::Relaxed);
+                sym_pruned.fetch_add(st.sym_pruned, Ordering::Relaxed);
+                canon_pruned.fetch_add(st.canon_pruned, Ordering::Relaxed);
+                memo_hits.fetch_add(st.memo_hits, Ordering::Relaxed);
+                memo_entries.fetch_add(st.memo_entries, Ordering::Relaxed);
+                sym_factor.fetch_max(st.sym_factor, Ordering::Relaxed);
+                if ok {
+                    found.store(true, Ordering::Relaxed);
+                    *solution.lock().expect("poison-free") = Some(ctx.chosen.clone());
+                    return;
+                }
+                if ctx.hit_limit && !found.load(Ordering::Relaxed) {
+                    limit_hit.store(true, Ordering::Relaxed);
+                    if let Some(cause) = ctx.stop_cause {
+                        stop_cause.fetch_max(encode_cause(cause), Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = Stats {
+        nodes: nodes.load(Ordering::Relaxed),
+        pruned: pruned.load(Ordering::Relaxed),
+        dominated: dominated.load(Ordering::Relaxed),
+        sym_pruned: sym_pruned.load(Ordering::Relaxed),
+        canon_pruned: canon_pruned.load(Ordering::Relaxed),
+        memo_hits: memo_hits.load(Ordering::Relaxed),
+        memo_entries: memo_entries.load(Ordering::Relaxed),
+        sym_factor: sym_factor.load(Ordering::Relaxed),
+    };
+    let sol = solution.lock().expect("poison-free").take();
+    match sol {
+        Some(sol) => (Outcome::Feasible(sol), stats, None),
+        None if limit_hit.load(Ordering::Relaxed) => (
+            Outcome::NodeLimit,
+            stats,
+            Some(decode_cause(stop_cause.load(Ordering::Relaxed))),
+        ),
+        None => (Outcome::Infeasible, stats, None),
+    }
+}

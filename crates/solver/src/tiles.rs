@@ -52,9 +52,16 @@ pub struct TileUniverse {
     dense_of_pri: Vec<u32>,
     /// priority index → ring distance of the chord.
     dist_of_pri: Vec<u32>,
+    /// priority index → the chord's two ring vertices `(u, v)` with
+    /// `u < v` — the endpoints whose uncovered degrees a placement
+    /// changes (the iterative core's incremental parity bookkeeping).
+    ends_of_pri: Vec<(u32, u32)>,
     /// Priority indices `< diam_chords` are exactly the diameter-class
     /// chords (0 for odd `n`).
     diam_chords: u32,
+    /// Longest per-chord candidate list — the one-shot sizing bound for
+    /// per-node candidate arenas (no search node can see more).
+    max_candidates: u32,
 
     // ---- tile tables ----
     /// CSR offsets into `chord_idx`: tile `i` owns
@@ -64,6 +71,10 @@ pub struct TileUniverse {
     chord_idx: Vec<u32>,
     /// Per-tile chord bitmask (priority space).
     masks: Vec<ChordSet>,
+    /// Per-tile `(lo, hi)` word span of the mask: every set bit of
+    /// `masks[i]` lies in words `lo..hi`. Dominance subset tests and
+    /// scratch clears touch only this span instead of the full width.
+    mask_span: Vec<(u32, u32)>,
     /// Per-tile total shortest-path load `Σ dist(chord)`.
     load: Vec<u32>,
     /// Per-tile wasted ring capacity `n − min(load, n)`.
@@ -338,6 +349,13 @@ impl TileUniverse {
             .iter()
             .map(|&d| dense_dist[d as usize])
             .collect();
+        let ends_of_pri: Vec<(u32, u32)> = dense_of_pri
+            .iter()
+            .map(|&d| {
+                let e = Edge::from_dense_index(d as usize, n as usize);
+                (e.u(), e.v())
+            })
+            .collect();
         let diam_chords = dist_of_pri
             .iter()
             .take_while(|&&d| ring.is_diameter_class(d))
@@ -356,6 +374,7 @@ impl TileUniverse {
         let mut chord_off = Vec::with_capacity(tiles.len() + 1);
         let mut chord_idx = Vec::new();
         let mut masks = Vec::with_capacity(tiles.len());
+        let mut mask_span = Vec::with_capacity(tiles.len());
         let mut load = Vec::with_capacity(tiles.len());
         let mut waste = Vec::with_capacity(tiles.len());
         let mut diam_count = Vec::with_capacity(tiles.len());
@@ -375,11 +394,24 @@ impl TileUniverse {
                 tile_diam += (pri < diam_chords) as u32;
             }
             chord_off.push(chord_idx.len() as u32);
+            let lo = mask
+                .words()
+                .iter()
+                .position(|&w| w != 0)
+                .unwrap_or(0) as u32;
+            let hi = mask
+                .words()
+                .iter()
+                .rposition(|&w| w != 0)
+                .map(|p| p as u32 + 1)
+                .unwrap_or(0);
+            mask_span.push((lo, hi));
             masks.push(mask);
             load.push(tile_load);
             waste.push(n - tile_load.min(n));
             diam_count.push(tile_diam);
         }
+        let max_candidates = by_chord.iter().map(|c| c.len() as u32).max().unwrap_or(0);
 
         TileUniverse {
             ring,
@@ -389,10 +421,13 @@ impl TileUniverse {
             pri_of_dense,
             dense_of_pri,
             dist_of_pri,
+            ends_of_pri,
             diam_chords,
+            max_candidates,
             chord_off,
             chord_idx,
             masks,
+            mask_span,
             load,
             waste,
             diam_count,
@@ -444,8 +479,9 @@ impl TileUniverse {
             .sum::<usize>();
         bytes += (self.pri_of_dense.len() + self.dense_of_pri.len() + self.dist_of_pri.len())
             * size_of::<u32>();
+        bytes += self.ends_of_pri.len() * size_of::<(u32, u32)>();
         bytes += (self.chord_off.len() + self.chord_idx.len()) * size_of::<u32>();
-        bytes += self.masks.len() * mask_bytes;
+        bytes += self.masks.len() * (mask_bytes + size_of::<(u32, u32)>());
         bytes += (self.load.len() + self.waste.len() + self.diam_count.len()) * size_of::<u32>();
         bytes += self.vertex_masks.len() * mask_bytes;
         bytes
@@ -506,6 +542,21 @@ impl TileUniverse {
         self.dist_of_pri[pri as usize]
     }
 
+    /// The two ring vertices `(u, v)` (with `u < v`) of the chord with
+    /// priority index `pri`.
+    #[inline]
+    pub fn chord_ends_of_pri(&self, pri: u32) -> (u32, u32) {
+        self.ends_of_pri[pri as usize]
+    }
+
+    /// Length of the longest per-chord candidate list — an upper bound on
+    /// how many candidates any single search node can score, and the
+    /// one-shot sizing of per-node scratch arenas.
+    #[inline]
+    pub fn max_candidates(&self) -> u32 {
+        self.max_candidates
+    }
+
     /// Number of diameter-class chords; priority indices `< diam_chords()`
     /// are exactly those chords.
     pub fn diam_chords(&self) -> u32 {
@@ -523,6 +574,13 @@ impl TileUniverse {
     #[inline]
     pub fn tile_mask(&self, i: u32) -> &ChordSet {
         &self.masks[i as usize]
+    }
+
+    /// The `(lo, hi)` word span of tile `i`'s mask: every set bit lies in
+    /// words `lo..hi` of the priority chord space.
+    #[inline]
+    pub fn tile_mask_span(&self, i: u32) -> (u32, u32) {
+        self.mask_span[i as usize]
     }
 
     /// Tile `i`'s total shortest-path load `Σ dist(chord)`.

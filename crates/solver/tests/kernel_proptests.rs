@@ -9,9 +9,9 @@
 use cyclecover_graph::{Edge, EdgeMultiset};
 use cyclecover_ring::{Ring, Tile};
 use cyclecover_solver::api::{
-    engine_by_name, ExecPolicy, Optimality, Problem, SolveRequest,
+    engine_by_name, ExecPolicy, Optimality, Problem, SolveRequest, SymmetryMode,
 };
-use cyclecover_solver::bnb::CoverSpec;
+use cyclecover_solver::bnb::{budget_search_reference, CoverSpec, Outcome};
 use cyclecover_solver::TileUniverse;
 use proptest::prelude::*;
 
@@ -125,6 +125,123 @@ proptest! {
                 matches!(below.optimality(), Optimality::Infeasible),
                 "parallel below opt: {:?}", below.optimality()
             );
+        }
+    }
+
+    /// The iterative core (engine path, memo off) must agree with the
+    /// PR-3 recursive reference **to the node** on random subset specs,
+    /// for every symmetry mode, at the decisive budgets — verdicts,
+    /// optima, and exact node counts. This is the differential gate that
+    /// keeps the allocation-free rewrite honest.
+    #[test]
+    fn iterative_core_matches_recursive_reference(
+        n in 5u32..=10,
+        picks in proptest::collection::vec((0u32..1000, 0u32..1000), 1..12),
+    ) {
+        let ring = Ring::new(n);
+        let requests: Vec<Edge> = picks
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (a, b) = (a % n, b % n);
+                (a != b).then(|| Edge::new(a, b))
+            })
+            .collect();
+        prop_assume!(!requests.is_empty());
+        let spec = CoverSpec::subset(n, &requests);
+        let problem = Problem::new(TileUniverse::new(ring, 4), spec.clone());
+        let (opt, _) = optimum_via("bitset", &problem);
+        let engine = engine_by_name("bitset").unwrap();
+        for sym in [SymmetryMode::Off, SymmetryMode::Root, SymmetryMode::Full] {
+            for budget in [opt.saturating_sub(1), opt, opt + 1] {
+                let (ref_outcome, ref_stats) = budget_search_reference(
+                    problem.universe(), &spec, budget, u64::MAX, sym,
+                );
+                let sol = engine.solve(
+                    &problem,
+                    &SolveRequest::within_budget(budget)
+                        .with_symmetry(sym)
+                        .with_memo(false)
+                        .with_max_nodes(MAX_NODES),
+                );
+                let ref_feasible = matches!(ref_outcome, Outcome::Feasible(_));
+                let iter_feasible = matches!(sol.optimality(), Optimality::Feasible);
+                prop_assert_eq!(
+                    ref_feasible, iter_feasible,
+                    "verdict drift: n={} budget={} {:?}", n, budget, sym
+                );
+                prop_assert_eq!(
+                    ref_stats.nodes, sol.stats().nodes,
+                    "node-count drift: n={} budget={} {:?}", n, budget, sym
+                );
+                prop_assert_eq!(
+                    ref_stats.dominated, sol.stats().dominated,
+                    "dominance drift: n={} budget={} {:?}", n, budget, sym
+                );
+                prop_assert_eq!(
+                    ref_stats.sym_pruned,
+                    sol.stats().sym_pruned + sol.stats().canon_pruned,
+                    "orbit-filter drift: n={} budget={} {:?}", n, budget, sym
+                );
+            }
+        }
+    }
+
+    /// Memo soundness: with the memo on (and canonical keying under
+    /// `Full`), a search may only get *faster* — it must never report
+    /// `Infeasible` on a budget the memo-free search satisfies, and the
+    /// optimum must match exactly.
+    #[test]
+    fn memo_never_flips_a_verdict(
+        n in 5u32..=9,
+        picks in proptest::collection::vec((0u32..1000, 0u32..1000), 1..12),
+        sym_kind in 0u8..3,
+    ) {
+        let ring = Ring::new(n);
+        let requests: Vec<Edge> = picks
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (a, b) = (a % n, b % n);
+                (a != b).then(|| Edge::new(a, b))
+            })
+            .collect();
+        prop_assume!(!requests.is_empty());
+        let sym = match sym_kind {
+            0 => SymmetryMode::Off,
+            1 => SymmetryMode::Root,
+            _ => SymmetryMode::Full,
+        };
+        let spec = CoverSpec::subset(n, &requests);
+        let problem = Problem::new(TileUniverse::new(ring, n as usize), spec);
+        let engine = engine_by_name("bitset").unwrap();
+        let (opt, tiles) = optimum_via("bitset", &problem);
+        assert_meets_spec(n, &tiles, problem.spec());
+        for budget in [opt.saturating_sub(1), opt] {
+            let plain = engine.solve(
+                &problem,
+                &SolveRequest::within_budget(budget)
+                    .with_symmetry(sym)
+                    .with_memo(false)
+                    .with_max_nodes(MAX_NODES),
+            );
+            let memoed = engine.solve(
+                &problem,
+                &SolveRequest::within_budget(budget)
+                    .with_symmetry(sym)
+                    .with_max_nodes(MAX_NODES),
+            );
+            prop_assert_eq!(
+                matches!(plain.optimality(), Optimality::Feasible),
+                matches!(memoed.optimality(), Optimality::Feasible),
+                "memo flipped n={} budget={} {:?}: {:?} vs {:?}",
+                n, budget, sym, plain.optimality(), memoed.optimality()
+            );
+            prop_assert!(
+                memoed.stats().nodes <= plain.stats().nodes,
+                "memo expanded MORE nodes: n={} budget={} {:?}", n, budget, sym
+            );
+            if let Some(found) = memoed.covering() {
+                assert_meets_spec(n, found, problem.spec());
+            }
         }
     }
 
