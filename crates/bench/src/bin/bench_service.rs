@@ -11,16 +11,21 @@
 //! universe-cache hit rate, coalescing rate, and per-engine node totals.
 //!
 //! Usage: `cargo run --release -p cyclecover-bench --bin bench_service
-//! [-- --jobs N] [--workers N] [--cache-mb M] [--quick] [--json]`
+//! [-- --jobs N] [--workers N] [--cache-mb M] [--quick] [--json]
+//! [--fault-plan plan.json]`
 //!
 //! Node counts and the hit/coalesce accounting are deterministic for a
 //! given queue; wall-clock is hardware noise (see the ROADMAP bench
 //! notes). `--json` prints the raw `cyclecover-batch-summary` document
-//! instead of the table.
+//! instead of the table. `--fault-plan` installs a deterministic
+//! fault-injection plan (see `docs/robustness.md`) so the resilience
+//! columns — retries, degradations, failures per 1k jobs — exercise the
+//! recovery paths; without it those columns measure the clean-path
+//! overhead of the fault machinery, which must stay at zero.
 
 use cyclecover_graph::Graph;
 use cyclecover_io::json::SolveJob;
-use cyclecover_service::{batch_summary_json, ServiceConfig, SolveService};
+use cyclecover_service::{batch_summary_json, FaultPlan, ServiceConfig, SolveService};
 use cyclecover_solver::api::Objective;
 use cyclecover_solver::lower_bound::rho_formula;
 use rand::rngs::StdRng;
@@ -39,8 +44,13 @@ fn build_queue(count: usize, max_n: u32, rng: &mut StdRng) -> Vec<SolveJob> {
         match i % 6 {
             // Complete certification — the ρ(n) workload.
             0 => {}
-            // Feasibility probe just above the optimum.
-            1 => job.objective = Objective::WithinBudget(rho_formula(n) as u32 + 1),
+            // Feasibility probe just above the optimum, with a heuristic
+            // fallback rung: unused on the clean path, the degradation
+            // ladder's workload under a fault plan.
+            1 => {
+                job.objective = Objective::WithinBudget(rho_formula(n) as u32 + 1);
+                job.fallback = vec!["greedy".to_string()];
+            }
             // Heuristic upper bound (complete spec only).
             2 => job.engine = "greedy-improve".to_string(),
             // Partial instances from the workload generators.
@@ -88,6 +98,7 @@ fn main() {
     let mut workers = 1usize;
     let mut cache_mb = 64usize;
     let mut as_json = false;
+    let mut fault_plan: Option<FaultPlan> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         match flag.as_str() {
@@ -98,6 +109,11 @@ fn main() {
             }
             "--quick" => jobs = 20,
             "--json" => as_json = true,
+            "--fault-plan" => {
+                let path: &str = it.next().expect("--fault-plan plan.json");
+                let text = std::fs::read_to_string(path).expect("readable fault plan");
+                fault_plan = Some(FaultPlan::from_json(&text).expect("well-formed fault plan"));
+            }
             other => panic!("unknown flag {other}"),
         }
     }
@@ -108,7 +124,13 @@ fn main() {
     let mut service = SolveService::new(ServiceConfig {
         workers,
         cache_bytes: cache_mb << 20,
+        backoff_base_ms: 0,
+        ..ServiceConfig::default()
     });
+    let faulted = fault_plan.is_some();
+    if let Some(plan) = fault_plan {
+        service.set_fault_plan(plan);
+    }
     for job in queue {
         service.submit(job).expect("generated jobs are admissible");
     }
@@ -144,6 +166,18 @@ fn main() {
         st.mean_queue_wait.as_secs_f64() * 1e3,
         report.jobs.len()
     );
+    // Resilience columns, normalized per 1k jobs so runs of different
+    // sizes compare: all-zero on a clean run (the fault machinery must
+    // cost nothing when no plan is installed).
+    let per_1k = |v: u64| v as f64 * 1000.0 / st.submitted.max(1) as f64;
+    println!(
+        "faults: {} injected | per 1k jobs: {:.1} retries, {:.1} degraded, {:.1} failed, {:.1} quarantined",
+        st.faults_injected,
+        per_1k(st.retries),
+        per_1k(st.degraded as u64),
+        per_1k(st.failed as u64),
+        per_1k(st.quarantined as u64),
+    );
     for e in &st.engines {
         println!(
             "engine {:16} {:4} solves, {:4} jobs served, {:10} nodes",
@@ -156,4 +190,14 @@ fn main() {
     assert!(st.coalesced > 0, "no coalescing in the mixed queue");
     assert_eq!(st.expired, 1, "the doomed job must expire");
     assert_eq!(st.errors, 0, "admission errors in the generated queue");
+    if faulted {
+        assert!(
+            st.faults_injected > 0,
+            "a fault plan was installed but never fired"
+        );
+    } else {
+        assert_eq!(st.faults_injected, 0, "clean run injected faults");
+        assert_eq!(st.retries, 0, "clean run retried");
+        assert_eq!(st.failed, 0, "clean run failed jobs");
+    }
 }

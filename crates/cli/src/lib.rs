@@ -42,7 +42,7 @@
 use cyclecover_core::{construct_with_status, rho, Optimality};
 use cyclecover_io::{csv::Table, format, json, svg};
 use cyclecover_net::{audit_all_failures, compare_schemes, WdmNetwork};
-use cyclecover_service::{batch_summary_json, ServiceConfig, SolveService};
+use cyclecover_service::{batch_summary_json_with_rejects, FaultPlan, ServiceConfig, SolveService};
 use cyclecover_solver::api::{
     engine_by_name, engines, LowerBoundProof, Optimality as SolveOptimality, Problem,
     SolveRequest, SymmetryMode,
@@ -68,13 +68,22 @@ USAGE:
                                       dominance memo, --memo-mb caps its
                                       memory like the service universe cache)
   cyclecover serve --batch <jobs.jsonl> [--workers N] [--cache-mb M]
-                       [--out DIR]   run a batch of request documents (one
+                       [--out DIR] [--retries R] [--backoff-ms B]
+                       [--fault-plan plan.json]
+                                     run a batch of request documents (one
                                      JSON per line; see docs/wire-format.md)
                                      through the batching solve service:
                                      EDF scheduling, universe cache, request
-                                     coalescing. Prints the batch summary
-                                     JSON; --out writes per-job solution
-                                     documents that `validate` accepts
+                                     coalescing, panic isolation, retry with
+                                     backoff, and per-request fallback
+                                     ladders (see docs/robustness.md).
+                                     Malformed lines are reported per-line
+                                     in the summary, not fatal. Prints the
+                                     batch summary JSON; --out writes
+                                     per-job solution documents that
+                                     `validate` accepts; --fault-plan
+                                     injects deterministic faults for chaos
+                                     testing
   cyclecover engines                 list the registered solver engines
   cyclecover rho <n>                 print the optimal covering size ρ(n)
   cyclecover construct <n>           emit a minimum covering in text format
@@ -222,6 +231,9 @@ fn run_solve(args: &[String]) -> Result<String, String> {
         SolveOptimality::BudgetExhausted { reason } => {
             let _ = writeln!(out, "INCONCLUSIVE: stopped by {reason:?}");
         }
+        SolveOptimality::Failed { kind } => {
+            let _ = writeln!(out, "FAILED: terminal {kind:?} failure");
+        }
     }
     let st = solution.stats();
     let _ = writeln!(
@@ -260,6 +272,9 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut workers = 1usize;
     let mut cache_mb = 64usize;
     let mut out_dir: Option<String> = None;
+    let mut fault_plan: Option<String> = None;
+    let mut retries: Option<u32> = None;
+    let mut backoff_ms: Option<u64> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
@@ -283,27 +298,63 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                     .map_err(|e| format!("bad --cache-mb: {e}"))?;
             }
             "--out" => out_dir = Some(value("a directory")?),
+            "--fault-plan" => fault_plan = Some(value("a fault-plan JSON file")?),
+            "--retries" => {
+                retries = Some(
+                    value("a retry count")?
+                        .parse()
+                        .map_err(|e| format!("bad --retries: {e}"))?,
+                )
+            }
+            "--backoff-ms" => {
+                backoff_ms = Some(
+                    value("milliseconds")?
+                        .parse()
+                        .map_err(|e| format!("bad --backoff-ms: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown serve flag '{other}'")),
         }
     }
     let path = batch.ok_or("serve needs --batch <jobs.jsonl>")?;
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let mut service = SolveService::new(ServiceConfig {
+    let mut config = ServiceConfig {
         workers,
         cache_bytes: cache_mb.saturating_mul(1 << 20),
-    });
+        ..ServiceConfig::default()
+    };
+    if let Some(r) = retries {
+        config.max_attempts = r.saturating_add(1);
+    }
+    if let Some(ms) = backoff_ms {
+        config.backoff_base_ms = ms;
+    }
+    let mut service = SolveService::new(config);
+    if let Some(plan_path) = fault_plan {
+        let plan_text = std::fs::read_to_string(&plan_path)
+            .map_err(|e| format!("cannot read {plan_path}: {e}"))?;
+        let plan = FaultPlan::from_json(&plan_text).map_err(|e| format!("{plan_path}: {e}"))?;
+        service.set_fault_plan(plan);
+    }
+    // A malformed or unadmittable line rejects that line, not the batch:
+    // rejects are reported per-line in the summary document.
+    let mut rejects: Vec<(usize, String)> = Vec::new();
     for (i, line) in text.lines().enumerate() {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let job = json::request_from_json(line).map_err(|e| format!("{path}:{}: {e}", i + 1))?;
-        service
-            .submit(job)
-            .map_err(|e| format!("{path}:{}: {e}", i + 1))?;
+        match json::request_from_json(line).and_then(|job| service.submit(job)) {
+            Ok(_) => {}
+            Err(e) => rejects.push((i + 1, e)),
+        }
     }
     if service.queued() == 0 {
-        return Err(format!("{path}: no request documents found"));
+        let detail = rejects
+            .first()
+            .map(|(line, e)| format!(" (first reject at {path}:{line}: {e})"))
+            .unwrap_or_default();
+        return Err(format!("{path}: no request documents admitted{detail}"));
     }
     let report = service.drain();
     if let Some(dir) = out_dir {
@@ -316,7 +367,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             }
         }
     }
-    Ok(batch_summary_json(&report))
+    Ok(batch_summary_json_with_rejects(&report, &rejects))
 }
 
 /// Executes a command line (without the program name); returns the
@@ -673,6 +724,67 @@ mod tests {
     }
 
     #[test]
+    fn serve_reports_malformed_lines_without_aborting_the_batch() {
+        // Two good jobs around two bad lines: the batch still runs, the
+        // summary names each reject by line number, and the good jobs
+        // solve normally.
+        let jobs = r#"{"format": "cyclecover-request", "version": 1, "id": "good-1", "n": 6}
+{"format": "cyclecover-request", "version": 1, "n": 2}
+this line is not json at all
+{"format": "cyclecover-request", "version": 1, "id": "good-2", "n": 7}
+"#;
+        let dir = std::env::temp_dir().join("cyclecover_cli_test_rejects");
+        std::fs::create_dir_all(&dir).unwrap();
+        let batch = dir.join("jobs.jsonl");
+        std::fs::write(&batch, jobs).unwrap();
+        let summary = runv(&["serve", "--batch", batch.to_str().unwrap()]).unwrap();
+        assert!(summary.contains("\"rejected\": 2"), "{summary}");
+        assert!(summary.contains("\"line\": 2"), "{summary}");
+        assert!(summary.contains("\"line\": 3"), "{summary}");
+        assert!(summary.contains("\"id\": \"good-1\""), "{summary}");
+        assert!(summary.contains("\"id\": \"good-2\""), "{summary}");
+        assert!(summary.contains("\"solved\": 2"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_fault_plan_panics_are_terminal_failed_answers() {
+        // A plan that panics job "boom" on every dispatch: with retries
+        // exhausted it must surface as a terminal failed status while the
+        // other job still solves — the worker survives the panic.
+        let jobs = r#"{"format": "cyclecover-request", "version": 1, "id": "boom", "n": 6}
+{"format": "cyclecover-request", "version": 1, "id": "fine", "n": 7}
+"#;
+        let plan = r#"{"format": "cyclecover-fault-plan", "version": 1, "seed": 7,
+                       "faults": [{"job": "boom", "kind": "panic"}]}"#;
+        let dir = std::env::temp_dir().join("cyclecover_cli_test_faults");
+        std::fs::create_dir_all(&dir).unwrap();
+        let batch = dir.join("jobs.jsonl");
+        let plan_path = dir.join("plan.json");
+        std::fs::write(&batch, jobs).unwrap();
+        std::fs::write(&plan_path, plan).unwrap();
+        let summary = runv(&[
+            "serve",
+            "--batch",
+            batch.to_str().unwrap(),
+            "--fault-plan",
+            plan_path.to_str().unwrap(),
+            "--retries",
+            "1",
+            "--backoff-ms",
+            "0",
+        ])
+        .unwrap();
+        assert!(summary.contains("\"status\": \"failed\""), "{summary}");
+        assert!(summary.contains("\"reason\": \"panic\""), "{summary}");
+        assert!(summary.contains("\"failed\": 1"), "{summary}");
+        assert!(summary.contains("\"solved\": 1"), "{summary}");
+        assert!(summary.contains("\"faults_injected\": 2"), "{summary}");
+        assert!(summary.contains("\"retries\": 1"), "{summary}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn serve_flag_errors_are_helpful() {
         assert!(runv(&["serve"]).unwrap_err().contains("--batch"));
         assert!(runv(&["serve", "--workers", "2"])
@@ -706,6 +818,9 @@ mod tests {
             "serve",
             "--batch",
             "--cache-mb",
+            "--fault-plan",
+            "--retries",
+            "--backoff-ms",
         ] {
             assert!(USAGE.contains(needle), "USAGE missing {needle}");
         }

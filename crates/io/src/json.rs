@@ -42,6 +42,7 @@
 //! | `max_nodes` | no | search-node budget for the whole request |
 //! | `deadline_ms` | no | wall-clock deadline in milliseconds, **measured from batch start**: the scheduler admits the job only while `now < start + deadline_ms`, and an admitted job runs with the remaining slice; an expired job is reported `budget_exhausted`/`deadline` without running |
 //! | `symmetry` | no | `"off"`, `"root"`, or `"full"`; absent = the engine default (`root` for exact engines) |
+//! | `fallback` | no | array of engine registry names forming the degradation ladder: when the primary `engine` exhausts its budget (or fails), a scheduler may re-dispatch down this chain in order, and the answer carries an honest `degraded` record; absent or `null` = no fallback |
 //!
 //! `(n, max_len, max_gap)` is the **universe key**: jobs agreeing on it
 //! share one precomputed [`TileUniverse`](cyclecover_solver::TileUniverse)
@@ -63,9 +64,10 @@
 //! | `n` | ring size the problem was solved on |
 //! | `engine` | registry name of the engine that answered (`"service"` when a scheduler rejected the job unrun) |
 //! | `optimality` | the certificate object, below |
+//! | `degraded` | `null` for a direct engine answer; otherwise `{"from": E1, "to": E2, "reason": R}` — a scheduler walked the request's `fallback` ladder and engine `E2` answered instead of the requested `E1`. `R` is `"panicked"` or one of the `budget_exhausted` reason strings (why `E1` was abandoned) |
 //! | `size` | number of cycles, or `null` when no covering is carried |
 //! | `cycles` | array of cycles (each an array of ring vertices), or `null` |
-//! | `stats` | `{nodes, pruned, dominated, sym_pruned, canon_pruned, memo_hits, memo_entries, symmetry_factor, budgets_tried, wall_ms}`; `wall_ms` is a float |
+//! | `stats` | `{nodes, pruned, dominated, sym_pruned, canon_pruned, memo_hits, memo_entries, symmetry_factor, budgets_tried, attempts, wall_ms}`; `wall_ms` is a float; `attempts` counts engine dispatches (1 = direct solve, more under a retrying/degrading scheduler, 0 = never started) |
 //!
 //! `optimality.kind` is one of:
 //!
@@ -78,10 +80,16 @@
 //! * `"feasible"` — a covering meeting the objective, optimality unknown;
 //! * `"infeasible"` — exhaustively proved impossible within the budget;
 //! * `"budget_exhausted"` — carries `reason`: `"node_budget"`,
-//!   `"deadline"`, `"cancelled"`, or `"engine_limit"`.
+//!   `"deadline"`, `"cancelled"`, `"shutdown"` (cancelled by a service
+//!   draining for shutdown), or `"engine_limit"`;
+//! * `"failed"` — a terminal failure, not a resource verdict: carries
+//!   `reason`, `"panic"` (the engine panicked; caught at the service's
+//!   isolation boundary) or `"internal"` (a service-internal failure
+//!   prevented the solve from starting). Retrying with a bigger budget
+//!   will not help.
 //!
 //! `cycles` (and `size`) are `null` exactly when the verdict carries no
-//! covering (`infeasible`, `budget_exhausted`).
+//! covering (`infeasible`, `budget_exhausted`, `failed`).
 //!
 //! **Limitation (v1, normative):** a solution document does not carry
 //! the demand spec it answered, so [`covering_from_solution_json`]
@@ -111,7 +119,8 @@ use cyclecover_core::DrcCovering;
 use cyclecover_graph::{CycleSubgraph, Edge};
 use cyclecover_ring::{routing, Ring, Tile};
 use cyclecover_solver::api::{
-    Exhaustion, LowerBoundProof, Objective, Optimality, Solution, SolveRequest, SymmetryMode,
+    DegradeReason, Exhaustion, FailureKind, LowerBoundProof, Objective, Optimality, Solution,
+    SolveRequest, SymmetryMode,
 };
 use cyclecover_solver::bnb::CoverSpec;
 use std::fmt::Write as _;
@@ -129,6 +138,23 @@ pub fn solution_to_json(sol: &Solution) -> String {
     let _ = writeln!(s, "  \"n\": {},", sol.ring().n());
     let _ = writeln!(s, "  \"engine\": {},", quote(sol.stats().engine));
     let _ = writeln!(s, "  \"optimality\": {},", optimality_json(sol.optimality()));
+    match sol.degraded() {
+        Some(d) => {
+            let reason = match d.reason {
+                DegradeReason::Panicked => "panicked",
+                DegradeReason::Exhausted(e) => exhaustion_str(&e),
+            };
+            let _ = writeln!(
+                s,
+                "  \"degraded\": {{\"from\": {}, \"to\": {}, \"reason\": \"{reason}\"}},",
+                quote(&d.from),
+                quote(&d.to)
+            );
+        }
+        None => {
+            let _ = writeln!(s, "  \"degraded\": null,");
+        }
+    }
     match sol.covering() {
         Some(tiles) => {
             let _ = writeln!(s, "  \"size\": {},", tiles.len());
@@ -159,7 +185,7 @@ pub fn solution_to_json(sol: &Solution) -> String {
         "  \"stats\": {{\"nodes\": {}, \"pruned\": {}, \"dominated\": {}, \
          \"sym_pruned\": {}, \"canon_pruned\": {}, \"memo_hits\": {}, \
          \"memo_entries\": {}, \"symmetry_factor\": {}, \
-         \"budgets_tried\": {}, \"wall_ms\": {:.3}}}",
+         \"budgets_tried\": {}, \"attempts\": {}, \"wall_ms\": {:.3}}}",
         st.nodes,
         st.pruned,
         st.dominated,
@@ -169,6 +195,7 @@ pub fn solution_to_json(sol: &Solution) -> String {
         st.memo_entries,
         st.sym_factor,
         st.budgets_tried,
+        st.attempts,
         st.wall.as_secs_f64() * 1e3
     );
     s.push_str("}\n");
@@ -197,14 +224,28 @@ fn optimality_json(o: &Optimality) -> String {
         Optimality::Feasible => "{\"kind\": \"feasible\"}".to_string(),
         Optimality::Infeasible => "{\"kind\": \"infeasible\"}".to_string(),
         Optimality::BudgetExhausted { reason } => {
-            let reason = match reason {
-                Exhaustion::NodeBudget => "node_budget",
-                Exhaustion::Deadline => "deadline",
-                Exhaustion::Cancelled => "cancelled",
-                Exhaustion::EngineLimit => "engine_limit",
-            };
+            let reason = exhaustion_str(reason);
             format!("{{\"kind\": \"budget_exhausted\", \"reason\": \"{reason}\"}}")
         }
+        Optimality::Failed { kind } => {
+            let reason = match kind {
+                FailureKind::Panic => "panic",
+                FailureKind::Internal => "internal",
+            };
+            format!("{{\"kind\": \"failed\", \"reason\": \"{reason}\"}}")
+        }
+    }
+}
+
+/// The wire string for an [`Exhaustion`] reason — shared by the
+/// certificate block and the `degraded` record.
+pub fn exhaustion_str(reason: &Exhaustion) -> &'static str {
+    match reason {
+        Exhaustion::NodeBudget => "node_budget",
+        Exhaustion::Deadline => "deadline",
+        Exhaustion::Cancelled => "cancelled",
+        Exhaustion::Shutdown => "shutdown",
+        Exhaustion::EngineLimit => "engine_limit",
     }
 }
 
@@ -525,6 +566,10 @@ pub struct SolveJob {
     pub deadline_ms: Option<u64>,
     /// Dihedral symmetry reduction; `None` = the engine default.
     pub symmetry: Option<SymmetryMode>,
+    /// Degradation ladder: engine names a scheduler may fall back to, in
+    /// order, when the primary engine exhausts its budget or fails.
+    /// Empty = no fallback.
+    pub fallback: Vec<String>,
 }
 
 impl SolveJob {
@@ -543,6 +588,7 @@ impl SolveJob {
             max_nodes: None,
             deadline_ms: None,
             symmetry: None,
+            fallback: Vec::new(),
         }
     }
 
@@ -578,6 +624,9 @@ impl SolveJob {
         }
         if let Some(sym) = self.symmetry {
             request = request.with_symmetry(sym);
+        }
+        if !self.fallback.is_empty() {
+            request = request.with_fallback(self.fallback.iter().cloned());
         }
         request
     }
@@ -634,6 +683,18 @@ pub fn request_to_json(job: &SolveJob) -> String {
         Some(SymmetryMode::Root) => s.push_str(", \"symmetry\": \"root\""),
         Some(SymmetryMode::Full) => s.push_str(", \"symmetry\": \"full\""),
         None => s.push_str(", \"symmetry\": null"),
+    }
+    if job.fallback.is_empty() {
+        s.push_str(", \"fallback\": null");
+    } else {
+        s.push_str(", \"fallback\": [");
+        for (i, name) in job.fallback.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&quote(name));
+        }
+        s.push(']');
     }
     s.push('}');
     s
@@ -782,6 +843,23 @@ pub fn request_from_json(text: &str) -> Result<SolveJob, String> {
             });
         }
     }
+    match doc.get("fallback") {
+        None | Some(Json::Null) => {}
+        Some(Json::Arr(names)) => {
+            let mut chain = Vec::with_capacity(names.len());
+            for (i, name) in names.iter().enumerate() {
+                let name = name
+                    .as_str()
+                    .ok_or_else(|| format!("fallback {i} is not an engine name string"))?;
+                if name.is_empty() {
+                    return Err(format!("fallback {i} must not be empty"));
+                }
+                chain.push(name.to_string());
+            }
+            job.fallback = chain;
+        }
+        Some(_) => return Err("'fallback' must be an array of engine names or null".into()),
+    }
     Ok(job)
 }
 
@@ -904,6 +982,7 @@ mod tests {
         job.max_nodes = Some(1_000_000);
         job.deadline_ms = Some(250);
         job.symmetry = Some(SymmetryMode::Full);
+        job.fallback = vec!["greedy-improve".to_string(), "greedy".to_string()];
         let text = request_to_json(&job);
         assert!(!text.contains('\n'), "requests must be single-line: {text}");
         assert_eq!(request_from_json(&text).unwrap(), job);
@@ -959,6 +1038,8 @@ mod tests {
             (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "objective": {"kind": "within_budget"}}"#, "budget"),
             (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "symmetry": "sideways"}"#, "symmetry"),
             (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "deadline_ms": -1}"#, "out of range"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "fallback": "greedy"}"#, "fallback"),
+            (r#"{"format": "cyclecover-request", "version": 1, "n": 6, "fallback": [""]}"#, "fallback 0"),
         ] {
             let err = request_from_json(bad).unwrap_err();
             assert!(err.contains(want), "{bad}: {err}");
@@ -986,6 +1067,53 @@ mod tests {
             .unwrap()
             .solve(&problem, &job.to_solve_request());
         assert_eq!(*sol.optimality(), Optimality::Infeasible);
+    }
+
+    #[test]
+    fn failed_solution_emits_terminal_certificate() {
+        use cyclecover_ring::Ring;
+        let sol = Solution::failed(Ring::new(7), FailureKind::Panic, "service", 3);
+        let text = solution_to_json(&sol);
+        let doc = Json::parse(&text).expect("emitted JSON parses");
+        let opt = doc.get("optimality").expect("certificate");
+        assert_eq!(opt.get("kind").and_then(Json::as_str), Some("failed"));
+        assert_eq!(opt.get("reason").and_then(Json::as_str), Some("panic"));
+        assert_eq!(doc.get("cycles"), Some(&Json::Null));
+        assert_eq!(doc.get("degraded"), Some(&Json::Null));
+        assert_eq!(
+            doc.get("stats").and_then(|s| s.get("attempts")).and_then(Json::as_num),
+            Some(3.0)
+        );
+        let err = covering_from_solution_json(&text).unwrap_err();
+        assert!(err.contains("no covering"), "{err}");
+    }
+
+    #[test]
+    fn degraded_solution_carries_provenance() {
+        use cyclecover_solver::api::Degradation;
+        let mut sol = engine_by_name("greedy")
+            .unwrap()
+            .solve(&Problem::complete(6), &SolveRequest::find_optimal());
+        sol.set_degradation(Degradation {
+            from: "bitset".to_string(),
+            to: "greedy".to_string(),
+            reason: DegradeReason::Exhausted(Exhaustion::Deadline),
+        });
+        sol.set_attempts(2);
+        let text = solution_to_json(&sol);
+        let doc = Json::parse(&text).expect("emitted JSON parses");
+        let deg = doc.get("degraded").expect("degraded block");
+        assert_eq!(deg.get("from").and_then(Json::as_str), Some("bitset"));
+        assert_eq!(deg.get("to").and_then(Json::as_str), Some("greedy"));
+        assert_eq!(deg.get("reason").and_then(Json::as_str), Some("deadline"));
+        assert_eq!(
+            doc.get("stats").and_then(|s| s.get("attempts")).and_then(Json::as_num),
+            Some(2.0)
+        );
+        // Degradation never weakens the trust boundary: the covering
+        // still re-validates from the wire.
+        let covering = covering_from_solution_json(&text).expect("covering validates");
+        assert!(covering.validate().is_ok());
     }
 
     #[test]

@@ -99,6 +99,13 @@ impl UniverseCache {
         self.stats
     }
 
+    /// Whether `key` is resident right now (no LRU touch, no counter
+    /// bump) — lets the service decide, under the cache lock, whether a
+    /// lookup would construct (the fault-injection probe point).
+    pub fn contains(&self, key: UniverseKey) -> bool {
+        self.entries.iter().any(|e| e.key == key)
+    }
+
     /// Returns the universe for `key`, building (and charging) it on a
     /// miss. The boolean is `true` on a hit. The returned [`Arc`] is the
     /// caller's to keep: eviction only drops the cache's reference.

@@ -19,7 +19,15 @@
 //!   answer fanned back out to every waiter;
 //! * a **cancellation-token tree**: one root token per batch, one child
 //!   per kernel, so [`SolveService::cancel_all`] aborts the whole batch
-//!   without disturbing anything else.
+//!   without disturbing anything else (and [`SolveService::shutdown`]
+//!   drains it gracefully, reporting unstarted work as such);
+//! * a **fault-tolerance layer**: every dispatch runs under
+//!   `catch_unwind` (a panic is a terminal `failed` answer and the key is
+//!   quarantined, never a dead worker), transient failures retry with
+//!   deterministic seeded backoff, budget exhaustion walks the request's
+//!   `fallback` engine ladder with an honest `Degraded` certificate, and
+//!   a seeded [`FaultPlan`] injects all of the above deterministically
+//!   for chaos tests (`docs/robustness.md` has the full model).
 //!
 //! The CLI front-end is `cyclecover serve --batch jobs.jsonl`; the wire
 //! protocol is defined normatively in [`cyclecover_io::json`] and by
@@ -54,10 +62,12 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod fault;
 mod service;
 
 pub use cache::{CacheStats, UniverseCache, UniverseKey};
+pub use fault::{FaultInjector, FaultKind, FaultPlan};
 pub use service::{
-    batch_summary_json, BatchReport, BatchStats, EngineTotal, JobReport, ServiceConfig,
-    SolveService,
+    batch_summary_json, batch_summary_json_with_rejects, BatchReport, BatchStats, EngineTotal,
+    JobReport, ServiceConfig, SolveService,
 };

@@ -23,19 +23,46 @@
 //!    every in-flight and future kernel of the batch within ~4096 nodes
 //!    per worker, without touching tokens owned by other batches.
 //!
+//! Layered on top, the **fault-tolerance model** (see `docs/robustness.md`):
+//!
+//! 5. **Panic isolation** — every engine dispatch runs under
+//!    `catch_unwind`; a panic becomes a terminal `Failed`/`panic` answer
+//!    fanned to every coalesced waiter, the worker thread survives, and
+//!    the request's coalescing key is **quarantined** so a poison
+//!    instance cannot re-panic later batches.
+//! 6. **Retry with backoff** — transient outcomes (a panic with attempts
+//!    left; a deadline exhaustion while the job's real deadline still has
+//!    slack) are retried up to [`ServiceConfig::max_attempts`] per ladder
+//!    rung, sleeping a deterministic seeded jittered exponential backoff
+//!    between attempts.
+//! 7. **Degradation ladder** — when a rung exhausts its budget (or
+//!    panics persistently), the service re-dispatches down the request's
+//!    `fallback` chain; any answer from a fallback rung carries an honest
+//!    [`Degradation`] record.
+//! 8. **Fault injection** — every dispatch and universe build consults
+//!    the installed [`FaultPlan`](crate::FaultPlan) (no-op by default),
+//!    so chaos tests drive the exact production paths deterministically.
+//! 9. **Graceful drain** — [`SolveService::shutdown`] cancels the root
+//!    token with [`CancelReason::Shutdown`]: in-flight kernels stop
+//!    within ~4096 nodes and report `budget_exhausted`/`shutdown`;
+//!    not-yet-started groups are reported unstarted without running.
+//!
 //! `workers > 1` drains the group list on that many OS threads (engines
 //! are `Sync`; the EDF order is preserved by having workers pull group
 //! indices from a shared counter).
 
 use crate::cache::{CacheStats, UniverseCache};
+use crate::fault::{FaultInjector, FaultKind};
 use cyclecover_io::json::{self, quote as json_escape, SolveJob};
 use cyclecover_ring::Ring;
 use cyclecover_solver::api::{
-    engine_by_name, engines, Exhaustion, Optimality, Problem, Solution,
+    engine_by_name, engines, CancelReason, CancelToken, Degradation, DegradeReason, Exhaustion,
+    FailureKind, Optimality, Problem, Solution,
 };
-use cyclecover_solver::api::CancelToken;
-use std::collections::HashMap;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -47,14 +74,28 @@ pub struct ServiceConfig {
     pub workers: usize,
     /// Byte budget for the universe cache.
     pub cache_bytes: usize,
+    /// Dispatch attempts per ladder rung (`≥ 1`; clamped up to 1):
+    /// `max_attempts - 1` retries after a transient failure.
+    pub max_attempts: u32,
+    /// Base backoff between retry attempts, in milliseconds (attempt `k`
+    /// sleeps a jittered `backoff_base_ms · 2^(k-1)`; 0 disables the
+    /// sleep but not the retry).
+    pub backoff_base_ms: u64,
+    /// Seeds the backoff jitter (an installed
+    /// [`FaultPlan`](crate::FaultPlan)'s `seed` takes precedence).
+    pub retry_seed: u64,
 }
 
 impl Default for ServiceConfig {
-    /// One worker, 64 MiB of universe cache.
+    /// One worker, 64 MiB of universe cache, one retry per rung with a
+    /// 25 ms backoff base.
     fn default() -> Self {
         ServiceConfig {
             workers: 1,
             cache_bytes: 64 << 20,
+            max_attempts: 2,
+            backoff_base_ms: 25,
+            retry_seed: 0,
         }
     }
 }
@@ -83,13 +124,20 @@ pub struct JobReport {
     pub cache_hit: bool,
     /// Rejected at admission: the deadline had already passed.
     pub expired: bool,
+    /// Reported without running because the service was shutting down
+    /// when the job's group came up.
+    pub unstarted: bool,
     /// Admission error (unsupported engine/problem pair); `solution` is
     /// `None` exactly when this is `Some`.
     pub error: Option<String>,
+    /// Terminal-failure detail (the caught panic message, the injected
+    /// build failure, or the quarantine notice) when the solution is
+    /// `Failed`; `None` otherwise.
+    pub failure: Option<String>,
     /// Time from submission to admission.
     pub queue_wait: Duration,
     /// The engine's answer (shared across a coalesced group), or the
-    /// `unstarted` rejection document for expired jobs.
+    /// `unstarted` rejection document for expired/drained jobs.
     pub solution: Option<Solution>,
 }
 
@@ -119,6 +167,20 @@ pub struct BatchStats {
     pub coalesced: usize,
     /// Jobs rejected with an admission error.
     pub errors: usize,
+    /// Jobs whose final status is terminal `Failed` (panic, internal).
+    pub failed: usize,
+    /// Jobs answered by a fallback rung (carry a [`Degradation`] record).
+    pub degraded: usize,
+    /// Extra dispatches beyond the first, summed over kernel runs
+    /// (retries and ladder descents both count).
+    pub retries: u64,
+    /// Jobs reported unstarted because the service was shutting down.
+    pub unstarted: usize,
+    /// Faults the installed plan fired during this drain.
+    pub faults_injected: u64,
+    /// Coalescing keys quarantined after this drain (cumulative over the
+    /// service's lifetime — quarantine persists across drains).
+    pub quarantined: usize,
     /// Universe-cache counters at drain end.
     pub cache: CacheStats,
     /// Per-engine totals, sorted by name.
@@ -140,39 +202,59 @@ pub struct BatchReport {
 }
 
 /// The batching solve service — EDF admission, request coalescing,
-/// cached universes (the scheduling model is spelled out at the top of
-/// this source file); the [`crate`] docs hold a worked example.
+/// cached universes, and the fault-tolerance layer (both models are
+/// spelled out at the top of this source file); the [`crate`] docs hold
+/// a worked example.
 pub struct SolveService {
     config: ServiceConfig,
     cache: Mutex<UniverseCache>,
     queue: Vec<Pending>,
     root: CancelToken,
+    fault: FaultInjector,
+    quarantine: Mutex<HashSet<String>>,
     next_seq: u64,
 }
 
 impl SolveService {
-    /// A service with the given configuration and an empty queue.
+    /// A service with the given configuration, an empty queue, and no
+    /// fault plan.
     pub fn new(config: ServiceConfig) -> Self {
         SolveService {
             cache: Mutex::new(UniverseCache::new(config.cache_bytes)),
             config,
             queue: Vec::new(),
             root: CancelToken::new(),
+            fault: FaultInjector::default(),
+            quarantine: Mutex::new(HashSet::new()),
             next_seq: 0,
         }
     }
 
+    /// Installs a fault plan (replacing any previous one and resetting
+    /// its counters). The empty plan restores the no-op default.
+    pub fn set_fault_plan(&mut self, plan: crate::FaultPlan) {
+        self.fault = FaultInjector::new(plan);
+    }
+
+    /// The installed fault injector (counters included).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
+    }
+
     /// Enqueues a job; returns its id (assigning `job-<seq>` when the
-    /// job came unnamed). Rejects unknown engine names and ids already
-    /// queued — everything else waits for admission.
+    /// job came unnamed). Rejects unknown engine names (primary and
+    /// fallback) and ids already queued — everything else waits for
+    /// admission.
     pub fn submit(&mut self, mut job: SolveJob) -> Result<String, String> {
-        if engine_by_name(&job.engine).is_none() {
-            let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
-            return Err(format!(
-                "unknown engine '{}' (have: {})",
-                job.engine,
-                names.join(", ")
-            ));
+        for name in std::iter::once(&job.engine).chain(job.fallback.iter()) {
+            if engine_by_name(name).is_none() {
+                let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
+                return Err(format!(
+                    "unknown engine '{}' (have: {})",
+                    name,
+                    names.join(", ")
+                ));
+            }
         }
         if job.id.is_empty() {
             // Skip over ids the user already took ("job-3" is a legal
@@ -216,12 +298,22 @@ impl SolveService {
         self.root.cancel();
     }
 
+    /// Begins a graceful drain: like [`SolveService::cancel_all`] but
+    /// with [`CancelReason::Shutdown`], so in-flight kernels report
+    /// `budget_exhausted`/`shutdown` and groups not yet started are
+    /// reported unstarted without running. Call from any thread holding
+    /// a clone of [`SolveService::cancel_token`] (or this service).
+    pub fn shutdown(&self) {
+        self.root.cancel_with(CancelReason::Shutdown);
+    }
+
     /// Processes the whole queue — EDF admission, coalescing, cached
-    /// universes — and returns one report per job in submission order.
-    /// The batch clock (the origin `deadline_ms` is measured from) starts
-    /// now.
+    /// universes, panic isolation, retry, the degradation ladder — and
+    /// returns one report per job in submission order. The batch clock
+    /// (the origin `deadline_ms` is measured from) starts now.
     pub fn drain(&mut self) -> BatchReport {
         let epoch = Instant::now();
+        let faults_before = self.fault.injected();
         let submitted = self.queue.len();
         let mut pending = std::mem::take(&mut self.queue);
         // EDF: by deadline, no-deadline last, submission order as the tie
@@ -245,10 +337,24 @@ impl SolveService {
             }
         }
 
+        let ctx = DrainCtx {
+            epoch,
+            cache: &self.cache,
+            root: &self.root,
+            fault: &self.fault,
+            quarantine: &self.quarantine,
+            max_attempts: self.config.max_attempts.max(1),
+            backoff_base_ms: self.config.backoff_base_ms,
+            // An installed plan's seed pins the whole chaos run; the
+            // config seed drives production jitter otherwise.
+            retry_seed: if self.fault.plan().is_empty() {
+                self.config.retry_seed
+            } else {
+                self.fault.plan().seed
+            },
+        };
         let next = AtomicUsize::new(0);
         let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(submitted));
-        let cache = &self.cache;
-        let root = &self.root;
         let workers = self.config.workers.max(1).min(groups.len().max(1));
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -257,7 +363,7 @@ impl SolveService {
                     if g >= groups.len() {
                         break;
                     }
-                    let out = process_group(g, &groups[g].members, epoch, cache, root);
+                    let out = process_group(g, &groups[g].members, &ctx);
                     reports.lock().expect("report sink poisoned").extend(out);
                 });
             }
@@ -272,7 +378,13 @@ impl SolveService {
             expired: 0,
             coalesced: 0,
             errors: 0,
-            cache: cache.lock().expect("cache poisoned").stats(),
+            failed: 0,
+            degraded: 0,
+            retries: 0,
+            unstarted: 0,
+            faults_injected: self.fault.injected() - faults_before,
+            quarantined: self.quarantine.lock().expect("quarantine poisoned").len(),
+            cache: self.cache.lock().expect("cache poisoned").stats(),
             engines: Vec::new(),
             mean_queue_wait: Duration::ZERO,
             wall: Duration::ZERO,
@@ -285,18 +397,44 @@ impl SolveService {
                 stats.expired += 1;
                 continue;
             }
+            if r.unstarted {
+                stats.unstarted += 1;
+                continue;
+            }
             if r.error.is_some() {
                 stats.errors += 1;
+                continue;
+            }
+            let sol = r.solution.as_ref();
+            if !r.coalesced {
+                if let Some(sol) = sol {
+                    stats.retries += u64::from(sol.stats().attempts.saturating_sub(1));
+                }
+            }
+            if matches!(
+                sol.map(Solution::optimality),
+                Some(Optimality::Failed { .. })
+            ) {
+                stats.failed += 1;
                 continue;
             }
             stats.solved += 1;
             if r.coalesced {
                 stats.coalesced += 1;
             }
+            if sol.is_some_and(|s| s.degraded().is_some()) {
+                stats.degraded += 1;
+            }
+            // Work is charged to the engine that answered (the fallback
+            // rung, for a degraded job), not the one requested.
+            let name = r
+                .solution
+                .as_ref()
+                .map_or_else(|| r.engine.clone(), |s| s.stats().engine.to_string());
             let entry = per_engine
-                .entry(r.engine.clone())
+                .entry(name.clone())
                 .or_insert_with(|| EngineTotal {
-                    name: r.engine.clone(),
+                    name,
                     ..EngineTotal::default()
                 });
             entry.jobs += 1;
@@ -326,35 +464,76 @@ fn coalesce_key(job: &SolveJob) -> String {
     json::request_to_json(&key)
 }
 
-fn process_group(
-    admit_order: usize,
-    members: &[Pending],
+/// Everything a worker needs to process one group.
+struct DrainCtx<'a> {
     epoch: Instant,
-    cache: &Mutex<UniverseCache>,
-    root: &CancelToken,
-) -> Vec<JobReport> {
+    cache: &'a Mutex<UniverseCache>,
+    root: &'a CancelToken,
+    fault: &'a FaultInjector,
+    quarantine: &'a Mutex<HashSet<String>>,
+    max_attempts: u32,
+    backoff_base_ms: u64,
+    retry_seed: u64,
+}
+
+/// The deterministic retry backoff: attempt `k` (1-based, counted per
+/// solve) sleeps a jittered `base · 2^(k-1)` ms, jitter drawn from an
+/// RNG seeded by `(seed, group, attempt)` so a rerun of the same batch
+/// sleeps the same schedule.
+fn backoff(seed: u64, group_seq: u64, attempt: u32, base_ms: u64) {
+    if base_ms == 0 {
+        return;
+    }
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ group_seq.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ u64::from(attempt) << 32,
+    );
+    let exp = base_ms.saturating_mul(1u64 << attempt.saturating_sub(1).min(6));
+    // Uniform in [exp/2, exp]: capped exponential with 50% jitter.
+    let sleep = exp / 2 + rng.gen_range(0..=exp - exp / 2);
+    std::thread::sleep(Duration::from_millis(sleep));
+}
+
+/// The caught panic payload as a human-readable message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec<JobReport> {
     let now = Instant::now();
     let mut out = Vec::with_capacity(members.len());
     let mut survivors: Vec<(&Pending, Option<Instant>)> = Vec::new();
+    let report = |p: &Pending| JobReport {
+        seq: p.seq,
+        id: p.job.id.clone(),
+        engine: p.job.engine.clone(),
+        admit_order,
+        coalesced: false,
+        cache_hit: false,
+        expired: false,
+        unstarted: false,
+        error: None,
+        failure: None,
+        queue_wait: now.saturating_duration_since(p.submitted),
+        solution: None,
+    };
     for p in members {
-        let abs = p.job.deadline_ms.map(|ms| epoch + Duration::from_millis(ms));
+        let abs = p.job.deadline_ms.map(|ms| ctx.epoch + Duration::from_millis(ms));
         if let Some(abs) = abs {
             if now >= abs {
                 out.push(JobReport {
-                    seq: p.seq,
-                    id: p.job.id.clone(),
-                    engine: p.job.engine.clone(),
-                    admit_order,
-                    coalesced: false,
-                    cache_hit: false,
                     expired: true,
-                    error: None,
-                    queue_wait: now.saturating_duration_since(p.submitted),
                     solution: Some(Solution::unstarted(
                         Ring::new(p.job.n),
                         Exhaustion::Deadline,
                         "service",
                     )),
+                    ..report(p)
                 });
                 continue;
             }
@@ -364,30 +543,68 @@ fn process_group(
     let Some(&(primary, _)) = survivors.first() else {
         return out;
     };
+    let ring = Ring::new(primary.job.n);
 
-    let engine = engine_by_name(&primary.job.engine).expect("engine validated at submit");
-    let (universe, cache_hit) = cache
-        .lock()
-        .expect("cache poisoned")
-        .get_or_build(primary.job.universe_key());
-    let problem = Problem::shared(universe, primary.job.spec());
-    let mut request = primary.job.to_solve_request();
-    if !engine.supports(&problem, &request) {
+    // Graceful drain: a cancelled root means this group never starts —
+    // report every waiter unstarted with the token's reason (shutdown
+    // vs. plain cancel stays distinguishable on the wire).
+    if let Some(reason) = ctx.root.cancel_reason() {
         for (p, _) in survivors {
             out.push(JobReport {
-                seq: p.seq,
-                id: p.job.id.clone(),
-                engine: p.job.engine.clone(),
-                admit_order,
-                coalesced: false,
-                cache_hit: false,
-                expired: false,
+                unstarted: reason == CancelReason::Shutdown,
+                solution: Some(Solution::unstarted(ring, reason.as_exhaustion(), "service")),
+                ..report(p)
+            });
+        }
+        return out;
+    }
+
+    // Quarantine: a key that already panicked terminally is refused
+    // outright — a poison instance must not re-panic the batch through
+    // coalescing or resubmission.
+    let key = coalesce_key(&primary.job);
+    if ctx.quarantine.lock().expect("quarantine poisoned").contains(&key) {
+        for (p, _) in survivors {
+            out.push(JobReport {
+                failure: Some("quarantined: an earlier dispatch of this request panicked".into()),
+                solution: Some(Solution::failed(ring, FailureKind::Panic, "service", 0)),
+                ..report(p)
+            });
+        }
+        return out;
+    }
+
+    // Universe lookup, with injected construction failure on a miss.
+    let universe_key = primary.job.universe_key();
+    let built = {
+        let mut cache = ctx.cache.lock().expect("cache poisoned");
+        if !cache.contains(universe_key) && ctx.fault.before_build() {
+            None
+        } else {
+            Some(cache.get_or_build(universe_key))
+        }
+    };
+    let Some((universe, cache_hit)) = built else {
+        for (p, _) in survivors {
+            out.push(JobReport {
+                failure: Some("injected fault: universe construction failed".into()),
+                solution: Some(Solution::failed(ring, FailureKind::Internal, "service", 0)),
+                ..report(p)
+            });
+        }
+        return out;
+    };
+    let problem = Problem::shared(universe, primary.job.spec());
+    let base_request = primary.job.to_solve_request();
+    let primary_engine = engine_by_name(&primary.job.engine).expect("engine validated at submit");
+    if !primary_engine.supports(&problem, &base_request) {
+        for (p, _) in survivors {
+            out.push(JobReport {
                 error: Some(format!(
                     "engine '{}' does not support this problem/request",
                     p.job.engine
                 )),
-                queue_wait: now.saturating_duration_since(p.submitted),
-                solution: None,
+                ..report(p)
             });
         }
         return out;
@@ -399,23 +616,131 @@ fn process_group(
     } else {
         survivors.iter().filter_map(|(_, abs)| *abs).max()
     };
-    if let Some(abs) = group_deadline {
-        request = request.with_deadline(abs.saturating_duration_since(Instant::now()));
+
+    // The degradation ladder: the primary engine, then the request's
+    // fallback chain. Each rung gets up to `max_attempts` dispatches;
+    // transient failures retry the rung, persistent ones descend.
+    let ladder: Vec<&str> = std::iter::once(primary.job.engine.as_str())
+        .chain(base_request.fallback().iter().map(String::as_str))
+        .collect();
+    let mut total_attempts: u32 = 0;
+    let mut first_descent: Option<DegradeReason> = None;
+    let mut last_exhausted: Option<Solution> = None;
+    let mut failure_msg: Option<String> = None;
+    let mut answer: Option<Solution> = None;
+    'ladder: for name in &ladder {
+        let engine = engine_by_name(name).expect("ladder validated at submit");
+        if !engine.supports(&problem, &base_request) {
+            // An unsupported fallback rung is skipped, not an error: the
+            // primary was support-checked above.
+            continue;
+        }
+        let mut rung_attempts: u32 = 0;
+        loop {
+            rung_attempts += 1;
+            total_attempts += 1;
+            let mut request = primary.job.to_solve_request();
+            if let Some(abs) = group_deadline {
+                request = request.with_deadline(abs.saturating_duration_since(Instant::now()));
+            }
+            request = request.with_cancel_token(ctx.root.child());
+            let fault = ctx.fault.before_solve(&primary.job.id);
+            if fault == Some(FaultKind::Deadline) {
+                // Forced exhaustion: the dispatch runs with no wall-clock
+                // budget while the job's real deadline keeps its slack —
+                // the retry path recovers, deterministically.
+                request = request.with_deadline(Duration::ZERO);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                match fault {
+                    Some(FaultKind::Panic) => panic!("injected fault: panic on dispatch"),
+                    Some(FaultKind::Stall(ms)) => std::thread::sleep(Duration::from_millis(ms)),
+                    _ => {}
+                }
+                engine.solve(&problem, &request)
+            }));
+            match outcome {
+                Err(payload) => {
+                    failure_msg = Some(panic_message(payload));
+                    if rung_attempts < ctx.max_attempts {
+                        backoff(ctx.retry_seed, primary.seq, rung_attempts, ctx.backoff_base_ms);
+                        continue;
+                    }
+                    first_descent.get_or_insert(DegradeReason::Panicked);
+                    continue 'ladder;
+                }
+                Ok(sol) => match *sol.optimality() {
+                    Optimality::BudgetExhausted {
+                        reason: reason @ (Exhaustion::Cancelled | Exhaustion::Shutdown),
+                    } => {
+                        // Externally stopped: neither retrying nor
+                        // descending would be honest work.
+                        let _ = reason;
+                        answer = Some(sol);
+                        break 'ladder;
+                    }
+                    Optimality::BudgetExhausted { reason } => {
+                        // "Deadline-adjacent": the engine ran out of its
+                        // slice but the group's real deadline still has
+                        // slack (always true for an injected zero
+                        // deadline on an undeadlined job) — transient.
+                        let slack_left = reason == Exhaustion::Deadline
+                            && group_deadline.is_none_or(|abs| Instant::now() < abs);
+                        if slack_left && rung_attempts < ctx.max_attempts {
+                            backoff(
+                                ctx.retry_seed,
+                                primary.seq,
+                                rung_attempts,
+                                ctx.backoff_base_ms,
+                            );
+                            continue;
+                        }
+                        first_descent.get_or_insert(DegradeReason::Exhausted(reason));
+                        last_exhausted = Some(sol);
+                        continue 'ladder;
+                    }
+                    _ => {
+                        answer = Some(sol);
+                        break 'ladder;
+                    }
+                },
+            }
+        }
     }
-    request = request.with_cancel_token(root.child());
-    let solution = engine.solve(&problem, &request);
+
+    let mut solution = match answer.or(last_exhausted) {
+        Some(sol) => sol,
+        // Every rung panicked (or none ran): terminal failure, and the
+        // key goes on the quarantine list.
+        None => {
+            ctx.quarantine
+                .lock()
+                .expect("quarantine poisoned")
+                .insert(key);
+            Solution::failed(ring, FailureKind::Panic, "service", total_attempts)
+        }
+    };
+    solution.set_attempts(total_attempts);
+    let failed = matches!(solution.optimality(), Optimality::Failed { .. });
+    if !failed {
+        failure_msg = None;
+        if solution.stats().engine != primary.job.engine {
+            if let Some(reason) = first_descent {
+                solution.set_degradation(Degradation {
+                    from: primary.job.engine.clone(),
+                    to: solution.stats().engine.to_string(),
+                    reason,
+                });
+            }
+        }
+    }
     for (i, (p, _)) in survivors.iter().enumerate() {
         out.push(JobReport {
-            seq: p.seq,
-            id: p.job.id.clone(),
-            engine: p.job.engine.clone(),
-            admit_order,
             coalesced: i > 0,
             cache_hit: i == 0 && cache_hit,
-            expired: false,
-            error: None,
-            queue_wait: now.saturating_duration_since(p.submitted),
+            failure: failure_msg.clone(),
             solution: Some(solution.clone()),
+            ..report(p)
         });
     }
     out
@@ -426,7 +751,7 @@ fn process_group(
 // ---------------------------------------------------------------------------
 
 /// One job's status line for the summary: the optimality kind, plus the
-/// exhaustion reason where applicable.
+/// exhaustion/failure reason where applicable.
 fn status_of(report: &JobReport) -> (&'static str, Option<&'static str>) {
     if report.error.is_some() {
         return ("error", None);
@@ -435,13 +760,14 @@ fn status_of(report: &JobReport) -> (&'static str, Option<&'static str>) {
         Some(Optimality::Optimal { .. }) => ("optimal", None),
         Some(Optimality::Feasible) => ("feasible", None),
         Some(Optimality::Infeasible) => ("infeasible", None),
-        Some(Optimality::BudgetExhausted { reason }) => (
-            "budget_exhausted",
-            Some(match reason {
-                Exhaustion::NodeBudget => "node_budget",
-                Exhaustion::Deadline => "deadline",
-                Exhaustion::Cancelled => "cancelled",
-                Exhaustion::EngineLimit => "engine_limit",
+        Some(Optimality::BudgetExhausted { reason }) => {
+            ("budget_exhausted", Some(json::exhaustion_str(reason)))
+        }
+        Some(Optimality::Failed { kind }) => (
+            "failed",
+            Some(match kind {
+                FailureKind::Panic => "panic",
+                FailureKind::Internal => "internal",
             }),
         ),
         None => ("error", None),
@@ -452,16 +778,43 @@ fn status_of(report: &JobReport) -> (&'static str, Option<&'static str>) {
 /// document (version 1): one `jobs[]` entry per submitted job plus the
 /// batch `stats` block — what `cyclecover serve --batch` prints.
 pub fn batch_summary_json(report: &BatchReport) -> String {
+    batch_summary_json_with_rejects(report, &[])
+}
+
+/// [`batch_summary_json`] with per-line admission rejects: lines of the
+/// batch file that failed to parse or submit, reported as
+/// `rejected[] = {line, error}` instead of aborting the batch.
+pub fn batch_summary_json_with_rejects(
+    report: &BatchReport,
+    rejects: &[(usize, String)],
+) -> String {
     let mut s = String::new();
     s.push_str("{\n  \"format\": \"cyclecover-batch-summary\",\n  \"version\": 1,\n");
     s.push_str("  \"jobs\": [\n");
     for (i, r) in report.jobs.iter().enumerate() {
         let (status, reason) = status_of(r);
+        let degraded = r
+            .solution
+            .as_ref()
+            .and_then(Solution::degraded)
+            .map_or("null".to_string(), |d| {
+                let reason = match d.reason {
+                    DegradeReason::Panicked => "panicked",
+                    DegradeReason::Exhausted(e) => json::exhaustion_str(&e),
+                };
+                format!(
+                    "{{\"from\": {}, \"to\": {}, \"reason\": \"{reason}\"}}",
+                    json_escape(&d.from),
+                    json_escape(&d.to)
+                )
+            });
         let _ = write!(
             s,
             "    {{\"id\": {}, \"engine\": {}, \"status\": {}, \"reason\": {}, \
              \"size\": {}, \"nodes\": {}, \"wall_ms\": {}, \"admit_order\": {}, \
-             \"cache_hit\": {}, \"coalesced\": {}, \"expired\": {}, \"queue_wait_ms\": {:.3}}}",
+             \"cache_hit\": {}, \"coalesced\": {}, \"expired\": {}, \"unstarted\": {}, \
+             \"attempts\": {}, \"degraded\": {degraded}, \"failure\": {}, \
+             \"queue_wait_ms\": {:.3}}}",
             json_escape(&r.id),
             json_escape(&r.engine),
             json_escape(status),
@@ -479,17 +832,39 @@ pub fn batch_summary_json(report: &BatchReport) -> String {
             r.cache_hit,
             r.coalesced,
             r.expired,
+            r.unstarted,
+            r.solution.as_ref().map_or(0, |sol| sol.stats().attempts),
+            r.failure.as_deref().map_or("null".to_string(), json_escape),
             r.queue_wait.as_secs_f64() * 1e3,
         );
         s.push_str(if i + 1 < report.jobs.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n");
+    s.push_str("  \"rejected\": [");
+    for (i, (line, error)) in rejects.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{{\"line\": {line}, \"error\": {}}}", json_escape(error));
+    }
+    s.push_str("],\n");
     let st = &report.stats;
     let _ = writeln!(
         s,
         "  \"stats\": {{\n    \"submitted\": {}, \"solved\": {}, \"expired\": {}, \
-         \"coalesced\": {}, \"errors\": {},",
-        st.submitted, st.solved, st.expired, st.coalesced, st.errors
+         \"coalesced\": {}, \"errors\": {}, \"rejected\": {},",
+        st.submitted,
+        st.solved,
+        st.expired,
+        st.coalesced,
+        st.errors,
+        rejects.len()
+    );
+    let _ = writeln!(
+        s,
+        "    \"failed\": {}, \"degraded\": {}, \"retries\": {}, \"unstarted\": {}, \
+         \"faults_injected\": {}, \"quarantined\": {},",
+        st.failed, st.degraded, st.retries, st.unstarted, st.faults_injected, st.quarantined
     );
     let _ = writeln!(
         s,

@@ -1,17 +1,32 @@
 //! Behavioral suite for the batching solve service: universe-cache
-//! accounting, deadline-aware (EDF) scheduling, coalescing, and the
-//! cancellation tree.
+//! accounting, deadline-aware (EDF) scheduling, coalescing, the
+//! cancellation tree, and the fault-tolerance layer (panic isolation,
+//! retry, degradation ladder, quarantine, graceful shutdown) under
+//! deterministic fault injection.
 
 use cyclecover_io::json::{self, SolveJob};
 use cyclecover_service::{
-    batch_summary_json, BatchReport, ServiceConfig, SolveService, UniverseCache,
+    batch_summary_json, BatchReport, FaultPlan, ServiceConfig, SolveService, UniverseCache,
 };
-use cyclecover_solver::api::{Exhaustion, Objective, Optimality, SymmetryMode};
+use cyclecover_solver::api::{Exhaustion, FailureKind, Objective, Optimality, SymmetryMode};
 use proptest::prelude::*;
 use std::sync::Arc;
 
 fn service() -> SolveService {
     SolveService::new(ServiceConfig::default())
+}
+
+/// A single-worker service with no backoff sleeps and `retries + 1`
+/// attempts per rung, driving `plan` — the chaos-test harness shape.
+fn chaos_service(plan: &str, retries: u32) -> SolveService {
+    let mut svc = SolveService::new(ServiceConfig {
+        workers: 1,
+        backoff_base_ms: 0,
+        max_attempts: retries + 1,
+        ..ServiceConfig::default()
+    });
+    svc.set_fault_plan(FaultPlan::from_json(plan).expect("test plan parses"));
+    svc
 }
 
 fn by_id<'r>(report: &'r BatchReport, id: &str) -> &'r cyclecover_service::JobReport {
@@ -276,6 +291,188 @@ fn mixed_batch_meets_the_acceptance_shape() {
     assert!(stats.get("cache").unwrap().get("hits").and_then(json::Json::as_num).unwrap() > 0.0);
 }
 
+#[test]
+fn panic_is_isolated_and_fanned_to_coalesced_waiters() {
+    // "boom" panics on every dispatch; its wire-identical twin rides the
+    // same group. Both must get a terminal failed answer, the worker must
+    // survive to solve "fine", and the poison key is quarantined.
+    let plan = r#"{"format": "cyclecover-fault-plan", "version": 1,
+                   "faults": [{"job": "boom", "kind": "panic"}]}"#;
+    let mut svc = chaos_service(plan, 1);
+    svc.submit(SolveJob::new("boom", 6)).unwrap();
+    svc.submit(SolveJob::new("boom-twin", 6)).unwrap();
+    svc.submit(SolveJob::new("fine", 7)).unwrap();
+    let report = svc.drain();
+
+    assert_eq!(report.stats.failed, 2);
+    assert_eq!(report.stats.solved, 1);
+    assert_eq!(report.stats.quarantined, 1);
+    // Two attempts on the one rung (1 retry), both panicked.
+    assert_eq!(report.stats.retries, 1);
+    assert_eq!(report.stats.faults_injected, 2);
+    for id in ["boom", "boom-twin"] {
+        let r = by_id(&report, id);
+        let sol = r.solution.as_ref().unwrap();
+        assert_eq!(
+            *sol.optimality(),
+            Optimality::Failed {
+                kind: FailureKind::Panic
+            },
+            "{id}"
+        );
+        assert!(sol.covering().is_none());
+        assert!(
+            r.failure.as_ref().unwrap().contains("injected fault"),
+            "{id}: {:?}",
+            r.failure
+        );
+    }
+    assert!(by_id(&report, "boom-twin").coalesced);
+    assert_eq!(by_id(&report, "fine").solution.as_ref().unwrap().size(), Some(6));
+
+    // Resubmitting the poison request (any id) is refused from quarantine
+    // without a dispatch — the batch cannot be re-panicked.
+    svc.submit(SolveJob::new("boom-again", 6)).unwrap();
+    let report = svc.drain();
+    let r = by_id(&report, "boom-again");
+    assert!(matches!(
+        r.solution.as_ref().unwrap().optimality(),
+        Optimality::Failed {
+            kind: FailureKind::Panic
+        }
+    ));
+    assert!(r.failure.as_ref().unwrap().contains("quarantined"), "{:?}", r.failure);
+    assert_eq!(r.solution.as_ref().unwrap().stats().attempts, 0);
+    assert_eq!(report.stats.faults_injected, 0, "no dispatch reached the injector");
+}
+
+#[test]
+fn transient_panic_recovers_on_retry() {
+    // Only the first dispatch of the service's lifetime panics: the retry
+    // must recover with the real answer on the same rung — no
+    // degradation, one recorded retry.
+    let plan = r#"{"format": "cyclecover-fault-plan", "version": 1,
+                   "faults": [{"on_solve": 1, "kind": "panic"}]}"#;
+    let mut svc = chaos_service(plan, 1);
+    svc.submit(SolveJob::new("flaky", 6)).unwrap();
+    let report = svc.drain();
+    assert_eq!(report.stats.failed, 0);
+    assert_eq!(report.stats.solved, 1);
+    assert_eq!(report.stats.retries, 1);
+    assert_eq!(report.stats.degraded, 0);
+    assert_eq!(report.stats.quarantined, 0);
+    let sol = by_id(&report, "flaky").solution.as_ref().unwrap();
+    assert_eq!(sol.size(), Some(5));
+    assert_eq!(sol.stats().attempts, 2);
+    assert!(sol.degraded().is_none());
+    assert!(by_id(&report, "flaky").failure.is_none(), "a recovered job carries no failure");
+}
+
+#[test]
+fn forced_deadline_exhaustion_retries_while_slack_remains() {
+    // An injected zero-deadline dispatch genuinely exhausts, but the job
+    // itself has no deadline — slack remains, so the service retries and
+    // the second dispatch answers. The probe must be big enough (~97k
+    // nodes with symmetry off) to actually reach a deadline check
+    // (~4096-node granularity).
+    let plan = r#"{"format": "cyclecover-fault-plan", "version": 1,
+                   "faults": [{"on_solve": 1, "kind": "deadline"}]}"#;
+    let mut svc = chaos_service(plan, 1);
+    let mut job = SolveJob::new("slow-start", 8);
+    job.objective = Objective::WithinBudget(8);
+    job.symmetry = Some(SymmetryMode::Off);
+    svc.submit(job).unwrap();
+    let report = svc.drain();
+    let sol = by_id(&report, "slow-start").solution.as_ref().unwrap();
+    assert!(matches!(sol.optimality(), Optimality::Infeasible), "{:?}", sol.optimality());
+    assert_eq!(sol.stats().attempts, 2);
+    assert_eq!(report.stats.retries, 1);
+    assert_eq!(report.stats.degraded, 0);
+}
+
+#[test]
+fn degradation_ladder_reports_honest_provenance() {
+    // A node budget far too small for the exact kernel (symmetry off so
+    // the search is genuinely large), with a heuristic fallback: the
+    // answer must come from the fallback and say so.
+    let mut svc = SolveService::new(ServiceConfig {
+        backoff_base_ms: 0,
+        ..ServiceConfig::default()
+    });
+    let mut job = SolveJob::new("degrade-me", 8);
+    job.symmetry = Some(SymmetryMode::Off);
+    job.max_nodes = Some(5);
+    job.fallback = vec!["greedy".to_string()];
+    svc.submit(job).unwrap();
+    let report = svc.drain();
+
+    assert_eq!(report.stats.degraded, 1);
+    assert_eq!(report.stats.failed, 0);
+    let sol = by_id(&report, "degrade-me").solution.as_ref().unwrap();
+    let d = sol.degraded().expect("degradation recorded");
+    assert_eq!(d.from, "bitset");
+    assert_eq!(d.to, "greedy");
+    assert_eq!(sol.stats().engine, "greedy");
+    // The fallback's covering is a real covering.
+    let doc = json::solution_to_json(sol);
+    assert!(doc.contains("\"degraded\": {\"from\": \"bitset\""), "{doc}");
+    json::covering_from_solution_json(&doc).unwrap().validate().unwrap();
+    // The engine totals charge the rung that answered.
+    assert!(report.stats.engines.iter().any(|e| e.name == "greedy" && e.jobs == 1));
+}
+
+#[test]
+fn injected_build_failure_is_a_terminal_internal_failure() {
+    let plan = r#"{"format": "cyclecover-fault-plan", "version": 1,
+                   "faults": [{"on_build": 1, "kind": "build_fail"}]}"#;
+    let mut svc = chaos_service(plan, 0);
+    svc.submit(SolveJob::new("built-on-sand", 6)).unwrap();
+    svc.submit(SolveJob::new("fine", 7)).unwrap();
+    let report = svc.drain();
+    assert_eq!(report.stats.failed, 1);
+    assert_eq!(report.stats.solved, 1);
+    let r = by_id(&report, "built-on-sand");
+    assert_eq!(
+        *r.solution.as_ref().unwrap().optimality(),
+        Optimality::Failed {
+            kind: FailureKind::Internal
+        }
+    );
+    assert!(r.failure.as_ref().unwrap().contains("universe construction"), "{:?}", r.failure);
+    // A failed build is not a panic: the key is NOT quarantined, and the
+    // second universe build (for "fine") went through.
+    assert_eq!(report.stats.quarantined, 0);
+}
+
+#[test]
+fn shutdown_reports_queued_work_unstarted() {
+    let mut svc = service();
+    for (id, n) in [("s6", 6u32), ("s7", 7), ("s8", 8)] {
+        svc.submit(SolveJob::new(id, n)).unwrap();
+    }
+    svc.shutdown();
+    let report = svc.drain();
+    assert_eq!(report.stats.unstarted, 3);
+    assert_eq!(report.stats.solved, 0);
+    for id in ["s6", "s7", "s8"] {
+        let r = by_id(&report, id);
+        assert!(r.unstarted, "{id}");
+        let sol = r.solution.as_ref().unwrap();
+        assert_eq!(
+            *sol.optimality(),
+            Optimality::BudgetExhausted {
+                reason: Exhaustion::Shutdown
+            },
+            "{id}"
+        );
+        assert_eq!(sol.stats().nodes, 0, "{id}: shutdown must not burn nodes");
+    }
+    // The wire distinguishes shutdown from a plain cancel.
+    let summary = batch_summary_json(&report);
+    assert!(summary.contains("\"reason\": \"shutdown\""), "{summary}");
+    assert!(summary.contains("\"unstarted\": 3"), "{summary}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -315,5 +512,90 @@ proptest! {
         partial.requests = Some(vec![(0, 2)]);
         partial.objective = Objective::WithinBudget(budget);
         prop_assert_eq!(complete.universe_key(), partial.universe_key());
+    }
+
+    /// Chaos invariant: under ANY seeded fault plan, every submitted job
+    /// reaches exactly one terminal status (drain returns — no waiter
+    /// hangs), the per-status counts partition the batch, and every
+    /// emitted covering still re-validates through the wire format.
+    #[test]
+    fn any_fault_plan_yields_exactly_one_terminal_status_per_job(
+        seed in any::<u64>(),
+        ns in prop::collection::vec(6u32..9, 3..6),
+        faults in prop::collection::vec(
+            (0u8..3, 1u64..8, 0u64..3),
+            0..5,
+        ),
+    ) {
+        // Plans are built over the wire format — the same path CI uses.
+        let mut plan = format!(
+            r#"{{"format": "cyclecover-fault-plan", "version": 1, "seed": {seed}, "faults": ["#
+        );
+        for (i, (kind, nth, ms)) in faults.iter().enumerate() {
+            if i > 0 {
+                plan.push_str(", ");
+            }
+            let f = match kind {
+                // Every third fault targets job "p0" by id (the poison /
+                // retry-exhaustion path); the rest fire by dispatch count.
+                0 if i % 3 == 2 => r#"{"job": "p0", "kind": "panic"}"#.to_string(),
+                0 => format!(r#"{{"on_solve": {nth}, "kind": "panic"}}"#),
+                1 => format!(r#"{{"on_solve": {nth}, "kind": "deadline"}}"#),
+                _ => format!(r#"{{"on_solve": {nth}, "kind": "stall", "ms": {ms}}}"#),
+            };
+            plan.push_str(&f);
+        }
+        plan.push_str("]}");
+        let mut svc = chaos_service(&plan, 1);
+        for (i, &n) in ns.iter().enumerate() {
+            let mut job = SolveJob::new(format!("p{i}"), n);
+            if i % 2 == 1 {
+                job.fallback = vec!["greedy".to_string()];
+            }
+            svc.submit(job).unwrap();
+        }
+        // One exact duplicate: coalesced waiters must share the terminal
+        // status, whatever it is. (No deadline: EDF would promote a
+        // deadlined twin to group primary, flipping the coalesced flags.)
+        svc.submit(SolveJob::new("p0-twin", ns[0])).unwrap();
+
+        let report = svc.drain();
+        prop_assert_eq!(report.jobs.len(), ns.len() + 1);
+        let st = &report.stats;
+        prop_assert_eq!(
+            st.solved + st.expired + st.errors + st.failed + st.unstarted,
+            st.submitted,
+            "statuses must partition the batch"
+        );
+        for r in &report.jobs {
+            // Exactly one terminal outcome: an error XOR a solution
+            // document (expired/unstarted jobs carry their rejection
+            // document).
+            prop_assert!(r.error.is_some() ^ r.solution.is_some(), "{}", r.id);
+            let Some(sol) = r.solution.as_ref() else { continue };
+            // A failure detail appears iff the answer is terminal-failed.
+            prop_assert_eq!(
+                r.failure.is_some(),
+                matches!(sol.optimality(), Optimality::Failed { .. }),
+                "{}", r.id
+            );
+            // Every covering that came out re-validates (complete specs
+            // throughout, so full validation applies).
+            if sol.covering().is_some() {
+                let doc = json::solution_to_json(sol);
+                let covering = json::covering_from_solution_json(&doc);
+                prop_assert!(covering.is_ok(), "{}: {:?}", r.id, covering.err());
+                let valid = covering.unwrap().validate();
+                prop_assert!(valid.is_ok(), "{}: {:?}", r.id, valid.err());
+            }
+        }
+        // The twin coalesced with p0 and shares its terminal status.
+        let twin = by_id(&report, "p0-twin");
+        let p0 = by_id(&report, "p0");
+        prop_assert!(twin.coalesced);
+        match (&p0.solution, &twin.solution) {
+            (Some(a), Some(b)) => prop_assert_eq!(a.optimality(), b.optimality()),
+            (a, b) => prop_assert!(false, "p0 {:?} vs twin {:?}", a.is_some(), b.is_some()),
+        }
     }
 }

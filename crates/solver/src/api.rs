@@ -48,7 +48,7 @@ use crate::greedy::greedy_cover;
 use crate::improve::improve_covering;
 use crate::TileUniverse;
 use cyclecover_ring::{Ring, Tile};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, Weak};
 use std::time::{Duration, Instant};
 
@@ -184,6 +184,49 @@ impl ExecPolicy {
     }
 }
 
+/// Why a [`CancelToken`] was cancelled — carried down the token tree so
+/// a kernel stopped through an inherited cancellation can report the
+/// ancestor's motive on the wire instead of a generic "cancelled".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CancelReason {
+    /// Plain cooperative cancellation (superseded, no longer wanted).
+    Explicit,
+    /// The owning service is shutting down; in-flight work should stop
+    /// and queued work will be reported unstarted.
+    Shutdown,
+    /// An ancestor's wall-clock deadline was enforced by cancellation
+    /// (distinct from a kernel's *own* deadline check).
+    Deadline,
+}
+
+impl CancelReason {
+    /// The [`Exhaustion`] this cancellation reads as on the wire.
+    pub fn as_exhaustion(self) -> Exhaustion {
+        match self {
+            CancelReason::Explicit => Exhaustion::Cancelled,
+            CancelReason::Shutdown => Exhaustion::Shutdown,
+            CancelReason::Deadline => Exhaustion::Deadline,
+        }
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            CancelReason::Explicit => 1,
+            CancelReason::Shutdown => 2,
+            CancelReason::Deadline => 3,
+        }
+    }
+
+    fn decode(code: u8) -> Option<CancelReason> {
+        match code {
+            1 => Some(CancelReason::Explicit),
+            2 => Some(CancelReason::Shutdown),
+            3 => Some(CancelReason::Deadline),
+            _ => None,
+        }
+    }
+}
+
 /// A shareable cooperative-cancellation flag, arranged in a tree.
 ///
 /// Clones share one flag: hand a clone to a request (or several), keep
@@ -199,16 +242,23 @@ impl ExecPolicy {
 /// single `AtomicBool` in the search hot loop — propagation happens
 /// eagerly at `cancel()` time, not on every check.
 ///
+/// Cancellation carries a [`CancelReason`] down the tree: a child
+/// cancelled through its parent inherits the parent's reason, so the
+/// wire document can distinguish a batch shutdown from a job-level
+/// cancel or an ancestor-enforced deadline.
+///
 /// ```
-/// use cyclecover_solver::api::CancelToken;
+/// use cyclecover_solver::api::{CancelReason, CancelToken};
 ///
 /// let batch = CancelToken::new();
 /// let job_a = batch.child();
 /// let job_b = batch.child();
 /// job_a.cancel();                  // superseded: only job A stops
 /// assert!(job_a.is_cancelled() && !job_b.is_cancelled());
-/// batch.cancel();                  // batch expired: everything stops
+/// batch.cancel_with(CancelReason::Shutdown); // batch drain: all stop
 /// assert!(job_b.is_cancelled() && batch.is_cancelled());
+/// assert_eq!(job_b.cancel_reason(), Some(CancelReason::Shutdown));
+/// assert_eq!(job_a.cancel_reason(), Some(CancelReason::Explicit));
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct CancelToken {
@@ -218,20 +268,33 @@ pub struct CancelToken {
 #[derive(Debug, Default)]
 struct CancelInner {
     flag: AtomicBool,
+    /// Encoded [`CancelReason`] (0 = not cancelled). Written once,
+    /// before `flag` is raised, so any reader that observes the flag
+    /// also observes a reason.
+    reason: AtomicU8,
     /// Children to propagate `cancel()` into; weak so dropped subtrees
     /// don't accumulate (dead entries are purged on cancellation).
     children: Mutex<Vec<Weak<CancelInner>>>,
 }
 
 impl CancelInner {
-    fn cancel(&self) {
+    fn cancel(&self, reason: CancelReason) {
+        // First writer wins: a token cancelled twice keeps its original
+        // motive. Reason is published before the flag so `flag == true`
+        // implies a readable reason.
+        let _ = self.reason.compare_exchange(
+            0,
+            reason.encode(),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
         self.flag.store(true, Ordering::Relaxed);
         // Detach the children before recursing: once cancelled, they can
         // never be "un-cancelled", so the edges carry no more information.
         let children = std::mem::take(&mut *self.children.lock().expect("cancel tree poisoned"));
         for child in children {
             if let Some(child) = child.upgrade() {
-                child.cancel();
+                child.cancel(reason);
             }
         }
     }
@@ -244,9 +307,16 @@ impl CancelToken {
     }
 
     /// Requests cancellation of this token and every token derived from
-    /// it via [`CancelToken::child`] (idempotent, visible to all clones).
+    /// it via [`CancelToken::child`] (idempotent, visible to all clones),
+    /// with reason [`CancelReason::Explicit`].
     pub fn cancel(&self) {
-        self.inner.cancel();
+        self.inner.cancel(CancelReason::Explicit);
+    }
+
+    /// Like [`CancelToken::cancel`], with an explicit reason. Descendants
+    /// inherit the reason; a token cancelled twice keeps the first reason.
+    pub fn cancel_with(&self, reason: CancelReason) {
+        self.inner.cancel(reason);
     }
 
     /// Whether cancellation has been requested (directly, or through an
@@ -255,9 +325,23 @@ impl CancelToken {
         self.inner.flag.load(Ordering::Relaxed)
     }
 
+    /// Why this token was cancelled (`None` while it is live). A child
+    /// cancelled through an ancestor reports the ancestor's reason.
+    pub fn cancel_reason(&self) -> Option<CancelReason> {
+        if !self.is_cancelled() {
+            return None;
+        }
+        // The reason is published before the flag, so a raised flag
+        // guarantees a decodable value; default to Explicit defensively.
+        Some(
+            CancelReason::decode(self.inner.reason.load(Ordering::Relaxed))
+                .unwrap_or(CancelReason::Explicit),
+        )
+    }
+
     /// Derives a subordinate token: cancelled when `self` is cancelled,
     /// cancellable on its own without affecting `self`. A child of an
-    /// already-cancelled token is born cancelled.
+    /// already-cancelled token is born cancelled, inheriting the reason.
     pub fn child(&self) -> CancelToken {
         let child = CancelToken::new();
         // Hold the registry lock across the flag check so a concurrent
@@ -270,6 +354,10 @@ impl CancelToken {
         // across its lifetime.
         children.retain(|w| w.strong_count() > 0);
         if self.inner.flag.load(Ordering::Relaxed) {
+            child
+                .inner
+                .reason
+                .store(self.inner.reason.load(Ordering::Relaxed), Ordering::Relaxed);
             child.inner.flag.store(true, Ordering::Relaxed);
         } else {
             children.push(Arc::downgrade(&child.inner));
@@ -315,6 +403,7 @@ pub struct SolveRequest {
     symmetry: SymmetryMode,
     memo: bool,
     memo_bytes: usize,
+    fallback: Vec<String>,
 }
 
 impl SolveRequest {
@@ -329,6 +418,7 @@ impl SolveRequest {
             symmetry: SymmetryMode::default(),
             memo: true,
             memo_bytes: DEFAULT_MEMO_BYTES,
+            fallback: Vec::new(),
         }
     }
 
@@ -434,6 +524,20 @@ impl SolveRequest {
         self
     }
 
+    /// Sets the degradation ladder: engine names a scheduler may fall
+    /// back to, in order, when the primary engine exhausts its budget or
+    /// fails. Engines themselves ignore this — only a scheduling layer
+    /// (the solve service) walks the chain, and any answer produced by a
+    /// rung carries an honest [`Degradation`] record.
+    pub fn with_fallback<I, S>(mut self, chain: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.fallback = chain.into_iter().map(Into::into).collect();
+        self
+    }
+
     /// The objective.
     pub fn objective(&self) -> Objective {
         self.objective
@@ -474,6 +578,11 @@ impl SolveRequest {
         self.memo_bytes
     }
 
+    /// The degradation ladder (empty = no fallback).
+    pub fn fallback(&self) -> &[String] {
+        &self.fallback
+    }
+
     /// The [`RunLimits`] this request imposes on a search starting `now`.
     fn run_limits(&self, start: Instant) -> RunLimits {
         RunLimits {
@@ -505,9 +614,49 @@ pub enum Exhaustion {
     Deadline,
     /// The [`CancelToken`] was cancelled.
     Cancelled,
+    /// The [`CancelToken`] was cancelled by a service shutting down
+    /// ([`CancelReason::Shutdown`]) — distinguished from a plain cancel
+    /// so batch reports can separate drained-away work from superseded
+    /// work.
+    Shutdown,
     /// The engine's method has no further moves (a heuristic finished
     /// above the requested budget, or DLX found no exact partition).
     EngineLimit,
+}
+
+/// How a job failed terminally — no verdict, no covering, and no engine
+/// answer to blame it on (see [`Optimality::Failed`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// The engine panicked; the panic was caught at the service's
+    /// isolation boundary and the worker survived.
+    Panic,
+    /// An internal service failure (e.g. an injected or real universe
+    /// construction failure) prevented the solve from ever starting.
+    Internal,
+}
+
+/// An honest record that a weaker engine answered than the one asked
+/// for: the service walked the request's fallback chain after the
+/// primary engine gave out. Attached to the final [`Solution`] so a
+/// degraded answer is never mistaken for the primary engine's verdict.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Degradation {
+    /// Engine the job originally requested.
+    pub from: String,
+    /// Engine that produced the answer actually returned.
+    pub to: String,
+    /// Why the primary engine was abandoned.
+    pub reason: DegradeReason,
+}
+
+/// Why a degradation ladder descended past the primary engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The primary exhausted a resource limit without a verdict.
+    Exhausted(Exhaustion),
+    /// The primary panicked on every attempt it was given.
+    Panicked,
 }
 
 /// How a [`Solution`] knows its covering size is a lower bound.
@@ -551,6 +700,14 @@ pub enum Optimality {
         /// Which limit stopped it.
         reason: Exhaustion,
     },
+    /// The solve failed terminally — the engine panicked (caught at the
+    /// service isolation boundary) or an internal failure prevented it
+    /// from running. Unlike [`Optimality::BudgetExhausted`] this is not a
+    /// resource verdict: retrying with a bigger budget will not help.
+    Failed {
+        /// What failed.
+        kind: FailureKind,
+    },
 }
 
 /// Unified per-solve statistics.
@@ -581,6 +738,10 @@ pub struct Stats {
     pub sym_factor: u32,
     /// Budgets tried (> 1 only for iterative-deepening `FindOptimal`).
     pub budgets_tried: u32,
+    /// Engine dispatches that produced this solution: 1 for a direct
+    /// solve; a retrying/degrading scheduler counts every attempt across
+    /// every ladder rung (0 for [`Solution::unstarted`]).
+    pub attempts: u32,
     /// Wall-clock time spent inside the engine.
     pub wall: Duration,
 }
@@ -591,6 +752,7 @@ pub struct Solution {
     ring: Ring,
     covering: Option<Vec<Tile>>,
     optimality: Optimality,
+    degraded: Option<Degradation>,
     stats: Stats,
 }
 
@@ -609,6 +771,12 @@ impl Solution {
     /// The certificate.
     pub fn optimality(&self) -> &Optimality {
         &self.optimality
+    }
+
+    /// The degradation record, when a scheduler answered with a weaker
+    /// engine than requested (`None` for a direct engine answer).
+    pub fn degraded(&self) -> Option<&Degradation> {
+        self.degraded.as_ref()
     }
 
     /// The unified statistics.
@@ -631,6 +799,7 @@ impl Solution {
             ring,
             covering: None,
             optimality: Optimality::BudgetExhausted { reason },
+            degraded: None,
             stats: Stats {
                 engine,
                 nodes: 0,
@@ -642,9 +811,35 @@ impl Solution {
                 memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 0,
+                attempts: 0,
                 wall: Duration::ZERO,
             },
         }
+    }
+
+    /// A terminally-failed solution: [`Optimality::Failed`] with the
+    /// given kind, attributed to `engine` (`"service"` when the failure
+    /// was caught or raised at the scheduling layer). `attempts` records
+    /// how many engine dispatches were burned before giving up.
+    pub fn failed(ring: Ring, kind: FailureKind, engine: &'static str, attempts: u32) -> Solution {
+        let mut sol = Solution::unstarted(ring, Exhaustion::EngineLimit, engine);
+        sol.optimality = Optimality::Failed { kind };
+        sol.stats.attempts = attempts;
+        sol
+    }
+
+    /// Attaches a degradation record — schedulers call this on the
+    /// answer a fallback engine produced, so the weaker provenance rides
+    /// with the solution everywhere it is serialized.
+    pub fn set_degradation(&mut self, degradation: Degradation) {
+        self.degraded = Some(degradation);
+    }
+
+    /// Overrides the attempt count — schedulers call this so the final
+    /// solution accounts for every dispatch (retries and ladder rungs)
+    /// that led to it, not just the one that succeeded.
+    pub fn set_attempts(&mut self, attempts: u32) {
+        self.stats.attempts = attempts;
     }
 }
 
@@ -774,6 +969,7 @@ fn drive_exact(
         ring: problem.ring(),
         covering,
         optimality,
+        degraded: None,
         stats: Stats {
             engine,
             nodes: total.nodes,
@@ -785,6 +981,7 @@ fn drive_exact(
             memo_entries: total.memo_entries,
             sym_factor: total.sym_factor.max(1),
             budgets_tried,
+            attempts: 1,
             wall: start.elapsed(),
         },
     }
@@ -1005,6 +1202,7 @@ impl Engine for DlxEngine {
             ring: problem.ring(),
             covering,
             optimality,
+            degraded: None,
             stats: Stats {
                 engine: "dlx",
                 nodes: 0,
@@ -1016,6 +1214,7 @@ impl Engine for DlxEngine {
                 memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 1,
+                attempts: 1,
                 wall: start.elapsed(),
             },
         }
@@ -1099,6 +1298,7 @@ impl Engine for HeuristicEngine {
             ring: problem.ring(),
             covering,
             optimality,
+            degraded: None,
             stats: Stats {
                 engine: self.name,
                 nodes: 0,
@@ -1110,6 +1310,7 @@ impl Engine for HeuristicEngine {
                 memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 1,
+                attempts: 1,
                 wall: start.elapsed(),
             },
         }

@@ -160,8 +160,8 @@ impl RunLimits {
     /// *right now* (does not consider the node budget).
     pub(crate) fn stop_requested(&self) -> Option<Exhaustion> {
         if let Some(c) = &self.cancel {
-            if c.is_cancelled() {
-                return Some(Exhaustion::Cancelled);
+            if let Some(reason) = c.cancel_reason() {
+                return Some(reason.as_exhaustion());
             }
         }
         if let Some(d) = self.deadline {
@@ -1353,6 +1353,7 @@ pub(crate) fn encode_cause(c: Exhaustion) -> u8 {
         Exhaustion::NodeBudget => 2,
         Exhaustion::Deadline => 3,
         Exhaustion::Cancelled => 4,
+        Exhaustion::Shutdown => 5,
     }
 }
 
@@ -1360,6 +1361,7 @@ pub(crate) fn decode_cause(code: u8) -> Exhaustion {
     match code {
         3 => Exhaustion::Deadline,
         4 => Exhaustion::Cancelled,
+        5 => Exhaustion::Shutdown,
         _ => Exhaustion::NodeBudget,
     }
 }

@@ -53,6 +53,7 @@ fn main() {
                 Optimality::Feasible => "feasible",
                 Optimality::Infeasible => "infeasible",
                 Optimality::BudgetExhausted { .. } => "exhausted",
+                Optimality::Failed { .. } => "failed",
             },
             sol.stats().nodes,
             sol.stats().wall
