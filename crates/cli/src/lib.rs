@@ -42,12 +42,16 @@
 use cyclecover_core::{construct_with_status, rho, Optimality};
 use cyclecover_io::{csv::Table, format, json, svg};
 use cyclecover_net::{audit_all_failures, compare_schemes, WdmNetwork};
-use cyclecover_service::{batch_summary_json_with_rejects, FaultPlan, ServiceConfig, SolveService};
+use cyclecover_service::{
+    batch_summary_json_with_rejects, daemon_stats_json, Daemon, DaemonConfig, FaultPlan,
+    ServiceConfig, SolveService,
+};
 use cyclecover_solver::api::{
     engine_by_name, engines, LowerBoundProof, Optimality as SolveOptimality, Problem,
     SolveRequest, SymmetryMode,
 };
 use std::fmt::Write as _;
+use std::io::{Read as _, Write as _};
 use std::time::Duration;
 
 /// Usage text.
@@ -67,11 +71,12 @@ USAGE:
                                       --no-memo disables the residual-state
                                       dominance memo, --memo-mb caps its
                                       memory like the service universe cache)
-  cyclecover serve --batch <jobs.jsonl> [--workers N] [--cache-mb M]
+  cyclecover serve --batch <jobs.jsonl | -> [--workers N] [--cache-mb M]
                        [--out DIR] [--retries R] [--backoff-ms B]
                        [--fault-plan plan.json]
                                      run a batch of request documents (one
-                                     JSON per line; see docs/wire-format.md)
+                                     JSON per line; see docs/wire-format.md;
+                                     `--batch -` reads the queue from stdin)
                                      through the batching solve service:
                                      EDF scheduling, universe cache, request
                                      coalescing, panic isolation, retry with
@@ -84,7 +89,27 @@ USAGE:
                                      `validate` accepts; --fault-plan
                                      injects deterministic faults for chaos
                                      testing
-  cyclecover engines                 list the registered solver engines
+  cyclecover serve --listen <ip:port> [--workers N] [--cache-mb M]
+                       [--max-conns C] [--queue-depth Q]
+                                     run the always-on solve daemon: accept
+                                     connections, stream newline-delimited
+                                     request documents in and solution/
+                                     reject documents out, with predictive
+                                     admission (docs/wire-format.md has the
+                                     framing rules and every document).
+                                     Prints `listening on <addr>` once
+                                     bound (port 0 picks a free port), and
+                                     the final cyclecover-daemon-stats
+                                     document after a graceful drain
+  cyclecover client --connect <ip:port> [--jobs FILE|-] [--stats]
+                       [--shutdown]  stream a jobs file (or stdin) to a
+                                     running daemon and print each response
+                                     line; --stats appends a stats control,
+                                     --shutdown asks the daemon to drain
+                                     gracefully and prints its final stats
+  cyclecover engines [--json]        list the registered solver engines
+                                     (--json: machine-readable listing with
+                                     per-objective capability probes)
   cyclecover rho <n>                 print the optimal covering size ρ(n)
   cyclecover construct <n>           emit a minimum covering in text format
   cyclecover validate <file>         re-validate a covering file (text or
@@ -264,13 +289,19 @@ fn run_solve(args: &[String]) -> Result<String, String> {
 }
 
 
-/// Runs the `serve` subcommand: a `.jsonl` batch file → [`SolveService`]
-/// → batch summary JSON (and, with `--out`, one solution document per
-/// job).
+/// Runs the `serve` subcommand in one of two modes: `--batch` pushes a
+/// `.jsonl` file (or stdin, with `-`) through [`SolveService`] and
+/// returns the batch summary JSON; `--listen` runs the always-on
+/// [`Daemon`] until a client asks it to drain, then returns the final
+/// daemon-stats document. The listen path prints the bound address
+/// eagerly (before blocking) so scripts can scrape the port.
 fn run_serve(args: &[String]) -> Result<String, String> {
     let mut batch: Option<String> = None;
+    let mut listen: Option<String> = None;
     let mut workers = 1usize;
     let mut cache_mb = 64usize;
+    let mut max_conns: Option<usize> = None;
+    let mut queue_depth: Option<usize> = None;
     let mut out_dir: Option<String> = None;
     let mut fault_plan: Option<String> = None;
     let mut retries: Option<u32> = None;
@@ -284,6 +315,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         };
         match flag.as_str() {
             "--batch" => batch = Some(value("a jobs file")?),
+            "--listen" => listen = Some(value("an ip:port address")?),
             "--workers" => {
                 workers = value("a thread count")?
                     .parse()
@@ -296,6 +328,22 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 cache_mb = value("a size in MiB")?
                     .parse()
                     .map_err(|e| format!("bad --cache-mb: {e}"))?;
+            }
+            "--max-conns" => {
+                max_conns = Some(
+                    value("a connection limit")?
+                        .parse()
+                        .map_err(|e| format!("bad --max-conns: {e}"))?,
+                )
+            }
+            "--queue-depth" => {
+                let depth: usize = value("a queue depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --queue-depth: {e}"))?;
+                if depth == 0 {
+                    return Err("--queue-depth must be >= 1".into());
+                }
+                queue_depth = Some(depth);
             }
             "--out" => out_dir = Some(value("a directory")?),
             "--fault-plan" => fault_plan = Some(value("a fault-plan JSON file")?),
@@ -316,8 +364,57 @@ fn run_serve(args: &[String]) -> Result<String, String> {
             other => return Err(format!("unknown serve flag '{other}'")),
         }
     }
-    let path = batch.ok_or("serve needs --batch <jobs.jsonl>")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if let Some(addr_spec) = listen {
+        if batch.is_some() {
+            return Err("--listen and --batch are separate modes; pick one".into());
+        }
+        for (set, flag) in [
+            (out_dir.is_some(), "--out"),
+            (fault_plan.is_some(), "--fault-plan"),
+            (retries.is_some(), "--retries"),
+            (backoff_ms.is_some(), "--backoff-ms"),
+        ] {
+            if set {
+                return Err(format!("{flag} applies to --batch mode only"));
+            }
+        }
+        let addr: std::net::SocketAddr = addr_spec
+            .parse()
+            .map_err(|e| format!("bad --listen address '{addr_spec}': {e}"))?;
+        let mut config = DaemonConfig {
+            workers,
+            cache_bytes: cache_mb.saturating_mul(1 << 20),
+            ..DaemonConfig::default()
+        };
+        if let Some(c) = max_conns {
+            config.max_conns = c;
+        }
+        if let Some(q) = queue_depth {
+            config.queue_depth = q;
+        }
+        let daemon =
+            Daemon::bind(addr, config).map_err(|e| format!("cannot listen on {addr_spec}: {e}"))?;
+        let bound = daemon.local_addr().map_err(|e| format!("local addr: {e}"))?;
+        // Announce the port before blocking — `--listen 127.0.0.1:0`
+        // binds an ephemeral port and scripts scrape this line.
+        println!("listening on {bound}");
+        let _ = std::io::stdout().flush();
+        let stats = daemon.run();
+        return Ok(format!("{}\n", daemon_stats_json(&stats)));
+    }
+    if max_conns.is_some() || queue_depth.is_some() {
+        return Err("--max-conns/--queue-depth apply to --listen mode only".into());
+    }
+    let path = batch.ok_or("serve needs --batch <jobs.jsonl> or --listen <ip:port>")?;
+    let text = if path == "-" {
+        let mut text = String::new();
+        std::io::stdin()
+            .read_to_string(&mut text)
+            .map_err(|e| format!("cannot read stdin: {e}"))?;
+        text
+    } else {
+        std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?
+    };
     let mut config = ServiceConfig {
         workers,
         cache_bytes: cache_mb.saturating_mul(1 << 20),
@@ -370,19 +467,124 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     Ok(batch_summary_json_with_rejects(&report, &rejects))
 }
 
+/// Runs the `client` subcommand: stream a jobs file (or stdin) to a
+/// running daemon over TCP, optionally append `stats`/`shutdown`
+/// control documents, half-close, and return every response line the
+/// daemon sends back (the daemon closes the connection once every
+/// streamed job has its terminal document).
+fn run_client(args: &[String]) -> Result<String, String> {
+    let mut connect: Option<String> = None;
+    let mut jobs: Option<String> = None;
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |what: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs {what}"))
+        };
+        match flag.as_str() {
+            "--connect" => connect = Some(value("an ip:port address")?),
+            "--jobs" => jobs = Some(value("a jobs file")?),
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            other => return Err(format!("unknown client flag '{other}'")),
+        }
+    }
+    let addr = connect.ok_or("client needs --connect <ip:port>")?;
+    let mut payload = String::new();
+    if let Some(path) = jobs {
+        let text = if path == "-" {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            text
+        } else {
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?
+        };
+        payload.push_str(&text);
+        if !payload.is_empty() && !payload.ends_with('\n') {
+            payload.push('\n');
+        }
+    }
+    if stats {
+        payload.push_str("{\"format\": \"cyclecover-control\", \"version\": 1, \"op\": \"stats\"}\n");
+    }
+    if shutdown {
+        payload
+            .push_str("{\"format\": \"cyclecover-control\", \"version\": 1, \"op\": \"shutdown\"}\n");
+    }
+    if payload.is_empty() {
+        return Err("client needs --jobs <file>, --stats, or --shutdown".into());
+    }
+    let mut stream = std::net::TcpStream::connect(&addr)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| format!("socket: {e}"))?;
+    stream
+        .write_all(payload.as_bytes())
+        .map_err(|e| format!("cannot send to {addr}: {e}"))?;
+    // Half-close: tells the daemon this stream is complete, so it can
+    // close the connection once the last answer is flushed.
+    stream
+        .shutdown(std::net::Shutdown::Write)
+        .map_err(|e| format!("socket: {e}"))?;
+    let mut out = String::new();
+    stream
+        .read_to_string(&mut out)
+        .map_err(|e| format!("reading responses from {addr}: {e}"))?;
+    Ok(out)
+}
+
+/// Renders the engine registry as the machine-readable
+/// `cyclecover-engines` document: one entry per engine with
+/// `supports()` probed for each objective on a representative problem.
+fn engines_json() -> String {
+    let problem = Problem::complete(8);
+    let probes = [
+        ("find_optimal", SolveRequest::find_optimal()),
+        ("within_budget", SolveRequest::within_budget(9)),
+        ("prove_infeasible", SolveRequest::prove_infeasible(8)),
+    ];
+    let mut out = String::new();
+    out.push_str("{\n  \"format\": \"cyclecover-engines\",\n  \"version\": 1,\n  \"engines\": [\n");
+    let all = engines();
+    for (i, e) in all.iter().enumerate() {
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"name\": {},", json::quote(e.name()));
+        let _ = writeln!(out, "      \"description\": {},", json::quote(e.description()));
+        let caps: Vec<String> = probes
+            .iter()
+            .map(|(name, req)| format!("\"{name}\": {}", e.supports(&problem, req)))
+            .collect();
+        let _ = writeln!(out, "      \"supports\": {{{}}}", caps.join(", "));
+        let _ = writeln!(out, "    }}{}", if i + 1 < all.len() { "," } else { "" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Executes a command line (without the program name); returns the
 /// output to print on success or an error message.
 pub fn run(args: &[String]) -> Result<String, String> {
     match args.first().map(String::as_str) {
         Some("solve") => run_solve(&args[1..]),
         Some("serve") => run_serve(&args[1..]),
-        Some("engines") => {
-            let mut out = String::new();
-            for e in engines() {
-                let _ = writeln!(out, "{:16} {}", e.name(), e.description());
+        Some("client") => run_client(&args[1..]),
+        Some("engines") => match args.get(1).map(String::as_str) {
+            Some("--json") => Ok(engines_json()),
+            Some(other) => Err(format!("unknown engines flag '{other}' (only --json)")),
+            None => {
+                let mut out = String::new();
+                for e in engines() {
+                    let _ = writeln!(out, "{:16} {}", e.name(), e.description());
+                }
+                Ok(out)
             }
-            Ok(out)
-        }
+        },
         Some("rho") => {
             let n = parse_n(args.get(1))?;
             Ok(format!("{}\n", rho(n)))
@@ -785,6 +987,98 @@ this line is not json at all
     }
 
     #[test]
+    fn serve_listen_and_client_flag_errors_are_helpful() {
+        assert!(runv(&["serve", "--listen", "nonsense"])
+            .unwrap_err()
+            .contains("bad --listen"));
+        assert!(runv(&["serve", "--listen", "127.0.0.1:0", "--batch", "x"])
+            .unwrap_err()
+            .contains("separate modes"));
+        assert!(runv(&["serve", "--batch", "x", "--queue-depth", "2"])
+            .unwrap_err()
+            .contains("--listen mode only"));
+        assert!(runv(&["serve", "--listen", "127.0.0.1:0", "--retries", "1"])
+            .unwrap_err()
+            .contains("--batch mode only"));
+        assert!(runv(&["serve", "--listen", "127.0.0.1:0", "--queue-depth", "0"])
+            .unwrap_err()
+            .contains(">= 1"));
+        assert!(runv(&["client"]).unwrap_err().contains("--connect"));
+        assert!(runv(&["client", "--connect", "127.0.0.1:1"])
+            .unwrap_err()
+            .contains("--jobs"));
+        assert!(runv(&["client", "--frobnicate"])
+            .unwrap_err()
+            .contains("unknown client flag"));
+    }
+
+    #[test]
+    fn client_streams_jobs_to_a_live_daemon_and_drains_it() {
+        use cyclecover_service::{Daemon, DaemonConfig};
+        let daemon =
+            Daemon::bind("127.0.0.1:0".parse().unwrap(), DaemonConfig::default()).unwrap();
+        let addr = daemon.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || daemon.run());
+
+        let dir = std::env::temp_dir().join("cyclecover_cli_test_client");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jobs = dir.join("jobs.jsonl");
+        std::fs::write(
+            &jobs,
+            concat!(
+                r#"{"format": "cyclecover-request", "version": 1, "id": "c6", "n": 6}"#,
+                "\n",
+                r#"{"format": "cyclecover-request", "version": 1, "id": "c7", "n": 7}"#,
+                "\n",
+            ),
+        )
+        .unwrap();
+        let out = runv(&["client", "--connect", &addr, "--jobs", jobs.to_str().unwrap()])
+            .unwrap();
+        assert_eq!(out.lines().count(), 2, "{out}");
+        for needle in ["\"id\": \"c6\"", "\"id\": \"c7\""] {
+            assert!(out.contains(needle), "{out}");
+        }
+        assert!(out.contains("\"cyclecover-solution\""), "{out}");
+
+        // Live stats + graceful drain on a second connection: one live
+        // daemon-stats document, then the final one from the drain.
+        let out = runv(&["client", "--connect", &addr, "--stats", "--shutdown"]).unwrap();
+        assert_eq!(
+            out.matches("\"cyclecover-daemon-stats\"").count(),
+            2,
+            "{out}"
+        );
+        let stats = server.join().unwrap();
+        assert_eq!(stats.jobs_received, 2);
+        assert_eq!(stats.jobs_answered, 2);
+        assert_eq!(stats.unstarted, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engines_json_is_a_parseable_capability_listing() {
+        let out = runv(&["engines", "--json"]).unwrap();
+        let doc = cyclecover_io::json::Json::parse(&out).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(cyclecover_io::json::Json::as_str),
+            Some("cyclecover-engines")
+        );
+        let listed = doc
+            .get("engines")
+            .and_then(cyclecover_io::json::Json::as_arr)
+            .unwrap();
+        assert_eq!(listed.len(), engines().len());
+        // The exact engine proves infeasibility; the heuristics honestly
+        // decline to.
+        assert!(out.contains("\"prove_infeasible\": true"), "{out}");
+        assert!(out.contains("\"prove_infeasible\": false"), "{out}");
+        assert!(runv(&["engines", "--frobnicate"])
+            .unwrap_err()
+            .contains("only --json"));
+    }
+
+    #[test]
     fn serve_flag_errors_are_helpful() {
         assert!(runv(&["serve"]).unwrap_err().contains("--batch"));
         assert!(runv(&["serve", "--workers", "2"])
@@ -821,6 +1115,14 @@ this line is not json at all
             "--fault-plan",
             "--retries",
             "--backoff-ms",
+            "--listen",
+            "--max-conns",
+            "--queue-depth",
+            "client",
+            "--connect",
+            "--shutdown",
+            "--stats",
+            "--json",
         ] {
             assert!(USAGE.contains(needle), "USAGE missing {needle}");
         }

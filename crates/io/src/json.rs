@@ -131,10 +131,49 @@ use std::fmt::Write as _;
 
 /// Serializes a [`Solution`] to the JSON wire format.
 pub fn solution_to_json(sol: &Solution) -> String {
+    solution_json_inner(sol, None, None)
+}
+
+/// [`solution_to_json`] with the streaming correlation fields: `id`
+/// echoes the request's id so responses on a shared connection can be
+/// matched to their jobs, and `predicted_nodes` (when a cost model made
+/// a prediction) sits next to `stats.nodes` so the calibration table is
+/// auditable from the wire alone. Both are additive v1 fields —
+/// consumers that don't know them ignore them (the compatibility rule
+/// in the module docs), so a streamed document still validates through
+/// [`covering_from_solution_json`].
+pub fn solution_to_json_with_id(
+    sol: &Solution,
+    id: &str,
+    predicted_nodes: Option<u64>,
+) -> String {
+    solution_json_inner(sol, Some(id), predicted_nodes)
+}
+
+/// Collapses a multi-line emitted document to a single line, for
+/// newline-delimited (JSONL) streams. Safe textually: [`quote`] escapes
+/// every control character, so raw newlines in emitted documents are
+/// inter-token formatting only.
+pub fn to_single_line(doc: &str) -> String {
+    let parts: Vec<&str> = doc
+        .lines()
+        .map(str::trim_start)
+        .filter(|l| !l.is_empty())
+        .collect();
+    parts.join(" ")
+}
+
+fn solution_json_inner(sol: &Solution, id: Option<&str>, predicted_nodes: Option<u64>) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     let _ = writeln!(s, "  \"format\": \"cyclecover-solution\",");
     let _ = writeln!(s, "  \"version\": 1,");
+    if let Some(id) = id {
+        let _ = writeln!(s, "  \"id\": {},", quote(id));
+    }
+    if let Some(p) = predicted_nodes {
+        let _ = writeln!(s, "  \"predicted_nodes\": {p},");
+    }
     let _ = writeln!(s, "  \"n\": {},", sol.ring().n());
     let _ = writeln!(s, "  \"engine\": {},", quote(sol.stats().engine));
     let _ = writeln!(s, "  \"optimality\": {},", optimality_json(sol.optimality()));

@@ -43,8 +43,10 @@ fn every_example_parses_and_round_trips() {
     let mut requests = 0;
     let mut solutions_with_covering = 0;
     let mut solutions_without = 0;
+    let mut streaming = 0;
     for block in &blocks {
         let doc = Json::parse(block).unwrap_or_else(|e| panic!("bad example: {e}\n{block}"));
+        let version = doc.get("version").and_then(Json::as_num);
         match doc.get("format").and_then(Json::as_str) {
             Some("cyclecover-request") => {
                 requests += 1;
@@ -74,9 +76,43 @@ fn every_example_parses_and_round_trips() {
                         .unwrap_or_else(|e| panic!("example covering invalid: {e:?}\n{block}"));
                 }
             },
+            // Daemon-side documents: structural checks here (this crate
+            // sits below the service layer); the deep round trips live
+            // in `crates/service/tests/wire_docs.rs`.
+            Some("cyclecover-reject") => {
+                streaming += 1;
+                assert_eq!(version, Some(1.0), "reject example version:\n{block}");
+                let reason = doc.get("reason").and_then(Json::as_str).expect("reason");
+                assert!(
+                    ["parse", "oversized", "overload", "admission", "predicted_unmeetable"]
+                        .contains(&reason),
+                    "undocumented reject reason {reason:?}"
+                );
+                assert!(doc.get("detail").and_then(Json::as_str).is_some());
+                if reason == "predicted_unmeetable" {
+                    assert!(
+                        doc.get("predicted_nodes").and_then(Json::as_num).is_some(),
+                        "predictive reject must carry its evidence:\n{block}"
+                    );
+                }
+            }
+            Some("cyclecover-control") => {
+                streaming += 1;
+                assert_eq!(version, Some(1.0), "control example version:\n{block}");
+                let op = doc.get("op").and_then(Json::as_str).expect("op");
+                assert!(["stats", "shutdown"].contains(&op), "unknown op {op:?}");
+            }
+            Some("cyclecover-daemon-stats" | "cyclecover-calibration" | "cyclecover-engines") => {
+                streaming += 1;
+                assert_eq!(version, Some(1.0), "streaming example version:\n{block}");
+            }
             other => panic!("example with unknown format {other:?}:\n{block}"),
         }
     }
     assert!(requests >= 3, "documented request examples went missing");
     assert!(solutions_with_covering >= 1 && solutions_without >= 1);
+    assert!(
+        streaming >= 5,
+        "daemon protocol examples went missing, found {streaming}"
+    );
 }

@@ -62,11 +62,18 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod daemon;
 mod fault;
+mod predict;
 mod service;
 
 pub use cache::{CacheStats, UniverseCache, UniverseKey};
+pub use daemon::{
+    daemon_stats_json, reject_json, Daemon, DaemonConfig, DaemonStats, FramedLine, Ingest,
+    IngestAction, LineFramer,
+};
 pub use fault::{FaultInjector, FaultKind, FaultPlan};
+pub use predict::{CalibrationRow, CostModel, Prediction, SAFETY_FACTOR};
 pub use service::{
     batch_summary_json, batch_summary_json_with_rejects, BatchReport, BatchStats, EngineTotal,
     JobReport, ServiceConfig, SolveService,

@@ -51,8 +51,9 @@
 //! are `Sync`; the EDF order is preserved by having workers pull group
 //! indices from a shared counter).
 
-use crate::cache::{CacheStats, UniverseCache};
+use crate::cache::{CacheStats, UniverseCache, UniverseKey};
 use crate::fault::{FaultInjector, FaultKind};
+use crate::predict::{CostModel, Prediction};
 use cyclecover_io::json::{self, quote as json_escape, SolveJob};
 use cyclecover_ring::Ring;
 use cyclecover_solver::api::{
@@ -124,6 +125,16 @@ pub struct JobReport {
     pub cache_hit: bool,
     /// Rejected at admission: the deadline had already passed.
     pub expired: bool,
+    /// Rejected at admission by the installed [`CostModel`]: the
+    /// calibrated curve says the deadline cannot be met (see
+    /// [`CostModel::unmeetable`]). Mutually exclusive with `expired`
+    /// (expiry is checked first).
+    pub predicted_reject: bool,
+    /// What the installed cost model predicted for this job (`None`
+    /// when no model is installed or the model had nothing defensible
+    /// to say) — reported next to the actual node count so the
+    /// calibration table stays auditable.
+    pub predicted: Option<Prediction>,
     /// Reported without running because the service was shutting down
     /// when the job's group came up.
     pub unstarted: bool,
@@ -163,6 +174,9 @@ pub struct BatchStats {
     pub solved: usize,
     /// Jobs rejected at admission because their deadline had passed.
     pub expired: usize,
+    /// Jobs rejected at admission by the installed cost model
+    /// (predicted-unmeetable deadline). Always 0 without a model.
+    pub predicted_rejected: usize,
     /// Jobs satisfied by another job's solve.
     pub coalesced: usize,
     /// Jobs rejected with an admission error.
@@ -212,6 +226,7 @@ pub struct SolveService {
     root: CancelToken,
     fault: FaultInjector,
     quarantine: Mutex<HashSet<String>>,
+    model: Option<CostModel>,
     next_seq: u64,
 }
 
@@ -226,8 +241,32 @@ impl SolveService {
             root: CancelToken::new(),
             fault: FaultInjector::default(),
             quarantine: Mutex::new(HashSet::new()),
+            model: None,
             next_seq: 0,
         }
+    }
+
+    /// Installs a calibrated cost model: deadline-carrying jobs the
+    /// model is confident cannot finish in time are rejected at
+    /// admission (`predicted_reject`), and every job's prediction is
+    /// reported next to its actual node count. Without a model (the
+    /// default) admission behaviour is unchanged and the predictive
+    /// counters stay at zero.
+    pub fn set_cost_model(&mut self, model: CostModel) {
+        self.model = Some(model);
+    }
+
+    /// The installed cost model, if any.
+    pub fn cost_model(&self) -> Option<&CostModel> {
+        self.model.as_ref()
+    }
+
+    /// Whether the universe for `key` is currently resident in the
+    /// cache — a lookup that touches neither the LRU order nor the
+    /// hit/miss counters. The daemon uses this to count warm starts
+    /// across serving generations.
+    pub fn universe_resident(&self, key: UniverseKey) -> bool {
+        self.cache.lock().expect("cache poisoned").contains(key)
     }
 
     /// Installs a fault plan (replacing any previous one and resetting
@@ -343,6 +382,7 @@ impl SolveService {
             root: &self.root,
             fault: &self.fault,
             quarantine: &self.quarantine,
+            model: self.model.as_ref(),
             max_attempts: self.config.max_attempts.max(1),
             backoff_base_ms: self.config.backoff_base_ms,
             // An installed plan's seed pins the whole chaos run; the
@@ -376,6 +416,7 @@ impl SolveService {
             submitted,
             solved: 0,
             expired: 0,
+            predicted_rejected: 0,
             coalesced: 0,
             errors: 0,
             failed: 0,
@@ -395,6 +436,10 @@ impl SolveService {
             total_wait += r.queue_wait;
             if r.expired {
                 stats.expired += 1;
+                continue;
+            }
+            if r.predicted_reject {
+                stats.predicted_rejected += 1;
                 continue;
             }
             if r.unstarted {
@@ -471,6 +516,7 @@ struct DrainCtx<'a> {
     root: &'a CancelToken,
     fault: &'a FaultInjector,
     quarantine: &'a Mutex<HashSet<String>>,
+    model: Option<&'a CostModel>,
     max_attempts: u32,
     backoff_base_ms: u64,
     retry_seed: u64,
@@ -516,6 +562,8 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
         coalesced: false,
         cache_hit: false,
         expired: false,
+        predicted_reject: false,
+        predicted: None,
         unstarted: false,
         error: None,
         failure: None,
@@ -537,6 +585,26 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
                 });
                 continue;
             }
+            // Predictive admission (only with a model installed, and
+            // only after the plain expiry check so an already-dead
+            // deadline keeps its established `expired` status): refuse
+            // a live deadline the calibrated curve says cannot be met.
+            if let Some(model) = ctx.model {
+                let remaining = abs.saturating_duration_since(now).as_millis() as u64;
+                if let Some(prediction) = model.unmeetable(&p.job, remaining) {
+                    out.push(JobReport {
+                        predicted_reject: true,
+                        predicted: Some(prediction),
+                        solution: Some(Solution::unstarted(
+                            Ring::new(p.job.n),
+                            Exhaustion::Deadline,
+                            "service",
+                        )),
+                        ..report(p)
+                    });
+                    continue;
+                }
+            }
         }
         survivors.push((p, abs));
     }
@@ -544,6 +612,10 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
         return out;
     };
     let ring = Ring::new(primary.job.n);
+    // The audit trail: what the model expected this group to cost
+    // (shared by every waiter — prediction inputs are part of the
+    // coalescing key). `None` without a model or outside its confidence.
+    let predicted = ctx.model.and_then(|m| m.predict(&primary.job));
 
     // Graceful drain: a cancelled root means this group never starts —
     // report every waiter unstarted with the token's reason (shutdown
@@ -738,6 +810,7 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
         out.push(JobReport {
             coalesced: i > 0,
             cache_hit: i == 0 && cache_hit,
+            predicted,
             failure: failure_msg.clone(),
             solution: Some(solution.clone()),
             ..report(p)
@@ -814,7 +887,7 @@ pub fn batch_summary_json_with_rejects(
              \"size\": {}, \"nodes\": {}, \"wall_ms\": {}, \"admit_order\": {}, \
              \"cache_hit\": {}, \"coalesced\": {}, \"expired\": {}, \"unstarted\": {}, \
              \"attempts\": {}, \"degraded\": {degraded}, \"failure\": {}, \
-             \"queue_wait_ms\": {:.3}}}",
+             \"queue_wait_ms\": {:.3}, \"predicted_nodes\": {}, \"predicted_reject\": {}}}",
             json_escape(&r.id),
             json_escape(&r.engine),
             json_escape(status),
@@ -836,6 +909,9 @@ pub fn batch_summary_json_with_rejects(
             r.solution.as_ref().map_or(0, |sol| sol.stats().attempts),
             r.failure.as_deref().map_or("null".to_string(), json_escape),
             r.queue_wait.as_secs_f64() * 1e3,
+            r.predicted
+                .map_or("null".to_string(), |p| p.nodes.to_string()),
+            r.predicted_reject,
         );
         s.push_str(if i + 1 < report.jobs.len() { ",\n" } else { "\n" });
     }
@@ -866,6 +942,7 @@ pub fn batch_summary_json_with_rejects(
          \"faults_injected\": {}, \"quarantined\": {},",
         st.failed, st.degraded, st.retries, st.unstarted, st.faults_injected, st.quarantined
     );
+    let _ = writeln!(s, "    \"predicted_rejected\": {},", st.predicted_rejected);
     let _ = writeln!(
         s,
         "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \

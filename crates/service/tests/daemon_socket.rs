@@ -1,0 +1,156 @@
+//! End-to-end daemon exercise over a real loopback socket: streaming
+//! requests in, classified documents out, predictive admission, warm
+//! cache generations, and the graceful drain — all through the same
+//! byte path the CLI front ends use.
+
+use cyclecover_service::{CalibrationRow, CostModel, Daemon, DaemonConfig, DaemonStats};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{Shutdown, TcpStream};
+use std::time::Duration;
+
+fn row(n: u32, nodes: u64, wall_ms: f64) -> CalibrationRow {
+    CalibrationRow {
+        n,
+        objective: "find_optimal".to_string(),
+        symmetry: "root".to_string(),
+        memo: true,
+        nodes,
+        wall_ms,
+    }
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read line");
+    assert!(line.ends_with('\n'), "daemon lines are newline-terminated");
+    line.trim_end().to_string()
+}
+
+#[test]
+fn daemon_round_trips_streams_predicts_and_drains() {
+    let mut daemon = Daemon::bind("127.0.0.1:0".parse().unwrap(), DaemonConfig::default())
+        .expect("bind loopback");
+    // A deliberately lopsided model: n = 6 is cheap and exactly known,
+    // n = 10 is exactly known to be hopeless — so a tight deadline on
+    // n = 10 must be refused at admission, regardless of what the
+    // committed calibration table says this week.
+    daemon.set_cost_model(Some(CostModel::new(vec![
+        row(6, 100, 0.05),
+        row(10, u64::MAX / 2, 1e9),
+    ])));
+    let addr = daemon.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || daemon.run());
+
+    // --- Connection 1: stream four lines, half-close, collect answers.
+    let (mut w1, mut r1) = connect(addr);
+    w1.write_all(
+        concat!(
+            r#"{"format": "cyclecover-request", "version": 1, "id": "a", "n": 6}"#,
+            "\n",
+            r#"{"format": "cyclecover-request", "version": 1, "id": "b", "n": 6}"#,
+            "\n",
+            "this is not json\n",
+            r#"{"format": "cyclecover-request", "version": 1, "id": "doomed", "n": 10, "deadline_ms": 1}"#,
+            "\n",
+        )
+        .as_bytes(),
+    )
+    .expect("write jobs");
+    // Half-close: the daemon must keep the connection alive until the
+    // in-flight jobs are answered, then close it.
+    w1.shutdown(Shutdown::Write).expect("half-close");
+
+    let mut docs = Vec::new();
+    loop {
+        let mut line = String::new();
+        if r1.read_line(&mut line).expect("read") == 0 {
+            break; // daemon reaped the drained connection
+        }
+        docs.push(line.trim_end().to_string());
+    }
+    assert_eq!(docs.len(), 4, "four lines in, four documents out: {docs:?}");
+
+    let rejects: Vec<&String> = docs
+        .iter()
+        .filter(|d| d.contains("\"format\": \"cyclecover-reject\""))
+        .collect();
+    let solutions: Vec<&String> = docs
+        .iter()
+        .filter(|d| d.contains("\"format\": \"cyclecover-solution\""))
+        .collect();
+    assert_eq!(rejects.len(), 2);
+    assert_eq!(solutions.len(), 2);
+    assert!(
+        rejects.iter().any(|d| d.contains("\"reason\": \"parse\"")),
+        "the malformed line is refused with a parse reject: {rejects:?}"
+    );
+    let predicted = rejects
+        .iter()
+        .find(|d| d.contains("\"reason\": \"predicted_unmeetable\""))
+        .expect("the hopeless deadline is refused at admission");
+    assert!(predicted.contains("\"id\": \"doomed\""));
+    assert!(
+        predicted.contains("\"predicted_nodes\":"),
+        "the refusal carries its evidence: {predicted}"
+    );
+    for id in ["\"id\": \"a\"", "\"id\": \"b\""] {
+        assert!(
+            solutions.iter().any(|d| d.contains(id)),
+            "each admitted job is answered exactly once: {solutions:?}"
+        );
+    }
+    assert!(
+        solutions.iter().all(|d| d.contains("\"predicted_nodes\":")),
+        "answers for exactly-calibrated shapes audit the prediction: {solutions:?}"
+    );
+
+    // --- Connection 2: warm generation, live stats, graceful drain.
+    let (mut w2, mut r2) = connect(addr);
+    writeln!(
+        w2,
+        r#"{{"format": "cyclecover-request", "version": 1, "id": "c", "n": 6}}"#
+    )
+    .expect("write warm job");
+    let warm = read_line(&mut r2);
+    assert!(warm.contains("\"format\": \"cyclecover-solution\""));
+    assert!(warm.contains("\"id\": \"c\""));
+
+    writeln!(w2, r#"{{"format": "cyclecover-control", "version": 1, "op": "stats"}}"#)
+        .expect("write stats control");
+    let live = read_line(&mut r2);
+    let live_stats = DaemonStats::from_json(&live).expect("live stats parse");
+    assert_eq!(live_stats.jobs_received, 3);
+    assert_eq!(live_stats.rejected_parse, 1);
+    assert_eq!(live_stats.rejected_predicted, 1);
+
+    writeln!(w2, r#"{{"format": "cyclecover-control", "version": 1, "op": "shutdown"}}"#)
+        .expect("write shutdown control");
+    let last = read_line(&mut r2);
+    let final_doc = DaemonStats::from_json(&last).expect("final stats parse");
+    let mut eof = String::new();
+    assert_eq!(r2.read_line(&mut eof).expect("post-drain read"), 0);
+
+    let stats = server.join().expect("daemon thread");
+    assert_eq!(stats.connections_accepted, 2);
+    assert_eq!(stats.jobs_received, 3, "a, b, and c were admitted");
+    assert_eq!(stats.jobs_answered, 3);
+    assert_eq!(stats.unstarted, 0, "nothing was abandoned by the drain");
+    assert_eq!(stats.rejected_parse, 1);
+    assert_eq!(stats.rejected_predicted, 1);
+    assert!(stats.generations >= 2, "two separate micro-batch generations");
+    assert!(
+        stats.warm_universe_hits >= 1,
+        "connection 2 reused the universe built for connection 1: {stats:?}"
+    );
+    assert_eq!(final_doc.jobs_answered, stats.jobs_answered);
+    assert_eq!(final_doc.rejected_predicted, stats.rejected_predicted);
+}

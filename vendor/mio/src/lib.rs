@@ -1,0 +1,585 @@
+//! Offline stand-in for the subset of the `mio` non-blocking I/O crate
+//! used by this workspace.
+//!
+//! The build environment has no crates.io access and the workspace
+//! forbids `unsafe`, so this shim cannot talk to the OS readiness
+//! facilities (`epoll`/`kqueue`) the real crate wraps. It preserves the
+//! *contract* instead: [`Poll::poll`] is a **readiness hint** generator —
+//! it parks the caller for a bounded tick and then reports every
+//! registered source ready for its registered interests. The real `mio`
+//! documents exactly this obligation on callers ("spurious events" are
+//! allowed; a ready event is a hint to *attempt* the operation and
+//! handle [`std::io::ErrorKind::WouldBlock`]), so code written against
+//! this shim is also correct against the real crate — it just wakes on
+//! a timer instead of on the kernel's edge.
+//!
+//! Sockets in [`net`] are thin wrappers over `std::net` with
+//! `set_nonblocking(true)` applied, so `accept`/`read`/`write` return
+//! `WouldBlock` rather than parking the event loop, exactly as mio's
+//! do.
+//!
+//! Subset implemented: [`Token`], [`Interest`], [`Events`],
+//! [`event::Event`], [`event::Source`], [`Poll`], [`Registry`], and
+//! [`net::TcpListener`] / [`net::TcpStream`].
+
+#![forbid(unsafe_code)]
+
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Associates readiness events with the source that was registered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Token(pub usize);
+
+/// Interest set a source is registered with (readable and/or writable).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest(u8);
+
+impl Interest {
+    pub const READABLE: Interest = Interest(0b01);
+    pub const WRITABLE: Interest = Interest(0b10);
+
+    /// Union of two interest sets.
+    #[must_use]
+    pub const fn add(self, other: Interest) -> Interest {
+        Interest(self.0 | other.0)
+    }
+
+    pub const fn is_readable(self) -> bool {
+        self.0 & Self::READABLE.0 != 0
+    }
+
+    pub const fn is_writable(self) -> bool {
+        self.0 & Self::WRITABLE.0 != 0
+    }
+}
+
+impl std::ops::BitOr for Interest {
+    type Output = Interest;
+    fn bitor(self, rhs: Interest) -> Interest {
+        self.add(rhs)
+    }
+}
+
+pub mod event {
+    use super::{Interest, Registry, Token};
+    use std::io;
+
+    /// A single readiness event: the registered token plus which of the
+    /// registered interests are (hinted) ready.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Event {
+        pub(crate) token: Token,
+        pub(crate) interest: Interest,
+    }
+
+    impl Event {
+        pub fn token(&self) -> Token {
+            self.token
+        }
+
+        pub fn is_readable(&self) -> bool {
+            self.interest.is_readable()
+        }
+
+        pub fn is_writable(&self) -> bool {
+            self.interest.is_writable()
+        }
+    }
+
+    /// An I/O source that can be registered with a [`Registry`].
+    ///
+    /// In this shim registration is pure bookkeeping (there is no OS
+    /// selector to attach a descriptor to), so the default-style
+    /// implementations on the `net` types simply record the token and
+    /// interest in the registry's table.
+    pub trait Source {
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()>;
+
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()>;
+
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()>;
+    }
+}
+
+/// A collection of readiness events filled by [`Poll::poll`].
+#[derive(Debug)]
+pub struct Events {
+    capacity: usize,
+    events: Vec<event::Event>,
+}
+
+impl Events {
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            capacity: capacity.max(1),
+            events: Vec::new(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, event::Event> {
+        self.events.iter()
+    }
+
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl<'a> IntoIterator for &'a Events {
+    type Item = &'a event::Event;
+    type IntoIter = std::slice::Iter<'a, event::Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryState {
+    /// `(token, interests)` per live registration, registration order.
+    entries: Vec<(Token, Interest)>,
+}
+
+/// Handle used to register sources with a [`Poll`] instance.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    state: Arc<Mutex<RegistryState>>,
+}
+
+impl Registry {
+    pub fn register<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        source.register(self, token, interests)
+    }
+
+    pub fn reregister<S: event::Source + ?Sized>(
+        &self,
+        source: &mut S,
+        token: Token,
+        interests: Interest,
+    ) -> io::Result<()> {
+        source.reregister(self, token, interests)
+    }
+
+    pub fn deregister<S: event::Source + ?Sized>(&self, source: &mut S) -> io::Result<()> {
+        source.deregister(self)
+    }
+
+    /// Try to clone the registry handle (matches the real crate's API;
+    /// cloning the inner `Arc` cannot fail here).
+    pub fn try_clone(&self) -> io::Result<Registry> {
+        Ok(self.clone())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryState> {
+        // A panic while holding this mutex is a shim bug, not a caller
+        // state: recover the table rather than poisoning the event loop.
+        self.state.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn add(&self, token: Token, interests: Interest) -> io::Result<()> {
+        let mut st = self.lock();
+        if st.entries.iter().any(|(t, _)| *t == token) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "token already registered",
+            ));
+        }
+        st.entries.push((token, interests));
+        Ok(())
+    }
+
+    fn update(&self, token: Token, interests: Interest) -> io::Result<()> {
+        let mut st = self.lock();
+        match st.entries.iter_mut().find(|(t, _)| *t == token) {
+            Some(entry) => {
+                entry.1 = interests;
+                Ok(())
+            }
+            None => Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "token not registered",
+            )),
+        }
+    }
+
+    fn remove(&self, token: Token) -> io::Result<()> {
+        let mut st = self.lock();
+        let before = st.entries.len();
+        st.entries.retain(|(t, _)| *t != token);
+        if st.entries.len() == before {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                "token not registered",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Polls registered sources for readiness.
+///
+/// This shim has no OS selector: `poll` sleeps for at most the given
+/// timeout (bounded by a small tick so shutdown stays responsive) and
+/// then reports **every** registered source ready for its registered
+/// interests. That is a valid — maximally spurious — implementation of
+/// mio's level-triggered hint contract; callers must already tolerate
+/// `WouldBlock` on the subsequent operation.
+#[derive(Debug)]
+pub struct Poll {
+    registry: Registry,
+}
+
+/// The sleep quantum `poll` uses when the caller passes a long or
+/// absent timeout, keeping the loop responsive to cross-thread state
+/// changes (new writes queued, shutdown requested) that a real selector
+/// would surface as wakeups.
+const TICK: Duration = Duration::from_millis(1);
+
+impl Poll {
+    pub fn new() -> io::Result<Poll> {
+        Ok(Poll {
+            registry: Registry {
+                state: Arc::new(Mutex::new(RegistryState::default())),
+            },
+        })
+    }
+
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Block for up to `timeout` (or one tick when `None`), then fill
+    /// `events` with a readiness hint per registered source.
+    pub fn poll(&mut self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        events.clear();
+        let wait = timeout.unwrap_or(TICK).min(TICK);
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+        let st = self.registry.lock();
+        for &(token, interest) in st.entries.iter().take(events.capacity) {
+            events.events.push(event::Event { token, interest });
+        }
+        Ok(())
+    }
+}
+
+pub mod net {
+    use super::{event, Interest, Registry, Token};
+    use std::io::{self, Read, Write};
+    use std::net::{self, SocketAddr, ToSocketAddrs};
+
+    /// Registration bookkeeping shared by both socket types: remembers
+    /// the token this source was registered under so `deregister` can
+    /// find it.
+    #[derive(Debug, Default)]
+    struct Registration {
+        token: Option<Token>,
+    }
+
+    impl Registration {
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            registry.add(token, interests)?;
+            self.token = Some(token);
+            Ok(())
+        }
+
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            if let Some(old) = self.token {
+                if old != token {
+                    registry.remove(old)?;
+                    registry.add(token, interests)?;
+                    self.token = Some(token);
+                    return Ok(());
+                }
+            }
+            registry.update(token, interests)?;
+            self.token = Some(token);
+            Ok(())
+        }
+
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+            match self.token.take() {
+                Some(token) => registry.remove(token),
+                None => Err(io::Error::new(
+                    io::ErrorKind::NotFound,
+                    "source was never registered",
+                )),
+            }
+        }
+    }
+
+    /// A non-blocking TCP listener.
+    #[derive(Debug)]
+    pub struct TcpListener {
+        inner: net::TcpListener,
+        registration: Registration,
+    }
+
+    impl TcpListener {
+        /// Bind and switch to non-blocking mode: `accept` returns
+        /// `WouldBlock` instead of parking when no peer is pending.
+        pub fn bind(addr: SocketAddr) -> io::Result<TcpListener> {
+            let inner = net::TcpListener::bind(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpListener {
+                inner,
+                registration: Registration::default(),
+            })
+        }
+
+        pub fn accept(&self) -> io::Result<(TcpStream, SocketAddr)> {
+            let (stream, addr) = self.inner.accept()?;
+            stream.set_nonblocking(true)?;
+            Ok((
+                TcpStream {
+                    inner: stream,
+                    registration: Registration::default(),
+                },
+                addr,
+            ))
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+    }
+
+    impl event::Source for TcpListener {
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            self.registration.register(registry, token, interests)
+        }
+
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            self.registration.reregister(registry, token, interests)
+        }
+
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+            self.registration.deregister(registry)
+        }
+    }
+
+    /// A non-blocking TCP stream.
+    #[derive(Debug)]
+    pub struct TcpStream {
+        inner: net::TcpStream,
+        registration: Registration,
+    }
+
+    impl TcpStream {
+        /// Open a connection and switch it to non-blocking mode.
+        ///
+        /// Unlike the real crate this connects *synchronously* (std has
+        /// no portable safe non-blocking connect); by the time the
+        /// stream is returned it is writable, which only strengthens
+        /// the readiness hints [`super::Poll::poll`] hands out.
+        pub fn connect(addr: SocketAddr) -> io::Result<TcpStream> {
+            let inner = net::TcpStream::connect(addr)?;
+            inner.set_nonblocking(true)?;
+            Ok(TcpStream {
+                inner,
+                registration: Registration::default(),
+            })
+        }
+
+        pub fn peer_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.peer_addr()
+        }
+
+        pub fn local_addr(&self) -> io::Result<SocketAddr> {
+            self.inner.local_addr()
+        }
+
+        pub fn shutdown(&self, how: net::Shutdown) -> io::Result<()> {
+            self.inner.shutdown(how)
+        }
+
+        /// Adopt an already-connected `std` stream (used by callers
+        /// that accept via `std` or hold streams from elsewhere).
+        pub fn from_std(stream: net::TcpStream) -> TcpStream {
+            let _ = stream.set_nonblocking(true);
+            TcpStream {
+                inner: stream,
+                registration: Registration::default(),
+            }
+        }
+    }
+
+    impl Read for TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            self.inner.read(buf)
+        }
+    }
+
+    impl Read for &TcpStream {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            (&self.inner).read(buf)
+        }
+    }
+
+    impl Write for TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.inner.write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            self.inner.flush()
+        }
+    }
+
+    impl Write for &TcpStream {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            (&self.inner).write(buf)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            (&self.inner).flush()
+        }
+    }
+
+    impl event::Source for TcpStream {
+        fn register(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            self.registration.register(registry, token, interests)
+        }
+
+        fn reregister(
+            &mut self,
+            registry: &Registry,
+            token: Token,
+            interests: Interest,
+        ) -> io::Result<()> {
+            self.registration.reregister(registry, token, interests)
+        }
+
+        fn deregister(&mut self, registry: &Registry) -> io::Result<()> {
+            self.registration.deregister(registry)
+        }
+    }
+
+    /// Helper used by tests and the `ToSocketAddrs`-style call sites:
+    /// resolve a `host:port` string to the first address.
+    pub fn first_addr(spec: &str) -> io::Result<SocketAddr> {
+        spec.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidInput, "address resolved to nothing")
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn interest_algebra() {
+        let both = Interest::READABLE | Interest::WRITABLE;
+        assert!(both.is_readable() && both.is_writable());
+        assert!(!Interest::READABLE.is_writable());
+        assert!(!Interest::WRITABLE.is_readable());
+    }
+
+    #[test]
+    fn registration_lifecycle_and_readiness_hints() {
+        let mut poll = Poll::new().unwrap();
+        let addr = net::first_addr("127.0.0.1:0").unwrap();
+        let mut listener = net::TcpListener::bind(addr).unwrap();
+        poll.registry()
+            .register(&mut listener, Token(7), Interest::READABLE)
+            .unwrap();
+        // Double registration under the same token is an error.
+        let mut other = net::TcpListener::bind(addr).unwrap();
+        assert!(poll
+            .registry()
+            .register(&mut other, Token(7), Interest::READABLE)
+            .is_err());
+
+        let mut events = Events::with_capacity(8);
+        poll.poll(&mut events, Some(Duration::from_millis(1)))
+            .unwrap();
+        let ev = events.iter().find(|e| e.token() == Token(7)).unwrap();
+        assert!(ev.is_readable() && !ev.is_writable());
+
+        poll.registry().deregister(&mut listener).unwrap();
+        poll.poll(&mut events, Some(Duration::ZERO)).unwrap();
+        assert!(events.iter().all(|e| e.token() != Token(7)));
+    }
+
+    #[test]
+    fn nonblocking_accept_and_roundtrip() {
+        let addr = net::first_addr("127.0.0.1:0").unwrap();
+        let listener = net::TcpListener::bind(addr).unwrap();
+        // No pending peer: WouldBlock, not a park.
+        match listener.accept() {
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+            other => panic!("expected WouldBlock, got {other:?}"),
+        }
+        let target = listener.local_addr().unwrap();
+        let mut client = net::TcpStream::connect(target).unwrap();
+        let (mut served, _) = loop {
+            match listener.accept() {
+                Ok(pair) => break pair,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("accept failed: {e}"),
+            }
+        };
+        client.write_all(b"ping\n").unwrap();
+        let mut buf = [0u8; 8];
+        let got = loop {
+            match served.read(&mut buf) {
+                Ok(k) => break k,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(e) => panic!("read failed: {e}"),
+            }
+        };
+        assert_eq!(&buf[..got], b"ping\n");
+    }
+}
