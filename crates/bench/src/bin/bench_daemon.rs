@@ -2,11 +2,13 @@
 //!
 //! Spins the daemon up in-process, streams a seeded mixed queue at it in
 //! two waves over real sockets (so the second wave hits a warm universe
-//! cache from the first), then drains it gracefully and reports the
-//! serving-level numbers: jobs/s end to end, warm-cache hit rate, and
-//! the predicted-vs-actual node error of the admission cost model. One
-//! malformed line and one predictively-unmeetable deadline ride along so
-//! the reject paths are exercised on every run.
+//! cache from the first), replays the first wave as a third (so repeat
+//! traffic hits the certificate cache the first wave populated), then
+//! drains it gracefully and reports the serving-level numbers: jobs/s
+//! end to end, warm-cache hit rate, memo and cert-cache traffic per 1k
+//! jobs, and the predicted-vs-actual node error of the admission cost
+//! model. One malformed line and one predictively-unmeetable deadline
+//! ride along so the reject paths are exercised on every run.
 //!
 //! Usage: `cargo run --release -p cyclecover-bench --bin bench_daemon
 //! [-- --jobs N] [--workers N] [--quick] [--json]`
@@ -17,7 +19,7 @@
 //! at the default queue depth.
 
 use cyclecover_io::json::{request_to_json, to_single_line, SolveJob};
-use cyclecover_service::{Daemon, DaemonConfig, DaemonStats};
+use cyclecover_service::{CertCache, Daemon, DaemonConfig, DaemonStats};
 use cyclecover_solver::api::Objective;
 use cyclecover_solver::lower_bound::rho_formula;
 use rand::rngs::StdRng;
@@ -90,7 +92,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(7001);
     let queue = build_queue(jobs, max_n, &mut rng);
 
-    let daemon = Daemon::bind(
+    let mut daemon = Daemon::bind(
         "127.0.0.1:0".parse().unwrap(),
         DaemonConfig {
             workers,
@@ -98,6 +100,12 @@ fn main() {
         },
     )
     .expect("bind loopback");
+    // An in-memory certificate cache (no save path): wave 3 replays wave
+    // 1's lines, and the terminal complete-spec certificates among them
+    // answer from the cache with zero kernel nodes. Cache-served answers
+    // carry no prediction, so the admission model's exact
+    // predicted-vs-actual accounting below is undisturbed.
+    daemon.set_cert_cache(CertCache::new(), None);
     let addr = daemon.local_addr().expect("local addr");
     let server = std::thread::spawn(move || daemon.run());
 
@@ -117,6 +125,11 @@ fn main() {
     second.push(to_single_line(&request_to_json(&doomed)));
     let (answers2, wall2) = wave(addr, &second);
 
+    // Wave 3: replay wave 1's well-formed lines verbatim — the repeat
+    // traffic the certificate cache exists for. Complete-spec terminal
+    // certificates from wave 1 answer without touching the kernel.
+    let (answers3, wall3) = wave(addr, &queue[..mid]);
+
     // Graceful drain; the final stats document is the daemon's answer.
     let (drain, _) = wave(addr, &[
         r#"{"format": "cyclecover-control", "version": 1, "op": "shutdown"}"#.to_string(),
@@ -126,20 +139,28 @@ fn main() {
     let stats = server.join().expect("daemon thread");
 
     // Exactly one terminal document per line streamed, on both waves.
+    let total_jobs = (jobs + mid) as u64;
     assert_eq!(answers1.len(), first.len(), "wave 1 answers");
     assert_eq!(answers2.len(), second.len(), "wave 2 answers");
+    assert_eq!(answers3.len(), mid, "wave 3 answers");
     assert_eq!(stats.rejected_parse, 1, "the malformed line");
     assert_eq!(stats.rejected_predicted, 1, "only the doomed deadline");
-    assert_eq!(stats.jobs_received, jobs as u64, "all well-formed jobs admitted");
-    assert_eq!(stats.jobs_answered, jobs as u64, "every admitted job answered");
+    assert_eq!(stats.jobs_received, total_jobs, "all well-formed jobs admitted");
+    assert_eq!(stats.jobs_answered, total_jobs, "every admitted job answered");
     assert_eq!(stats.unstarted, 0, "graceful drain left nothing behind");
     assert_eq!(stats.rejected_overload, 0, "clean run hit the global queue bound");
     assert_eq!(stats.stalls, 0, "clean run tripped backpressure");
     assert_eq!(reported.jobs_answered, stats.jobs_answered, "wire stats agree");
-    assert!(stats.generations >= 2, "two waves, two generations minimum");
+    assert!(stats.generations >= 3, "three waves, three generations minimum");
     assert!(stats.warm_universe_hits > 0, "wave 2 never reused a universe");
+    assert!(
+        stats.cert_cache_hits > 0,
+        "wave 3's replayed certifications never hit the certificate cache"
+    );
+    assert!(stats.cert_cache_entries > 0, "wave 1 recorded no certificates");
+    assert_eq!(stats.shared_hits, 0, "sharing is opt-in; the daemon default is off");
 
-    let serving = (wall1 + wall2).as_secs_f64();
+    let serving = (wall1 + wall2 + wall3).as_secs_f64();
     let jobs_per_s = stats.jobs_answered as f64 / serving.max(1e-9);
     let warm_rate = stats.warm_universe_hits as f64
         / (stats.warm_universe_lookups.max(1)) as f64;
@@ -151,6 +172,10 @@ fn main() {
         0.0
     };
 
+    // Memo and certificate-cache traffic, normalized per 1k answered
+    // jobs so runs of different sizes compare.
+    let per_1k = |v: u64| v as f64 * 1000.0 / stats.jobs_answered.max(1) as f64;
+
     if as_json {
         println!(
             "{{\"format\": \"cyclecover-bench-daemon\", \"version\": 1, \
@@ -158,8 +183,10 @@ fn main() {
              \"warm_hit_rate\": {:.3}, \"predicted_jobs\": {}, \
              \"predicted_nodes\": {}, \"actual_nodes\": {}, \
              \"predicted_rel_err\": {:.4}, \"rejected_parse\": {}, \
-             \"rejected_predicted\": {}, \"generations\": {}}}",
-            jobs,
+             \"rejected_predicted\": {}, \"generations\": {}, \
+             \"memo_hits_per_1k\": {:.1}, \"shared_hits_per_1k\": {:.1}, \
+             \"cert_cache_hits_per_1k\": {:.1}, \"cert_cache_entries\": {}}}",
+            total_jobs,
             stats.jobs_answered,
             jobs_per_s,
             warm_rate,
@@ -170,13 +197,17 @@ fn main() {
             stats.rejected_parse,
             stats.rejected_predicted,
             stats.generations,
+            per_1k(stats.memo_hits),
+            per_1k(stats.shared_hits),
+            per_1k(stats.cert_cache_hits),
+            stats.cert_cache_entries,
         );
         return;
     }
-    println!("bench_daemon — streamed mixed workload (seeded, n <= {max_n}, 2 waves)");
+    println!("bench_daemon — streamed mixed workload (seeded, n <= {max_n}, 3 waves)");
     println!(
         "jobs: {} streamed, {} answered, {} parse-rejected, {} predicted-unmeetable",
-        jobs, stats.jobs_answered, stats.rejected_parse, stats.rejected_predicted
+        total_jobs, stats.jobs_answered, stats.rejected_parse, stats.rejected_predicted
     );
     println!(
         "throughput: {:.1} jobs/s end-to-end over TCP ({:.1} ms serving wall, {workers} worker(s))",
@@ -195,6 +226,13 @@ fn main() {
         stats.predicted_nodes,
         stats.actual_nodes,
         rel_err * 100.0
+    );
+    println!(
+        "memo, per 1k jobs: {:.1} memo hits, {:.1} shared hits, {:.1} cert-cache hits ({} certificates cached)",
+        per_1k(stats.memo_hits),
+        per_1k(stats.shared_hits),
+        per_1k(stats.cert_cache_hits),
+        stats.cert_cache_entries,
     );
     println!(
         "generations: {}, connections: {} accepted / {} closed, stalls: {}, overload: {}",

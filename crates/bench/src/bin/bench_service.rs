@@ -25,8 +25,8 @@
 
 use cyclecover_graph::Graph;
 use cyclecover_io::json::SolveJob;
-use cyclecover_service::{batch_summary_json, FaultPlan, ServiceConfig, SolveService};
-use cyclecover_solver::api::Objective;
+use cyclecover_service::{batch_summary_json, CertCache, FaultPlan, ServiceConfig, SolveService};
+use cyclecover_solver::api::{Objective, SymmetryMode};
 use cyclecover_solver::lower_bound::rho_formula;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -89,6 +89,18 @@ fn build_queue(count: usize, max_n: u32, rng: &mut StdRng) -> Vec<SolveJob> {
     let mut doomed = SolveJob::new("doomed", max_n);
     doomed.deadline_ms = Some(0);
     jobs.push(doomed);
+    // A refutation/certification pair with the dihedral reduction off —
+    // the one shape in this size range whose search does real memo work,
+    // so the memo columns (and --shared-memo's cross-job reuse) measure
+    // something: under a shared store the certification reuses the
+    // refutation's entries.
+    let mut refute = SolveJob::new("refute-off-8", 8);
+    refute.objective = Objective::WithinBudget(rho_formula(8) as u32 - 1);
+    refute.symmetry = Some(SymmetryMode::Off);
+    jobs.push(refute);
+    let mut certify = SolveJob::new("certify-off-8", 8);
+    certify.symmetry = Some(SymmetryMode::Off);
+    jobs.push(certify);
     jobs
 }
 
@@ -98,6 +110,7 @@ fn main() {
     let mut workers = 1usize;
     let mut cache_mb = 64usize;
     let mut as_json = false;
+    let mut shared_memo = false;
     let mut fault_plan: Option<FaultPlan> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -109,6 +122,7 @@ fn main() {
             }
             "--quick" => jobs = 20,
             "--json" => as_json = true,
+            "--shared-memo" => shared_memo = true,
             "--fault-plan" => {
                 let path: &str = it.next().expect("--fault-plan plan.json");
                 let text = std::fs::read_to_string(path).expect("readable fault plan");
@@ -125,13 +139,15 @@ fn main() {
         workers,
         cache_bytes: cache_mb << 20,
         backoff_base_ms: 0,
+        shared_memo,
         ..ServiceConfig::default()
     });
+    service.set_cert_cache(CertCache::new());
     let faulted = fault_plan.is_some();
     if let Some(plan) = fault_plan {
         service.set_fault_plan(plan);
     }
-    for job in queue {
+    for job in queue.clone() {
         service.submit(job).expect("generated jobs are admissible");
     }
     let report = service.drain();
@@ -140,6 +156,14 @@ fn main() {
         print!("{}", batch_summary_json(&report));
         return;
     }
+
+    // Replay pass: the identical queue against the now-warm certificate
+    // cache — the repeat-traffic shape the persistent cache exists for.
+    // Terminal complete-spec certificates answer with zero kernel nodes.
+    for job in queue {
+        service.submit(job).expect("replayed jobs are admissible");
+    }
+    let replay = service.drain();
     let st = &report.stats;
     println!("bench_service — mixed workload queue (seeded, n <= {max_n})");
     println!(
@@ -178,6 +202,24 @@ fn main() {
         per_1k(st.failed as u64),
         per_1k(st.quarantined as u64),
     );
+    // Memo columns, same per-1k normalization: the cold pass shows the
+    // refutation store's traffic ("shared" engages only under
+    // --shared-memo); the replay pass shows the certificate cache
+    // answering repeat traffic without the kernel.
+    let rp = &replay.stats;
+    let rp_1k = |v: u64| v as f64 * 1000.0 / rp.submitted.max(1) as f64;
+    println!(
+        "memo (cold pass), per 1k jobs: {:.1} memo hits, {:.1} shared hits, {:.1} cert-cache hits",
+        per_1k(st.memo_hits),
+        per_1k(st.shared_hits),
+        per_1k(st.cert_cache_hits as u64),
+    );
+    println!(
+        "memo (replay pass), per 1k jobs: {:.1} memo hits, {:.1} shared hits, {:.1} cert-cache hits",
+        rp_1k(rp.memo_hits),
+        rp_1k(rp.shared_hits),
+        rp_1k(rp.cert_cache_hits as u64),
+    );
     for e in &st.engines {
         println!(
             "engine {:16} {:4} solves, {:4} jobs served, {:10} nodes",
@@ -190,6 +232,16 @@ fn main() {
     assert!(st.coalesced > 0, "no coalescing in the mixed queue");
     assert_eq!(st.expired, 1, "the doomed job must expire");
     assert_eq!(st.errors, 0, "admission errors in the generated queue");
+    assert_eq!(st.cert_cache_hits, 0, "a cold cache cannot hit");
+    assert!(
+        rp.cert_cache_hits > 0,
+        "the replayed queue never hit the certificate cache"
+    );
+    if shared_memo {
+        assert!(st.shared_hits > 0, "--shared-memo engaged no cross-job reuse");
+    } else {
+        assert_eq!(st.shared_hits, 0, "sharing is opt-in; the default must not engage it");
+    }
     if faulted {
         assert!(
             st.faults_injected > 0,

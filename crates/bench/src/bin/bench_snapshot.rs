@@ -13,8 +13,12 @@
 //!   (±0 nodes) — the iterative core and the memo machinery are
 //!   zero-cost when disabled;
 //! * the `Root` + memo-on rows are the engine-default configuration; the
-//!   ρ(10) witness row carries this PR's acceptance ceiling (≤ 400,000
-//!   nodes vs the 770,227 of BENCH_3.json);
+//!   ρ(10) witness row carries the shared-store PR's acceptance ceiling
+//!   (≤ 235,000 nodes vs the 252,472 per-probe-private total of BENCH_5
+//!   and the 770,227 memo-free of BENCH_3);
+//! * the `shared` rows re-run a certification pair warm against one
+//!   request-wide [`MemoStore`]: `--check` gates a `shared_hits` floor
+//!   and that sharing never expands more nodes than the private row;
 //! * the `n = 12` row certifies the budget-18 refutation: a one-node
 //!   parity-bound proof under `Root`/`Full`, node-capped at 30M under
 //!   `Off` + memo-off where it exhausts (the pre-symmetry state).
@@ -33,8 +37,10 @@
 use cyclecover_solver::api::{
     engine_by_name, Optimality, Problem, SolveRequest, SymmetryMode,
 };
+use cyclecover_solver::bnb::{MemoStore, DEFAULT_MEMO_BYTES};
 use cyclecover_solver::lower_bound::rho_formula;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Node cap for the n = 12 budget-18 refutation probe: the pre-symmetry
@@ -53,7 +59,19 @@ const CHECK_BASELINES: [(u32, SymmetryMode, bool, bool, u64, u64); 6] = [
     (8, SymmetryMode::Root, true, false, 1, 9),
     (10, SymmetryMode::Off, false, true, 1, 13_453_767),
     (10, SymmetryMode::Root, false, false, 1, 770_227),
-    (10, SymmetryMode::Root, true, false, 1, 400_000),
+    (10, SymmetryMode::Root, true, false, 1, 235_000),
+];
+
+/// `(n, symmetry, shared_hits floor, node ceiling)` gates for the
+/// shared-store rows: the warm certification must actually answer from
+/// the cold pass's refutations (floor — small, because a root-level
+/// refutation hit ends the proof in one node), stay under a tiny
+/// absolute node budget (ceiling — warm repeats are nearly free), and —
+/// checked dynamically — expand no more nodes than the private memo-on
+/// row of the same shape.
+const SHARED_CHECKS: [(u32, SymmetryMode, u64, u64); 2] = [
+    (8, SymmetryMode::Off, 1, 100),
+    (10, SymmetryMode::Root, 1, 100),
 ];
 
 struct Row {
@@ -61,6 +79,12 @@ struct Row {
     engine: &'static str,
     symmetry: SymmetryMode,
     memo: bool,
+    /// Whether the pair ran against a warm request-wide [`MemoStore`]
+    /// (the shared-store rows) rather than a per-request-private memo.
+    shared: bool,
+    /// Hits on refutations recorded by *another* searcher generation —
+    /// zero by construction on non-shared rows.
+    shared_hits: u64,
     nodes_infeasible: u64,
     nodes_feasible: u64,
     memo_hits: u64,
@@ -115,6 +139,8 @@ fn certify(
         engine,
         symmetry,
         memo,
+        shared: false,
+        shared_hits: 0,
         nodes_infeasible: below.stats().nodes,
         nodes_feasible: at.stats().nodes,
         memo_hits: below.stats().memo_hits + at.stats().memo_hits,
@@ -123,6 +149,59 @@ fn certify(
         wall_ms: wall,
         certified,
         may_exhaust: proof_cap < u64::MAX,
+    }
+}
+
+/// The shared-store variant of [`certify`]: one request-wide
+/// [`MemoStore`] is fed by a cold certification pair, then the *same*
+/// pair runs warm against it — the recorded row. Its `shared_hits` are
+/// the cross-request reuse a per-request-private memo cannot see, and
+/// its node counts gate that reuse is a pure accelerator (never more
+/// nodes than the private memo-on row of the same shape).
+fn certify_shared(
+    engine: &'static str,
+    problem: &Problem,
+    rho: u32,
+    symmetry: SymmetryMode,
+) -> Row {
+    let n = problem.ring().n();
+    let eng = engine_by_name(engine).expect("registered engine");
+    let store = Arc::new(
+        MemoStore::new(problem.universe(), DEFAULT_MEMO_BYTES).expect("store fits"),
+    );
+    let below_req = SolveRequest::prove_infeasible(rho - 1)
+        .with_symmetry(symmetry)
+        .with_memo(true)
+        .with_memo_store(Arc::clone(&store));
+    let at_req = SolveRequest::within_budget(rho)
+        .with_symmetry(symmetry)
+        .with_memo(true)
+        .with_memo_store(Arc::clone(&store));
+    // Cold feed pass: populates the store, not recorded.
+    let _ = eng.solve(problem, &below_req);
+    let _ = eng.solve(problem, &at_req);
+    // Warm pass: the row.
+    let t0 = Instant::now();
+    let below = eng.solve(problem, &below_req);
+    let at = eng.solve(problem, &at_req);
+    let wall = t0.elapsed().as_secs_f64() * 1e3;
+    let certified = matches!(below.optimality(), Optimality::Infeasible)
+        && matches!(at.optimality(), Optimality::Feasible);
+    Row {
+        n,
+        engine,
+        symmetry,
+        memo: true,
+        shared: true,
+        shared_hits: below.stats().shared_hits + at.stats().shared_hits,
+        nodes_infeasible: below.stats().nodes,
+        nodes_feasible: at.stats().nodes,
+        memo_hits: below.stats().memo_hits + at.stats().memo_hits,
+        canon_pruned: below.stats().canon_pruned + at.stats().canon_pruned,
+        sym_factor: below.stats().sym_factor.max(at.stats().sym_factor),
+        wall_ms: wall,
+        certified,
+        may_exhaust: false,
     }
 }
 
@@ -142,15 +221,22 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut run = |row: Row| {
         println!(
-            "n={:2}  {:15} {:5} memo={:3}  {:>10.1} ms  nodes {} + {}  hits {}  canon {}  x{}  certified={}",
+            "n={:2}  {:15} {:5} memo={:6}  {:>10.1} ms  nodes {} + {}  hits {} ({} shared)  canon {}  x{}  certified={}",
             row.n,
             row.engine,
             mode_name(row.symmetry),
-            if row.memo { "on" } else { "off" },
+            if row.shared {
+                "shared"
+            } else if row.memo {
+                "on"
+            } else {
+                "off"
+            },
             row.wall_ms,
             row.nodes_infeasible,
             row.nodes_feasible,
             row.memo_hits,
+            row.shared_hits,
             row.canon_pruned,
             row.sym_factor,
             row.certified
@@ -180,6 +266,17 @@ fn main() {
             run(certify("bitset-parallel", &problem, rho, SymmetryMode::Off, false, u64::MAX));
             run(certify("bitset-parallel", &problem, rho, SymmetryMode::Root, true, u64::MAX));
             run(certify("legacy", &problem, rho, SymmetryMode::Off, false, u64::MAX));
+        }
+    }
+
+    // Shared-store rows, for the shapes whose searches do real memo work
+    // (n = 8 with the dihedral reduction off, the ρ(10) engine default):
+    // a warm certification pair over one request-wide store. Gated by
+    // `--check` on a shared-hits floor and the private-row node ceiling.
+    for (n, sym) in [(8u32, SymmetryMode::Off), (10u32, SymmetryMode::Root)] {
+        if n <= max_n {
+            let problem = Problem::complete(n);
+            run(certify_shared("bitset", &problem, rho_formula(n) as u32, sym));
         }
     }
 
@@ -221,17 +318,20 @@ fn main() {
         let _ = write!(
             json,
             "    {{\"n\": {}, \"rho\": {}, \"kernel\": \"{}\", \"symmetry\": \"{}\", \
-             \"memo\": {}, \"nodes_infeasible\": {}, \"nodes_feasible\": {}, \
-             \"memo_hits\": {}, \"canon_pruned\": {}, \"sym_factor\": {}, \
+             \"memo\": {}, \"shared\": {}, \"nodes_infeasible\": {}, \
+             \"nodes_feasible\": {}, \
+             \"memo_hits\": {}, \"shared_hits\": {}, \"canon_pruned\": {}, \"sym_factor\": {}, \
              \"wall_ms\": {:.1}, \"certified\": {}}}",
             r.n,
             rho_formula(r.n),
             r.engine,
             mode_name(r.symmetry),
             r.memo,
+            r.shared,
             r.nodes_infeasible,
             r.nodes_feasible,
             r.memo_hits,
+            r.shared_hits,
             r.canon_pruned,
             r.sym_factor,
             r.wall_ms,
@@ -261,6 +361,7 @@ fn main() {
         for (n, sym, memo, exact, proof, witness) in CHECK_BASELINES {
             let Some(row) = rows.iter().find(|r| {
                 r.n == n && r.engine == "bitset" && r.symmetry == sym && r.memo == memo
+                    && !r.shared
             }) else {
                 failures.push(format!(
                     "missing row n={n} bitset {} memo={memo}",
@@ -288,6 +389,45 @@ fn main() {
                     witness,
                     if exact { "exact" } else { "ceiling" }
                 ));
+            }
+        }
+        // Shared-store gates: the warm pair must visibly reuse the cold
+        // pass's refutations, and sharing may only *prune* — no more
+        // nodes than the private memo-on row of the same shape.
+        for (n, sym, floor, ceiling) in SHARED_CHECKS {
+            let Some(shared) = rows.iter().find(|r| {
+                r.n == n && r.engine == "bitset" && r.symmetry == sym && r.shared
+            }) else {
+                failures.push(format!("missing shared row n={n} {}", mode_name(sym)));
+                continue;
+            };
+            if shared.shared_hits < floor {
+                failures.push(format!(
+                    "n={n} {} shared: {} shared hits under the {floor} floor",
+                    mode_name(sym),
+                    shared.shared_hits
+                ));
+            }
+            let warm_total = shared.nodes_infeasible + shared.nodes_feasible;
+            if warm_total > ceiling {
+                failures.push(format!(
+                    "n={n} {} shared: {warm_total} warm nodes over the {ceiling} ceiling",
+                    mode_name(sym)
+                ));
+            }
+            if let Some(private) = rows.iter().find(|r| {
+                r.n == n && r.engine == "bitset" && r.symmetry == sym && r.memo && !r.shared
+            }) {
+                let (s, p) = (
+                    shared.nodes_infeasible + shared.nodes_feasible,
+                    private.nodes_infeasible + private.nodes_feasible,
+                );
+                if s > p {
+                    failures.push(format!(
+                        "n={n} {} shared: {s} nodes exceed the private memo row's {p}",
+                        mode_name(sym)
+                    ));
+                }
             }
         }
         assert!(

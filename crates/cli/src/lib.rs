@@ -43,7 +43,7 @@ use cyclecover_core::{construct_with_status, rho, Optimality};
 use cyclecover_io::{csv::Table, format, json, svg};
 use cyclecover_net::{audit_all_failures, compare_schemes, WdmNetwork};
 use cyclecover_service::{
-    batch_summary_json_with_rejects, daemon_stats_json, Daemon, DaemonConfig, FaultPlan,
+    batch_summary_json_with_rejects, daemon_stats_json, CertCache, Daemon, DaemonConfig, FaultPlan,
     ServiceConfig, SolveService,
 };
 use cyclecover_solver::api::{
@@ -73,7 +73,8 @@ USAGE:
                                       memory like the service universe cache)
   cyclecover serve --batch <jobs.jsonl | -> [--workers N] [--cache-mb M]
                        [--out DIR] [--retries R] [--backoff-ms B]
-                       [--fault-plan plan.json]
+                       [--fault-plan plan.json] [--shared-memo]
+                       [--cert-cache FILE]
                                      run a batch of request documents (one
                                      JSON per line; see docs/wire-format.md;
                                      `--batch -` reads the queue from stdin)
@@ -88,9 +89,16 @@ USAGE:
                                      per-job solution documents that
                                      `validate` accepts; --fault-plan
                                      injects deterministic faults for chaos
-                                     testing
+                                     testing; --shared-memo shares one
+                                     refutation store across a generation's
+                                     workers and jobs; --cert-cache loads/
+                                     saves a persistent certificate cache
+                                     (repeat identical requests answer with
+                                     zero search nodes, re-validated on
+                                     load — never trusted blindly)
   cyclecover serve --listen <ip:port> [--workers N] [--cache-mb M]
                        [--max-conns C] [--queue-depth Q]
+                       [--shared-memo] [--cert-cache FILE]
                                      run the always-on solve daemon: accept
                                      connections, stream newline-delimited
                                      request documents in and solution/
@@ -289,6 +297,19 @@ fn run_solve(args: &[String]) -> Result<String, String> {
 }
 
 
+/// Loads a persisted certificate cache for `serve --cert-cache`. A
+/// missing file is an empty cache (first run creates it); an unreadable
+/// or structurally-broken document is an error, but individually
+/// tampered entries inside a well-formed document are dropped and
+/// counted by the cache itself (see `docs/robustness.md`).
+fn load_cert_cache(path: &str) -> Result<CertCache, String> {
+    match std::fs::read_to_string(path) {
+        Ok(text) => CertCache::from_json(&text).map_err(|e| format!("{path}: {e}")),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(CertCache::new()),
+        Err(e) => Err(format!("cannot read {path}: {e}")),
+    }
+}
+
 /// Runs the `serve` subcommand in one of two modes: `--batch` pushes a
 /// `.jsonl` file (or stdin, with `-`) through [`SolveService`] and
 /// returns the batch summary JSON; `--listen` runs the always-on
@@ -306,6 +327,8 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut fault_plan: Option<String> = None;
     let mut retries: Option<u32> = None;
     let mut backoff_ms: Option<u64> = None;
+    let mut shared_memo = false;
+    let mut cert_cache_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(flag) = it.next() {
         let mut value = |what: &str| {
@@ -346,6 +369,8 @@ fn run_serve(args: &[String]) -> Result<String, String> {
                 queue_depth = Some(depth);
             }
             "--out" => out_dir = Some(value("a directory")?),
+            "--shared-memo" => shared_memo = true,
+            "--cert-cache" => cert_cache_path = Some(value("a cache file")?),
             "--fault-plan" => fault_plan = Some(value("a fault-plan JSON file")?),
             "--retries" => {
                 retries = Some(
@@ -392,8 +417,15 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         if let Some(q) = queue_depth {
             config.queue_depth = q;
         }
-        let daemon =
+        let mut daemon =
             Daemon::bind(addr, config).map_err(|e| format!("cannot listen on {addr_spec}: {e}"))?;
+        daemon.set_shared_memo(shared_memo);
+        if let Some(path) = cert_cache_path {
+            daemon.set_cert_cache(
+                load_cert_cache(&path)?,
+                Some(std::path::PathBuf::from(&path)),
+            );
+        }
         let bound = daemon.local_addr().map_err(|e| format!("local addr: {e}"))?;
         // Announce the port before blocking — `--listen 127.0.0.1:0`
         // binds an ephemeral port and scripts scrape this line.
@@ -418,6 +450,7 @@ fn run_serve(args: &[String]) -> Result<String, String> {
     let mut config = ServiceConfig {
         workers,
         cache_bytes: cache_mb.saturating_mul(1 << 20),
+        shared_memo,
         ..ServiceConfig::default()
     };
     if let Some(r) = retries {
@@ -427,6 +460,9 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         config.backoff_base_ms = ms;
     }
     let mut service = SolveService::new(config);
+    if let Some(path) = &cert_cache_path {
+        service.set_cert_cache(load_cert_cache(path)?);
+    }
     if let Some(plan_path) = fault_plan {
         let plan_text = std::fs::read_to_string(&plan_path)
             .map_err(|e| format!("cannot read {plan_path}: {e}"))?;
@@ -454,6 +490,11 @@ fn run_serve(args: &[String]) -> Result<String, String> {
         return Err(format!("{path}: no request documents admitted{detail}"));
     }
     let report = service.drain();
+    if let Some(path) = &cert_cache_path {
+        if let Some(doc) = service.cert_cache_json() {
+            std::fs::write(path, doc).map_err(|e| format!("cannot write {path}: {e}"))?;
+        }
+    }
     if let Some(dir) = out_dir {
         std::fs::create_dir_all(&dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
         for job in &report.jobs {

@@ -42,6 +42,8 @@
 //! | `max_nodes` | no | search-node budget for the whole request |
 //! | `deadline_ms` | no | wall-clock deadline in milliseconds, **measured from batch start**: the scheduler admits the job only while `now < start + deadline_ms`, and an admitted job runs with the remaining slice; an expired job is reported `budget_exhausted`/`deadline` without running |
 //! | `symmetry` | no | `"off"`, `"root"`, or `"full"`; absent = the engine default (`root` for exact engines) |
+//! | `memo` | no | boolean: enable/disable the refutation-store memo; absent or `null` = the engine default (on for exact engines) |
+//! | `memo_mb` | no | refutation-store byte budget in MiB (`≥ 1`); absent = the engine default (32 MiB) |
 //! | `fallback` | no | array of engine registry names forming the degradation ladder: when the primary `engine` exhausts its budget (or fails), a scheduler may re-dispatch down this chain in order, and the answer carries an honest `degraded` record; absent or `null` = no fallback |
 //!
 //! `(n, max_len, max_gap)` is the **universe key**: jobs agreeing on it
@@ -63,11 +65,12 @@
 //! | `version` | `1` |
 //! | `n` | ring size the problem was solved on |
 //! | `engine` | registry name of the engine that answered (`"service"` when a scheduler rejected the job unrun) |
+//! | `cached` | boolean: `true` when the answer was served from a persisted certificate cache — no kernel ran and the stats are all-zero; `false` for every freshly-computed answer |
 //! | `optimality` | the certificate object, below |
 //! | `degraded` | `null` for a direct engine answer; otherwise `{"from": E1, "to": E2, "reason": R}` — a scheduler walked the request's `fallback` ladder and engine `E2` answered instead of the requested `E1`. `R` is `"panicked"` or one of the `budget_exhausted` reason strings (why `E1` was abandoned) |
 //! | `size` | number of cycles, or `null` when no covering is carried |
 //! | `cycles` | array of cycles (each an array of ring vertices), or `null` |
-//! | `stats` | `{nodes, pruned, dominated, sym_pruned, canon_pruned, memo_hits, memo_entries, symmetry_factor, budgets_tried, attempts, wall_ms}`; `wall_ms` is a float; `attempts` counts engine dispatches (1 = direct solve, more under a retrying/degrading scheduler, 0 = never started) |
+//! | `stats` | `{nodes, pruned, dominated, sym_pruned, canon_pruned, memo_hits, shared_hits, memo_entries, symmetry_factor, budgets_tried, attempts, wall_ms}`; `wall_ms` is a float; `attempts` counts engine dispatches (1 = direct solve, more under a retrying/degrading scheduler, 0 = never started); `shared_hits` is the subset of `memo_hits` landing on refutations another searcher recorded (an earlier deepening probe, a parallel worker, or — under a shared store — another request) |
 //!
 //! `optimality.kind` is one of:
 //!
@@ -100,6 +103,35 @@
 //! boundary; receivers that need coverage checked against a partial
 //! spec must keep the request document alongside. Carrying the spec in
 //! the solution document is a planned v2 addition.
+//!
+//! # Certificate-cache documents — `"format": "cyclecover-certificate-cache"` (version 1)
+//!
+//! The service's persisted answer store (`serve --cert-cache FILE`): a
+//! repeat wire-identical request is answered from here with zero kernel
+//! nodes, marked `"cached": true`. Built and parsed by
+//! `cyclecover_service::CertCache`; the shape is normative here because
+//! it is a wire document like the other two.
+//!
+//! | field | required | meaning |
+//! |-------|----------|---------|
+//! | `format` | yes | the string `"cyclecover-certificate-cache"` |
+//! | `version` | yes | `1` |
+//! | `entries` | yes | array of `{"key": K, "solution": S}` objects |
+//!
+//! `K` is the request's **coalescing key**: its `cyclecover-request`
+//! document re-serialized with `id` and `deadline_ms` blanked (the same
+//! key the batch scheduler coalesces duplicate jobs under). `S` is the
+//! single-line `cyclecover-solution` document originally emitted for
+//! that request. Only terminal verdicts are persisted (`optimal`,
+//! `infeasible`, never degraded); on load every entry is re-validated —
+//! the key must re-parse as a request, the verdict must be cacheable,
+//! and an `optimal` covering must re-pass the DRC and coverage checks
+//! ([`certificate_from_solution_json`]) — and entries that fail are
+//! dropped individually, never trusted. Caching is sound for
+//! complete-`K_n` requests only (the v1 limitation above: a solution
+//! document cannot be coverage-checked against a partial spec), so the
+//! service records and serves cache entries only for jobs with
+//! `requests` absent.
 //!
 //! A round trip:
 //!
@@ -176,6 +208,7 @@ fn solution_json_inner(sol: &Solution, id: Option<&str>, predicted_nodes: Option
     }
     let _ = writeln!(s, "  \"n\": {},", sol.ring().n());
     let _ = writeln!(s, "  \"engine\": {},", quote(sol.stats().engine));
+    let _ = writeln!(s, "  \"cached\": {},", sol.cached());
     let _ = writeln!(s, "  \"optimality\": {},", optimality_json(sol.optimality()));
     match sol.degraded() {
         Some(d) => {
@@ -223,7 +256,7 @@ fn solution_json_inner(sol: &Solution, id: Option<&str>, predicted_nodes: Option
         s,
         "  \"stats\": {{\"nodes\": {}, \"pruned\": {}, \"dominated\": {}, \
          \"sym_pruned\": {}, \"canon_pruned\": {}, \"memo_hits\": {}, \
-         \"memo_entries\": {}, \"symmetry_factor\": {}, \
+         \"shared_hits\": {}, \"memo_entries\": {}, \"symmetry_factor\": {}, \
          \"budgets_tried\": {}, \"attempts\": {}, \"wall_ms\": {:.3}}}",
         st.nodes,
         st.pruned,
@@ -231,6 +264,7 @@ fn solution_json_inner(sol: &Solution, id: Option<&str>, predicted_nodes: Option
         st.sym_pruned,
         st.canon_pruned,
         st.memo_hits,
+        st.shared_hits,
         st.memo_entries,
         st.sym_factor,
         st.budgets_tried,
@@ -359,6 +393,14 @@ impl Json {
     pub fn as_num(&self) -> Option<f64> {
         match self {
             Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -573,6 +615,109 @@ pub fn covering_from_solution_json(text: &str) -> Result<DrcCovering, String> {
     Ok(DrcCovering::from_tiles(ring, tiles))
 }
 
+/// A solution document re-validated far enough to be served as a cached
+/// certificate: only terminal verdicts (`optimal`/`infeasible`) qualify,
+/// and a carried covering has already passed the DRC trust boundary.
+#[derive(Debug)]
+pub struct ParsedCertificate {
+    /// Ring size the certificate answers.
+    pub n: u32,
+    /// Registry name of the engine that originally produced it.
+    pub engine: String,
+    /// The verdict (`Optimal { .. }` or `Infeasible`, nothing else).
+    pub optimality: Optimality,
+    /// The re-validated covering, exactly when the verdict carries one.
+    pub covering: Option<DrcCovering>,
+}
+
+/// Parses a solution document into a [`ParsedCertificate`] — the trust
+/// boundary a persisted certificate cache re-crosses on every load.
+/// Accepts only the two verdicts worth caching (`optimal`, `infeasible`);
+/// an `optimal` entry must carry a covering, which is re-validated
+/// through [`covering_from_solution_json`] (so a tampered cycle list is
+/// rejected, not trusted); an `infeasible` entry must carry none.
+pub fn certificate_from_solution_json(text: &str) -> Result<ParsedCertificate, String> {
+    let doc = Json::parse(text)?;
+    match doc.get("format").and_then(Json::as_str) {
+        Some("cyclecover-solution") => {}
+        other => return Err(format!("not a cyclecover-solution document: {other:?}")),
+    }
+    let n = opt_uint(&doc, "n", u32::MAX as u64)?.ok_or("missing ring size 'n'")? as u32;
+    if n < 3 {
+        return Err(format!("ring size n = {n} must be >= 3"));
+    }
+    let engine = doc
+        .get("engine")
+        .and_then(Json::as_str)
+        .ok_or("missing 'engine'")?
+        .to_string();
+    if doc.get("degraded").is_some_and(|d| *d != Json::Null) {
+        return Err("degraded answers are not cacheable certificates".into());
+    }
+    let opt = doc.get("optimality").ok_or("missing 'optimality'")?;
+    let (optimality, covering) = match opt.get("kind").and_then(Json::as_str) {
+        Some("optimal") => {
+            let proof = opt.get("proof").ok_or("optimal verdict missing 'proof'")?;
+            let lower_bound_proof = match proof.get("kind").and_then(Json::as_str) {
+                Some("combinatorial_bound") => LowerBoundProof::CombinatorialBound {
+                    bound: opt_uint(proof, "bound", u32::MAX as u64)?
+                        .ok_or("combinatorial_bound proof missing 'bound'")?
+                        as u32,
+                },
+                Some("exhaustive_search") => LowerBoundProof::ExhaustiveSearch {
+                    infeasible_budget: opt_uint(proof, "infeasible_budget", u32::MAX as u64)?
+                        .ok_or("exhaustive_search proof missing 'infeasible_budget'")?
+                        as u32,
+                    nodes: opt_uint(proof, "nodes", u64::MAX)?
+                        .ok_or("exhaustive_search proof missing 'nodes'")?,
+                    symmetry_factor: opt_uint(proof, "symmetry_factor", u32::MAX as u64)?
+                        .ok_or("exhaustive_search proof missing 'symmetry_factor'")?
+                        as u32,
+                },
+                other => return Err(format!("bad proof kind {other:?}")),
+            };
+            let covering = covering_from_solution_json(text)?;
+            if covering.ring().n() != n {
+                return Err("covering ring disagrees with 'n'".into());
+            }
+            let proof_bound = match lower_bound_proof {
+                LowerBoundProof::CombinatorialBound { bound } => bound as usize,
+                LowerBoundProof::ExhaustiveSearch {
+                    infeasible_budget, ..
+                } => infeasible_budget as usize + 1,
+            };
+            if covering.len() != proof_bound {
+                return Err(format!(
+                    "optimal covering of {} cycles disagrees with its lower-bound proof ({})",
+                    covering.len(),
+                    proof_bound
+                ));
+            }
+            (
+                Optimality::Optimal { lower_bound_proof },
+                Some(covering),
+            )
+        }
+        Some("infeasible") => {
+            if doc.get("cycles").is_some_and(|c| *c != Json::Null) {
+                return Err("infeasible verdict must not carry a covering".into());
+            }
+            (Optimality::Infeasible, None)
+        }
+        other => {
+            return Err(format!(
+                "verdict {other:?} is not a cacheable certificate (want optimal|infeasible)"
+            ))
+        }
+    };
+    Ok(ParsedCertificate {
+        n,
+        engine,
+        optimality,
+        covering,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Request documents
 // ---------------------------------------------------------------------------
@@ -605,6 +750,11 @@ pub struct SolveJob {
     pub deadline_ms: Option<u64>,
     /// Dihedral symmetry reduction; `None` = the engine default.
     pub symmetry: Option<SymmetryMode>,
+    /// Refutation-store toggle; `None` = the engine default (on for
+    /// exact engines).
+    pub memo: Option<bool>,
+    /// Refutation-store byte budget in MiB; `None` = the engine default.
+    pub memo_mb: Option<u64>,
     /// Degradation ladder: engine names a scheduler may fall back to, in
     /// order, when the primary engine exhausts its budget or fails.
     /// Empty = no fallback.
@@ -627,6 +777,8 @@ impl SolveJob {
             max_nodes: None,
             deadline_ms: None,
             symmetry: None,
+            memo: None,
+            memo_mb: None,
             fallback: Vec::new(),
         }
     }
@@ -663,6 +815,12 @@ impl SolveJob {
         }
         if let Some(sym) = self.symmetry {
             request = request.with_symmetry(sym);
+        }
+        if let Some(memo) = self.memo {
+            request = request.with_memo(memo);
+        }
+        if let Some(mb) = self.memo_mb {
+            request = request.with_memo_budget_bytes((mb as usize) << 20);
         }
         if !self.fallback.is_empty() {
             request = request.with_fallback(self.fallback.iter().cloned());
@@ -722,6 +880,18 @@ pub fn request_to_json(job: &SolveJob) -> String {
         Some(SymmetryMode::Root) => s.push_str(", \"symmetry\": \"root\""),
         Some(SymmetryMode::Full) => s.push_str(", \"symmetry\": \"full\""),
         None => s.push_str(", \"symmetry\": null"),
+    }
+    match job.memo {
+        Some(b) => {
+            let _ = write!(s, ", \"memo\": {b}");
+        }
+        None => s.push_str(", \"memo\": null"),
+    }
+    match job.memo_mb {
+        Some(mb) => {
+            let _ = write!(s, ", \"memo_mb\": {mb}");
+        }
+        None => s.push_str(", \"memo_mb\": null"),
     }
     if job.fallback.is_empty() {
         s.push_str(", \"fallback\": null");
@@ -881,6 +1051,17 @@ pub fn request_from_json(text: &str) -> Result<SolveJob, String> {
                 other => return Err(format!("bad symmetry {other:?} (want off|root|full)")),
             });
         }
+    }
+    match doc.get("memo") {
+        None | Some(Json::Null) => {}
+        Some(Json::Bool(b)) => job.memo = Some(*b),
+        Some(_) => return Err("'memo' must be a boolean or null".into()),
+    }
+    if let Some(mb) = opt_uint(&doc, "memo_mb", u64::MAX >> 21)? {
+        if mb == 0 {
+            return Err("'memo_mb' must be >= 1".into());
+        }
+        job.memo_mb = Some(mb);
     }
     match doc.get("fallback") {
         None | Some(Json::Null) => {}

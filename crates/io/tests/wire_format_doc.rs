@@ -102,7 +102,12 @@ fn every_example_parses_and_round_trips() {
                 let op = doc.get("op").and_then(Json::as_str).expect("op");
                 assert!(["stats", "shutdown"].contains(&op), "unknown op {op:?}");
             }
-            Some("cyclecover-daemon-stats" | "cyclecover-calibration" | "cyclecover-engines") => {
+            Some(
+                "cyclecover-daemon-stats"
+                | "cyclecover-calibration"
+                | "cyclecover-certificate-cache"
+                | "cyclecover-engines",
+            ) => {
                 streaming += 1;
                 assert_eq!(version, Some(1.0), "streaming example version:\n{block}");
             }

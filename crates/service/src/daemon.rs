@@ -50,6 +50,7 @@
 //! document is the supported shutdown path and what
 //! `cyclecover client --shutdown` sends.)
 
+use crate::certs::CertCache;
 use crate::predict::{CostModel, Prediction, SAFETY_FACTOR};
 use crate::service::{ServiceConfig, SolveService};
 use cyclecover_io::json::{
@@ -61,6 +62,7 @@ use mio::{Events, Interest, Poll, Token};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -372,6 +374,18 @@ pub struct DaemonStats {
     /// Total actual nodes over those jobs (compare with
     /// `predicted_nodes` to audit the calibration table).
     pub actual_nodes: u64,
+    /// Refutation-store hits summed over every generation's kernel runs.
+    pub memo_hits: u64,
+    /// The subset of `memo_hits` landing on refutations another searcher
+    /// recorded (cross-probe, cross-worker, or — with `--shared-memo` —
+    /// cross-request).
+    pub shared_hits: u64,
+    /// Jobs answered from the persisted certificate cache with zero
+    /// kernel nodes.
+    pub cert_cache_hits: u64,
+    /// Certificates currently held by the cache (0 without
+    /// `--cert-cache`).
+    pub cert_cache_entries: u64,
     /// Daemon uptime at the snapshot.
     pub wall: Duration,
 }
@@ -421,6 +435,10 @@ impl DaemonStats {
             predicted_jobs: num(&["predicted", "jobs"])?,
             predicted_nodes: num(&["predicted", "nodes"])?,
             actual_nodes: num(&["predicted", "actual_nodes"])?,
+            memo_hits: num(&["memo", "hits"])?,
+            shared_hits: num(&["memo", "shared_hits"])?,
+            cert_cache_hits: num(&["memo", "cert_cache_hits"])?,
+            cert_cache_entries: num(&["memo", "cert_cache_entries"])?,
             wall: Duration::from_secs_f64(
                 doc.get("wall_ms")
                     .and_then(Json::as_num)
@@ -444,6 +462,8 @@ pub fn daemon_stats_json(stats: &DaemonStats) -> String {
          \"generations\": {}, \
          \"warm_universe\": {{\"lookups\": {}, \"hits\": {}}}, \
          \"predicted\": {{\"jobs\": {}, \"nodes\": {}, \"actual_nodes\": {}}}, \
+         \"memo\": {{\"hits\": {}, \"shared_hits\": {}, \"cert_cache_hits\": {}, \
+         \"cert_cache_entries\": {}}}, \
          \"wall_ms\": {:.3}}}",
         stats.connections_accepted,
         stats.connections_refused,
@@ -464,6 +484,10 @@ pub fn daemon_stats_json(stats: &DaemonStats) -> String {
         stats.predicted_jobs,
         stats.predicted_nodes,
         stats.actual_nodes,
+        stats.memo_hits,
+        stats.shared_hits,
+        stats.cert_cache_hits,
+        stats.cert_cache_entries,
         stats.wall.as_secs_f64() * 1e3,
     )
 }
@@ -591,6 +615,9 @@ pub struct Daemon {
     config: DaemonConfig,
     listener: TcpListener,
     model: Option<CostModel>,
+    shared_memo: bool,
+    cert_cache: Option<CertCache>,
+    cert_save_path: Option<PathBuf>,
 }
 
 impl Daemon {
@@ -601,6 +628,9 @@ impl Daemon {
             config,
             listener: TcpListener::bind(addr)?,
             model: Some(CostModel::builtin().clone()),
+            shared_memo: false,
+            cert_cache: None,
+            cert_save_path: None,
         })
     }
 
@@ -612,6 +642,23 @@ impl Daemon {
     /// Replaces the cost model (`None` disables predictive admission).
     pub fn set_cost_model(&mut self, model: Option<CostModel>) {
         self.model = model;
+    }
+
+    /// Turns on cross-request refutation-store sharing
+    /// ([`ServiceConfig::shared_memo`]) for the daemon's long-lived
+    /// service. Off by default: sharing improves node counts, which
+    /// breaks exact-reproduction gates on the calibrated cold baseline.
+    pub fn set_shared_memo(&mut self, on: bool) {
+        self.shared_memo = on;
+    }
+
+    /// Installs a certificate cache ([`CertCache`]) for the daemon's
+    /// service; with `save_path` set, the grown cache is written back
+    /// (whole-file, best-effort) after every dispatch generation, so
+    /// certificates survive the process.
+    pub fn set_cert_cache(&mut self, cache: CertCache, save_path: Option<PathBuf>) {
+        self.cert_cache = Some(cache);
+        self.cert_save_path = save_path;
     }
 
     /// Serves until a graceful drain completes; returns the final
@@ -628,16 +675,21 @@ impl Daemon {
         let mut service = SolveService::new(ServiceConfig {
             workers: cfg.workers,
             cache_bytes: cfg.cache_bytes,
+            shared_memo: self.shared_memo,
             ..ServiceConfig::default()
         });
         if let Some(model) = self.model.clone() {
             service.set_cost_model(model);
         }
+        if let Some(cache) = self.cert_cache.take() {
+            service.set_cert_cache(cache);
+        }
+        let cert_save = self.cert_save_path.take();
         let cancel = service.cancel_token().clone();
 
         let dispatcher = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatcher_loop(service, &shared, cfg))
+            std::thread::spawn(move || dispatcher_loop(service, &shared, cfg, cert_save))
         };
 
         let mut poll = Poll::new().expect("poll creation");
@@ -939,7 +991,12 @@ fn handle_line(
 /// The dispatcher: owns the long-lived [`SolveService`], drains the
 /// admission queue in micro-batch generations, and routes one terminal
 /// document per job back to its connection.
-fn dispatcher_loop(mut service: SolveService, shared: &Shared, cfg: DaemonConfig) {
+fn dispatcher_loop(
+    mut service: SolveService,
+    shared: &Shared,
+    cfg: DaemonConfig,
+    cert_save: Option<PathBuf>,
+) {
     let mut generation: u64 = 0;
     loop {
         // Gather a generation: wait for work, then one tick more so a
@@ -1044,6 +1101,15 @@ fn dispatcher_loop(mut service: SolveService, shared: &Shared, cfg: DaemonConfig
             out.push((conn_id, doc));
         }
 
+        // Persist the grown certificate cache before publishing the
+        // generation (whole-file, best-effort, outside the shared lock):
+        // a crash after this point loses no certificates.
+        if cert_save.is_some() {
+            if let (Some(path), Some(doc)) = (cert_save.as_ref(), service.cert_cache_json()) {
+                let _ = std::fs::write(path, doc);
+            }
+        }
+
         let (mutex, cv) = &**shared;
         let mut sh = mutex.lock().expect("daemon state poisoned");
         sh.responses.extend(out);
@@ -1056,6 +1122,12 @@ fn dispatcher_loop(mut service: SolveService, shared: &Shared, cfg: DaemonConfig
         sh.stats.predicted_jobs += predicted_jobs;
         sh.stats.predicted_nodes += predicted_nodes;
         sh.stats.actual_nodes += actual_nodes;
+        sh.stats.memo_hits += report.stats.memo_hits;
+        sh.stats.shared_hits += report.stats.shared_hits;
+        sh.stats.cert_cache_hits += report.stats.cert_cache_hits as u64;
+        if let Some((entries, _, _)) = service.cert_cache_stats() {
+            sh.stats.cert_cache_entries = entries as u64;
+        }
         cv.notify_all();
     }
 }
@@ -1177,6 +1249,10 @@ mod tests {
             predicted_jobs: 30,
             predicted_nodes: 123_456,
             actual_nodes: 120_000,
+            memo_hits: 2_000,
+            shared_hits: 150,
+            cert_cache_hits: 7,
+            cert_cache_entries: 3,
             wall: Duration::from_millis(1500),
         };
         let doc = daemon_stats_json(&stats);

@@ -62,12 +62,14 @@
 #![warn(missing_docs)]
 
 mod cache;
+mod certs;
 mod daemon;
 mod fault;
 mod predict;
 mod service;
 
 pub use cache::{CacheStats, UniverseCache, UniverseKey};
+pub use certs::CertCache;
 pub use daemon::{
     daemon_stats_json, reject_json, Daemon, DaemonConfig, DaemonStats, FramedLine, Ingest,
     IngestAction, LineFramer,

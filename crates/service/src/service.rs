@@ -52,6 +52,7 @@
 //! indices from a shared counter).
 
 use crate::cache::{CacheStats, UniverseCache, UniverseKey};
+use crate::certs::CertCache;
 use crate::fault::{FaultInjector, FaultKind};
 use crate::predict::{CostModel, Prediction};
 use cyclecover_io::json::{self, quote as json_escape, SolveJob};
@@ -60,12 +61,13 @@ use cyclecover_solver::api::{
     engine_by_name, engines, CancelReason, CancelToken, Degradation, DegradeReason, Exhaustion,
     FailureKind, Optimality, Problem, Solution,
 };
+use cyclecover_solver::bnb::MemoStore;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Service tuning knobs.
@@ -85,6 +87,13 @@ pub struct ServiceConfig {
     /// Seeds the backoff jitter (an installed
     /// [`FaultPlan`](crate::FaultPlan)'s `seed` takes precedence).
     pub retry_seed: u64,
+    /// Share one refutation store per universe key across every group
+    /// of a batch (and across batches, for a long-lived service):
+    /// near-duplicate traffic then reuses exhausted-subtree proofs
+    /// instead of rederiving them, surfacing as `shared_hits`. Off by
+    /// default — sharing changes (improves) node counts, so callers
+    /// gating on calibrated cold-memo baselines opt in explicitly.
+    pub shared_memo: bool,
 }
 
 impl Default for ServiceConfig {
@@ -97,6 +106,7 @@ impl Default for ServiceConfig {
             max_attempts: 2,
             backoff_base_ms: 25,
             retry_seed: 0,
+            shared_memo: false,
         }
     }
 }
@@ -195,6 +205,17 @@ pub struct BatchStats {
     /// Coalescing keys quarantined after this drain (cumulative over the
     /// service's lifetime — quarantine persists across drains).
     pub quarantined: usize,
+    /// Refutation-store hits summed over this batch's kernel runs
+    /// (coalesced waiters share their primary's run and don't re-count).
+    pub memo_hits: u64,
+    /// The subset of `memo_hits` landing on refutations another searcher
+    /// recorded — an earlier deepening probe, a parallel worker, or
+    /// (with [`ServiceConfig::shared_memo`]) another request.
+    pub shared_hits: u64,
+    /// Jobs answered from the persisted certificate cache with zero
+    /// kernel nodes (coalesced waiters of a cached group count too —
+    /// each was a job the cache absorbed).
+    pub cert_cache_hits: usize,
     /// Universe-cache counters at drain end.
     pub cache: CacheStats,
     /// Per-engine totals, sorted by name.
@@ -228,6 +249,12 @@ pub struct SolveService {
     quarantine: Mutex<HashSet<String>>,
     model: Option<CostModel>,
     next_seq: u64,
+    /// One shared refutation store per universe key, created lazily when
+    /// [`ServiceConfig::shared_memo`] is set; persists across drains so
+    /// a long-lived daemon keeps its warmth between generations.
+    memo_stores: Mutex<HashMap<UniverseKey, Arc<MemoStore>>>,
+    /// The persisted certificate cache, when one is installed.
+    cert_cache: Option<Mutex<CertCache>>,
 }
 
 impl SolveService {
@@ -243,7 +270,37 @@ impl SolveService {
             quarantine: Mutex::new(HashSet::new()),
             model: None,
             next_seq: 0,
+            memo_stores: Mutex::new(HashMap::new()),
+            cert_cache: None,
         }
+    }
+
+    /// Installs a certificate cache (replacing any previous one): from
+    /// now on a group whose coalescing key the cache holds is answered
+    /// with the persisted certificate — zero kernel nodes, wire-marked
+    /// `cached: true` — and every qualifying fresh terminal answer is
+    /// recorded back into it. Retrieve the grown cache for persistence
+    /// with [`SolveService::cert_cache_json`].
+    pub fn set_cert_cache(&mut self, cache: CertCache) {
+        self.cert_cache = Some(Mutex::new(cache));
+    }
+
+    /// Serializes the installed certificate cache (its current, grown
+    /// state) as the `cyclecover-certificate-cache` wire document;
+    /// `None` when no cache is installed.
+    pub fn cert_cache_json(&self) -> Option<String> {
+        self.cert_cache
+            .as_ref()
+            .map(|c| c.lock().expect("cert cache poisoned").to_json())
+    }
+
+    /// `(entries, hits, rejected_on_load)` of the installed certificate
+    /// cache; `None` when no cache is installed.
+    pub fn cert_cache_stats(&self) -> Option<(usize, u64, u64)> {
+        self.cert_cache.as_ref().map(|c| {
+            let c = c.lock().expect("cert cache poisoned");
+            (c.len(), c.hits(), c.rejected_on_load())
+        })
     }
 
     /// Installs a calibrated cost model: deadline-carrying jobs the
@@ -392,6 +449,9 @@ impl SolveService {
             } else {
                 self.fault.plan().seed
             },
+            shared_memo: self.config.shared_memo,
+            memo_stores: &self.memo_stores,
+            cert_cache: self.cert_cache.as_ref(),
         };
         let next = AtomicUsize::new(0);
         let reports: Mutex<Vec<JobReport>> = Mutex::new(Vec::with_capacity(submitted));
@@ -425,6 +485,9 @@ impl SolveService {
             unstarted: 0,
             faults_injected: self.fault.injected() - faults_before,
             quarantined: self.quarantine.lock().expect("quarantine poisoned").len(),
+            memo_hits: 0,
+            shared_hits: 0,
+            cert_cache_hits: 0,
             cache: self.cache.lock().expect("cache poisoned").stats(),
             engines: Vec::new(),
             mean_queue_wait: Duration::ZERO,
@@ -451,9 +514,14 @@ impl SolveService {
                 continue;
             }
             let sol = r.solution.as_ref();
+            if sol.is_some_and(Solution::cached) {
+                stats.cert_cache_hits += 1;
+            }
             if !r.coalesced {
                 if let Some(sol) = sol {
                     stats.retries += u64::from(sol.stats().attempts.saturating_sub(1));
+                    stats.memo_hits += sol.stats().memo_hits;
+                    stats.shared_hits += sol.stats().shared_hits;
                 }
             }
             if matches!(
@@ -520,6 +588,9 @@ struct DrainCtx<'a> {
     max_attempts: u32,
     backoff_base_ms: u64,
     retry_seed: u64,
+    shared_memo: bool,
+    memo_stores: &'a Mutex<HashMap<UniverseKey, Arc<MemoStore>>>,
+    cert_cache: Option<&'a Mutex<CertCache>>,
 }
 
 /// The deterministic retry backoff: attempt `k` (1-based, counted per
@@ -554,6 +625,13 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
     let now = Instant::now();
     let mut out = Vec::with_capacity(members.len());
     let mut survivors: Vec<(&Pending, Option<Instant>)> = Vec::new();
+    // The coalescing key doubles as the certificate-cache key; probing
+    // it first lets a held certificate waive the predictive-admission
+    // check below (the answer costs a lookup, not a predicted kernel).
+    let key = coalesce_key(&members[0].job);
+    let cert_hit = ctx
+        .cert_cache
+        .and_then(|cc| cc.lock().expect("cert cache poisoned").lookup(&key));
     let report = |p: &Pending| JobReport {
         seq: p.seq,
         id: p.job.id.clone(),
@@ -589,7 +667,7 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
             // only after the plain expiry check so an already-dead
             // deadline keeps its established `expired` status): refuse
             // a live deadline the calibrated curve says cannot be met.
-            if let Some(model) = ctx.model {
+            if let Some(model) = ctx.model.filter(|_| cert_hit.is_none()) {
                 let remaining = abs.saturating_duration_since(now).as_millis() as u64;
                 if let Some(prediction) = model.unmeetable(&p.job, remaining) {
                     out.push(JobReport {
@@ -634,12 +712,26 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
     // Quarantine: a key that already panicked terminally is refused
     // outright — a poison instance must not re-panic the batch through
     // coalescing or resubmission.
-    let key = coalesce_key(&primary.job);
     if ctx.quarantine.lock().expect("quarantine poisoned").contains(&key) {
         for (p, _) in survivors {
             out.push(JobReport {
                 failure: Some("quarantined: an earlier dispatch of this request panicked".into()),
                 solution: Some(Solution::failed(ring, FailureKind::Panic, "service", 0)),
+                ..report(p)
+            });
+        }
+        return out;
+    }
+
+    // Certificate-cache hit: the persisted terminal answer is fanned to
+    // every admitted waiter with zero kernel nodes. `predicted` stays
+    // unset — no kernel ran, so there is nothing for the calibration
+    // audit trail to compare against.
+    if let Some(sol) = cert_hit {
+        for (i, (p, _)) in survivors.iter().enumerate() {
+            out.push(JobReport {
+                coalesced: i > 0,
+                solution: Some(sol.clone()),
                 ..report(p)
             });
         }
@@ -689,6 +781,25 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
         survivors.iter().filter_map(|(_, abs)| *abs).max()
     };
 
+    // Ring-two sharing: one refutation store per universe key, shared
+    // by every group of the batch (and kept across batches), created
+    // lazily under the first group's memo budget. `None` when sharing
+    // is off, the request disabled its memo, or the universe is too
+    // wide for exact residual keys.
+    let shared_store: Option<Arc<MemoStore>> = if ctx.shared_memo && base_request.memo_enabled() {
+        let mut stores = ctx.memo_stores.lock().expect("memo stores poisoned");
+        match stores.get(&universe_key) {
+            Some(s) => Some(Arc::clone(s)),
+            None => MemoStore::new(problem.universe(), base_request.memo_budget_bytes()).map(|s| {
+                let s = Arc::new(s);
+                stores.insert(universe_key, Arc::clone(&s));
+                s
+            }),
+        }
+    } else {
+        None
+    };
+
     // The degradation ladder: the primary engine, then the request's
     // fallback chain. Each rung gets up to `max_attempts` dispatches;
     // transient failures retry the rung, persistent ones descend.
@@ -712,6 +823,9 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
             rung_attempts += 1;
             total_attempts += 1;
             let mut request = primary.job.to_solve_request();
+            if let Some(store) = &shared_store {
+                request = request.with_memo_store(Arc::clone(store));
+            }
             if let Some(abs) = group_deadline {
                 request = request.with_deadline(abs.saturating_duration_since(Instant::now()));
             }
@@ -788,7 +902,7 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
             ctx.quarantine
                 .lock()
                 .expect("quarantine poisoned")
-                .insert(key);
+                .insert(key.clone());
             Solution::failed(ring, FailureKind::Panic, "service", total_attempts)
         }
     };
@@ -805,6 +919,14 @@ fn process_group(admit_order: usize, members: &[Pending], ctx: &DrainCtx) -> Vec
                 });
             }
         }
+    }
+    // Ring three: a qualifying fresh terminal answer grows the
+    // certificate cache (the cache itself refuses anything degraded,
+    // non-terminal, or partial-spec).
+    if let Some(cc) = ctx.cert_cache {
+        cc.lock()
+            .expect("cert cache poisoned")
+            .record(&primary.job, &key, &solution);
     }
     for (i, (p, _)) in survivors.iter().enumerate() {
         out.push(JobReport {
@@ -885,8 +1007,8 @@ pub fn batch_summary_json_with_rejects(
             s,
             "    {{\"id\": {}, \"engine\": {}, \"status\": {}, \"reason\": {}, \
              \"size\": {}, \"nodes\": {}, \"wall_ms\": {}, \"admit_order\": {}, \
-             \"cache_hit\": {}, \"coalesced\": {}, \"expired\": {}, \"unstarted\": {}, \
-             \"attempts\": {}, \"degraded\": {degraded}, \"failure\": {}, \
+             \"cache_hit\": {}, \"cached\": {}, \"coalesced\": {}, \"expired\": {}, \
+             \"unstarted\": {}, \"attempts\": {}, \"degraded\": {degraded}, \"failure\": {}, \
              \"queue_wait_ms\": {:.3}, \"predicted_nodes\": {}, \"predicted_reject\": {}}}",
             json_escape(&r.id),
             json_escape(&r.engine),
@@ -903,6 +1025,7 @@ pub fn batch_summary_json_with_rejects(
             )),
             r.admit_order,
             r.cache_hit,
+            r.solution.as_ref().is_some_and(Solution::cached),
             r.coalesced,
             r.expired,
             r.unstarted,
@@ -943,6 +1066,11 @@ pub fn batch_summary_json_with_rejects(
         st.failed, st.degraded, st.retries, st.unstarted, st.faults_injected, st.quarantined
     );
     let _ = writeln!(s, "    \"predicted_rejected\": {},", st.predicted_rejected);
+    let _ = writeln!(
+        s,
+        "    \"memo\": {{\"hits\": {}, \"shared_hits\": {}, \"cert_cache_hits\": {}}},",
+        st.memo_hits, st.shared_hits, st.cert_cache_hits
+    );
     let _ = writeln!(
         s,
         "    \"cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \

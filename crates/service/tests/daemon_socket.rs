@@ -3,7 +3,7 @@
 //! cache generations, and the graceful drain — all through the same
 //! byte path the CLI front ends use.
 
-use cyclecover_service::{CalibrationRow, CostModel, Daemon, DaemonConfig, DaemonStats};
+use cyclecover_service::{CalibrationRow, CertCache, CostModel, Daemon, DaemonConfig, DaemonStats};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpStream};
 use std::time::Duration;
@@ -153,4 +153,60 @@ fn daemon_round_trips_streams_predicts_and_drains() {
     );
     assert_eq!(final_doc.jobs_answered, stats.jobs_answered);
     assert_eq!(final_doc.rejected_predicted, stats.rejected_predicted);
+}
+
+#[test]
+fn cert_cache_serves_repeats_and_persists_across_generations() {
+    let save = std::env::temp_dir().join("cyclecover_daemon_cert_cache_test.json");
+    let _ = std::fs::remove_file(&save);
+    let mut daemon = Daemon::bind("127.0.0.1:0".parse().unwrap(), DaemonConfig::default())
+        .expect("bind loopback");
+    daemon.set_cert_cache(CertCache::new(), Some(save.clone()));
+    let addr = daemon.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || daemon.run());
+
+    let (mut w, mut r) = connect(addr);
+    writeln!(
+        w,
+        r#"{{"format": "cyclecover-request", "version": 1, "id": "first", "n": 6}}"#
+    )
+    .expect("write cold job");
+    // Waiting for the answer ends the dispatch generation, so the next
+    // job arrives in a new one — against the now-warm certificate cache.
+    let cold = read_line(&mut r);
+    assert!(cold.contains("\"id\": \"first\""));
+    assert!(cold.contains("\"cached\": false"), "cold answer ran the kernel: {cold}");
+
+    writeln!(
+        w,
+        r#"{{"format": "cyclecover-request", "version": 1, "id": "again", "n": 6}}"#
+    )
+    .expect("write warm job");
+    let warm = read_line(&mut r);
+    assert!(warm.contains("\"id\": \"again\""));
+    assert!(
+        warm.contains("\"cached\": true"),
+        "the repeat must answer from the certificate cache: {warm}"
+    );
+    assert!(
+        warm.contains("\"nodes\": 0"),
+        "a cached answer burns zero kernel nodes: {warm}"
+    );
+
+    writeln!(w, r#"{{"format": "cyclecover-control", "version": 1, "op": "shutdown"}}"#)
+        .expect("write shutdown control");
+    let last = read_line(&mut r);
+    let final_stats = DaemonStats::from_json(&last).expect("final stats parse");
+    assert_eq!(final_stats.cert_cache_hits, 1);
+    assert_eq!(final_stats.cert_cache_entries, 1);
+
+    let stats = server.join().expect("daemon thread");
+    assert_eq!(stats.cert_cache_hits, 1);
+
+    // The cache survived to disk and re-loads with the entry intact.
+    let doc = std::fs::read_to_string(&save).expect("cache file written");
+    let reloaded = CertCache::from_json(&doc).expect("persisted cache loads");
+    assert_eq!(reloaded.len(), 1);
+    assert_eq!(reloaded.rejected_on_load(), 0);
+    let _ = std::fs::remove_file(&save);
 }

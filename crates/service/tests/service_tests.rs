@@ -6,7 +6,8 @@
 
 use cyclecover_io::json::{self, SolveJob};
 use cyclecover_service::{
-    batch_summary_json, BatchReport, FaultPlan, ServiceConfig, SolveService, UniverseCache,
+    batch_summary_json, BatchReport, CertCache, FaultPlan, ServiceConfig, SolveService,
+    UniverseCache,
 };
 use cyclecover_solver::api::{Exhaustion, FailureKind, Objective, Optimality, SymmetryMode};
 use proptest::prelude::*;
@@ -471,6 +472,106 @@ fn shutdown_reports_queued_work_unstarted() {
     let summary = batch_summary_json(&report);
     assert!(summary.contains("\"reason\": \"shutdown\""), "{summary}");
     assert!(summary.contains("\"unstarted\": 3"), "{summary}");
+}
+
+#[test]
+fn shared_memo_spreads_refutations_across_a_generation() {
+    // Two non-coalescing jobs over the same tile universe: a ρ−1
+    // refutation and a full certification. With `shared_memo` on they
+    // feed one store, so the second job answers partly from the first
+    // one's refutations — visible in the summary's memo counters.
+    let jobs = || {
+        let mut refute = SolveJob::new("refute", 8);
+        refute.objective = Objective::WithinBudget(8);
+        refute.symmetry = Some(SymmetryMode::Off);
+        let mut certify = SolveJob::new("certify", 8);
+        certify.symmetry = Some(SymmetryMode::Off);
+        [refute, certify]
+    };
+
+    let mut baseline = service();
+    for job in jobs() {
+        baseline.submit(job).unwrap();
+    }
+    let cold = baseline.drain();
+    assert_eq!(cold.stats.solved, 2);
+    assert_eq!(cold.stats.shared_hits, 0, "private memos cannot cross-hit");
+
+    let mut shared = SolveService::new(ServiceConfig {
+        shared_memo: true,
+        ..ServiceConfig::default()
+    });
+    for job in jobs() {
+        shared.submit(job).unwrap();
+    }
+    let warm = shared.drain();
+    assert_eq!(warm.stats.solved, 2);
+    assert!(
+        warm.stats.shared_hits > 0,
+        "the generation's store must carry refutations between jobs"
+    );
+    // Same verdicts either way — sharing is an accelerator, not an oracle.
+    for id in ["refute", "certify"] {
+        let a = by_id(&cold, id).solution.as_ref().unwrap();
+        let b = by_id(&warm, id).solution.as_ref().unwrap();
+        assert_eq!(a.size(), b.size(), "{id}");
+    }
+    assert!(
+        by_id(&warm, "certify").solution.as_ref().unwrap().stats().nodes
+            <= by_id(&cold, "certify").solution.as_ref().unwrap().stats().nodes,
+        "sharing must not expand the certification"
+    );
+}
+
+#[test]
+fn certificate_cache_answers_repeat_requests_without_running() {
+    // First service run: cold, records the certificate and persists it.
+    let mut first = service();
+    first.set_cert_cache(CertCache::new());
+    first.submit(SolveJob::new("orig", 6)).unwrap();
+    let cold = first.drain();
+    let orig = by_id(&cold, "orig").solution.as_ref().unwrap();
+    assert!(!orig.cached());
+    assert!(orig.stats().nodes > 0);
+    assert_eq!(cold.stats.cert_cache_hits, 0);
+    let doc = first.cert_cache_json().expect("cache installed");
+
+    // Second run, handed the persisted document: a key-identical job
+    // (different id — ids are blanked out of the cache key, exactly as
+    // in coalescing) answers from the certificate with zero kernel
+    // nodes, and so does its coalesced twin.
+    let cache = CertCache::from_json(&doc).expect("persisted cache loads");
+    assert_eq!(cache.rejected_on_load(), 0);
+    let mut second = service();
+    second.set_cert_cache(cache);
+    second.submit(SolveJob::new("repeat", 6)).unwrap();
+    second.submit(SolveJob::new("repeat-twin", 6)).unwrap();
+    let warm = second.drain();
+    assert_eq!(warm.stats.cert_cache_hits, 2);
+    for id in ["repeat", "repeat-twin"] {
+        let sol = by_id(&warm, id).solution.as_ref().unwrap();
+        assert!(sol.cached(), "{id} must be served from the cache");
+        assert_eq!(sol.stats().nodes, 0, "{id} must not run the kernel");
+        assert_eq!(sol.size(), orig.size(), "{id} verdict must match");
+        assert!(matches!(sol.optimality(), Optimality::Optimal { .. }));
+        // The served document still validates end to end.
+        let rendered = json::solution_to_json(sol);
+        json::covering_from_solution_json(&rendered)
+            .expect("cached covering parses")
+            .validate()
+            .expect("cached covering validates");
+    }
+    // A *different* request misses the cache and runs normally.
+    let mut third = service();
+    third.set_cert_cache(CertCache::from_json(&doc).unwrap());
+    third.submit(SolveJob::new("other", 7)).unwrap();
+    let miss = third.drain();
+    assert_eq!(miss.stats.cert_cache_hits, 0);
+    let other = by_id(&miss, "other").solution.as_ref().unwrap();
+    assert!(!other.cached());
+    // ...and is recorded, growing the persisted document.
+    let grown = CertCache::from_json(&third.cert_cache_json().unwrap()).unwrap();
+    assert_eq!(grown.len(), 2);
 }
 
 proptest! {

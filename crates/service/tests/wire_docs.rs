@@ -7,7 +7,7 @@
 //! the documented predictive reject must agree with the committed table.
 
 use cyclecover_io::json::{Json, SolveJob};
-use cyclecover_service::{daemon_stats_json, CostModel, DaemonStats, Ingest, IngestAction};
+use cyclecover_service::{daemon_stats_json, CertCache, CostModel, DaemonStats, Ingest, IngestAction};
 
 const DOC: &str = include_str!("../../../docs/wire-format.md");
 
@@ -73,6 +73,32 @@ fn calibration_examples_round_trip() {
         assert!(!model.rows().is_empty());
         let back = CostModel::from_json(&model.to_json()).expect("emitted calibration parse");
         assert_eq!(back.rows(), model.rows(), "round trip drifted for:\n{block}");
+    }
+}
+
+#[test]
+fn certificate_cache_examples_load_with_every_entry_accepted() {
+    let blocks = blocks_of("cyclecover-certificate-cache");
+    assert!(!blocks.is_empty(), "no certificate-cache example in the doc");
+    for block in blocks {
+        let cache = CertCache::from_json(&block)
+            .unwrap_or_else(|e| panic!("cache example rejected: {e}\n{block}"));
+        // The documented example must survive the load-time
+        // re-validation in full: no entry silently dropped.
+        assert_eq!(
+            cache.rejected_on_load(),
+            0,
+            "a documented cache entry failed re-validation:\n{block}"
+        );
+        assert!(!cache.is_empty(), "cache example carries no entries");
+        let emitted = cache.to_json();
+        assert!(
+            !emitted.trim_end().contains('\n'),
+            "cache documents are one line (plus a trailing newline in the file)"
+        );
+        let back = CertCache::from_json(&emitted).expect("emitted cache parse");
+        assert_eq!(back.len(), cache.len(), "round trip drifted for:\n{block}");
+        assert_eq!(back.rejected_on_load(), 0);
     }
 }
 

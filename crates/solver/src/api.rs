@@ -41,7 +41,7 @@
 //! ```
 
 use crate::anneal::{anneal_covering, AnnealParams};
-use crate::bnb::{self, CoverSpec, MemoConfig, Outcome, RunLimits, DEFAULT_MEMO_BYTES};
+use crate::bnb::{self, CoverSpec, MemoStore, Outcome, RunLimits, DEFAULT_MEMO_BYTES};
 pub use crate::bnb::SymmetryMode;
 use crate::dlx::ExactCover;
 use crate::greedy::greedy_cover;
@@ -403,6 +403,7 @@ pub struct SolveRequest {
     symmetry: SymmetryMode,
     memo: bool,
     memo_bytes: usize,
+    memo_store: Option<Arc<MemoStore>>,
     fallback: Vec<String>,
 }
 
@@ -418,6 +419,7 @@ impl SolveRequest {
             symmetry: SymmetryMode::default(),
             memo: true,
             memo_bytes: DEFAULT_MEMO_BYTES,
+            memo_store: None,
             fallback: Vec::new(),
         }
     }
@@ -524,6 +526,43 @@ impl SolveRequest {
         self
     }
 
+    /// Attaches a **shared refutation store**: instead of building a
+    /// private memo, the exact search probes and feeds `store`, reusing
+    /// refutations recorded by earlier requests over the same tile
+    /// universe (and contributing its own). A store built for a
+    /// different universe is ignored — the search falls back to a
+    /// private table — so attaching is always sound. Hits on entries
+    /// another request recorded are reported as `shared_hits`.
+    ///
+    /// ```
+    /// use cyclecover_solver::api::{engine_by_name, Problem, SolveRequest};
+    /// use cyclecover_solver::bnb::{MemoStore, DEFAULT_MEMO_BYTES};
+    /// use std::sync::Arc;
+    ///
+    /// let engine = engine_by_name("bitset").unwrap();
+    /// let problem = Problem::complete(10);
+    /// let store = Arc::new(
+    ///     MemoStore::new(problem.universe(), DEFAULT_MEMO_BYTES).unwrap(),
+    /// );
+    /// let cold = engine.solve(
+    ///     &problem,
+    ///     &SolveRequest::find_optimal().with_memo_store(store.clone()),
+    /// );
+    /// // The identical request again, against the warm store: same
+    /// // verdict, far fewer nodes, and the reuse is visible in the stats.
+    /// let warm = engine.solve(
+    ///     &problem,
+    ///     &SolveRequest::find_optimal().with_memo_store(store),
+    /// );
+    /// assert_eq!(cold.optimality(), warm.optimality());
+    /// assert!(warm.stats().nodes < cold.stats().nodes);
+    /// assert!(warm.stats().shared_hits > 0);
+    /// ```
+    pub fn with_memo_store(mut self, store: Arc<MemoStore>) -> Self {
+        self.memo_store = Some(store);
+        self
+    }
+
     /// Sets the degradation ladder: engine names a scheduler may fall
     /// back to, in order, when the primary engine exhausts its budget or
     /// fails. Engines themselves ignore this — only a scheduling layer
@@ -578,6 +617,11 @@ impl SolveRequest {
         self.memo_bytes
     }
 
+    /// The attached shared refutation store, if any.
+    pub fn memo_store(&self) -> Option<&Arc<MemoStore>> {
+        self.memo_store.as_ref()
+    }
+
     /// The degradation ladder (empty = no fallback).
     pub fn fallback(&self) -> &[String] {
         &self.fallback
@@ -592,12 +636,21 @@ impl SolveRequest {
         }
     }
 
-    /// The [`MemoConfig`] this request imposes on the exact search.
-    fn memo_config(&self) -> MemoConfig {
-        MemoConfig {
-            enabled: self.memo,
-            budget_bytes: self.memo_bytes,
+    /// The refutation store this request's exact search runs with: the
+    /// attached shared store when one is set and fits `u`, a fresh
+    /// private store otherwise, `None` with the memo off. One store
+    /// serves the *whole* request — every deepening probe and every
+    /// parallel worker — which is the first two sharing rings.
+    fn build_store(&self, u: &TileUniverse) -> Option<Arc<MemoStore>> {
+        if !self.memo {
+            return None;
         }
+        if let Some(shared) = &self.memo_store {
+            if shared.compatible(u) {
+                return Some(shared.clone());
+            }
+        }
+        MemoStore::new(u, self.memo_bytes).map(Arc::new)
     }
 }
 
@@ -728,10 +781,15 @@ pub struct Stats {
     /// `SymmetryMode::Full` (canonical-state memo hits plus
     /// setwise-only sibling cuts).
     pub canon_pruned: u64,
-    /// Nodes pruned by the residual-state dominance memo.
+    /// Nodes (and candidate children) pruned by the refutation store.
     pub memo_hits: u64,
-    /// Residual states resident in the memo at the end of the solve
-    /// (summed across deepening probes and parallel workers).
+    /// The subset of `memo_hits` landing on refutations another
+    /// searcher recorded: an earlier deepening probe, another parallel
+    /// worker, or — with a shared store attached — another request.
+    pub shared_hits: u64,
+    /// Residual states resident in the refutation store at the end of
+    /// the solve (a store shared across probes, workers, or requests
+    /// reports its total population).
     pub memo_entries: u64,
     /// Order of the symmetry subgroup the root branch was reduced by
     /// (1 = no reduction).
@@ -753,6 +811,7 @@ pub struct Solution {
     covering: Option<Vec<Tile>>,
     optimality: Optimality,
     degraded: Option<Degradation>,
+    cached: bool,
     stats: Stats,
 }
 
@@ -779,6 +838,14 @@ impl Solution {
         self.degraded.as_ref()
     }
 
+    /// Whether this answer was served from a persisted certificate cache
+    /// instead of a kernel run (`false` for every freshly-computed
+    /// solution). Cached answers carry all-zero search statistics: no
+    /// kernel expanded a single node to produce them.
+    pub fn cached(&self) -> bool {
+        self.cached
+    }
+
     /// The unified statistics.
     pub fn stats(&self) -> &Stats {
         &self.stats
@@ -800,6 +867,7 @@ impl Solution {
             covering: None,
             optimality: Optimality::BudgetExhausted { reason },
             degraded: None,
+            cached: false,
             stats: Stats {
                 engine,
                 nodes: 0,
@@ -808,6 +876,7 @@ impl Solution {
                 sym_pruned: 0,
                 canon_pruned: 0,
                 memo_hits: 0,
+                shared_hits: 0,
                 memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 0,
@@ -840,6 +909,25 @@ impl Solution {
     /// that led to it, not just the one that succeeded.
     pub fn set_attempts(&mut self, attempts: u32) {
         self.stats.attempts = attempts;
+    }
+
+    /// Reconstructs a solution from a persisted certificate: the caller
+    /// (a certificate cache) supplies the verdict and covering it
+    /// re-validated, and the answer is marked [`Solution::cached`] with
+    /// all-zero statistics — no kernel ran, so none are claimed. The
+    /// `engine` name records which engine originally produced the
+    /// certificate, keeping provenance across the round trip.
+    pub fn from_certificate(
+        ring: Ring,
+        covering: Option<Vec<Tile>>,
+        optimality: Optimality,
+        engine: &'static str,
+    ) -> Solution {
+        let mut sol = Solution::unstarted(ring, Exhaustion::EngineLimit, engine);
+        sol.covering = covering;
+        sol.optimality = optimality;
+        sol.cached = true;
+        sol
     }
 }
 
@@ -970,6 +1058,7 @@ fn drive_exact(
         covering,
         optimality,
         degraded: None,
+        cached: false,
         stats: Stats {
             engine,
             nodes: total.nodes,
@@ -978,6 +1067,7 @@ fn drive_exact(
             sym_pruned: total.sym_pruned,
             canon_pruned: total.canon_pruned,
             memo_hits: total.memo_hits,
+            shared_hits: total.shared_hits,
             memo_entries: total.memo_entries,
             sym_factor: total.sym_factor.max(1),
             budgets_tried,
@@ -1009,7 +1099,9 @@ impl Engine for BitsetEngine {
 
     fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
         let sym = request.symmetry();
-        let memo = request.memo_config();
+        // One store for the whole request: every deepening probe (and,
+        // under a parallel policy, every worker) shares it.
+        let store = request.build_store(problem.universe());
         match request.policy() {
             ExecPolicy::Parallel {
                 threads,
@@ -1023,12 +1115,19 @@ impl Engine for BitsetEngine {
                     threads,
                     prefix_per_thread(prefix_depth),
                     sym,
-                    memo,
+                    store.as_deref(),
                 )
             }),
             ExecPolicy::Sequential | ExecPolicy::Auto => {
                 drive_exact("bitset", problem, request, |budget, lim| {
-                    bnb::budget_search(problem.universe(), problem.spec(), budget, lim, sym, memo)
+                    bnb::budget_search(
+                        problem.universe(),
+                        problem.spec(),
+                        budget,
+                        lim,
+                        sym,
+                        store.as_deref(),
+                    )
                 })
             }
         }
@@ -1065,6 +1164,7 @@ impl Engine for ParallelBitsetEngine {
             } => (threads, prefix_per_thread(prefix_depth)),
             ExecPolicy::Sequential | ExecPolicy::Auto => (0, bnb::DEFAULT_PREFIX_PER_THREAD),
         };
+        let store = request.build_store(problem.universe());
         drive_exact("bitset-parallel", problem, request, |budget, lim| {
             bnb::budget_search_parallel(
                 problem.universe(),
@@ -1074,7 +1174,7 @@ impl Engine for ParallelBitsetEngine {
                 threads,
                 prefix,
                 request.symmetry(),
-                request.memo_config(),
+                store.as_deref(),
             )
         })
     }
@@ -1203,6 +1303,7 @@ impl Engine for DlxEngine {
             covering,
             optimality,
             degraded: None,
+            cached: false,
             stats: Stats {
                 engine: "dlx",
                 nodes: 0,
@@ -1211,6 +1312,7 @@ impl Engine for DlxEngine {
                 sym_pruned: 0,
                 canon_pruned: 0,
                 memo_hits: 0,
+                shared_hits: 0,
                 memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 1,
@@ -1299,6 +1401,7 @@ impl Engine for HeuristicEngine {
             covering,
             optimality,
             degraded: None,
+            cached: false,
             stats: Stats {
                 engine: self.name,
                 nodes: 0,
@@ -1307,6 +1410,7 @@ impl Engine for HeuristicEngine {
                 sym_pruned: 0,
                 canon_pruned: 0,
                 memo_hits: 0,
+                shared_hits: 0,
                 memo_entries: 0,
                 sym_factor: 1,
                 budgets_tried: 1,

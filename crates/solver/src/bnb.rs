@@ -80,7 +80,7 @@ use crate::bitset::ChordSet;
 use crate::lower_bound::{
     combinatorial_lower_bound, diameter_slack_bound, parity_join_bound, weighted_demand_bound,
 };
-pub use crate::memo::{MemoConfig, DEFAULT_MEMO_BYTES};
+pub use crate::memo::{MemoConfig, MemoStore, DEFAULT_MEMO_BYTES};
 use crate::tiles::DihedralTables;
 use crate::TileUniverse;
 use cyclecover_graph::Edge;
@@ -247,11 +247,18 @@ pub struct Stats {
     /// plus sibling candidates cut by setwise-but-not-pointwise
     /// stabilizer elements (`SymmetryMode::Full` only).
     pub canon_pruned: u64,
-    /// Nodes pruned by the residual-state dominance memo (includes the
-    /// canonical hits counted in `canon_pruned`).
+    /// Nodes (and candidate children) pruned by the residual-state
+    /// refutation store (includes the canonical hits counted in
+    /// `canon_pruned` and the cross-searcher hits in `shared_hits`).
     pub memo_hits: u64,
-    /// Residual states resident in the memo when the search finished
-    /// (summed across deepening probes and parallel workers).
+    /// The subset of `memo_hits` landing on entries recorded by a
+    /// *different* searcher — another budget probe of the same
+    /// deepening sweep, another parallel worker, or (with a
+    /// service-shared store) another request entirely.
+    pub shared_hits: u64,
+    /// Residual states resident in the refutation store when the search
+    /// finished. A store shared across probes or workers reports its
+    /// total population (probes absorb by maximum, not sum).
     pub memo_entries: u64,
     /// Order of the symmetry subgroup the root branch was reduced by
     /// (1 = no reduction; 0 = no search ran).
@@ -266,7 +273,12 @@ impl Stats {
         self.sym_pruned += other.sym_pruned;
         self.canon_pruned += other.canon_pruned;
         self.memo_hits += other.memo_hits;
-        self.memo_entries += other.memo_entries;
+        self.shared_hits += other.shared_hits;
+        // Deepening probes share one store, so later probes report a
+        // superset of earlier probes' entries: the maximum is the
+        // store's final population (and 0 + x = x keeps the memo-off
+        // and single-probe cases exact).
+        self.memo_entries = self.memo_entries.max(other.memo_entries);
         self.sym_factor = self.sym_factor.max(other.sym_factor);
     }
 }
@@ -961,21 +973,23 @@ fn search<K: Kernel>(
 
 /// Budgeted search under full [`RunLimits`]: the engine-facing entry
 /// point. Unit-demand specs run on the **iterative bitset core**
-/// (allocation-free search stack, incremental bounds, residual-state
-/// memo per `memo`); λ-fold specs on the recursive multiplicity kernel
-/// (which ignores the memo — subset-of-uncovered dominance does not
-/// capture multiplicities). The third component reports why an
-/// inconclusive search stopped.
+/// (allocation-free search stack, incremental bounds, and the
+/// refutation `store` — pass the same store across probes or requests
+/// to reuse recorded refutations, or `None` for the memo-free search);
+/// λ-fold specs on the recursive multiplicity kernel (which ignores the
+/// store — subset-of-uncovered dominance does not capture
+/// multiplicities). The third component reports why an inconclusive
+/// search stopped.
 pub(crate) fn budget_search(
     u: &TileUniverse,
     spec: &CoverSpec,
     budget: u32,
     lim: &RunLimits,
     sym: SymmetryMode,
-    memo: MemoConfig,
+    store: Option<&MemoStore>,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
-        crate::search_core::search_iterative(u, spec, budget, lim, sym, memo)
+        crate::search_core::search_iterative(u, spec, budget, lim, sym, store)
     } else {
         search::<MultiKernel>(u, spec, budget, lim, sym)
     }
@@ -1019,8 +1033,10 @@ pub(crate) fn budget_search_legacy(
 /// [`budget_search`] on the breadth-first frontier + `rayon` scope.
 /// `prefix_per_thread` controls how many independent prefixes are
 /// expanded per thread before the scope drains them. Unit-demand specs
-/// drain [`crate::search_core`] workers (each with its own memo);
-/// λ-fold specs keep the recursive multiplicity workers.
+/// drain [`crate::search_core`] workers sharing one refutation store
+/// (each attached under its own generation, so cross-worker reuse shows
+/// up as `shared_hits`); λ-fold specs keep the recursive multiplicity
+/// workers.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn budget_search_parallel(
     u: &TileUniverse,
@@ -1030,7 +1046,7 @@ pub(crate) fn budget_search_parallel(
     threads: usize,
     prefix_per_thread: usize,
     sym: SymmetryMode,
-    memo: MemoConfig,
+    store: Option<&MemoStore>,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
         crate::search_core::search_iterative_parallel(
@@ -1041,7 +1057,7 @@ pub(crate) fn budget_search_parallel(
             threads,
             prefix_per_thread,
             sym,
-            memo,
+            store,
         )
     } else {
         search_parallel::<MultiKernel>(u, spec, budget, lim, threads, prefix_per_thread, sym)
@@ -1073,7 +1089,7 @@ pub fn cover_spec_within_budget(
         budget,
         &RunLimits::nodes_only(max_nodes),
         SymmetryMode::Off,
-        MemoConfig::disabled(),
+        None,
     );
     (o, s)
 }
@@ -1112,7 +1128,7 @@ pub fn cover_within_budget(u: &TileUniverse, budget: u32, max_nodes: u64) -> (Ou
         budget,
         &RunLimits::nodes_only(max_nodes),
         SymmetryMode::Off,
-        MemoConfig::disabled(),
+        None,
     );
     (o, s)
 }
@@ -1144,7 +1160,7 @@ pub fn cover_spec_within_budget_parallel(
         threads,
         DEFAULT_PREFIX_PER_THREAD,
         SymmetryMode::Off,
-        MemoConfig::disabled(),
+        None,
     );
     (o, s)
 }
@@ -1402,7 +1418,7 @@ fn budget_search_off(
     budget: u32,
     lim: &RunLimits,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
-    budget_search(u, spec, budget, lim, SymmetryMode::Off, MemoConfig::disabled())
+    budget_search(u, spec, budget, lim, SymmetryMode::Off, None)
 }
 
 /// Optimal covering for an arbitrary [`CoverSpec`], by iterative deepening
@@ -1445,7 +1461,7 @@ pub fn solve_optimal_spec_parallel(
                 threads,
                 DEFAULT_PREFIX_PER_THREAD,
                 SymmetryMode::Off,
-                MemoConfig::disabled(),
+                None,
             )
         },
         max_nodes,
@@ -1520,7 +1536,7 @@ mod tests {
             budget,
             &RunLimits::nodes_only(max_nodes),
             sym,
-            MemoConfig::disabled(),
+            None,
         );
         (o, s)
     }
@@ -1532,13 +1548,14 @@ mod tests {
         max_nodes: u64,
         sym: SymmetryMode,
     ) -> (Outcome, Stats) {
+        let store = MemoStore::new(u, DEFAULT_MEMO_BYTES);
         let (o, s, _) = budget_search(
             u,
             spec,
             budget,
             &RunLimits::nodes_only(max_nodes),
             sym,
-            MemoConfig::default(),
+            store.as_ref(),
         );
         (o, s)
     }
@@ -1568,7 +1585,7 @@ mod tests {
             threads,
             DEFAULT_PREFIX_PER_THREAD,
             SymmetryMode::Off,
-            MemoConfig::disabled(),
+            None,
         );
         (o, s)
     }
@@ -1855,7 +1872,7 @@ mod tests {
                 4,
                 DEFAULT_PREFIX_PER_THREAD,
                 sym,
-                MemoConfig::disabled(),
+                None,
             );
             assert_eq!(seq, Outcome::Infeasible, "{sym:?}");
             assert_eq!(par, Outcome::Infeasible, "{sym:?}");
@@ -1870,7 +1887,7 @@ mod tests {
                 4,
                 DEFAULT_PREFIX_PER_THREAD,
                 sym,
-                MemoConfig::disabled(),
+                None,
             );
             assert!(matches!(par_ok, Outcome::Feasible(_)), "{sym:?}");
             // The witness search's frontier expansion reduced its root by
@@ -1941,17 +1958,8 @@ mod tests {
         let u = TileUniverse::new(Ring::new(8), 8);
         let spec = CoverSpec::complete(8);
         let lim = RunLimits::nodes_only(50_000_000);
-        let (o, s, _) = budget_search(
-            &u,
-            &spec,
-            8,
-            &lim,
-            SymmetryMode::Off,
-            MemoConfig {
-                enabled: true,
-                budget_bytes: 0,
-            },
-        );
+        let store = MemoStore::new(&u, 0);
+        let (o, s, _) = budget_search(&u, &spec, 8, &lim, SymmetryMode::Off, store.as_ref());
         assert_eq!(o, Outcome::Infeasible);
         assert!(s.nodes <= 97_465, "worse than memo-free: {s:?}");
         assert!(s.memo_entries > 0, "{s:?}");

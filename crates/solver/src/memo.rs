@@ -1,27 +1,54 @@
-//! The residual-state dominance memo: a transposition table over the
-//! exact search's uncovered [`ChordSet`]s.
+//! The shared refutation store: a concurrent transposition table over
+//! the exact search's uncovered [`ChordSet`]s, reused across budget
+//! probes, parallel workers, and (via the service layer) whole requests.
 //!
 //! Distinct search prefixes frequently reach the *same* residual state —
 //! two tiles placed in either order, or different tile pairs covering the
 //! same chords — and restricted-cover instances share that structure
 //! across subproblems aggressively (Manthey, *On Approximating Restricted
-//! Cycle Covers*). The memo exploits it: when a node's subtree has been
+//! Cycle Covers*). The store exploits it: when a node's subtree has been
 //! exhausted without finding a covering, the node's uncovered set is
-//! recorded together with how many tiles were already used. Any later
-//! node reaching the same uncovered set with an **equal-or-worse budget**
-//! (at least as many tiles used, hence at most as much slack) is pruned —
-//! its subtree is a sub-search of one already proved empty.
+//! recorded together with the **slack** it was refuted under — `rem =
+//! budget − used`, "no covering of this state exists within `rem`
+//! tiles". Any later node reaching the same uncovered set with
+//! equal-or-less slack is pruned: its subtree is a sub-search of one
+//! already proved empty.
 //!
-//! Soundness: an entry `(state, used)` is written only after the search
-//! exhaustively explored the node (under the sound dominance, bound, and
-//! orbit reductions) and found no covering within `budget − used` further
-//! tiles. A later visit with `used' ≥ used` asks for a covering within
-//! `budget − used' ≤ budget − used` tiles from the same state — none
-//! exists. Aborted subtrees (node/deadline/cancel limits) record nothing,
-//! and the table is rebuilt per budget probe, so entries never leak
-//! across budgets.
+//! # Why `rem`, not `used`
 //!
-//! Under [`crate::bnb::SymmetryMode::Full`] the search keys the memo by
+//! Earlier revisions stored the tiles-*used* count and pruned when
+//! `entry.used ≤ used`. Within one budget probe the two rules are
+//! interchangeable (`entry.used ≤ used ⟺ budget − entry.used ≥ budget −
+//! used`), but `used` is only meaningful relative to the probe's budget,
+//! so the table had to be rebuilt for every probe. `rem` makes each
+//! entry a budget-free statement about the state itself, which is what
+//! lets one store serve three concentric sharing rings:
+//!
+//! 1. **Cross-budget**: a `FindOptimal` deepening sweep threads one
+//!    store through its probes; a refutation recorded at budget `k`
+//!    ("no covering within `rem` tiles") prunes identically at `k ± 1`
+//!    wherever the new probe's slack is `≤ rem`.
+//! 2. **Cross-worker**: the parallel frontier's workers share one
+//!    store; a subtree one worker exhausts prunes its mirror images in
+//!    every other worker's prefix.
+//! 3. **Cross-request**: the service keys stores by tile universe and
+//!    threads them through a batch's coalesced traffic — entries carry
+//!    no spec state (unit demands mean the uncovered set *is* the
+//!    subproblem), so any same-universe request may reuse them.
+//!
+//! Soundness: an entry `(state, rem)` is written only after the search
+//! exhaustively explored the node (under the sound dominance, bound,
+//! and orbit reductions) and found no covering within `rem` further
+//! tiles. The statement quantifies over tile subsets of the universe
+//! only — not the spec, the budget, or the symmetry mode of the search
+//! that recorded it — so a later visit with slack `≤ rem` may prune
+//! regardless of which probe, worker, or request wrote the entry.
+//! Aborted subtrees (node/deadline/cancel limits) record nothing.
+//! Entries are never shared across *universes*: the store carries a
+//! fingerprint of the universe it was built for and attachment is
+//! refused on mismatch.
+//!
+//! Under [`crate::bnb::SymmetryMode::Full`] the search keys the store by
 //! the **canonical** residual state — the lexicographically smallest
 //! dihedral image of the uncovered set under the spec-preserving
 //! subgroup. Two prefixes whose residual states are mirror images then
@@ -40,20 +67,42 @@
 //! certificates stay exact. A Zobrist hash — one 64-bit key per chord
 //! slot, generated deterministically by the vendored xoshiro256**
 //! generator, XOR-folded incrementally as chords are covered/uncovered —
-//! picks the table slot. The table probes an eight-slot window per hash,
-//! doubling while under its byte budget; with the window full, a
-//! colliding insert keeps whichever entries have the *smaller* used
-//! counts (the stronger pruners). Lost entries only lose pruning, never
-//! correctness.
+//! picks the shard (top bits) and the slot within it (low bits). Each
+//! shard is an independently locked open-addressing table probing an
+//! eight-slot window per hash, doubling while under its share of the
+//! byte budget; with the window full, a colliding insert keeps
+//! whichever entries have the *larger* `rem` (the stronger pruners).
+//! Lost entries only lose pruning, never correctness.
+//!
+//! Lock traffic is one uncontended `Mutex` acquisition per probe or
+//! record. Acquisitions first `try_lock` and only fall back to a
+//! blocking lock — counted in [`MemoStore::contention`] — when another
+//! worker holds the shard, so the single-threaded search pays one
+//! atomic compare-exchange per table access and the contention counter
+//! is deterministically zero.
+//!
+//! Every searcher that attaches to the store draws a *generation* tag;
+//! entries remember the generation that recorded (or last strengthened)
+//! them, so a searcher can tell hits on its own work from hits on
+//! another probe's, worker's, or request's — the `shared_hits`
+//! statistic CI gates on.
 
+use crate::TileUniverse;
 use rand::prelude::*;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
-/// Bytes one [`ResidualMemo`] slot occupies (key + used count + padding).
+/// Bytes one [`MemoStore`] slot occupies (key + rem + generation).
 const SLOT_BYTES: usize = std::mem::size_of::<Slot>();
 
-/// Smallest slot count the table starts from (and the floor the byte
+/// Smallest slot count a shard starts from (and the floor its byte
 /// budget is clamped to).
 const MIN_SLOTS: usize = 1 << 10;
+
+/// Shard count: a power of two small enough that the per-shard byte
+/// floor stays negligible and large enough that a few workers rarely
+/// collide on one lock.
+const SHARDS: usize = 16;
 
 /// The deterministic seed of the Zobrist key stream. Fixed so node
 /// counts are reproducible run to run and machine to machine.
@@ -70,9 +119,8 @@ pub struct MemoConfig {
     /// reproduces its memo-free node counts bit for bit.
     pub enabled: bool,
     /// Byte budget for the table (clamped to at least one minimal
-    /// table); the table doubles up to the largest power-of-two slot
-    /// count fitting the budget, then falls back to keep-the-stronger
-    /// replacement.
+    /// table); each shard doubles up to its share of the budget, then
+    /// falls back to keep-the-stronger replacement.
     pub budget_bytes: usize,
 }
 
@@ -99,58 +147,116 @@ impl MemoConfig {
 }
 
 /// One table slot: the exact residual state (as up to two words of the
-/// uncovered set) and the smallest tiles-used count whose subtree was
-/// exhausted from it. `used == u32::MAX` marks an empty slot (real used
-/// counts are bounded by the search budget).
+/// uncovered set), the largest slack the state was refuted under, and
+/// the generation that recorded it. `rem == u32::MAX` marks an empty
+/// slot (real slacks are bounded by the search budget).
 #[derive(Clone, Copy)]
 struct Slot {
     key: [u64; 2],
-    used: u32,
+    rem: u32,
+    gen: u32,
 }
 
 const EMPTY: u32 = u32::MAX;
 
-/// The residual-state dominance memo of one budgeted search. See the
-/// module docs for the pruning rule and its soundness.
-pub(crate) struct ResidualMemo {
+/// One independently locked segment of the store.
+struct Shard {
     slots: Vec<Slot>,
     /// `slots.len() - 1` (the table is a power of two).
     mask: usize,
     /// Occupied slot count.
     len: usize,
-    /// Largest slot count the byte budget allows.
+    /// Largest slot count this shard's byte share allows.
     cap_slots: usize,
-    /// Per-chord Zobrist keys (indexed by priority chord).
-    zobrist: Vec<u64>,
 }
 
-impl ResidualMemo {
-    /// A memo for `num_chords` chord slots under the given byte budget.
+/// The shared refutation store. See the module docs for the pruning
+/// rule, its soundness, and the three sharing rings.
+pub struct MemoStore {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-chord Zobrist keys (indexed by priority chord).
+    zobrist: Vec<u64>,
+    /// Next generation tag to hand out (see [`MemoStore::attach`]).
+    next_gen: AtomicU32,
+    /// Blocking shard-lock acquisitions (zero unless workers collide).
+    contention: AtomicU64,
+    /// Total occupied slots across shards.
+    len: AtomicU64,
+    /// Universe fingerprint — entries are meaningless outside it.
+    n: u32,
+    num_chords: u32,
+    num_tiles: u32,
+}
+
+impl std::fmt::Debug for MemoStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoStore")
+            .field("n", &self.n)
+            .field("num_chords", &self.num_chords)
+            .field("num_tiles", &self.num_tiles)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl MemoStore {
+    /// A store for `u`'s residual states under the given byte budget.
     /// Returns `None` when the state cannot be keyed exactly
     /// (`num_chords > 128`, i.e. `n ≥ 17` — beyond exact search anyway).
-    pub(crate) fn new(num_chords: u32, budget_bytes: usize) -> Option<ResidualMemo> {
+    pub fn new(u: &TileUniverse, budget_bytes: usize) -> Option<MemoStore> {
+        let num_chords = u.num_chords();
         if num_chords > 128 {
             return None;
         }
-        let budget_slots = (budget_bytes / SLOT_BYTES).max(MIN_SLOTS);
+        let budget_slots = (budget_bytes / SLOT_BYTES / SHARDS).max(MIN_SLOTS);
         // Floor to a power of two so `hash & mask` indexes uniformly.
         let cap_slots = 1usize << (usize::BITS - 1 - budget_slots.leading_zeros());
         let start = MIN_SLOTS.min(cap_slots);
         let mut rng = StdRng::seed_from_u64(ZOBRIST_SEED);
         let zobrist: Vec<u64> = (0..num_chords).map(|_| rng.next_u64()).collect();
-        Some(ResidualMemo {
-            slots: vec![
-                Slot {
-                    key: [0, 0],
-                    used: EMPTY,
-                };
-                start
-            ],
-            mask: start - 1,
-            len: 0,
-            cap_slots,
+        let shards = (0..SHARDS)
+            .map(|_| {
+                Mutex::new(Shard {
+                    slots: vec![
+                        Slot {
+                            key: [0, 0],
+                            rem: EMPTY,
+                            gen: 0,
+                        };
+                        start
+                    ],
+                    mask: start - 1,
+                    len: 0,
+                    cap_slots,
+                })
+            })
+            .collect();
+        Some(MemoStore {
+            shards,
             zobrist,
+            next_gen: AtomicU32::new(1),
+            contention: AtomicU64::new(0),
+            len: AtomicU64::new(0),
+            n: u.ring().n(),
+            num_chords,
+            num_tiles: u.len() as u32,
         })
+    }
+
+    /// Whether `u` is the universe this store was built for. Entries
+    /// are statements about one universe's tiles and chord priorities;
+    /// an incompatible store must be treated as absent.
+    pub fn compatible(&self, u: &TileUniverse) -> bool {
+        self.n == u.ring().n()
+            && self.num_chords == u.num_chords()
+            && self.num_tiles == u.len() as u32
+    }
+
+    /// Registers a searcher (one budget probe, parallel worker, or
+    /// request) and returns its generation tag. Hits on entries with a
+    /// different tag are cross-searcher reuse (`shared_hits`).
+    pub(crate) fn attach(&self) -> u32 {
+        self.next_gen.fetch_add(1, Ordering::Relaxed)
     }
 
     /// The Zobrist key of priority chord `c` — XOR it into a running
@@ -161,8 +267,20 @@ impl ResidualMemo {
     }
 
     /// Occupied entries (the `memo_entries` statistic).
-    pub(crate) fn len(&self) -> usize {
-        self.len
+    pub fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Whether the store holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Blocking shard-lock acquisitions so far — deterministically zero
+    /// for single-threaded searches, and a contention health signal for
+    /// shared-store deployments.
+    pub fn contention(&self) -> u64 {
+        self.contention.load(Ordering::Relaxed)
     }
 
     /// How many consecutive slots one hash may land in (a small
@@ -170,75 +288,123 @@ impl ResidualMemo {
     /// direct-mapped table would).
     const WAYS: usize = 8;
 
-    /// Whether a recorded state equal to `key` exists with a used count
-    /// `≤ used` — i.e. whether the current node is dominated and may be
-    /// pruned.
-    #[inline]
-    pub(crate) fn dominated(&self, hash: u64, key: [u64; 2], used: u32) -> bool {
-        let base = hash as usize;
-        for i in 0..Self::WAYS {
-            let slot = &self.slots[(base + i) & self.mask];
-            if slot.used != EMPTY && slot.key == key {
-                return slot.used <= used;
+    /// Locks the shard `hash` selects, counting blocking acquisitions.
+    fn lock_shard(&self, hash: u64) -> std::sync::MutexGuard<'_, Shard> {
+        let shard = &self.shards[(hash >> 60) as usize & (SHARDS - 1)];
+        match shard.try_lock() {
+            Ok(guard) => guard,
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.contention.fetch_add(1, Ordering::Relaxed);
+                shard.lock().expect("poison-free")
             }
+            Err(std::sync::TryLockError::Poisoned(_)) => unreachable!("poison-free"),
         }
-        false
     }
 
-    /// Records that the node with residual state `key` and `used` placed
-    /// tiles was exhausted without a covering. Keeps the smaller used
-    /// count on key match; with the window full at capacity, evicts the
-    /// weakest resident (largest used) if the newcomer prunes more.
-    pub(crate) fn record(&mut self, hash: u64, key: [u64; 2], used: u32) {
-        debug_assert_ne!(used, EMPTY);
-        if self.len * 4 > self.slots.len() * 3 && self.slots.len() < self.cap_slots {
-            self.grow();
+    /// Whether a recorded state equal to `key` was refuted under slack
+    /// `≥ slack` — i.e. whether a node (or candidate child) with `slack`
+    /// tiles of headroom is dominated and may be pruned. Returns the
+    /// recording generation on a hit so the caller can classify the hit
+    /// as its own or shared.
+    #[inline]
+    pub(crate) fn dominated(&self, hash: u64, key: [u64; 2], slack: u32) -> Option<u32> {
+        let shard = self.lock_shard(hash);
+        let base = hash as usize;
+        for i in 0..Self::WAYS {
+            let slot = &shard.slots[(base + i) & shard.mask];
+            if slot.rem != EMPTY && slot.key == key {
+                return (slot.rem >= slack).then_some(slot.gen);
+            }
+        }
+        None
+    }
+
+    /// Records that the state `key` was exhausted with `rem` tiles of
+    /// slack by searcher `gen`. Keeps the larger slack on key match
+    /// (tagging the entry with its strengthener); with the window full
+    /// at capacity, evicts the weakest resident (smallest rem) if the
+    /// newcomer prunes more.
+    pub(crate) fn record(&self, hash: u64, key: [u64; 2], rem: u32, gen: u32) {
+        debug_assert_ne!(rem, EMPTY);
+        let mut shard = self.lock_shard(hash);
+        if shard.len * 4 > shard.slots.len() * 3 && shard.slots.len() < shard.cap_slots {
+            self.grow(&mut shard);
         }
         let base = hash as usize;
         let mut weakest = 0usize;
-        let mut weakest_used = 0u32;
+        let mut weakest_rem = EMPTY;
         for i in 0..Self::WAYS {
-            let idx = (base + i) & self.mask;
-            let slot = &mut self.slots[idx];
-            if slot.used == EMPTY {
-                self.len += 1;
-                *slot = Slot { key, used };
+            let idx = (base + i) & shard.mask;
+            let slot = shard.slots[idx];
+            if slot.rem == EMPTY {
+                shard.len += 1;
+                shard.slots[idx] = Slot { key, rem, gen };
+                self.len.fetch_add(1, Ordering::Relaxed);
                 return;
             }
             if slot.key == key {
-                slot.used = slot.used.min(used);
+                if rem > slot.rem {
+                    shard.slots[idx] = Slot { key, rem, gen };
+                }
                 return;
             }
-            if slot.used >= weakest_used {
-                weakest_used = slot.used;
+            if slot.rem <= weakest_rem {
+                weakest_rem = slot.rem;
                 weakest = idx;
             }
         }
-        if used < weakest_used {
-            self.slots[weakest] = Slot { key, used };
+        if rem > weakest_rem {
+            shard.slots[weakest] = Slot { key, rem, gen };
         }
     }
 
-    /// Doubles the table, re-seating every entry under the wider mask.
-    fn grow(&mut self) {
-        let new_len = self.slots.len() * 2;
+    /// Doubles a shard, re-seating every entry under the wider mask.
+    fn grow(&self, shard: &mut Shard) {
+        let prev_len = shard.len;
+        let new_len = shard.slots.len() * 2;
         let old = std::mem::replace(
-            &mut self.slots,
+            &mut shard.slots,
             vec![
                 Slot {
                     key: [0, 0],
-                    used: EMPTY,
+                    rem: EMPTY,
+                    gen: 0,
                 };
                 new_len
             ],
         );
-        self.mask = new_len - 1;
-        self.len = 0;
-        for slot in old {
-            if slot.used != EMPTY {
-                let hash = self.hash_of_key(slot.key);
-                self.record(hash, slot.key, slot.used);
+        shard.mask = new_len - 1;
+        shard.len = 0;
+        for moved in old {
+            if moved.rem != EMPTY {
+                let hash = self.hash_of_key(moved.key);
+                // Re-seat inline (the shard lock is already held).
+                let base = hash as usize;
+                let mut weakest = 0usize;
+                let mut weakest_rem = EMPTY;
+                let mut seated = false;
+                for i in 0..Self::WAYS {
+                    let idx = (base + i) & shard.mask;
+                    let slot = shard.slots[idx];
+                    if slot.rem == EMPTY {
+                        shard.len += 1;
+                        shard.slots[idx] = moved;
+                        seated = true;
+                        break;
+                    }
+                    if slot.rem <= weakest_rem {
+                        weakest_rem = slot.rem;
+                        weakest = idx;
+                    }
+                }
+                if !seated && moved.rem > weakest_rem {
+                    shard.slots[weakest] = moved;
+                }
             }
+        }
+        let lost = prev_len.saturating_sub(shard.len);
+        if lost > 0 {
+            self.len.fetch_sub(lost as u64, Ordering::Relaxed);
         }
     }
 
@@ -262,46 +428,92 @@ impl ResidualMemo {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::TileUniverse;
+    use cyclecover_ring::Ring;
+
+    fn universe(n: u32) -> TileUniverse {
+        TileUniverse::new(Ring::new(n), n as usize)
+    }
 
     #[test]
-    fn dominated_only_with_equal_or_better_used() {
-        let mut memo = ResidualMemo::new(66, 1 << 20).expect("n=12 fits");
+    fn dominated_only_with_equal_or_less_slack() {
+        let memo = MemoStore::new(&universe(12), 1 << 20).expect("n=12 fits");
+        let gen = memo.attach();
         let key = [0b1011, 0b1];
         let hash = memo.hash_of_key(key);
-        assert!(!memo.dominated(hash, key, 5));
-        memo.record(hash, key, 5);
-        assert!(memo.dominated(hash, key, 5), "equal used prunes");
-        assert!(memo.dominated(hash, key, 9), "worse used prunes");
-        assert!(!memo.dominated(hash, key, 4), "better used explores");
-        memo.record(hash, key, 3);
-        assert!(memo.dominated(hash, key, 3), "record keeps the minimum");
+        assert!(memo.dominated(hash, key, 5).is_none());
+        memo.record(hash, key, 5, gen);
+        assert!(memo.dominated(hash, key, 5).is_some(), "equal slack prunes");
+        assert!(memo.dominated(hash, key, 4).is_some(), "less slack prunes");
+        assert!(
+            memo.dominated(hash, key, 6).is_none(),
+            "more slack explores"
+        );
+        memo.record(hash, key, 7, gen);
+        assert!(
+            memo.dominated(hash, key, 7).is_some(),
+            "record keeps the maximum slack"
+        );
         assert_eq!(memo.len(), 1);
+    }
+
+    #[test]
+    fn hits_carry_the_recording_generation() {
+        let memo = MemoStore::new(&universe(10), 1 << 20).expect("fits");
+        let g1 = memo.attach();
+        let g2 = memo.attach();
+        assert_ne!(g1, g2, "every searcher draws a fresh generation");
+        let key = [0b110, 0];
+        let hash = memo.hash_of_key(key);
+        memo.record(hash, key, 3, g1);
+        assert_eq!(
+            memo.dominated(hash, key, 2),
+            Some(g1),
+            "the hit names who recorded it"
+        );
+        // A strengthening write re-tags the entry with its improver.
+        memo.record(hash, key, 6, g2);
+        assert_eq!(memo.dominated(hash, key, 4), Some(g2));
+        // A weaker write leaves owner and strength alone.
+        memo.record(hash, key, 1, g1);
+        assert_eq!(memo.dominated(hash, key, 6), Some(g2));
     }
 
     #[test]
     fn distinct_keys_never_alias() {
         // Exact keys: even a forced hash-slot collision cannot prune the
         // wrong state.
-        let mut memo = ResidualMemo::new(64, 0).expect("floor budget");
+        let memo = MemoStore::new(&universe(10), 0).expect("floor budget");
+        let gen = memo.attach();
         let a = [0x1u64, 0];
         let b = [0x2u64, 0];
-        memo.record(memo.hash_of_key(a), a, 2);
-        assert!(!memo.dominated(memo.hash_of_key(b), b, 10));
+        memo.record(memo.hash_of_key(a), a, 2, gen);
+        assert!(memo.dominated(memo.hash_of_key(b), b, 1).is_none());
     }
 
     #[test]
     fn grows_and_survives_rehash() {
-        let mut memo = ResidualMemo::new(128, 8 << 20).expect("fits");
+        let u = universe(16);
+        let memo = MemoStore::new(&u, 8 << 20).expect("fits");
+        let gen = memo.attach();
         let mut rng = StdRng::seed_from_u64(7);
-        let keys: Vec<[u64; 2]> = (0..5000).map(|_| [rng.next_u64(), rng.next_u64()]).collect();
+        // Keys must only use real chord bits (n = 16 has 120 chords).
+        let hi_mask = (1u64 << (u.num_chords() - 64)) - 1;
+        let keys: Vec<[u64; 2]> = (0..40_000)
+            .map(|_| [rng.next_u64(), rng.next_u64() & hi_mask])
+            .collect();
         for (i, &k) in keys.iter().enumerate() {
-            memo.record(memo.hash_of_key(k), k, (i % 17) as u32);
+            memo.record(memo.hash_of_key(k), k, (i % 17) as u32, gen);
         }
-        assert!(memo.len() > MIN_SLOTS, "table grew past its seed size");
+        assert!(
+            memo.len() > (SHARDS * MIN_SLOTS) as u64 * 3 / 4,
+            "shards grew past their seed size (len = {})",
+            memo.len()
+        );
         let survived = keys
             .iter()
             .enumerate()
-            .filter(|&(i, &k)| memo.dominated(memo.hash_of_key(k), k, (i % 17) as u32))
+            .filter(|&(i, &k)| memo.dominated(memo.hash_of_key(k), k, (i % 17) as u32).is_some())
             .count();
         // Collisions may evict a few entries (pruning loss, never a
         // correctness issue); the overwhelming majority must survive.
@@ -314,16 +526,34 @@ mod tests {
 
     #[test]
     fn zobrist_stream_is_deterministic() {
-        let a = ResidualMemo::new(45, 1 << 20).unwrap();
-        let b = ResidualMemo::new(45, 1 << 20).unwrap();
-        for c in 0..45 {
+        let a = MemoStore::new(&universe(11), 1 << 20).unwrap();
+        let b = MemoStore::new(&universe(11), 1 << 20).unwrap();
+        for c in 0..a.num_chords {
             assert_eq!(a.chord_key(c), b.chord_key(c));
         }
     }
 
     #[test]
-    fn too_wide_states_disable_the_memo() {
-        assert!(ResidualMemo::new(129, 1 << 20).is_none(), "n >= 17");
-        assert!(ResidualMemo::new(128, 1 << 20).is_some(), "n = 16");
+    fn incompatible_universes_are_refused() {
+        let memo = MemoStore::new(&universe(10), 1 << 20).unwrap();
+        assert!(memo.compatible(&universe(10)));
+        assert!(!memo.compatible(&universe(9)), "different ring");
+        assert!(
+            !memo.compatible(&TileUniverse::new(Ring::new(10), 3)),
+            "same ring, different tile set"
+        );
+    }
+
+    #[test]
+    fn single_threaded_access_never_contends() {
+        let memo = MemoStore::new(&universe(10), 1 << 20).unwrap();
+        let gen = memo.attach();
+        for i in 0..1_000u64 {
+            // n = 10 has 45 chords: keep keys inside the chord range.
+            let key = [(i * 0x9E37_79B9) & ((1u64 << 45) - 1), 0];
+            memo.record(memo.hash_of_key(key), key, (i % 5) as u32, gen);
+            memo.dominated(memo.hash_of_key(key), key, 1);
+        }
+        assert_eq!(memo.contention(), 0);
     }
 }

@@ -40,7 +40,7 @@ use crate::bnb::{
     decode_cause, encode_cause, CoverSpec, Outcome, RunLimits, Stats, SymmetryMode,
 };
 use crate::lower_bound::{diameter_slack_bound, parity_join_bound_from_odd};
-use crate::memo::{MemoConfig, ResidualMemo};
+use crate::memo::MemoStore;
 use crate::tiles::DihedralTables;
 use crate::TileUniverse;
 use std::collections::VecDeque;
@@ -136,7 +136,13 @@ pub(crate) struct IterCore<'a> {
     sym_stamp: u64,
 
     // ---- memo ----
-    memo: Option<ResidualMemo>,
+    /// The (possibly shared) refutation store this searcher probes and
+    /// feeds. `None` = memo off; the search then reproduces its
+    /// memo-free node counts bit for bit.
+    store: Option<&'a MemoStore>,
+    /// This searcher's generation tag in the store — hits on entries
+    /// with another tag are counted as `shared_hits`.
+    gen: u32,
     /// Key by the canonical dihedral image of the residual state
     /// (`Full` mode with the memo on).
     canon: bool,
@@ -149,7 +155,7 @@ impl<'a> IterCore<'a> {
         budget: u32,
         lim: &'a RunLimits,
         requested: SymmetryMode,
-        memo_cfg: MemoConfig,
+        store: Option<&'a MemoStore>,
     ) -> Self {
         let m = u.num_chords();
         assert_eq!(spec.demand.len(), m as usize, "spec size mismatch");
@@ -176,15 +182,14 @@ impl<'a> IterCore<'a> {
         }
         let odd = deg.iter().filter(|&&d| d & 1 == 1).count() as u64;
 
-        let memo = if memo_cfg.enabled {
-            ResidualMemo::new(m, memo_cfg.budget_bytes)
-        } else {
-            None
-        };
-        let hash = memo.as_ref().map_or(0, |mm| {
-            uncovered.iter().fold(0u64, |h, c| h ^ mm.chord_key(c))
+        // A store built for another universe would prune on meaningless
+        // key matches — treat it as absent.
+        let store = store.filter(|s| s.compatible(u));
+        let gen = store.map_or(0, |s| s.attach());
+        let hash = store.map_or(0, |s| {
+            uncovered.iter().fold(0u64, |h, c| h ^ s.chord_key(c))
         });
-        let canon = memo.is_some() && mode == SymmetryMode::Full;
+        let canon = store.is_some() && mode == SymmetryMode::Full;
 
         let max_cands = u.max_candidates() as usize;
         IterCore {
@@ -226,7 +231,8 @@ impl<'a> IterCore<'a> {
             image_scratch: Vec::new(),
             sym_seen: Vec::new(),
             sym_stamp: 0,
-            memo,
+            store,
+            gen,
             canon,
         }
     }
@@ -275,8 +281,8 @@ impl<'a> IterCore<'a> {
                 }
                 *dv -= 1;
             }
-            if let Some(memo) = &self.memo {
-                self.hash ^= memo.chord_key(i);
+            if let Some(store) = self.store {
+                self.hash ^= store.chord_key(i);
             }
         }
         self.chosen.push(t);
@@ -302,8 +308,8 @@ impl<'a> IterCore<'a> {
                 }
                 *dv += 1;
             }
-            if let Some(memo) = &self.memo {
-                self.hash ^= memo.chord_key(i);
+            if let Some(store) = self.store {
+                self.hash ^= store.chord_key(i);
             }
         }
         self.uncovered.union_with(newly);
@@ -353,7 +359,7 @@ impl<'a> IterCore<'a> {
         if !self.canon {
             return (raw, self.hash, true);
         }
-        let memo = self.memo.as_ref().expect("canonical mode implies memo");
+        let store = self.store.expect("canonical mode implies a store");
         let sym = self.sym.expect("canonical mode implies tables");
         let mut best = raw;
         let mut best_hash = self.hash;
@@ -366,7 +372,7 @@ impl<'a> IterCore<'a> {
             for c in self.uncovered.iter() {
                 let ic = sym.chord_image(g, c);
                 img[(ic / 64) as usize] |= 1u64 << (ic % 64);
-                h ^= memo.chord_key(ic);
+                h ^= store.chord_key(ic);
             }
             if img < best {
                 best = img;
@@ -377,8 +383,11 @@ impl<'a> IterCore<'a> {
     }
 
     /// Steps A–I of one node: satisfied / limits / bounds / memo /
-    /// candidate staging.
-    fn enter_node(&mut self) -> Enter {
+    /// candidate staging. `check_memo` is false when the caller already
+    /// probed this state in the store as a candidate child
+    /// ([`IterCore::skip_candidate`]) — the key/hash are still computed
+    /// so the node can be recorded on exhaust.
+    fn enter_node(&mut self, check_memo: bool) -> Enter {
         if self.uncovered.is_empty() {
             return Enter::Solved;
         }
@@ -432,18 +441,22 @@ impl<'a> IterCore<'a> {
         let mut key = [0u64; 2];
         let mut khash = 0u64;
         let mut memoable = false;
-        if self.memo.is_some() {
+        if let Some(store) = self.store {
             let (k, h, raw) = self.state_key();
-            let dominated = self
-                .memo
-                .as_ref()
-                .is_some_and(|memo| memo.dominated(h, k, used as u32));
-            if dominated {
-                self.stats.memo_hits += 1;
-                if !raw {
-                    self.stats.canon_pruned += 1;
+            // Canonical keys depend on the *placed* state, so canonical
+            // mode cannot pre-probe candidates and always checks here.
+            if check_memo || self.canon {
+                let slack = (self.budget as u64 - used) as u32;
+                if let Some(owner) = store.dominated(h, k, slack) {
+                    self.stats.memo_hits += 1;
+                    if owner != self.gen {
+                        self.stats.shared_hits += 1;
+                    }
+                    if !raw {
+                        self.stats.canon_pruned += 1;
+                    }
+                    return Enter::Dead;
                 }
-                return Enter::Dead;
             }
             key = k;
             khash = h;
@@ -641,9 +654,12 @@ impl<'a> IterCore<'a> {
     fn run(&mut self) -> bool {
         let base = self.chosen.len();
         let mut entering = true;
+        // Only the subtree root needs the node-entry store probe:
+        // deeper nodes were already probed as candidate children.
+        let mut check_memo = true;
         loop {
             if entering {
-                match self.enter_node() {
+                match self.enter_node(check_memo) {
                     Enter::Solved => return true,
                     Enter::Abort => return false,
                     Enter::Dead => {
@@ -662,15 +678,23 @@ impl<'a> IterCore<'a> {
             if f.cursor < f.cands.len() {
                 let t = f.cands[f.cursor];
                 f.cursor += 1;
+                // The candidate-level store probe: a child whose residual
+                // state is already refuted with enough slack is skipped
+                // without ever being placed or counted as a node.
+                if self.skip_candidate(t) {
+                    entering = false;
+                    continue;
+                }
                 self.place(t);
                 entering = true;
+                check_memo = self.canon;
             } else {
                 if f.memoable {
                     let (hash, key) = (f.hash, f.key);
-                    self.memo
-                        .as_mut()
-                        .expect("memoable implies memo")
-                        .record(hash, key, depth as u32);
+                    let rem = self.budget - depth as u32;
+                    self.store
+                        .expect("memoable implies a store")
+                        .record(hash, key, rem, self.gen);
                 }
                 if depth == base {
                     return false;
@@ -681,9 +705,53 @@ impl<'a> IterCore<'a> {
         }
     }
 
-    /// Final statistics (stamps the memo's resident entry count).
+    /// Probes the store for candidate `t`'s child state before placing
+    /// it. Returns `true` (and counts a memo hit) when the child is
+    /// already refuted with at least the child's slack — the placement,
+    /// the node, and the whole subtree are skipped. Never consults the
+    /// store on a child that would be a covering, and never runs in
+    /// canonical mode (whose keys need the placed state).
+    fn skip_candidate(&mut self, t: u32) -> bool {
+        let Some(store) = self.store else {
+            return false;
+        };
+        if self.canon {
+            return false;
+        }
+        let words = self.uncovered.words();
+        let mut key = [words[0], words.get(1).copied().unwrap_or(0)];
+        let mut h = self.hash;
+        let (lo, hi) = self.u.tile_mask_span(t);
+        let tmask = self.u.tile_mask(t).words();
+        for w in lo as usize..hi as usize {
+            let mut m = tmask[w] & key[w];
+            key[w] &= !m;
+            while m != 0 {
+                let c = (w as u32) * 64 + m.trailing_zeros();
+                h ^= store.chord_key(c);
+                m &= m - 1;
+            }
+        }
+        if key == [0, 0] {
+            return false;
+        }
+        let child_used = self.chosen.len() as u32 + 1;
+        let slack = self.budget.saturating_sub(child_used);
+        if let Some(owner) = store.dominated(h, key, slack) {
+            self.stats.memo_hits += 1;
+            if owner != self.gen {
+                self.stats.shared_hits += 1;
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Final statistics (stamps the store's resident entry count — a
+    /// shared store reports its *total* population, not this searcher's
+    /// contribution).
     fn take_stats(&mut self) -> Stats {
-        self.stats.memo_entries = self.memo.as_ref().map_or(0, |m| m.len() as u64);
+        self.stats.memo_entries = self.store.map_or(0, |s| s.len());
         self.stats
     }
 }
@@ -696,9 +764,9 @@ pub(crate) fn search_iterative(
     budget: u32,
     lim: &RunLimits,
     sym: SymmetryMode,
-    memo: MemoConfig,
+    store: Option<&MemoStore>,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
-    let mut core = IterCore::new(u, spec, budget, lim, sym, memo);
+    let mut core = IterCore::new(u, spec, budget, lim, sym, store);
     if core.run() {
         let chosen = core.chosen.clone();
         (Outcome::Feasible(chosen), core.take_stats(), None)
@@ -727,7 +795,7 @@ pub(crate) fn search_iterative_parallel(
     threads: usize,
     prefix_per_thread: usize,
     sym: SymmetryMode,
-    memo: MemoConfig,
+    store: Option<&MemoStore>,
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     let max_nodes = lim.max_nodes;
     let pool = rayon::ThreadPoolBuilder::new()
@@ -735,7 +803,7 @@ pub(crate) fn search_iterative_parallel(
         .build()
         .expect("thread pool");
     let threads = pool.current_num_threads();
-    let mut root = IterCore::new(u, spec, budget, lim, sym, memo);
+    let mut root = IterCore::new(u, spec, budget, lim, sym, store);
     if root.uncovered.is_empty() {
         return (Outcome::Feasible(Vec::new()), root.take_stats(), None);
     }
@@ -813,7 +881,7 @@ pub(crate) fn search_iterative_parallel(
     let sym_pruned = AtomicU64::new(expand_stats.sym_pruned);
     let canon_pruned = AtomicU64::new(expand_stats.canon_pruned);
     let memo_hits = AtomicU64::new(expand_stats.memo_hits);
-    let memo_entries = AtomicU64::new(expand_stats.memo_entries);
+    let shared_hits = AtomicU64::new(expand_stats.shared_hits);
     let sym_factor = AtomicU32::new(expand_stats.sym_factor);
     let solution = std::sync::Mutex::new(None::<Vec<u32>>);
 
@@ -828,7 +896,7 @@ pub(crate) fn search_iterative_parallel(
             let sym_pruned = &sym_pruned;
             let canon_pruned = &canon_pruned;
             let memo_hits = &memo_hits;
-            let memo_entries = &memo_entries;
+            let shared_hits = &shared_hits;
             let sym_factor = &sym_factor;
             let solution = &solution;
             scope.spawn(move |_| {
@@ -846,7 +914,10 @@ pub(crate) fn search_iterative_parallel(
                     deadline: lim.deadline,
                     cancel: lim.cancel.clone(),
                 };
-                let mut ctx = IterCore::new(u, spec, budget, &worker_lim, sym, memo);
+                // Workers share one store: each attaches with its own
+                // generation, so hits on another worker's refutations
+                // are visible as `shared_hits`.
+                let mut ctx = IterCore::new(u, spec, budget, &worker_lim, sym, store);
                 ctx.early_exit = Some(found);
                 ctx.shared_nodes = Some((nodes, max_nodes));
                 for &t in prefix {
@@ -860,7 +931,7 @@ pub(crate) fn search_iterative_parallel(
                 sym_pruned.fetch_add(st.sym_pruned, Ordering::Relaxed);
                 canon_pruned.fetch_add(st.canon_pruned, Ordering::Relaxed);
                 memo_hits.fetch_add(st.memo_hits, Ordering::Relaxed);
-                memo_entries.fetch_add(st.memo_entries, Ordering::Relaxed);
+                shared_hits.fetch_add(st.shared_hits, Ordering::Relaxed);
                 sym_factor.fetch_max(st.sym_factor, Ordering::Relaxed);
                 if ok {
                     found.store(true, Ordering::Relaxed);
@@ -884,7 +955,10 @@ pub(crate) fn search_iterative_parallel(
         sym_pruned: sym_pruned.load(Ordering::Relaxed),
         canon_pruned: canon_pruned.load(Ordering::Relaxed),
         memo_hits: memo_hits.load(Ordering::Relaxed),
-        memo_entries: memo_entries.load(Ordering::Relaxed),
+        shared_hits: shared_hits.load(Ordering::Relaxed),
+        // One store serves every worker: report its population, not a
+        // per-worker sum.
+        memo_entries: store.map_or(0, |s| s.len()),
         sym_factor: sym_factor.load(Ordering::Relaxed),
     };
     let sol = solution.lock().expect("poison-free").take();
