@@ -2,12 +2,14 @@
 //! through the engine API (bounded `WithinBudget` requests).
 
 use cyclecover_ring::Ring;
-use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
+use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest, SymmetryMode};
 use cyclecover_solver::bnb::CoverSpec;
 use cyclecover_solver::TileUniverse;
 
 fn main() {
     // n=16 at budget 33, restricted universe (C3/C4, shortest-gap) first.
+    // Runs the full PR-8 configuration — dihedral symmetry + the
+    // residual-state memo — so every node the cap buys is a reduced one.
     let engine = engine_by_name("bitset").expect("registered engine");
     for (n, max_len, max_gap) in [(16u32, 4usize, 8u32), (16, 5, 16)] {
         let u = TileUniverse::with_max_gap(Ring::new(n), max_len, max_gap);
@@ -16,7 +18,10 @@ fn main() {
         let t0 = std::time::Instant::now();
         let sol = engine.solve(
             &problem,
-            &SolveRequest::within_budget(33).with_max_nodes(2_000_000_000),
+            &SolveRequest::within_budget(33)
+                .with_symmetry(SymmetryMode::Full)
+                .with_memo(true)
+                .with_max_nodes(2_000_000_000),
         );
         println!(
             "n={n} max_len={max_len} max_gap={max_gap} tiles={tiles}: {} nodes={} [{:.1?}]",

@@ -24,6 +24,12 @@
 //!   *ceilings* used by `bench_snapshot --quick --check`, the CI
 //!   node-count gate — including the ρ(10) `root`+memo acceptance
 //!   ceiling (≤ 400k witness nodes vs BENCH_3's 770,227).
+//! * `BENCH_9.json` — PR 9 (λ-fold lane kernel): the unit sweep plus
+//!   λ-fold rows certifying ρ_λ(n) on the packed 2-bit-lane kernel vs
+//!   the frozen recursive `legacy` reference (legacy witness counts
+//!   gated ±0, packed under ceilings *and* strictly under legacy), and
+//!   the capped n = 16 budget-33 construction-gap probe, which must
+//!   stay inconclusive (a certified row would close the ρ(16) gap).
 //!
 //! Node counts are deterministic and machine-independent; the `wall_ms`
 //! fields are hardware noise and never gated on. Service-level

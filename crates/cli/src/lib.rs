@@ -62,12 +62,16 @@ cyclecover — survivable WDM ring design by DRC cycle covering
 USAGE:
   cyclecover solve <n> [--engine E] [--budget K] [--max-nodes N]
                        [--deadline MS] [--symmetry off|root|full]
-                       [--no-memo] [--memo-mb M] [--json]
+                       [--lambda L] [--no-memo] [--memo-mb M] [--json]
                                      solve/certify the covering of K_n on C_n
                                      (default: find + certify the optimum;
                                       --budget K asks for any <= K covering;
                                       --symmetry sets the dihedral reduction
                                       of the exact search, default root;
+                                      --lambda L asks for a λ-fold covering
+                                      — every request covered L times, L=2
+                                      is a cycle double cover — on the
+                                      packed multiplicity kernel;
                                       --no-memo disables the residual-state
                                       dominance memo, --memo-mb caps its
                                       memory like the service universe cache)
@@ -139,6 +143,7 @@ fn run_solve(args: &[String]) -> Result<String, String> {
     let mut max_nodes: Option<u64> = None;
     let mut deadline_ms: Option<u64> = None;
     let mut symmetry: Option<SymmetryMode> = None;
+    let mut lambda = 1u32;
     let mut memo = true;
     let mut memo_mb: Option<usize> = None;
     let mut as_json = false;
@@ -182,6 +187,14 @@ fn run_solve(args: &[String]) -> Result<String, String> {
                     }
                 })
             }
+            "--lambda" => {
+                lambda = value("a covering multiplicity")?
+                    .parse()
+                    .map_err(|e| format!("bad --lambda: {e}"))?;
+                if lambda == 0 {
+                    return Err("--lambda must be >= 1".into());
+                }
+            }
             "--no-memo" => memo = false,
             "--memo-mb" => {
                 memo_mb = Some(
@@ -215,7 +228,14 @@ fn run_solve(args: &[String]) -> Result<String, String> {
         let names: Vec<&str> = engines().iter().map(|e| e.name()).collect();
         format!("unknown engine '{engine_name}' (have: {})", names.join(", "))
     })?;
-    let problem = Problem::complete(n);
+    let problem = if lambda > 1 {
+        Problem::new(
+            cyclecover_solver::TileUniverse::new(cyclecover_ring::Ring::new(n), n as usize),
+            cyclecover_solver::bnb::CoverSpec::lambda_fold(n, lambda),
+        )
+    } else {
+        Problem::complete(n)
+    };
     if !engine.supports(&problem, &request) {
         return Err(format!(
             "engine '{engine_name}' does not support this problem/request"
@@ -226,12 +246,21 @@ fn run_solve(args: &[String]) -> Result<String, String> {
         return Ok(json::solution_to_json(&solution));
     }
     let mut out = String::new();
-    let _ = writeln!(out, "n = {n}, engine = {engine_name}");
+    if lambda > 1 {
+        let _ = writeln!(out, "n = {n}, lambda = {lambda}, engine = {engine_name}");
+    } else {
+        let _ = writeln!(out, "n = {n}, engine = {engine_name}");
+    }
+    let rho_name = if lambda > 1 {
+        format!("rho_{lambda}({n})")
+    } else {
+        format!("rho({n})")
+    };
     match solution.optimality() {
         SolveOptimality::Optimal { lower_bound_proof } => {
             let _ = writeln!(
                 out,
-                "OPTIMAL: {} cycles (rho({n}) certified)",
+                "OPTIMAL: {} cycles ({rho_name} certified)",
                 solution.size().expect("optimal solutions carry coverings")
             );
             match lower_bound_proof {
@@ -820,6 +849,30 @@ mod tests {
     }
 
     #[test]
+    fn solve_lambda_flag_certifies_double_cover_and_validates() {
+        // ρ₂(6) = 9: the double cover sits exactly at the capacity bound
+        // ⌈2·27/6⌉, so the optimum is certified by a combinatorial bound
+        // and the human output names ρ₂ explicitly.
+        let out = runv(&["solve", "6", "--lambda", "2"]).unwrap();
+        assert!(out.contains("lambda = 2"), "{out}");
+        assert!(out.contains("OPTIMAL: 9 cycles (rho_2(6) certified)"), "{out}");
+        assert_eq!(out.matches("cycle ").count(), 9, "{out}");
+        // The λ-fold solution document passes `cyclecover validate`
+        // (every request covered ≥ 2 ≥ 1 times).
+        let text = runv(&["solve", "6", "--lambda", "2", "--json"]).unwrap();
+        let path = std::env::temp_dir().join("cyclecover_cli_test_lambda6.json");
+        std::fs::write(&path, &text).unwrap();
+        let ok = runv(&["validate", path.to_str().unwrap()]).unwrap();
+        assert!(ok.starts_with("OK: 9 cycles"), "{ok}");
+        std::fs::remove_file(&path).ok();
+        // Flag validation.
+        let err = runv(&["solve", "6", "--lambda", "0"]).unwrap_err();
+        assert!(err.contains("--lambda must be >= 1"), "{err}");
+        let err = runv(&["solve", "6", "--lambda", "many"]).unwrap_err();
+        assert!(err.contains("bad --lambda"), "{err}");
+    }
+
+    #[test]
     fn solve_budget_and_engines() {
         // An infeasible budget must say so.
         let out = runv(&["solve", "6", "--budget", "4"]).unwrap();
@@ -963,6 +1016,40 @@ mod tests {
         let late = std::fs::read_to_string(out.join("late.json")).unwrap();
         assert!(late.contains("\"budget_exhausted\""), "{late}");
         assert!(late.contains("\"cycles\": null"), "{late}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_admits_and_solves_lambda_fold_requests() {
+        // A λ-fold request document runs the batch service end to end:
+        // admitted (predictive admission has no unit-table point for it),
+        // solved on the packed lane kernel, and the emitted solution
+        // document passes `cyclecover validate`.
+        let jobs = r#"{"format": "cyclecover-request", "version": 1, "id": "double-6", "n": 6, "lambda": 2}
+{"format": "cyclecover-request", "version": 1, "id": "unit-6", "n": 6}
+"#;
+        let dir = std::env::temp_dir().join("cyclecover_cli_test_serve_lambda");
+        std::fs::create_dir_all(&dir).unwrap();
+        let batch = dir.join("jobs.jsonl");
+        std::fs::write(&batch, jobs).unwrap();
+        let out = dir.join("out");
+        let summary = runv(&[
+            "serve",
+            "--batch",
+            batch.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(summary.contains("\"solved\": 2"), "{summary}");
+        assert!(summary.contains("\"predicted_rejected\": 0"), "{summary}");
+        let double = std::fs::read_to_string(out.join("double-6.json")).unwrap();
+        assert!(double.contains("\"optimal\""), "{double}");
+        assert!(double.contains("\"size\": 9"), "ρ₂(6) = 9: {double}");
+        let ok = runv(&["validate", out.join("double-6.json").to_str().unwrap()]).unwrap();
+        assert!(ok.starts_with("OK: 9 cycles"), "{ok}");
+        let ok = runv(&["validate", out.join("unit-6.json").to_str().unwrap()]).unwrap();
+        assert!(ok.starts_with("OK: 5 cycles"), "{ok}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

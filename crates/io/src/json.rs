@@ -36,7 +36,8 @@
 //! | `n` | yes | ring size, `≥ 3` |
 //! | `max_len` | no | max tile vertex count, `3 ≤ max_len ≤ n`; default `n` |
 //! | `max_gap` | no | max ring gap between consecutive tile vertices, `1 ≤ max_gap ≤ n`; default `n` (unconstrained) |
-//! | `requests` | no | array of `[u, v]` vertex pairs (`u ≠ v`, both `< n`): the demand is *exactly these requests once*; absent or `null` = all of `K_n` once |
+//! | `requests` | no | array of `[u, v]` vertex pairs (`u ≠ v`, both `< n`): the demand is *exactly these requests, each `lambda` times*; absent or `null` = all of `K_n` |
+//! | `lambda` | no | covering multiplicity `λ ≥ 1`: every request must be covered `λ` times; default `1` (the classical cover). `λ ≤ 3` runs on the packed lane kernel; larger λ falls back to the recursive multiplicity kernel |
 //! | `engine` | no | engine registry name; default `"bitset"` (validated against the registry at admission, not parse, time) |
 //! | `objective` | no | `{"kind": "find_optimal"}` (default), `{"kind": "within_budget", "budget": K}`, or `{"kind": "prove_infeasible", "budget": K}` |
 //! | `max_nodes` | no | search-node budget for the whole request |
@@ -737,9 +738,13 @@ pub struct SolveJob {
     /// Maximum ring gap between consecutive tile vertices (`1 ..= n`;
     /// `n` = unconstrained).
     pub max_gap: u32,
-    /// `None` = cover all of `K_n` once; `Some(pairs)` = cover exactly
-    /// these requests once (normalized `u < v`, sorted, deduplicated).
+    /// `None` = cover all of `K_n`; `Some(pairs)` = cover exactly
+    /// these requests (normalized `u < v`, sorted, deduplicated).
     pub requests: Option<Vec<(u32, u32)>>,
+    /// Covering multiplicity: every request must be covered `lambda`
+    /// times (`≥ 1`; `1` = the classical cover, `2` = a cycle double
+    /// cover).
+    pub lambda: u32,
     /// Engine registry name (validated against the registry at admission).
     pub engine: String,
     /// What to solve for.
@@ -772,6 +777,7 @@ impl SolveJob {
             max_len: n,
             max_gap: n,
             requests: None,
+            lambda: 1,
             engine: "bitset".to_string(),
             objective: Objective::FindOptimal,
             max_nodes: None,
@@ -789,15 +795,22 @@ impl SolveJob {
         (self.n, self.max_len, self.max_gap)
     }
 
-    /// The demand spec this job asks to cover.
+    /// The demand spec this job asks to cover: the requested pairs (or
+    /// all of `K_n`), each `lambda` times.
     pub fn spec(&self) -> CoverSpec {
-        match &self.requests {
+        let mut spec = match &self.requests {
             None => CoverSpec::complete(self.n),
             Some(pairs) => {
                 let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v)).collect();
                 CoverSpec::subset(self.n, &edges)
             }
+        };
+        if self.lambda > 1 {
+            for d in &mut spec.demand {
+                *d *= self.lambda;
+            }
         }
+        spec
     }
 
     /// The [`SolveRequest`] this job describes — objective, node budget,
@@ -851,6 +864,12 @@ pub fn request_to_json(job: &SolveJob) -> String {
             }
             s.push(']');
         }
+    }
+    // λ = 1 is the default and is omitted, keeping unit-cover documents
+    // (and the coalescing/cert-cache keys derived from them) byte-stable
+    // across the λ-fold addition.
+    if job.lambda > 1 {
+        let _ = write!(s, ", \"lambda\": {}", job.lambda);
     }
     let _ = write!(s, ", \"engine\": {}", quote(&job.engine));
     let objective = match job.objective {
@@ -1009,6 +1028,12 @@ pub fn request_from_json(text: &str) -> Result<SolveJob, String> {
             job.requests = Some(out);
         }
         Some(_) => return Err("'requests' must be an array of [u, v] pairs or null".into()),
+    }
+    if let Some(lambda) = opt_uint(&doc, "lambda", u32::MAX as u64)? {
+        if lambda == 0 {
+            return Err("'lambda' must be >= 1".into());
+        }
+        job.lambda = lambda as u32;
     }
     if let Some(engine) = doc.get("engine") {
         if let Some(engine) = engine.as_str() {
@@ -1206,9 +1231,52 @@ mod tests {
         let text = request_to_json(&job);
         assert!(!text.contains('\n'), "requests must be single-line: {text}");
         assert_eq!(request_from_json(&text).unwrap(), job);
-        // Defaults round-trip too.
+        // Defaults round-trip too — and the default λ = 1 is omitted
+        // from the wire so pre-λ documents (and the coalescing keys and
+        // cert-cache keys derived from them) stay byte-identical.
         let plain = SolveJob::new("", 6);
-        assert_eq!(request_from_json(&request_to_json(&plain)).unwrap(), plain);
+        let text = request_to_json(&plain);
+        assert!(!text.contains("lambda"), "default λ must stay off the wire: {text}");
+        assert_eq!(request_from_json(&text).unwrap(), plain);
+        // A λ-fold job emits and round-trips its multiplicity.
+        let mut double = SolveJob::new("cdc", 6);
+        double.lambda = 2;
+        let text = request_to_json(&double);
+        assert!(text.contains("\"lambda\": 2"), "{text}");
+        assert_eq!(request_from_json(&text).unwrap(), double);
+    }
+
+    #[test]
+    fn lambda_scales_the_demand_spec() {
+        // Complete spec: every request demanded λ times.
+        let job = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 6, "lambda": 2}"#,
+        )
+        .unwrap();
+        assert_eq!(job.lambda, 2);
+        assert!(!job.spec().is_unit());
+        assert_eq!(job.spec().max_demand(), 2);
+        assert!(job.spec().demand.iter().all(|&d| d == 2));
+        // Partial spec: only the requested pairs, each λ times.
+        let job = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 6, "lambda": 3,
+                "requests": [[0, 2], [1, 4]]}"#,
+        )
+        .unwrap();
+        let spec = job.spec();
+        assert_eq!(spec.max_demand(), 3);
+        assert_eq!(spec.demand.iter().sum::<u32>(), 6);
+        // λ = 0 is rejected; λ = 1 is the explicit default.
+        let err = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 6, "lambda": 0}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("'lambda' must be >= 1"), "{err}");
+        let job = request_from_json(
+            r#"{"format": "cyclecover-request", "version": 1, "n": 6, "lambda": 1}"#,
+        )
+        .unwrap();
+        assert_eq!(job, SolveJob::new("", 6));
     }
 
     #[test]

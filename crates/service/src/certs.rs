@@ -27,9 +27,10 @@
 //! file deserves the same protection as the binary that wrote it (see
 //! `docs/robustness.md`).
 //!
-//! Caching is restricted to complete-`K_n` requests: a v1 solution
-//! document does not carry the demand spec, so a partial-instance
-//! covering cannot be coverage-checked from the file alone.
+//! Caching is restricted to unit complete-`K_n` requests: a v1 solution
+//! document does not carry the demand spec, so neither a
+//! partial-instance nor a λ-fold covering can be coverage-checked from
+//! the file alone.
 
 use cyclecover_io::json::{self, Json, SolveJob};
 use cyclecover_ring::{Ring, Tile};
@@ -163,6 +164,7 @@ impl CertCache {
         if solution.cached()
             || solution.degraded().is_some()
             || job.requests.is_some()
+            || job.lambda > 1
             || !matches!(
                 solution.optimality(),
                 Optimality::Optimal { .. } | Optimality::Infeasible
@@ -205,6 +207,12 @@ fn validate_entry(key: &str, solution_doc: &str) -> Result<CertEntry, String> {
     let job = json::request_from_json(key)?;
     if job.requests.is_some() {
         return Err("partial-instance requests are not cacheable".into());
+    }
+    if job.lambda > 1 {
+        // A v1 solution document cannot be re-validated against a
+        // λ-fold multiplicity spec (the coverage check below asserts
+        // the unit complete-K_n spec), so λ-fold answers stay uncached.
+        return Err("lambda-fold requests are not cacheable".into());
     }
     if !job.id.is_empty() || job.deadline_ms.is_some() {
         return Err("key is not canonical: 'id'/'deadline_ms' must be blanked".into());
@@ -345,6 +353,24 @@ mod tests {
         let mut fresh = CertCache::new();
         fresh.record(&job2, &key2, &served);
         assert!(fresh.is_empty());
+    }
+
+    #[test]
+    fn lambda_fold_answers_are_not_recorded() {
+        let mut job = SolveJob::new("", 5);
+        job.lambda = 2;
+        let key = json::request_to_json(&job);
+        let sol = engine("bitset").unwrap().solve(
+            &Problem::new(
+                cyclecover_solver::TileUniverse::new(Ring::new(5), 5),
+                job.spec(),
+            ),
+            &job.to_solve_request(),
+        );
+        assert!(matches!(sol.optimality(), Optimality::Optimal { .. }));
+        let mut cache = CertCache::new();
+        cache.record(&job, &key, &sol);
+        assert!(cache.is_empty(), "λ-fold certificates must stay uncached");
     }
 
     #[test]

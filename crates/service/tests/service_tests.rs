@@ -234,6 +234,81 @@ fn admission_validation_and_errors() {
 }
 
 #[test]
+fn lambda_fold_jobs_bypass_predictive_admission_and_solve() {
+    use cyclecover_service::{CalibrationRow, CostModel};
+    // A model whose only point says the unit n = 6 certification takes
+    // an hour: the unit twin is predicted-rejected at a 10 ms deadline,
+    // but the λ-fold job — same n, same deadline wired in — runs a
+    // different kernel the table knows nothing about, so it is always
+    // admitted (and then actually solves: ρ₂(6) = 9).
+    let mut svc = service();
+    svc.set_cost_model(CostModel::new(vec![CalibrationRow {
+        n: 6,
+        objective: "find_optimal".to_string(),
+        symmetry: "root".to_string(),
+        memo: true,
+        nodes: 1_000_000_000,
+        wall_ms: 3_600_000.0,
+    }]));
+    let mut unit = SolveJob::new("unit", 6);
+    unit.deadline_ms = Some(10);
+    svc.submit(unit).unwrap();
+    let mut double = SolveJob::new("double", 6);
+    double.lambda = 2;
+    double.deadline_ms = Some(10_000);
+    svc.submit(double).unwrap();
+    let mut triple = SolveJob::new("triple", 6);
+    triple.lambda = 3;
+    svc.submit(triple).unwrap();
+
+    let report = svc.drain();
+    assert_eq!(report.stats.predicted_rejected, 1);
+    assert!(by_id(&report, "unit").predicted_reject);
+
+    let double = by_id(&report, "double");
+    assert!(!double.predicted_reject, "λ-fold jobs are always admitted");
+    assert!(double.predicted.is_none(), "no unit-table prediction applies");
+    let sol = double.solution.as_ref().unwrap();
+    assert!(
+        matches!(sol.optimality(), Optimality::Optimal { .. }),
+        "{:?}",
+        sol.optimality()
+    );
+    assert_eq!(sol.size(), Some(9), "ρ₂(6) = 9 (the capacity bound)");
+    // The double cover's solution document round-trips the wire format
+    // and passes the full `cyclecover validate` coverage check (λ-fold
+    // coverings cover every request ≥ λ ≥ 1 times).
+    let doc = json::solution_to_json(sol);
+    let covering = json::covering_from_solution_json(&doc).unwrap();
+    covering.validate().unwrap();
+
+    let triple = by_id(&report, "triple").solution.as_ref().unwrap();
+    assert!(matches!(triple.optimality(), Optimality::Optimal { .. }));
+    assert_eq!(triple.size(), Some(14), "ρ₃(6) = 14");
+}
+
+#[test]
+fn lambda_is_part_of_the_coalescing_key() {
+    // A unit job and a double-cover job at the same ring size must not
+    // coalesce: λ is wire-visible, so it is part of the key.
+    let mut svc = service();
+    svc.submit(SolveJob::new("unit", 6)).unwrap();
+    let mut double = SolveJob::new("double", 6);
+    double.lambda = 2;
+    svc.submit(double).unwrap();
+    let mut double2 = SolveJob::new("double2", 6);
+    double2.lambda = 2;
+    svc.submit(double2).unwrap();
+
+    let report = svc.drain();
+    assert_eq!(report.stats.solved, 3);
+    assert_eq!(report.stats.coalesced, 1, "only the two λ = 2 jobs coalesce");
+    assert_eq!(by_id(&report, "unit").solution.as_ref().unwrap().size(), Some(5));
+    assert_eq!(by_id(&report, "double").solution.as_ref().unwrap().size(), Some(9));
+    assert!(by_id(&report, "double2").coalesced);
+}
+
+#[test]
 fn mixed_batch_meets_the_acceptance_shape() {
     // The ISSUE acceptance scenario, in-library: >= 3 distinct (n, spec)
     // keys, repeated requests, one unmeetable deadline.

@@ -251,6 +251,171 @@ impl fmt::Debug for ChordSet {
     }
 }
 
+/// Low bit of every 2-bit lane of a [`LaneSet`] word.
+pub const LANE_LOW: u64 = 0x5555_5555_5555_5555;
+
+/// Lanes per `u64` word of a [`LaneSet`].
+pub const LANES_PER_WORD: u32 = 32;
+
+/// Word-packed per-chord multiplicities: the λ-fold sibling of
+/// [`ChordSet`].
+///
+/// Each chord owns a 2-bit lane (32 lanes per word) holding its
+/// *residual* demand — how many more times it must be covered — so
+/// λ ≤ 3 specs fit without inter-lane carries. Placing a tile is one
+/// masked subtract per word: lanes that are covered by the tile *and*
+/// still nonzero each lose exactly 1, which cannot borrow into the
+/// neighbouring lane because every decremented lane is ≥ 1. "Fully
+/// covered" is the lane-wise compare against zero, and residual-demand
+/// popcounts (how many covered lanes are still live) fall out of the
+/// same mask that drives the subtract.
+///
+/// Word `w` lane `i` (chord `32·w + i`) occupies bits `2i` (low) and
+/// `2i + 1` (high); [`LANE_LOW`] selects the low bit of every lane.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct LaneSet {
+    words: Vec<u64>,
+    nlanes: u32,
+}
+
+impl LaneSet {
+    /// All-zero residuals over `nlanes` chord slots.
+    pub fn zero(nlanes: u32) -> Self {
+        LaneSet {
+            words: vec![0; nlanes.div_ceil(LANES_PER_WORD) as usize],
+            nlanes,
+        }
+    }
+
+    /// Packs per-chord residual counts (each ≤ 3) into lanes.
+    pub fn from_counts(counts: &[u32]) -> Self {
+        let mut s = Self::zero(counts.len() as u32);
+        for (i, &v) in counts.iter().enumerate() {
+            s.set(i as u32, v);
+        }
+        s
+    }
+
+    /// Number of lanes (chord slots).
+    #[inline]
+    pub fn len(&self) -> u32 {
+        self.nlanes
+    }
+
+    /// Whether the set has zero lanes (an empty chord universe).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.nlanes == 0
+    }
+
+    /// Whether every lane is zero — the "fully covered" test.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Lane `i`'s residual value.
+    #[inline]
+    pub fn get(&self, i: u32) -> u32 {
+        debug_assert!(i < self.nlanes, "lane {i} out of width {}", self.nlanes);
+        (self.words[(i / LANES_PER_WORD) as usize] >> (2 * (i % LANES_PER_WORD)) & 0b11) as u32
+    }
+
+    /// Sets lane `i` to `v` (≤ 3).
+    #[inline]
+    pub fn set(&mut self, i: u32, v: u32) {
+        debug_assert!(i < self.nlanes, "lane {i} out of width {}", self.nlanes);
+        debug_assert!(v <= 3, "residual {v} does not fit a 2-bit lane");
+        let w = &mut self.words[(i / LANES_PER_WORD) as usize];
+        let sh = 2 * (i % LANES_PER_WORD);
+        *w = (*w & !(0b11u64 << sh)) | ((v as u64) << sh);
+    }
+
+    /// Total residual demand: the sum of every lane.
+    #[inline]
+    pub fn total(&self) -> u32 {
+        self.words
+            .iter()
+            .map(|&w| (w & LANE_LOW).count_ones() + 2 * (w >> 1 & LANE_LOW).count_ones())
+            .sum()
+    }
+
+    /// Number of lanes still nonzero — the residual-demand popcount.
+    #[inline]
+    pub fn count_nonzero(&self) -> u32 {
+        self.words
+            .iter()
+            .map(|&w| ((w | w >> 1) & LANE_LOW).count_ones())
+            .sum()
+    }
+
+    /// Lowest nonzero lane, if any.
+    #[inline]
+    pub fn first_nonzero(&self) -> Option<u32> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some((i as u32) * LANES_PER_WORD + w.trailing_zeros() / 2);
+            }
+        }
+        None
+    }
+
+    /// Places a tile on word `wi`: every lane selected by `mask_low`
+    /// (low-bit positions, as a tile's lane mask) that is still nonzero
+    /// is decremented by exactly 1 — the saturating masked subtract.
+    /// Returns the subtracted word (one [`LANE_LOW`] bit per decremented
+    /// lane), which the caller stores for [`LaneSet::unplace_word`] and
+    /// whose popcount is the tile's new coverage in this word.
+    #[inline]
+    pub fn place_word(&mut self, wi: usize, mask_low: u64) -> u64 {
+        debug_assert_eq!(mask_low & !LANE_LOW, 0, "mask must use low-bit lanes");
+        let r = self.words[wi];
+        // Every subtracted lane is ≥ 1, so the word-wide subtract cannot
+        // borrow across a lane boundary.
+        let sub = (r | r >> 1) & mask_low;
+        self.words[wi] = r - sub;
+        sub
+    }
+
+    /// Reverts a [`LaneSet::place_word`] with the word it returned. The
+    /// add cannot carry across lanes: each re-incremented lane was
+    /// decremented from ≥ 1 by the matching place.
+    #[inline]
+    pub fn unplace_word(&mut self, wi: usize, sub: u64) {
+        debug_assert_eq!(sub & !LANE_LOW, 0, "undo word must use low-bit lanes");
+        debug_assert_eq!(
+            self.words[wi] & self.words[wi] >> 1 & sub,
+            0,
+            "re-incrementing a saturated lane"
+        );
+        self.words[wi] += sub;
+    }
+
+    /// The raw lane words (lane 0 of word 0 is chord 0).
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl fmt::Debug for LaneSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "LaneSet{{")?;
+        let mut first = true;
+        for i in 0..self.nlanes {
+            let v = self.get(i);
+            if v > 0 {
+                if !first {
+                    write!(f, ",")?;
+                }
+                write!(f, "{i}:{v}")?;
+                first = false;
+            }
+        }
+        write!(f, "}}/{}", self.nlanes)
+    }
+}
+
 /// Iterator over the set bits of a [`ChordSet`].
 pub struct SetBits<'a> {
     words: &'a [u64],
@@ -377,5 +542,101 @@ mod tests {
         }
         assert_eq!(s.iter().collect::<Vec<_>>(), picks.to_vec());
         assert_eq!(s.count() as usize, picks.len());
+    }
+
+    /// Lane-boundary widths: 31/32/33 straddle the first word edge
+    /// (32 lanes per word), 63/64/65 the second — the λ-fold analogue
+    /// of the bitset width-boundary suite. 66 is a real instance width
+    /// (`n = 12` has 66 chords).
+    #[test]
+    fn lane_width_boundaries() {
+        for nlanes in [1u32, 31, 32, 33, 63, 64, 65, 66] {
+            let counts: Vec<u32> = (0..nlanes).map(|i| i % 4).collect();
+            let s = LaneSet::from_counts(&counts);
+            assert_eq!(s.len(), nlanes, "width {nlanes}");
+            for i in 0..nlanes {
+                assert_eq!(s.get(i), i % 4, "width {nlanes} lane {i}");
+            }
+            assert_eq!(s.total(), counts.iter().sum::<u32>(), "width {nlanes}");
+            assert_eq!(
+                s.count_nonzero(),
+                counts.iter().filter(|&&v| v > 0).count() as u32,
+                "width {nlanes}"
+            );
+            assert_eq!(
+                s.first_nonzero(),
+                counts.iter().position(|&v| v > 0).map(|p| p as u32),
+                "width {nlanes}"
+            );
+            assert_eq!(s.is_zero(), nlanes == 1, "width {nlanes}");
+        }
+    }
+
+    #[test]
+    fn lane_set_get_roundtrip() {
+        let mut s = LaneSet::zero(65);
+        for (i, v) in [(0u32, 3u32), (31, 1), (32, 2), (33, 3), (63, 2), (64, 1)] {
+            s.set(i, v);
+            assert_eq!(s.get(i), v, "lane {i}");
+        }
+        // Neighbouring lanes are untouched by a 2-bit write.
+        assert_eq!(s.get(1), 0);
+        assert_eq!(s.get(30), 0);
+        assert_eq!(s.get(34), 0);
+        s.set(33, 0);
+        assert_eq!(s.get(33), 0);
+        assert_eq!(s.get(32), 2, "clearing a lane leaves its neighbours");
+        assert_eq!(s.get(34), 0);
+    }
+
+    #[test]
+    fn place_word_decrements_only_live_masked_lanes() {
+        // Lanes 0..4 hold 3, 2, 1, 0; the mask covers lanes 0, 2, 3.
+        let mut s = LaneSet::from_counts(&[3, 2, 1, 0]);
+        let mask = 1u64 | 1 << 4 | 1 << 6;
+        let sub = s.place_word(0, mask);
+        // Lane 3 is already zero: saturation keeps it out of the
+        // subtract, so new coverage is the two live masked lanes.
+        assert_eq!(sub, 1u64 | 1 << 4);
+        assert_eq!(sub.count_ones(), 2, "coverage popcount");
+        assert_eq!(
+            (s.get(0), s.get(1), s.get(2), s.get(3)),
+            (2, 2, 0, 0),
+            "masked live lanes lost exactly 1; others untouched"
+        );
+        s.unplace_word(0, sub);
+        assert_eq!((s.get(0), s.get(1), s.get(2), s.get(3)), (3, 2, 1, 0));
+    }
+
+    #[test]
+    fn place_word_never_borrows_across_lanes() {
+        // A full word of residual-1 lanes: subtracting the whole mask
+        // must zero every lane without any lane borrowing from its
+        // neighbour (which would show up as 0b11 garbage).
+        let mut s = LaneSet::from_counts(&[1; 32]);
+        let sub = s.place_word(0, LANE_LOW);
+        assert_eq!(sub, LANE_LOW);
+        assert!(s.is_zero());
+        s.unplace_word(0, sub);
+        assert_eq!(s.total(), 32);
+
+        // Mixed values 1..=3 across a word edge at lane 32.
+        let counts: Vec<u32> = (0..40).map(|i| 1 + i % 3).collect();
+        let mut m = LaneSet::from_counts(&counts);
+        let before = m.clone();
+        let s0 = m.place_word(0, LANE_LOW);
+        let s1 = m.place_word(1, LANE_LOW & ((1u64 << 16) - 1));
+        for (i, &v) in counts.iter().enumerate() {
+            assert_eq!(m.get(i as u32), v - 1, "lane {i}");
+        }
+        m.unplace_word(1, s1);
+        m.unplace_word(0, s0);
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn lane_debug_render() {
+        let s = LaneSet::from_counts(&[0, 2, 0, 3]);
+        assert_eq!(format!("{s:?}"), "LaneSet{1:2,3:3}/4");
     }
 }

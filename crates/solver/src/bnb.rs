@@ -217,6 +217,13 @@ impl CoverSpec {
     pub fn is_unit(&self) -> bool {
         self.demand.iter().all(|&d| d <= 1)
     }
+
+    /// The largest per-request multiplicity. ≤ 1 means the unit bitset
+    /// machinery applies; ≤ 3 fits the packed 2-bit lane kernel; larger
+    /// demands fall back to the recursive multiplicity kernel.
+    pub fn max_demand(&self) -> u32 {
+        self.demand.iter().copied().max().unwrap_or(0)
+    }
 }
 
 /// Result of a bounded covering search.
@@ -976,10 +983,12 @@ fn search<K: Kernel>(
 /// (allocation-free search stack, incremental bounds, and the
 /// refutation `store` — pass the same store across probes or requests
 /// to reuse recorded refutations, or `None` for the memo-free search);
-/// λ-fold specs on the recursive multiplicity kernel (which ignores the
-/// store — subset-of-uncovered dominance does not capture
-/// multiplicities). The third component reports why an inconclusive
-/// search stopped.
+/// specs with multiplicities in `2..=3` (every λ-fold instance the
+/// paper studies) on the **word-parallel lane core** — packed 2-bit
+/// residual lanes with the same dominance, symmetry, bound, and memo
+/// machinery. Only demands > 3 fall back to the recursive multiplicity
+/// kernel (which ignores the store). The third component reports why an
+/// inconclusive search stopped.
 pub(crate) fn budget_search(
     u: &TileUniverse,
     spec: &CoverSpec,
@@ -990,6 +999,8 @@ pub(crate) fn budget_search(
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
         crate::search_core::search_iterative(u, spec, budget, lim, sym, store)
+    } else if spec.max_demand() <= 3 {
+        crate::search_core::search_lanes(u, spec, budget, lim, sym, store)
     } else {
         search::<MultiKernel>(u, spec, budget, lim, sym)
     }
@@ -1035,8 +1046,8 @@ pub(crate) fn budget_search_legacy(
 /// expanded per thread before the scope drains them. Unit-demand specs
 /// drain [`crate::search_core`] workers sharing one refutation store
 /// (each attached under its own generation, so cross-worker reuse shows
-/// up as `shared_hits`); λ-fold specs keep the recursive multiplicity
-/// workers.
+/// up as `shared_hits`); λ ≤ 3 specs drain the lane-core workers the
+/// same way; only demands > 3 keep the recursive multiplicity workers.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn budget_search_parallel(
     u: &TileUniverse,
@@ -1050,6 +1061,17 @@ pub(crate) fn budget_search_parallel(
 ) -> (Outcome, Stats, Option<Exhaustion>) {
     if spec.is_unit() {
         crate::search_core::search_iterative_parallel(
+            u,
+            spec,
+            budget,
+            lim,
+            threads,
+            prefix_per_thread,
+            sym,
+            store,
+        )
+    } else if spec.max_demand() <= 3 {
+        crate::search_core::search_lanes_parallel(
             u,
             spec,
             budget,

@@ -61,13 +61,23 @@
 //!
 //! # Mechanics
 //!
-//! States are keyed *exactly*: the uncovered set's words (`≤ 128` chord
+//! States are keyed *exactly*: the residual state's words (`≤ 128` chord
 //! slots, i.e. every `n ≤ 16` — far beyond what exact search finishes)
 //! are the key, so a hash collision can never cause a false prune and
-//! certificates stay exact. A Zobrist hash — one 64-bit key per chord
-//! slot, generated deterministically by the vendored xoshiro256**
-//! generator, XOR-folded incrementally as chords are covered/uncovered —
-//! picks the shard (top bits) and the slot within it (low bits). Each
+//! certificates stay exact. Unit-demand searches key by the uncovered
+//! [`crate::bitset::ChordSet`]'s words (1 bit per chord); λ-fold
+//! searches key by the packed residual [`crate::bitset::LaneSet`]'s
+//! words (2 bits per chord, residual multiplicities `≤ 3`). The two
+//! encodings can collide bit for bit over the same universe, so every
+//! slot carries its **lane width** (`bits`: 1 = unit, 2 = λ-fold) and a
+//! probe only matches entries of its own width — a service-shared store
+//! may hold both kinds side by side. A Zobrist hash — one 64-bit key
+//! per (chord slot, multiplicity level `1..=3`), generated
+//! deterministically by the vendored xoshiro256** generator (the
+//! level-1 keys come first, so unit hashes are unchanged from earlier
+//! revisions), XOR-folded incrementally as residual demand is
+//! covered/uncovered — picks the shard (top bits) and the slot within
+//! it (low bits). Each
 //! shard is an independently locked open-addressing table probing an
 //! eight-slot window per hash, doubling while under its share of the
 //! byte budget; with the window full, a colliding insert keeps
@@ -146,15 +156,23 @@ impl MemoConfig {
     }
 }
 
-/// One table slot: the exact residual state (as up to two words of the
-/// uncovered set), the largest slack the state was refuted under, and
-/// the generation that recorded it. `rem == u32::MAX` marks an empty
-/// slot (real slacks are bounded by the search budget).
+/// Words of one state key: four words hold either a unit uncovered set
+/// (`≤ 128` chords, upper two words zero) or a packed 2-bit residual
+/// lane vector (`≤ 128` chords × 2 bits).
+pub(crate) const KEY_WORDS: usize = 4;
+
+/// One table slot: the exact residual state (up to [`KEY_WORDS`] words
+/// of the uncovered set or residual lane vector), its lane width, the
+/// largest slack the state was refuted under, and the generation that
+/// recorded it. `rem == u32::MAX` marks an empty slot (real slacks are
+/// bounded by the search budget).
 #[derive(Clone, Copy)]
 struct Slot {
-    key: [u64; 2],
+    key: [u64; KEY_WORDS],
     rem: u32,
     gen: u32,
+    /// Bits per chord of `key` (1 = unit bitset, 2 = λ-fold lanes).
+    bits: u8,
 }
 
 const EMPTY: u32 = u32::MAX;
@@ -174,7 +192,10 @@ struct Shard {
 /// rule, its soundness, and the three sharing rings.
 pub struct MemoStore {
     shards: Vec<Mutex<Shard>>,
-    /// Per-chord Zobrist keys (indexed by priority chord).
+    /// Zobrist keys per (priority chord, multiplicity level): the first
+    /// `num_chords` entries are the level-1 keys (the unit search's
+    /// whole stream), followed by the level-2 and level-3 blocks the
+    /// λ-fold lane search folds in per residual unit.
     zobrist: Vec<u64>,
     /// Next generation tag to hand out (see [`MemoStore::attach`]).
     next_gen: AtomicU32,
@@ -213,15 +234,19 @@ impl MemoStore {
         let cap_slots = 1usize << (usize::BITS - 1 - budget_slots.leading_zeros());
         let start = MIN_SLOTS.min(cap_slots);
         let mut rng = StdRng::seed_from_u64(ZOBRIST_SEED);
-        let zobrist: Vec<u64> = (0..num_chords).map(|_| rng.next_u64()).collect();
+        // Level-1 keys first: the prefix of the seeded stream is exactly
+        // the historical per-chord key set, so unit-search hashes (and
+        // hence node counts) are bit-identical to earlier revisions.
+        let zobrist: Vec<u64> = (0..3 * num_chords).map(|_| rng.next_u64()).collect();
         let shards = (0..SHARDS)
             .map(|_| {
                 Mutex::new(Shard {
                     slots: vec![
                         Slot {
-                            key: [0, 0],
+                            key: [0; KEY_WORDS],
                             rem: EMPTY,
                             gen: 0,
+                            bits: 0,
                         };
                         start
                     ],
@@ -260,10 +285,21 @@ impl MemoStore {
     }
 
     /// The Zobrist key of priority chord `c` — XOR it into a running
-    /// hash whenever `c` enters or leaves the uncovered set.
+    /// hash whenever `c` enters or leaves the uncovered set (the unit
+    /// search's key; identical to level 1 of [`MemoStore::chord_level_key`]).
     #[inline]
     pub(crate) fn chord_key(&self, c: u32) -> u64 {
         self.zobrist[c as usize]
+    }
+
+    /// The Zobrist key of (priority chord `c`, multiplicity level `v`),
+    /// `v ∈ 1..=3` — the λ-fold lane search XORs it into its running
+    /// hash whenever chord `c`'s residual demand crosses `v` (a hash of
+    /// residual vector `r` is `⊕_c ⊕_{v=1..=r(c)} key(c, v)`).
+    #[inline]
+    pub(crate) fn chord_level_key(&self, c: u32, v: u32) -> u64 {
+        debug_assert!((1..=3).contains(&v), "lane levels are 1..=3");
+        self.zobrist[((v - 1) * self.num_chords + c) as usize]
     }
 
     /// Occupied entries (the `memo_entries` statistic).
@@ -301,30 +337,36 @@ impl MemoStore {
         }
     }
 
-    /// Whether a recorded state equal to `key` was refuted under slack
-    /// `≥ slack` — i.e. whether a node (or candidate child) with `slack`
-    /// tiles of headroom is dominated and may be pruned. Returns the
-    /// recording generation on a hit so the caller can classify the hit
-    /// as its own or shared.
+    /// Whether a recorded state equal to `key` (at lane width `bits`)
+    /// was refuted under slack `≥ slack` — i.e. whether a node (or
+    /// candidate child) with `slack` tiles of headroom is dominated and
+    /// may be pruned. Returns the recording generation on a hit so the
+    /// caller can classify the hit as its own or shared.
     #[inline]
-    pub(crate) fn dominated(&self, hash: u64, key: [u64; 2], slack: u32) -> Option<u32> {
+    pub(crate) fn dominated(
+        &self,
+        hash: u64,
+        key: [u64; KEY_WORDS],
+        bits: u8,
+        slack: u32,
+    ) -> Option<u32> {
         let shard = self.lock_shard(hash);
         let base = hash as usize;
         for i in 0..Self::WAYS {
             let slot = &shard.slots[(base + i) & shard.mask];
-            if slot.rem != EMPTY && slot.key == key {
+            if slot.rem != EMPTY && slot.bits == bits && slot.key == key {
                 return (slot.rem >= slack).then_some(slot.gen);
             }
         }
         None
     }
 
-    /// Records that the state `key` was exhausted with `rem` tiles of
-    /// slack by searcher `gen`. Keeps the larger slack on key match
-    /// (tagging the entry with its strengthener); with the window full
-    /// at capacity, evicts the weakest resident (smallest rem) if the
-    /// newcomer prunes more.
-    pub(crate) fn record(&self, hash: u64, key: [u64; 2], rem: u32, gen: u32) {
+    /// Records that the state `key` (at lane width `bits`) was exhausted
+    /// with `rem` tiles of slack by searcher `gen`. Keeps the larger
+    /// slack on key match (tagging the entry with its strengthener);
+    /// with the window full at capacity, evicts the weakest resident
+    /// (smallest rem) if the newcomer prunes more.
+    pub(crate) fn record(&self, hash: u64, key: [u64; KEY_WORDS], bits: u8, rem: u32, gen: u32) {
         debug_assert_ne!(rem, EMPTY);
         let mut shard = self.lock_shard(hash);
         if shard.len * 4 > shard.slots.len() * 3 && shard.slots.len() < shard.cap_slots {
@@ -338,13 +380,13 @@ impl MemoStore {
             let slot = shard.slots[idx];
             if slot.rem == EMPTY {
                 shard.len += 1;
-                shard.slots[idx] = Slot { key, rem, gen };
+                shard.slots[idx] = Slot { key, rem, gen, bits };
                 self.len.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-            if slot.key == key {
+            if slot.bits == bits && slot.key == key {
                 if rem > slot.rem {
-                    shard.slots[idx] = Slot { key, rem, gen };
+                    shard.slots[idx] = Slot { key, rem, gen, bits };
                 }
                 return;
             }
@@ -354,7 +396,7 @@ impl MemoStore {
             }
         }
         if rem > weakest_rem {
-            shard.slots[weakest] = Slot { key, rem, gen };
+            shard.slots[weakest] = Slot { key, rem, gen, bits };
         }
     }
 
@@ -366,9 +408,10 @@ impl MemoStore {
             &mut shard.slots,
             vec![
                 Slot {
-                    key: [0, 0],
+                    key: [0; KEY_WORDS],
                     rem: EMPTY,
                     gen: 0,
+                    bits: 0,
                 };
                 new_len
             ],
@@ -377,7 +420,7 @@ impl MemoStore {
         shard.len = 0;
         for moved in old {
             if moved.rem != EMPTY {
-                let hash = self.hash_of_key(moved.key);
+                let hash = self.hash_of_state(moved.key, moved.bits);
                 // Re-seat inline (the shard lock is already held).
                 let base = hash as usize;
                 let mut weakest = 0usize;
@@ -408,20 +451,47 @@ impl MemoStore {
         }
     }
 
-    /// The Zobrist hash of an explicit state (used on rehash and by the
-    /// canonicalization path, which builds keys it has no running hash
-    /// for).
-    pub(crate) fn hash_of_key(&self, key: [u64; 2]) -> u64 {
+    /// The Zobrist hash of an explicit state at the given lane width
+    /// (used on rehash and by the canonicalization path, which builds
+    /// keys it has no running hash for). Unit keys (`bits == 1`) hash
+    /// each set chord's level-1 key; lane keys (`bits == 2`) fold in
+    /// one level key per residual unit of every chord.
+    pub(crate) fn hash_of_state(&self, key: [u64; KEY_WORDS], bits: u8) -> u64 {
         let mut hash = 0u64;
-        for (w, base) in key.iter().zip([0u32, 64]) {
-            let mut bits = *w;
-            while bits != 0 {
-                let c = base + bits.trailing_zeros();
-                hash ^= self.zobrist[c as usize];
-                bits &= bits - 1;
+        match bits {
+            1 => {
+                for (wi, w) in key.iter().enumerate() {
+                    let mut bits = *w;
+                    while bits != 0 {
+                        let c = (wi as u32) * 64 + bits.trailing_zeros();
+                        hash ^= self.zobrist[c as usize];
+                        bits &= bits - 1;
+                    }
+                }
             }
+            2 => {
+                for (wi, w) in key.iter().enumerate() {
+                    let mut lanes = *w;
+                    while lanes != 0 {
+                        let p = lanes.trailing_zeros() & !1;
+                        let c = (wi as u32) * 32 + p / 2;
+                        let r = (w >> p) & 0b11;
+                        for v in 1..=r as u32 {
+                            hash ^= self.chord_level_key(c, v);
+                        }
+                        lanes &= !(0b11 << p);
+                    }
+                }
+            }
+            other => unreachable!("unknown lane width {other}"),
         }
         hash
+    }
+
+    /// [`MemoStore::hash_of_state`] for a unit (1-bit) key.
+    #[cfg(test)]
+    pub(crate) fn hash_of_key(&self, key: [u64; KEY_WORDS]) -> u64 {
+        self.hash_of_state(key, 1)
     }
 }
 
@@ -439,19 +509,25 @@ mod tests {
     fn dominated_only_with_equal_or_less_slack() {
         let memo = MemoStore::new(&universe(12), 1 << 20).expect("n=12 fits");
         let gen = memo.attach();
-        let key = [0b1011, 0b1];
+        let key = [0b1011, 0b1, 0, 0];
         let hash = memo.hash_of_key(key);
-        assert!(memo.dominated(hash, key, 5).is_none());
-        memo.record(hash, key, 5, gen);
-        assert!(memo.dominated(hash, key, 5).is_some(), "equal slack prunes");
-        assert!(memo.dominated(hash, key, 4).is_some(), "less slack prunes");
+        assert!(memo.dominated(hash, key, 1, 5).is_none());
+        memo.record(hash, key, 1, 5, gen);
         assert!(
-            memo.dominated(hash, key, 6).is_none(),
+            memo.dominated(hash, key, 1, 5).is_some(),
+            "equal slack prunes"
+        );
+        assert!(
+            memo.dominated(hash, key, 1, 4).is_some(),
+            "less slack prunes"
+        );
+        assert!(
+            memo.dominated(hash, key, 1, 6).is_none(),
             "more slack explores"
         );
-        memo.record(hash, key, 7, gen);
+        memo.record(hash, key, 1, 7, gen);
         assert!(
-            memo.dominated(hash, key, 7).is_some(),
+            memo.dominated(hash, key, 1, 7).is_some(),
             "record keeps the maximum slack"
         );
         assert_eq!(memo.len(), 1);
@@ -463,20 +539,20 @@ mod tests {
         let g1 = memo.attach();
         let g2 = memo.attach();
         assert_ne!(g1, g2, "every searcher draws a fresh generation");
-        let key = [0b110, 0];
+        let key = [0b110, 0, 0, 0];
         let hash = memo.hash_of_key(key);
-        memo.record(hash, key, 3, g1);
+        memo.record(hash, key, 1, 3, g1);
         assert_eq!(
-            memo.dominated(hash, key, 2),
+            memo.dominated(hash, key, 1, 2),
             Some(g1),
             "the hit names who recorded it"
         );
         // A strengthening write re-tags the entry with its improver.
-        memo.record(hash, key, 6, g2);
-        assert_eq!(memo.dominated(hash, key, 4), Some(g2));
+        memo.record(hash, key, 1, 6, g2);
+        assert_eq!(memo.dominated(hash, key, 1, 4), Some(g2));
         // A weaker write leaves owner and strength alone.
-        memo.record(hash, key, 1, g1);
-        assert_eq!(memo.dominated(hash, key, 6), Some(g2));
+        memo.record(hash, key, 1, 1, g1);
+        assert_eq!(memo.dominated(hash, key, 1, 6), Some(g2));
     }
 
     #[test]
@@ -485,10 +561,33 @@ mod tests {
         // wrong state.
         let memo = MemoStore::new(&universe(10), 0).expect("floor budget");
         let gen = memo.attach();
-        let a = [0x1u64, 0];
-        let b = [0x2u64, 0];
-        memo.record(memo.hash_of_key(a), a, 2, gen);
-        assert!(memo.dominated(memo.hash_of_key(b), b, 1).is_none());
+        let a = [0x1u64, 0, 0, 0];
+        let b = [0x2u64, 0, 0, 0];
+        memo.record(memo.hash_of_key(a), a, 1, 2, gen);
+        assert!(memo.dominated(memo.hash_of_key(b), b, 1, 1).is_none());
+    }
+
+    #[test]
+    fn lane_widths_never_alias() {
+        // A unit uncovered set and a λ-fold residual lane vector can
+        // produce the same raw words over the same universe; the lane
+        // width discriminant must keep them apart in a shared store.
+        let memo = MemoStore::new(&universe(10), 1 << 20).unwrap();
+        let gen = memo.attach();
+        let key = [0b0101_0101u64, 0, 0, 0];
+        memo.record(memo.hash_of_state(key, 1), key, 1, 4, gen);
+        assert!(
+            memo.dominated(memo.hash_of_state(key, 2), key, 2, 1).is_none(),
+            "a unit entry must never prune a lane state"
+        );
+        memo.record(memo.hash_of_state(key, 2), key, 2, 6, gen);
+        assert!(memo.dominated(memo.hash_of_state(key, 2), key, 2, 6).is_some());
+        assert!(
+            memo.dominated(memo.hash_of_state(key, 1), key, 1, 6).is_none(),
+            "the lane write must not strengthen the unit entry"
+        );
+        assert!(memo.dominated(memo.hash_of_state(key, 1), key, 1, 4).is_some());
+        assert_eq!(memo.len(), 2, "the two widths occupy distinct slots");
     }
 
     #[test]
@@ -499,11 +598,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         // Keys must only use real chord bits (n = 16 has 120 chords).
         let hi_mask = (1u64 << (u.num_chords() - 64)) - 1;
-        let keys: Vec<[u64; 2]> = (0..40_000)
-            .map(|_| [rng.next_u64(), rng.next_u64() & hi_mask])
+        let keys: Vec<[u64; KEY_WORDS]> = (0..40_000)
+            .map(|_| [rng.next_u64(), rng.next_u64() & hi_mask, 0, 0])
             .collect();
         for (i, &k) in keys.iter().enumerate() {
-            memo.record(memo.hash_of_key(k), k, (i % 17) as u32, gen);
+            memo.record(memo.hash_of_key(k), k, 1, (i % 17) as u32, gen);
         }
         assert!(
             memo.len() > (SHARDS * MIN_SLOTS) as u64 * 3 / 4,
@@ -513,7 +612,10 @@ mod tests {
         let survived = keys
             .iter()
             .enumerate()
-            .filter(|&(i, &k)| memo.dominated(memo.hash_of_key(k), k, (i % 17) as u32).is_some())
+            .filter(|&(i, &k)| {
+                memo.dominated(memo.hash_of_key(k), k, 1, (i % 17) as u32)
+                    .is_some()
+            })
             .count();
         // Collisions may evict a few entries (pruning loss, never a
         // correctness issue); the overwhelming majority must survive.
@@ -525,12 +627,49 @@ mod tests {
     }
 
     #[test]
+    fn lane_entries_survive_rehash() {
+        let u = universe(12);
+        let memo = MemoStore::new(&u, 8 << 20).expect("fits");
+        let gen = memo.attach();
+        let mut rng = StdRng::seed_from_u64(11);
+        // Residual lane vectors over n = 12's 66 chords: 132 lane bits
+        // across words 0..3 (word 2 uses its low 4 bits).
+        let keys: Vec<[u64; KEY_WORDS]> = (0..30_000)
+            .map(|_| [rng.next_u64(), rng.next_u64(), rng.next_u64() & 0xF, 0])
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            memo.record(memo.hash_of_state(k, 2), k, 2, (i % 13) as u32, gen);
+        }
+        let survived = keys
+            .iter()
+            .enumerate()
+            .filter(|&(i, &k)| {
+                memo.dominated(memo.hash_of_state(k, 2), k, 2, (i % 13) as u32)
+                    .is_some()
+            })
+            .count();
+        assert!(
+            survived * 100 >= keys.len() * 90,
+            "only {survived}/{} lane entries survived the rehashes",
+            keys.len()
+        );
+    }
+
+    #[test]
     fn zobrist_stream_is_deterministic() {
         let a = MemoStore::new(&universe(11), 1 << 20).unwrap();
         let b = MemoStore::new(&universe(11), 1 << 20).unwrap();
         for c in 0..a.num_chords {
             assert_eq!(a.chord_key(c), b.chord_key(c));
+            for v in 1..=3 {
+                assert_eq!(a.chord_level_key(c, v), b.chord_level_key(c, v));
+            }
         }
+        assert_eq!(
+            a.chord_key(3),
+            a.chord_level_key(3, 1),
+            "level 1 is the historical per-chord stream"
+        );
     }
 
     #[test]
@@ -550,9 +689,9 @@ mod tests {
         let gen = memo.attach();
         for i in 0..1_000u64 {
             // n = 10 has 45 chords: keep keys inside the chord range.
-            let key = [(i * 0x9E37_79B9) & ((1u64 << 45) - 1), 0];
-            memo.record(memo.hash_of_key(key), key, (i % 5) as u32, gen);
-            memo.dominated(memo.hash_of_key(key), key, 1);
+            let key = [(i * 0x9E37_79B9) & ((1u64 << 45) - 1), 0, 0, 0];
+            memo.record(memo.hash_of_key(key), key, 1, (i % 5) as u32, gen);
+            memo.dominated(memo.hash_of_key(key), key, 1, 1);
         }
         assert_eq!(memo.contention(), 0);
     }

@@ -19,8 +19,8 @@ use std::time::Duration;
 const NS: std::ops::RangeInclusive<u32> = 4..=8;
 const EXACT: [&str; 4] = ["bitset", "bitset-parallel", "legacy", "dlx"];
 
-/// Asserts `tiles` covers every request of `K_n` at least once.
-fn assert_covers_complete(n: u32, tiles: &[cyclecover_ring::Tile]) {
+/// The multiset of edges `tiles` covers.
+fn coverage_of(n: u32, tiles: &[cyclecover_ring::Tile]) -> EdgeMultiset {
     let ring = Ring::new(n);
     let mut cov = EdgeMultiset::new(n as usize);
     for t in tiles {
@@ -28,6 +28,12 @@ fn assert_covers_complete(n: u32, tiles: &[cyclecover_ring::Tile]) {
             cov.insert(c.to_edge());
         }
     }
+    cov
+}
+
+/// Asserts `tiles` covers every request of `K_n` at least once.
+fn assert_covers_complete(n: u32, tiles: &[cyclecover_ring::Tile]) {
+    let cov = coverage_of(n, tiles);
     for u in 0..n {
         for v in (u + 1)..n {
             assert!(cov.count(Edge::new(u, v)) >= 1, "request ({u},{v}) uncovered");
@@ -95,6 +101,57 @@ fn infeasibility_verdicts_match_across_exact_engines() {
             );
             assert_eq!(*at.optimality(), Optimality::Feasible, "{name} n={n} at rho");
             assert_covers_complete(n, at.covering().expect("refutation witness"));
+        }
+    }
+}
+
+/// λ-fold conformance: on every small double/triple cover, each engine
+/// either solves it exactly or honestly declines. Every supporting
+/// engine must land on the measured optimum ρ_λ(n) with an `Optimal`
+/// certificate and a witness that re-validates through
+/// `EdgeMultiset::covers_complete(λ)`; the unit-only engines (DLX, the
+/// heuristics) must say so via `supports`, never answer wrong.
+#[test]
+fn exact_engines_agree_on_lambda_fold_optima() {
+    // (n, λ, ρ_λ(n)) over the full tile universe — every one sits at
+    // the scaled capacity bound ⌈λ·Σd(e)/n⌉ (see the λ-fold table test
+    // in tests/paper_claims.rs for the bound-side pinning).
+    for (n, lambda, expected) in [(5u32, 2u32, 6usize), (6, 2, 9), (7, 2, 12), (5, 3, 9), (6, 3, 14)] {
+        let problem = Problem::lambda_fold(n, lambda);
+        let request = SolveRequest::find_optimal().with_max_nodes(200_000_000);
+        for engine in engines() {
+            let name = engine.name();
+            if !engine.supports(&problem, &request) {
+                assert!(
+                    matches!(name, "dlx" | "greedy" | "greedy-improve" | "anneal"),
+                    "{name} must support λ-fold specs"
+                );
+                continue;
+            }
+            assert!(EXACT.contains(&name), "unexpected λ-fold engine {name}");
+            let sol = engine.solve(&problem, &request);
+            assert!(
+                matches!(sol.optimality(), Optimality::Optimal { .. }),
+                "{name} n={n} λ={lambda}: {:?}",
+                sol.optimality()
+            );
+            let tiles = sol.covering().expect("optimal carries covering");
+            assert_eq!(tiles.len(), expected, "{name}: ρ_{lambda}({n})");
+            assert!(
+                coverage_of(n, tiles).covers_complete(lambda),
+                "{name} n={n}: witness misses λ = {lambda} coverage"
+            );
+            // The decisive refutation below the optimum.
+            let below = engine.solve(
+                &problem,
+                &SolveRequest::prove_infeasible(expected as u32 - 1)
+                    .with_max_nodes(200_000_000),
+            );
+            assert_eq!(
+                *below.optimality(),
+                Optimality::Infeasible,
+                "{name} n={n} λ={lambda} at ρ_λ − 1"
+            );
         }
     }
 }
