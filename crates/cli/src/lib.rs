@@ -313,6 +313,13 @@ fn run_solve(args: &[String]) -> Result<String, String> {
         st.budgets_tried,
         st.wall.as_secs_f64() * 1e3
     );
+    if st.partition_probes > 0 {
+        let _ = writeln!(
+            out,
+            "route: partition kernel served {} of {} budget probe(s)",
+            st.partition_probes, st.budgets_tried
+        );
+    }
     if let Some(tiles) = solution.covering() {
         for t in tiles {
             out.push_str("cycle");
@@ -873,6 +880,29 @@ mod tests {
     }
 
     #[test]
+    fn solve_lambda_low_slack_probes_take_the_partition_route() {
+        // ρ₂(8) = 16 sits exactly at the capacity bound (2·64/8), so the
+        // first deepening probe has zero waste slack and the sequential
+        // dispatch hands it to the partition kernel; the route is
+        // visible provenance in both the human and JSON renderings.
+        let out = runv(&["solve", "8", "--lambda", "2"]).unwrap();
+        assert!(out.contains("OPTIMAL: 16 cycles (rho_2(8) certified)"), "{out}");
+        assert!(out.contains("route: partition kernel served 1 of 1 budget probe(s)"), "{out}");
+        let json = runv(&["solve", "8", "--lambda", "2", "--json"]).unwrap();
+        assert!(json.contains("\"partition_probes\": 1"), "{json}");
+        // A roomy budget keeps the λ-fold lane kernel in charge: no
+        // probe reroutes, and the provenance says so.
+        let out = runv(&["solve", "8", "--lambda", "2", "--budget", "20"]).unwrap();
+        assert!(out.contains("FEASIBLE"), "{out}");
+        assert!(!out.contains("route: partition"), "{out}");
+        // The dedicated engines answer the same question explicitly.
+        let out = runv(&["solve", "8", "--lambda", "2", "--engine", "partition"]).unwrap();
+        assert!(out.contains("OPTIMAL: 16 cycles"), "{out}");
+        let out = runv(&["solve", "8", "--lambda", "2", "--engine", "dlx"]).unwrap();
+        assert!(out.contains("OPTIMAL: 16 cycles"), "{out}");
+    }
+
+    #[test]
     fn solve_budget_and_engines() {
         // An infeasible budget must say so.
         let out = runv(&["solve", "6", "--budget", "4"]).unwrap();
@@ -885,7 +915,7 @@ mod tests {
         assert!(out.contains("OPTIMAL: 10 cycles"), "{out}");
         // The registry listing names every engine.
         let listing = runv(&["engines"]).unwrap();
-        for name in ["bitset", "bitset-parallel", "legacy", "dlx", "greedy", "anneal"] {
+        for name in ["bitset", "bitset-parallel", "legacy", "dlx", "partition", "greedy", "anneal"] {
             assert!(listing.contains(name), "{listing}");
         }
     }

@@ -71,7 +71,7 @@
 //! | `degraded` | `null` for a direct engine answer; otherwise `{"from": E1, "to": E2, "reason": R}` — a scheduler walked the request's `fallback` ladder and engine `E2` answered instead of the requested `E1`. `R` is `"panicked"` or one of the `budget_exhausted` reason strings (why `E1` was abandoned) |
 //! | `size` | number of cycles, or `null` when no covering is carried |
 //! | `cycles` | array of cycles (each an array of ring vertices), or `null` |
-//! | `stats` | `{nodes, pruned, dominated, sym_pruned, canon_pruned, memo_hits, shared_hits, memo_entries, symmetry_factor, budgets_tried, attempts, wall_ms}`; `wall_ms` is a float; `attempts` counts engine dispatches (1 = direct solve, more under a retrying/degrading scheduler, 0 = never started); `shared_hits` is the subset of `memo_hits` landing on refutations another searcher recorded (an earlier deepening probe, a parallel worker, or — under a shared store — another request) |
+//! | `stats` | `{nodes, pruned, dominated, sym_pruned, canon_pruned, memo_hits, shared_hits, memo_entries, partition_probes, symmetry_factor, budgets_tried, attempts, wall_ms}`; `wall_ms` is a float; `attempts` counts engine dispatches (1 = direct solve, more under a retrying/degrading scheduler, 0 = never started); `shared_hits` is the subset of `memo_hits` landing on refutations another searcher recorded (an earlier deepening probe, a parallel worker, or — under a shared store — another request); `partition_probes` is the certificate's route provenance — how many budget probes ran on the slack-budgeted partition kernel rather than branch & bound (0 = none did) |
 //!
 //! `optimality.kind` is one of:
 //!
@@ -257,7 +257,8 @@ fn solution_json_inner(sol: &Solution, id: Option<&str>, predicted_nodes: Option
         s,
         "  \"stats\": {{\"nodes\": {}, \"pruned\": {}, \"dominated\": {}, \
          \"sym_pruned\": {}, \"canon_pruned\": {}, \"memo_hits\": {}, \
-         \"shared_hits\": {}, \"memo_entries\": {}, \"symmetry_factor\": {}, \
+         \"shared_hits\": {}, \"memo_entries\": {}, \"partition_probes\": {}, \
+         \"symmetry_factor\": {}, \
          \"budgets_tried\": {}, \"attempts\": {}, \"wall_ms\": {:.3}}}",
         st.nodes,
         st.pruned,
@@ -267,6 +268,7 @@ fn solution_json_inner(sol: &Solution, id: Option<&str>, predicted_nodes: Option
         st.memo_hits,
         st.shared_hits,
         st.memo_entries,
+        st.partition_probes,
         st.sym_factor,
         st.budgets_tried,
         st.attempts,

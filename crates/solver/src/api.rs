@@ -43,7 +43,6 @@
 use crate::anneal::{anneal_covering, AnnealParams};
 use crate::bnb::{self, CoverSpec, MemoStore, Outcome, RunLimits, DEFAULT_MEMO_BYTES};
 pub use crate::bnb::SymmetryMode;
-use crate::dlx::ExactCover;
 use crate::greedy::greedy_cover;
 use crate::improve::improve_covering;
 use crate::TileUniverse;
@@ -791,6 +790,10 @@ pub struct Stats {
     /// the solve (a store shared across probes, workers, or requests
     /// reports its total population).
     pub memo_entries: u64,
+    /// Budget probes served by the slack-budgeted partition kernel —
+    /// the certificate's provenance record of the low-slack route
+    /// (0 = every probe ran plain branch & bound).
+    pub partition_probes: u64,
     /// Order of the symmetry subgroup the root branch was reduced by
     /// (1 = no reduction).
     pub sym_factor: u32,
@@ -878,6 +881,7 @@ impl Solution {
                 memo_hits: 0,
                 shared_hits: 0,
                 memo_entries: 0,
+                partition_probes: 0,
                 sym_factor: 1,
                 budgets_tried: 0,
                 attempts: 0,
@@ -955,11 +959,12 @@ pub trait Engine: Sync {
 
 /// All registered engines, exact first.
 pub fn engines() -> &'static [&'static dyn Engine] {
-    static ENGINES: [&dyn Engine; 7] = [
+    static ENGINES: [&dyn Engine; 8] = [
         &BitsetEngine,
         &ParallelBitsetEngine,
         &LegacyEngine,
         &DlxEngine,
+        &PartitionEngine,
         &HeuristicEngine::GREEDY,
         &HeuristicEngine::GREEDY_IMPROVE,
         &HeuristicEngine::ANNEAL,
@@ -1069,6 +1074,7 @@ fn drive_exact(
             memo_hits: total.memo_hits,
             shared_hits: total.shared_hits,
             memo_entries: total.memo_entries,
+            partition_probes: total.partition_probes,
             sym_factor: total.sym_factor.max(1),
             budgets_tried,
             attempts: 1,
@@ -1078,8 +1084,10 @@ fn drive_exact(
 }
 
 /// The word-packed branch & bound (`"bitset"`): the default exact engine.
-/// Unit-demand specs run on the bitset kernel, λ-fold specs fall back to
-/// the multiplicity kernel. `ExecPolicy::Sequential`/`Auto` run the
+/// Unit-demand specs run on the bitset kernel; λ-fold specs run on the
+/// lane kernel, except that a low-slack probe (`budget·n − λ·Σd(e) < n`)
+/// reroutes to the partition kernel, recorded in the certificate's
+/// `partition_probes` stat. `ExecPolicy::Sequential`/`Auto` run the
 /// depth-first search in-thread; `ExecPolicy::Parallel` drains a rayon
 /// frontier.
 pub struct BitsetEngine;
@@ -1208,38 +1216,76 @@ impl Engine for LegacyEngine {
 }
 
 // ---------------------------------------------------------------------------
-// DLX engine
+// Partition engines (the slack-budgeted exact-cover kernel)
 // ---------------------------------------------------------------------------
 
-/// Dancing-Links exact partition (`"dlx"`): odd `n`, complete unit spec.
-///
-/// For odd `n` the capacity bound `ρ(n) = Σdist/n` is met exactly, which
-/// forces any `ρ(n)` covering to be an exact *partition* of the chords
-/// into full-load tiles (no chord covered twice, every tile at load `n`).
-/// The engine therefore restricts the universe to full-load tiles and
-/// runs Knuth's Algorithm X: a partition found is an optimal covering,
-/// certified by the combinatorial bound alone.
-pub struct DlxEngine;
+/// `λ·Σd(e)`: the total demanded distance of a spec over a universe —
+/// what the waste slack `budget·n − λ·Σd(e)` is measured against.
+fn demanded_distance(u: &TileUniverse, spec: &CoverSpec) -> u64 {
+    (0..u.num_chords())
+        .map(|d| spec.demand[d as usize] as u64 * u.dist_of_pri(u.pri_of_dense(d)) as u64)
+        .sum()
+}
 
-impl DlxEngine {
-    /// Finds an exact partition into full-load tiles, as tile indices.
-    fn partition(u: &TileUniverse) -> Option<Vec<u32>> {
-        let n = u.ring().n();
-        let m = u.num_chords() as usize;
-        let mut ec = ExactCover::new(m);
-        let mut row_tile = Vec::new();
-        for i in 0..u.len() as u32 {
-            if u.tile_load(i) == n {
-                let cols: Vec<usize> =
-                    u.tile_chords(i).iter().map(|&c| c as usize).collect();
-                ec.add_row(&cols);
-                row_tile.push(i);
-            }
-        }
-        let rows = ec.solve_first()?;
-        Some(rows.into_iter().map(|r| row_tile[r as usize]).collect())
+/// The slack-budgeted partition planner as a directly selectable engine
+/// (`"partition"`): any spec with demands in `1..=3`, at any budget.
+///
+/// Runs `crate::dlx::search_partition` — MRV column selection over
+/// the priority chords, exact-waste candidate filtering against the
+/// budget's slack `budget·n − λ·Σd(e)`, full-load collapse at zero
+/// slack — through the same deepening driver as the branch-and-bound
+/// engines, so verdicts carry identical certificates and the memo,
+/// symmetry, deadline, and cancellation machinery all apply. Most
+/// effective on capacity-tight instances (where the sequential
+/// `"bitset"` dispatch reroutes here automatically once slack < n);
+/// selectable explicitly to push *any* λ ≤ 3 probe through the
+/// partition route, e.g. the n = 16 frontier probes.
+pub struct PartitionEngine;
+
+impl Engine for PartitionEngine {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn description(&self) -> &'static str {
+        "slack-budgeted exact-cover kernel (MRV chords, waste budget = budget*n - lambda*total-dist)"
+    }
+
+    fn supports(&self, problem: &Problem, _request: &SolveRequest) -> bool {
+        (1..=3).contains(&problem.spec().max_demand())
+    }
+
+    fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
+        let store = request.build_store(problem.universe());
+        drive_exact("partition", problem, request, |budget, lim| {
+            crate::dlx::search_partition(
+                problem.universe(),
+                problem.spec(),
+                budget,
+                lim,
+                request.symmetry(),
+                store.as_deref(),
+            )
+        })
     }
 }
+
+/// Zero-slack exact partition (`"dlx"`): the capacity-tightness
+/// specialist, now honest about its scope.
+///
+/// When `λ·Σd(e) ≡ 0 (mod n)` the capacity budget `λ·Σd(e)/n` leaves
+/// **zero waste**: any covering at that budget is an exact partition of
+/// the demand into full-load tiles. That is precisely where the
+/// slack-budgeted kernel collapses to Algorithm X (MRV over chords,
+/// only full-load rows survive the waste filter), so this engine is the
+/// partition kernel restricted to zero-slack specs — odd complete rings
+/// (Theorem 1's partitions), *and* even rings and λ-fold specs whose
+/// demanded distance divides evenly (e.g. `n = 8` complete, where the
+/// parity bound refutes budget 8 in one node and budget 9 carries slack
+/// n; `ρ₂(6) = 9`; `ρ₂(8) = 16`). Unlike the historical Dancing-Links
+/// engine it is a complete exact engine on its domain: refutations are
+/// genuine exhaustive proofs, not `EngineLimit` shrugs.
+pub struct DlxEngine;
 
 impl Engine for DlxEngine {
     fn name(&self) -> &'static str {
@@ -1247,79 +1293,28 @@ impl Engine for DlxEngine {
     }
 
     fn description(&self) -> &'static str {
-        "Dancing-Links exact partition into full-load tiles (odd n, complete spec)"
+        "exact partition at zero slack (lambda*total-dist divisible by n, demands <= 3)"
     }
 
     fn supports(&self, problem: &Problem, _request: &SolveRequest) -> bool {
-        problem.ring().n() % 2 == 1 && problem.is_complete_unit()
+        let spec = problem.spec();
+        (1..=3).contains(&spec.max_demand())
+            && demanded_distance(problem.universe(), spec)
+                .is_multiple_of(problem.ring().n() as u64)
     }
 
     fn solve(&self, problem: &Problem, request: &SolveRequest) -> Solution {
-        let start = Instant::now();
-        let u = problem.universe();
-        let lb = problem.spec().capacity_lower_bound(problem.ring()) as u32;
-        let partition = |u| {
-            Self::partition(u).map(|idx| -> Vec<Tile> {
-                idx.iter().map(|&i| u.tile(i).clone()).collect()
-            })
-        };
-        let (covering, optimality) = match request.objective() {
-            Objective::FindOptimal => match partition(u) {
-                Some(tiles) => {
-                    debug_assert_eq!(tiles.len() as u32, lb, "full-load partition size");
-                    (
-                        Some(tiles),
-                        Optimality::Optimal {
-                            lower_bound_proof: LowerBoundProof::CombinatorialBound { bound: lb },
-                        },
-                    )
-                }
-                None => (
-                    None,
-                    Optimality::BudgetExhausted {
-                        reason: Exhaustion::EngineLimit,
-                    },
-                ),
-            },
-            Objective::WithinBudget(k) | Objective::ProveInfeasible(k) => {
-                if k < lb {
-                    // The capacity bound alone settles it.
-                    (None, Optimality::Infeasible)
-                } else {
-                    match partition(u) {
-                        Some(tiles) => (Some(tiles), Optimality::Feasible),
-                        None => (
-                            None,
-                            Optimality::BudgetExhausted {
-                                reason: Exhaustion::EngineLimit,
-                            },
-                        ),
-                    }
-                }
-            }
-        };
-        Solution {
-            ring: problem.ring(),
-            covering,
-            optimality,
-            degraded: None,
-            cached: false,
-            stats: Stats {
-                engine: "dlx",
-                nodes: 0,
-                pruned: 0,
-                dominated: 0,
-                sym_pruned: 0,
-                canon_pruned: 0,
-                memo_hits: 0,
-                shared_hits: 0,
-                memo_entries: 0,
-                sym_factor: 1,
-                budgets_tried: 1,
-                attempts: 1,
-                wall: start.elapsed(),
-            },
-        }
+        let store = request.build_store(problem.universe());
+        drive_exact("dlx", problem, request, |budget, lim| {
+            crate::dlx::search_partition(
+                problem.universe(),
+                problem.spec(),
+                budget,
+                lim,
+                request.symmetry(),
+                store.as_deref(),
+            )
+        })
     }
 }
 
@@ -1412,6 +1407,7 @@ impl Engine for HeuristicEngine {
                 memo_hits: 0,
                 shared_hits: 0,
                 memo_entries: 0,
+                partition_probes: 0,
                 sym_factor: 1,
                 budgets_tried: 1,
                 attempts: 1,

@@ -270,6 +270,10 @@ pub struct Stats {
     /// Order of the symmetry subgroup the root branch was reduced by
     /// (1 = no reduction; 0 = no search ran).
     pub sym_factor: u32,
+    /// Budget probes served by the slack-budgeted partition kernel
+    /// (`crate::dlx`) — the certificate-provenance record of the
+    /// low-slack route. 0 = every probe ran branch-and-bound.
+    pub partition_probes: u64,
 }
 
 impl Stats {
@@ -287,6 +291,7 @@ impl Stats {
         // and single-probe cases exact).
         self.memo_entries = self.memo_entries.max(other.memo_entries);
         self.sym_factor = self.sym_factor.max(other.sym_factor);
+        self.partition_probes += other.partition_probes;
     }
 }
 
@@ -989,6 +994,16 @@ fn search<K: Kernel>(
 /// machinery. Only demands > 3 fall back to the recursive multiplicity
 /// kernel (which ignores the store). The third component reports why an
 /// inconclusive search stopped.
+///
+/// λ-fold probes whose waste slack `budget·n − λ·Σd(e)` sits in
+/// `[0, n)` — capacity-tight instances, where almost every tile of a
+/// witness must be full-load — route through the slack-budgeted
+/// partition kernel ([`crate::dlx`]) instead of the lane core; the
+/// route is recorded in [`Stats::partition_probes`]. Negative slack
+/// (budget below capacity) stays on the lane core, whose root bound
+/// refutes in one node — the frozen λ gate counts. Unit probes never
+/// reroute: their memo-off node counts are pinned bit for bit to the
+/// recursive reference.
 pub(crate) fn budget_search(
     u: &TileUniverse,
     spec: &CoverSpec,
@@ -1000,7 +1015,16 @@ pub(crate) fn budget_search(
     if spec.is_unit() {
         crate::search_core::search_iterative(u, spec, budget, lim, sym, store)
     } else if spec.max_demand() <= 3 {
-        crate::search_core::search_lanes(u, spec, budget, lim, sym, store)
+        let n = u.ring().n() as u64;
+        let wsum: u64 = (0..u.num_chords())
+            .map(|d| spec.demand[d as usize] as u64 * u.dist_of_pri(u.pri_of_dense(d)) as u64)
+            .sum();
+        let cap = budget as u64 * n;
+        if cap >= wsum && cap - wsum < n {
+            crate::dlx::search_partition(u, spec, budget, lim, sym, store)
+        } else {
+            crate::search_core::search_lanes(u, spec, budget, lim, sym, store)
+        }
     } else {
         search::<MultiKernel>(u, spec, budget, lim, sym)
     }
@@ -1025,6 +1049,49 @@ pub fn budget_search_reference(
     } else {
         search::<MultiKernel>(u, spec, budget, &lim, sym)
     };
+    (o, s)
+}
+
+/// `budget_search` forced onto the word-parallel **lane core** for a
+/// λ ≤ 3 spec, bypassing the low-slack partition dispatch — the
+/// branch-and-bound counterpart path the partition kernel is measured
+/// against (benches gate partition witness rows strictly under it;
+/// differential tests pin verdicts and optima to it).
+///
+/// # Panics
+/// Panics if a demand exceeds 3 (the lane core's packed width).
+pub fn budget_search_packed(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    max_nodes: u64,
+    sym: SymmetryMode,
+    store: Option<&MemoStore>,
+) -> (Outcome, Stats) {
+    assert!(spec.max_demand() <= 3, "lane core requires demands ≤ 3");
+    let lim = RunLimits::nodes_only(max_nodes);
+    let (o, s, _) = crate::search_core::search_lanes(u, spec, budget, &lim, sym, store);
+    (o, s)
+}
+
+/// `budget_search` forced onto the **slack-budgeted partition
+/// kernel** ([`crate::dlx`]) regardless of the instance's slack — the
+/// direct entry benches and differential tests use to measure the
+/// partition route on any λ ≤ 3 spec (the auto-dispatch only reroutes
+/// when slack < n).
+///
+/// # Panics
+/// Panics if a demand exceeds 3 (the kernel's packed lane width).
+pub fn budget_search_partition(
+    u: &TileUniverse,
+    spec: &CoverSpec,
+    budget: u32,
+    max_nodes: u64,
+    sym: SymmetryMode,
+    store: Option<&MemoStore>,
+) -> (Outcome, Stats) {
+    let lim = RunLimits::nodes_only(max_nodes);
+    let (o, s, _) = crate::dlx::search_partition(u, spec, budget, &lim, sym, store);
     (o, s)
 }
 

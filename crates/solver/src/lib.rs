@@ -20,8 +20,8 @@
 //!   certificate stating exactly what was proved, with unified stats;
 //! * [`api::Engine`] — the trait every solver implements, with a
 //!   name-keyed registry ([`api::engines`] / [`api::engine_by_name`]):
-//!   `bitset`, `bitset-parallel`, `legacy`, `dlx`, `greedy`,
-//!   `greedy-improve`, `anneal`.
+//!   `bitset`, `bitset-parallel`, `legacy`, `dlx`, `partition`,
+//!   `greedy`, `greedy-improve`, `anneal`.
 //!
 //! ```
 //! use cyclecover_solver::api::{engine_by_name, Optimality, Problem, SolveRequest};
@@ -68,8 +68,13 @@
 //!   differential reference ([`bnb::budget_search_reference`]) and the
 //!   legacy multiplicity kernel serves λ-fold specs. The old free
 //!   functions remain as deprecated wrappers over the engine internals;
-//! * [`dlx`] — a generic Dancing-Links exact-cover engine (Knuth's
-//!   Algorithm X) for exact partitions and design-theory substrates;
+//! * [`dlx`] — the slack-budgeted exact-cover kernel behind the
+//!   `partition` and `dlx` engines (MRV chord selection, exact-waste
+//!   candidate filtering against the budget's slack
+//!   `budget·n − λ·Σd(e)`, full-load collapse at zero slack), which the
+//!   sequential `bitset` dispatch reroutes low-slack λ-fold probes
+//!   through; plus the generic Dancing-Links substrate (Knuth's
+//!   Algorithm X) it grew out of;
 //! * [`greedy`], [`improve`], [`anneal`] — the heuristic pipeline:
 //!   lazy-bucket max-coverage greedy, drop/merge local search, simulated
 //!   annealing.

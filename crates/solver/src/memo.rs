@@ -67,11 +67,15 @@
 //! certificates stay exact. Unit-demand searches key by the uncovered
 //! [`crate::bitset::ChordSet`]'s words (1 bit per chord); λ-fold
 //! searches key by the packed residual [`crate::bitset::LaneSet`]'s
-//! words (2 bits per chord, residual multiplicities `≤ 3`). The two
-//! encodings can collide bit for bit over the same universe, so every
-//! slot carries its **lane width** (`bits`: 1 = unit, 2 = λ-fold) and a
+//! words (2 bits per chord, residual multiplicities `≤ 3`); the
+//! zero-slack partition kernel keys by the same packed lane words but
+//! under a **waste-slack** `rem` (unused cycle length remaining, not
+//! tiles remaining). The encodings can collide bit for bit over the
+//! same universe — and lane and partition entries share raw words by
+//! construction — so every slot carries its **lane width** (`bits`:
+//! 1 = unit, 2 = λ-fold tile slack, 3 = partition waste slack) and a
 //! probe only matches entries of its own width — a service-shared store
-//! may hold both kinds side by side. A Zobrist hash — one 64-bit key
+//! may hold all kinds side by side. A Zobrist hash — one 64-bit key
 //! per (chord slot, multiplicity level `1..=3`), generated
 //! deterministically by the vendored xoshiro256** generator (the
 //! level-1 keys come first, so unit hashes are unchanged from earlier
@@ -171,7 +175,8 @@ struct Slot {
     key: [u64; KEY_WORDS],
     rem: u32,
     gen: u32,
-    /// Bits per chord of `key` (1 = unit bitset, 2 = λ-fold lanes).
+    /// Lane-width/semantics tag of `key` (1 = unit bitset, 2 = λ-fold
+    /// lanes under tile slack, 3 = λ-fold lanes under waste slack).
     bits: u8,
 }
 
@@ -454,8 +459,9 @@ impl MemoStore {
     /// The Zobrist hash of an explicit state at the given lane width
     /// (used on rehash and by the canonicalization path, which builds
     /// keys it has no running hash for). Unit keys (`bits == 1`) hash
-    /// each set chord's level-1 key; lane keys (`bits == 2`) fold in
-    /// one level key per residual unit of every chord.
+    /// each set chord's level-1 key; lane keys (`bits == 2` tile-slack,
+    /// `bits == 3` waste-slack — same packed encoding, distinct match
+    /// domains) fold in one level key per residual unit of every chord.
     pub(crate) fn hash_of_state(&self, key: [u64; KEY_WORDS], bits: u8) -> u64 {
         let mut hash = 0u64;
         match bits {
@@ -469,7 +475,7 @@ impl MemoStore {
                     }
                 }
             }
-            2 => {
+            2 | 3 => {
                 for (wi, w) in key.iter().enumerate() {
                     let mut lanes = *w;
                     while lanes != 0 {
@@ -588,6 +594,26 @@ mod tests {
         );
         assert!(memo.dominated(memo.hash_of_state(key, 1), key, 1, 4).is_some());
         assert_eq!(memo.len(), 2, "the two widths occupy distinct slots");
+        // Width 3 (partition waste slack) shares the lane encoding —
+        // identical raw words AND identical hash — but must match only
+        // its own entries: its `rem` is measured in unused cycle
+        // length, not tiles, so cross-width pruning would be unsound.
+        assert_eq!(
+            memo.hash_of_state(key, 3),
+            memo.hash_of_state(key, 2),
+            "widths 2 and 3 share the packed-lane hash"
+        );
+        assert!(
+            memo.dominated(memo.hash_of_state(key, 3), key, 3, 1).is_none(),
+            "a tile-slack entry must never prune a waste-slack state"
+        );
+        memo.record(memo.hash_of_state(key, 3), key, 3, 9, gen);
+        assert!(memo.dominated(memo.hash_of_state(key, 3), key, 3, 9).is_some());
+        assert!(
+            memo.dominated(memo.hash_of_state(key, 2), key, 2, 7).is_none(),
+            "the waste-slack write must not strengthen the tile-slack entry"
+        );
+        assert_eq!(memo.len(), 3, "all three widths occupy distinct slots");
     }
 
     #[test]

@@ -962,6 +962,7 @@ pub(crate) fn search_iterative_parallel(
         // per-worker sum.
         memo_entries: store.map_or(0, |s| s.len()),
         sym_factor: sym_factor.load(Ordering::Relaxed),
+        partition_probes: 0,
     };
     let sol = solution.lock().expect("poison-free").take();
     match sol {
@@ -1017,14 +1018,20 @@ impl LaneTables {
         }
     }
 
+    /// Lane words per residual vector (shared by the partition kernel).
     #[inline]
-    fn mask(&self, t: u32) -> &[u64] {
+    pub(crate) fn lane_words(&self) -> usize {
+        self.lane_words
+    }
+
+    #[inline]
+    pub(crate) fn mask(&self, t: u32) -> &[u64] {
         let base = t as usize * self.lane_words;
         &self.masks[base..base + self.lane_words]
     }
 
     #[inline]
-    fn span(&self, t: u32) -> (u32, u32) {
+    pub(crate) fn span(&self, t: u32) -> (u32, u32) {
         self.spans[t as usize]
     }
 }
@@ -1868,6 +1875,7 @@ pub(crate) fn search_lanes_parallel(
         shared_hits: shared_hits.load(Ordering::Relaxed),
         memo_entries: store.map_or(0, |s| s.len()),
         sym_factor: sym_factor.load(Ordering::Relaxed),
+        partition_probes: 0,
     };
     let sol = solution.lock().expect("poison-free").take();
     match sol {

@@ -17,7 +17,7 @@ use proptest::prelude::*;
 use std::time::Duration;
 
 const NS: std::ops::RangeInclusive<u32> = 4..=8;
-const EXACT: [&str; 4] = ["bitset", "bitset-parallel", "legacy", "dlx"];
+const EXACT: [&str; 5] = ["bitset", "bitset-parallel", "legacy", "dlx", "partition"];
 
 /// The multiset of edges `tiles` covers.
 fn coverage_of(n: u32, tiles: &[cyclecover_ring::Tile]) -> EdgeMultiset {
@@ -109,8 +109,9 @@ fn infeasibility_verdicts_match_across_exact_engines() {
 /// either solves it exactly or honestly declines. Every supporting
 /// engine must land on the measured optimum ρ_λ(n) with an `Optimal`
 /// certificate and a witness that re-validates through
-/// `EdgeMultiset::covers_complete(λ)`; the unit-only engines (DLX, the
-/// heuristics) must say so via `supports`, never answer wrong.
+/// `EdgeMultiset::covers_complete(λ)`; engines out of scope (the
+/// heuristics always; DLX on nonzero-slack rows like ρ₃(6)) must say so
+/// via `supports`, never answer wrong.
 #[test]
 fn exact_engines_agree_on_lambda_fold_optima() {
     // (n, λ, ρ_λ(n)) over the full tile universe — every one sits at
@@ -156,14 +157,40 @@ fn exact_engines_agree_on_lambda_fold_optima() {
     }
 }
 
-/// The DLX engine's declared scope: odd complete instances only.
+/// The DLX engine's declared scope: zero-slack specs — `λ·Σd(e)` must
+/// divide evenly by `n`, demands at most 3. That admits every odd
+/// complete instance (Theorem 1's partitions) *and* the even ones whose
+/// total distance happens to divide — `n = 4, 8` yes, `n = 6` no
+/// (`Σd = 27`, `27 mod 6 = 3`) — plus zero-slack λ-fold rows like
+/// ρ₂(7), while ρ₃(6) (slack 3) stays out of scope.
 #[test]
-fn dlx_scope_is_odd_complete() {
+fn dlx_scope_is_zero_slack() {
     let dlx = engine_by_name("dlx").unwrap();
     let req = SolveRequest::find_optimal();
-    assert!(dlx.supports(&Problem::complete(7), &req));
-    assert!(!dlx.supports(&Problem::complete(8), &req), "even n");
-    assert!(!dlx.supports(&Problem::lambda_fold(7, 2), &req), "λ-fold");
+    for n in [3u32, 5, 7, 9] {
+        assert!(dlx.supports(&Problem::complete(n), &req), "odd n = {n}");
+    }
+    assert!(dlx.supports(&Problem::complete(4), &req), "Σd(4) = 8 divides");
+    assert!(dlx.supports(&Problem::complete(8), &req), "Σd(8) = 64 divides");
+    assert!(!dlx.supports(&Problem::complete(6), &req), "27 mod 6 = 3");
+    assert!(dlx.supports(&Problem::lambda_fold(7, 2), &req), "2·84 mod 7 = 0");
+    assert!(dlx.supports(&Problem::lambda_fold(6, 2), &req), "2·27 mod 6 = 0");
+    assert!(!dlx.supports(&Problem::lambda_fold(6, 3), &req), "3·27 mod 6 = 3");
+}
+
+/// The partition engine's declared scope: any spec with demands in
+/// `1..=3`, slack notwithstanding — it is the explicit entry to the
+/// slack-budgeted kernel (the frontier probes use it to force the
+/// partition route on slack-`n` instances the auto-dispatch skips).
+#[test]
+fn partition_scope_is_any_packed_demand() {
+    let partition = engine_by_name("partition").unwrap();
+    let req = SolveRequest::find_optimal();
+    for n in 4u32..=9 {
+        assert!(partition.supports(&Problem::complete(n), &req), "n = {n}");
+    }
+    assert!(partition.supports(&Problem::lambda_fold(6, 2), &req));
+    assert!(partition.supports(&Problem::lambda_fold(6, 3), &req));
 }
 
 /// Heuristics refuse to "prove" anything.
